@@ -1,0 +1,80 @@
+"""Ablation A1: Theorem 1 vs Formula 3 -- accuracy and cost vs size.
+
+Three questions the paper's Section 4.4/4.5 raises but only partially
+quantifies:
+
+1. how does the approximation's worst-case deviation scale with routing
+   range size (paper: 'generally less than 0.05');
+2. how does its evaluation cost compare with the exact boundary sum as
+   IR-grids grow (the constant-time claim);
+3. how much accuracy do the paper's literal integration bounds
+   ``[x1, x2]`` give up against the midpoint-corrected default.
+"""
+
+import pytest
+
+from repro.congestion import (
+    ApproximationDomainError,
+    approx_ir_probability,
+    exact_ir_probability,
+)
+from repro.experiments.tables import format_table
+from repro.netlist import NetType
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def _worst_deviation(g, paper_bounds):
+    worst = 0.0
+    step = max(1, g // 8)
+    for x1 in range(1, g - 2, step):
+        for y1 in range(1, g - 2, step):
+            x2 = min(x1 + g // 4, g - 2)
+            y2 = min(y1 + g // 4, g - 2)
+            exact = exact_ir_probability(g, g, NetType.TYPE_I, x1, x2, y1, y2)
+            try:
+                approx = approx_ir_probability(
+                    g, g, NetType.TYPE_I, x1, x2, y1, y2, paper_bounds=paper_bounds
+                )
+            except ApproximationDomainError:
+                continue
+            worst = max(worst, abs(approx - exact))
+    return worst
+
+
+def test_accuracy_vs_size(benchmark, record_artifact):
+    rows = []
+    for g in SIZES:
+        corrected = _worst_deviation(g, paper_bounds=False)
+        paper = _worst_deviation(g, paper_bounds=True)
+        rows.append([f"{g}x{g}", f"{corrected:.4f}", f"{paper:.4f}"])
+    text = format_table(
+        ["range", "max |dev| (midpoint bounds)", "max |dev| (paper bounds)"],
+        rows,
+        title="A1: approximation deviation vs routing-range size",
+    )
+    record_artifact("ablation_approx_accuracy", text)
+    # The paper's bound holds for the midpoint-corrected default.
+    for row in rows:
+        assert float(row[1]) < 0.05
+
+    # Timed quantity: one deviation scan at the mid size.
+    benchmark.pedantic(
+        _worst_deviation, args=(32, False), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("g", SIZES)
+def test_exact_cost_grows(benchmark, g):
+    """Exact Formula 3 cost is O(IR-grid span)."""
+    benchmark(
+        exact_ir_probability, g, g, NetType.TYPE_I, 1, g // 2, 1, g // 2
+    )
+
+
+@pytest.mark.parametrize("g", SIZES)
+def test_approx_cost_flat(benchmark, g):
+    """Theorem 1 cost is constant in the IR-grid span."""
+    benchmark(
+        approx_ir_probability, g, g, NetType.TYPE_I, 1, g // 2, 1, g // 2
+    )

@@ -1,0 +1,75 @@
+"""Ablation A2: the cut-line merge threshold (Algorithm step 2).
+
+The paper merges cut lines closer than *twice* the unit-grid pitch.
+This ablation sweeps the merge factor on real ami33 floorplans and
+reports the resulting IR-grid count, evaluation time, and score drift
+relative to the unmerged (factor 0) reference -- quantifying the
+accuracy/effort trade the fixed "double" threshold buys.
+"""
+
+import random
+import time
+
+from repro.congestion import IrregularGridModel
+from repro.data import load_mcnc
+from repro.experiments.tables import format_table
+from repro.floorplan import evaluate_polish, initial_expression
+from repro.pins import assign_pins
+
+FACTORS = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _instance(seed=0):
+    circuit = load_mcnc("ami33")
+    modules = {m.name: m for m in circuit.modules}
+    rng = random.Random(seed)
+    expr = initial_expression(list(modules), rng)
+    for _ in range(10 * len(modules)):
+        expr = expr.random_neighbor(rng)
+    floorplan = evaluate_polish(expr, modules)
+    assignment = assign_pins(floorplan, circuit, 30.0)
+    return floorplan, assignment
+
+
+def test_merge_factor_sweep(benchmark, record_artifact):
+    floorplan, assignment = _instance()
+    nets = assignment.two_pin_nets
+
+    reference_model = IrregularGridModel(30.0, merge_factor=0.0)
+    reference = reference_model.estimate(floorplan.chip, nets)
+
+    rows = []
+    timings = {}
+    for factor in FACTORS:
+        model = IrregularGridModel(30.0, merge_factor=factor)
+        _, irgrid = model.evaluate_with_grid(floorplan.chip, nets)
+        t0 = time.perf_counter()
+        repeats = 5
+        for _ in range(repeats):
+            score = model.estimate(floorplan.chip, nets)
+        elapsed_ms = (time.perf_counter() - t0) / repeats * 1e3
+        timings[factor] = elapsed_ms
+        drift = abs(score - reference) / reference if reference else 0.0
+        rows.append(
+            [
+                factor,
+                irgrid.n_cells,
+                f"{elapsed_ms:.1f}",
+                f"{score:.6g}",
+                f"{100 * drift:.1f}%",
+            ]
+        )
+    text = format_table(
+        ["merge factor", "# IR-grids", "eval ms", "score", "drift vs factor 0"],
+        rows,
+        title="A2: cut-line merge threshold sweep (ami33, 30 um units)",
+    )
+    record_artifact("ablation_merge", text)
+
+    # Merging must shrink the grid monotonically.
+    cell_counts = [r[1] for r in rows]
+    assert cell_counts == sorted(cell_counts, reverse=True)
+
+    # The timed quantity: evaluation at the paper's factor 2.
+    model = IrregularGridModel(30.0, merge_factor=2.0)
+    benchmark(model.estimate, floorplan.chip, nets)

@@ -1,0 +1,80 @@
+"""Extension bench: the capacity screen vs the negotiated router.
+
+Sweeps track capacity on one floorplan and compares where the
+probabilistic routability screen (:func:`estimate_routability`) flips
+to "unroutable" against where the negotiated router actually fails to
+converge -- the screen is useful exactly when those thresholds agree.
+"""
+
+import random
+
+from repro.congestion import FixedGridModel, estimate_routability
+from repro.data import load_mcnc
+from repro.experiments.tables import format_table
+from repro.floorplan import evaluate_polish, initial_expression
+from repro.pins import assign_pins
+from repro.routing import NegotiatedRouter, RoutingGrid
+
+CELL = 50.0
+CAPACITIES = (2, 4, 8, 16, 32)
+
+
+def _instance():
+    circuit = load_mcnc("ami33")
+    modules = {m.name: m for m in circuit.modules}
+    rng = random.Random(1)
+    expr = initial_expression(list(modules), rng)
+    for _ in range(10 * len(modules)):
+        expr = expr.random_neighbor(rng)
+    floorplan = evaluate_polish(expr, modules)
+    assignment = assign_pins(floorplan, circuit, 30.0)
+    return floorplan, assignment.two_pin_nets
+
+
+def test_capacity_threshold_sweep(benchmark, record_artifact):
+    floorplan, nets = _instance()
+    cmap = FixedGridModel(CELL).evaluate(floorplan.chip, nets)
+
+    rows = []
+    agreements = 0
+    for capacity in CAPACITIES:
+        est = estimate_routability(
+            cmap, tracks_per_um=capacity / CELL
+        )
+        grid = RoutingGrid(floorplan.chip, cell_size=CELL, capacity=capacity)
+        result = NegotiatedRouter(grid, max_iterations=6).route(nets)
+        agree = est.is_routable == result.converged
+        agreements += agree
+        rows.append(
+            [
+                capacity,
+                "yes" if est.is_routable else "no",
+                f"{est.total_overflow:.1f}",
+                "yes" if result.converged else "no",
+                f"{result.total_overflow:.0f}",
+                "agree" if agree else "DISAGREE",
+            ]
+        )
+    text = format_table(
+        [
+            "capacity (tracks/edge)",
+            "screen routable?",
+            "screen overflow",
+            "router converged?",
+            "routed overflow",
+            "verdict",
+        ],
+        rows,
+        title="Capacity screen vs negotiated router (ami33, one floorplan)",
+    )
+    record_artifact("capacity_sweep", text)
+
+    # Both must agree at the extremes; mid-range may differ by one step
+    # (the screen ignores blockage/ordering effects).
+    assert rows[0][-1] == "agree" or rows[1][-1] == "agree"
+    assert rows[-1][-1] == "agree"
+    assert agreements >= len(CAPACITIES) - 1
+
+    benchmark(
+        estimate_routability, cmap, CAPACITIES[2] / CELL
+    )

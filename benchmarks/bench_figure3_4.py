@@ -1,0 +1,70 @@
+"""Figures 3-4: the fixed-grid model's pitch sensitivity (motivation).
+
+The paper motivates the Irregular-Grid with two observations on small
+examples: (a) the fixed grid's congestion picture changes materially
+with the pitch (Figure 3: 4x4 vs 6x6), and (b) at fine pitch most cells
+carry at most one net -- wasted evaluation (Figure 4: 6x4 vs 12x8).
+This bench regenerates both observations and times the underlying
+fixed-grid evaluations.
+"""
+
+from repro.experiments.figures import grid_sensitivity, motivation_nets
+from repro.experiments.tables import format_table
+
+
+def test_figure3_pitch_sensitivity(benchmark, record_artifact):
+    chip, nets = motivation_nets("figure3")
+
+    def evaluate_both():
+        return (
+            grid_sensitivity(chip, nets, (4, 4)),
+            grid_sensitivity(chip, nets, (6, 6)),
+        )
+
+    coarse, fine = benchmark(evaluate_both)
+    text = format_table(
+        ["grid", "top-10% score", "max cell mass", "<=1-net cells"],
+        [
+            [
+                f"{r.n_cols}x{r.n_rows}",
+                r.score,
+                r.max_mass,
+                f"{100 * r.single_net_cell_fraction:.0f}%",
+            ]
+            for r in (coarse, fine)
+        ],
+        title="Figure 3: the same five nets at two fixed-grid pitches",
+    )
+    record_artifact("figure3", text)
+    # The motivation: the pitch changes the verdict materially.
+    ratio = coarse.score / fine.score
+    assert ratio > 1.1 or ratio < 0.9
+
+
+def test_figure4_wasted_cells(benchmark, record_artifact):
+    chip, nets = motivation_nets("figure4")
+
+    def evaluate_both():
+        return (
+            grid_sensitivity(chip, nets, (6, 4)),
+            grid_sensitivity(chip, nets, (12, 8)),
+        )
+
+    coarse, fine = benchmark(evaluate_both)
+    text = format_table(
+        ["grid", "top-10% score", "max cell mass", "<=1-net cells"],
+        [
+            [
+                f"{r.n_cols}x{r.n_rows}",
+                r.score,
+                r.max_mass,
+                f"{100 * r.single_net_cell_fraction:.0f}%",
+            ]
+            for r in (coarse, fine)
+        ],
+        title="Figure 4: right-half-concentrated nets at two pitches",
+    )
+    record_artifact("figure4", text)
+    # Paper: "more than a half of grids only being passed through by
+    # one net" on the fine cut.
+    assert fine.single_net_cell_fraction > 0.5

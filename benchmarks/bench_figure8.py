@@ -1,0 +1,58 @@
+"""Figure 8: exact vs approximate Function (1) curves.
+
+Regenerates both panels of the paper's Figure 8 -- the interior IR-grid
+where the approximation is 'extremely accurate' and the corner IR-grid
+with the error grid at x = 30 -- and times the two pointwise evaluators
+(the approximation's constant-time advantage grows with range size; see
+bench_ablation_approx for the sweep).
+"""
+
+from repro.congestion.approx import (
+    approx_function1_pointwise,
+    exact_function1_pointwise,
+)
+from repro.experiments.figures import figure8_default_cases
+from repro.experiments.tables import format_table
+
+
+def _render(series, label):
+    rows = [
+        [
+            p.x,
+            f"{p.exact:.6f}",
+            "n/a" if p.approx is None else f"{p.approx:.6f}",
+            "n/a" if p.deviation is None else f"{p.deviation:.6f}",
+        ]
+        for p in series
+    ]
+    return format_table(
+        ["x", "exact", "approx", "|deviation|"],
+        rows,
+        title=f"Figure 8 {label} (31x21 type-I routing range)",
+    )
+
+
+def test_figure8_curves(benchmark, record_artifact):
+    case_b, case_d = benchmark(figure8_default_cases)
+    text = "\n\n".join(
+        [
+            _render(case_b, "(b) interior IR-grid, y2 = 15"),
+            _render(case_d, "(d) corner IR-grid, y2 = 19"),
+        ]
+    )
+    record_artifact("figure8", text)
+
+    # Reproduction assertions: the paper's qualitative shape.
+    assert all(p.deviation < 0.01 for p in case_b)
+    assert case_d[-1].approx is None  # no value at the error grid
+    assert all(p.deviation < 0.05 for p in case_d[:-1])
+
+
+def test_figure8_pointwise_exact(benchmark):
+    value = benchmark(exact_function1_pointwise, 15, 31, 21, 15)
+    assert value > 0
+
+
+def test_figure8_pointwise_approx(benchmark):
+    value = benchmark(approx_function1_pointwise, 15, 31, 21, 15)
+    assert value > 0

@@ -1,0 +1,34 @@
+"""Figure 9: does the IR cost track the fine judging model?
+
+Regenerates the paper's three curves on ami33 -- the IR model's own
+cost (A), the 10 um judging cost (B) and the 50 um judging cost (C) at
+every temperature step of a congestion-only anneal -- and reports the
+rank correlations that quantify the paper's "slopes of A and B are more
+similar than the slopes of A and C" conclusion.
+
+The timed quantity is the full Experiment-2 pipeline (anneal + judging
+every snapshot at two pitches).
+"""
+
+from repro.experiments.exp2 import format_experiment2, run_experiment2
+
+CIRCUIT = "ami33"
+
+
+def test_figure9(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_experiment2(CIRCUIT, profile=profile, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_experiment2(result)
+    record_artifact("figure9", text)
+
+    # Shape assertions: all three series move together at all.
+    assert result.n_snapshots >= 3
+    assert result.corr_model_vs_fine > 0.0
+    print(
+        f"\ncorr(A,B)={result.corr_model_vs_fine:.3f}  "
+        f"corr(A,C)={result.corr_model_vs_coarse:.3f}  "
+        f"IR-tracks-fine-better={result.model_tracks_better}"
+    )

@@ -1,0 +1,98 @@
+"""Model evaluation micro-benchmarks: IR-grid vs fixed grids.
+
+The paper's Experiment 3 time claim rests on the IR model evaluating
+far fewer cells per floorplan.  These micro-benchmarks time one full
+congestion evaluation of each model on identical placed nets, plus the
+cell-count comparison that is implementation-independent.
+"""
+
+import random
+
+import pytest
+
+from repro.congestion import FixedGridModel, IrregularGridModel
+from repro.data import load_mcnc
+from repro.experiments.tables import format_table
+from repro.floorplan import evaluate_polish, initial_expression
+from repro.pins import assign_pins
+
+
+def _instance(circuit_name, grid_size, seed=0):
+    circuit = load_mcnc(circuit_name)
+    modules = {m.name: m for m in circuit.modules}
+    rng = random.Random(seed)
+    expr = initial_expression(list(modules), rng)
+    for _ in range(10 * len(modules)):
+        expr = expr.random_neighbor(rng)
+    floorplan = evaluate_polish(expr, modules)
+    assignment = assign_pins(floorplan, circuit, grid_size)
+    return floorplan, assignment.two_pin_nets
+
+
+@pytest.fixture(scope="module")
+def ami33_instance():
+    return _instance("ami33", 30.0)
+
+
+def test_irgrid_eval_ami33(benchmark, ami33_instance):
+    floorplan, nets = ami33_instance
+    model = IrregularGridModel(30.0)
+    benchmark(model.estimate, floorplan.chip, nets)
+
+
+def test_irgrid_exact_eval_ami33(benchmark, ami33_instance):
+    floorplan, nets = ami33_instance
+    model = IrregularGridModel(30.0, method="exact")
+    benchmark(model.estimate, floorplan.chip, nets)
+
+
+@pytest.mark.parametrize("pitch", [100.0, 50.0, 10.0])
+def test_fixed_eval_ami33(benchmark, ami33_instance, pitch):
+    floorplan, nets = ami33_instance
+    model = FixedGridModel(pitch)
+    benchmark(model.estimate_fast, floorplan.chip, nets)
+
+
+def test_cell_count_comparison(benchmark, record_artifact):
+    """The implementation-independent efficiency claim: the IR model
+    partitions the chip into far fewer evaluation cells than the fine
+    fixed grids of comparable fidelity."""
+    rows = []
+    for circuit_name in ("apte", "hp", "ami33"):
+        grid_size = 60.0 if circuit_name == "apte" else 30.0
+        floorplan, nets = _instance(circuit_name, grid_size)
+        model = IrregularGridModel(grid_size)
+        _, irgrid = model.evaluate_with_grid(floorplan.chip, nets)
+        fixed50 = FixedGridModel(50.0)
+        cols, rows50 = fixed50.grid_shape(floorplan.chip)
+        fixed_gs = FixedGridModel(grid_size)
+        cols_g, rows_g = fixed_gs.grid_shape(floorplan.chip)
+        rows.append(
+            [
+                circuit_name,
+                irgrid.n_cells,
+                cols * rows50,
+                cols_g * rows_g,
+                f"{(cols_g * rows_g) / irgrid.n_cells:.1f}x",
+            ]
+        )
+    text = format_table(
+        [
+            "circuit",
+            "# IR-grids",
+            "# fixed 50um",
+            "# fixed (same pitch)",
+            "fixed/IR ratio",
+        ],
+        rows,
+        title="Evaluation-cell counts: Irregular-Grid vs fixed grids",
+    )
+    record_artifact("model_cell_counts", text)
+    for row in rows:
+        assert row[1] < row[3]  # IR always partitions coarser than its pitch
+
+    # Timed quantity: one IR-grid construction on ami33.
+    floorplan, nets = _instance("ami33", 30.0)
+    from repro.congestion import build_irgrid
+
+    benchmark(build_irgrid, floorplan.chip, nets, 30.0)

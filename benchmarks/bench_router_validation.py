@@ -1,0 +1,135 @@
+"""Ablation A3: probabilistic estimates vs actual routed congestion.
+
+The paper's ground truth is a fine fixed-grid *estimate*; here we route
+the nets for real on a capacitated grid and measure how well each
+model's congestion picture predicts the router's measured utilization
+-- per-cell rank correlation for the fixed model, and score-level rank
+correlation across floorplans for both models.
+"""
+
+import random
+
+from repro.congestion import FixedGridModel, IrregularGridModel, RudyModel
+from repro.data import load_mcnc
+from repro.experiments.tables import format_table
+from repro.floorplan import evaluate_polish, initial_expression
+from repro.pins import assign_pins
+from repro.routing import GlobalRouter, RoutingGrid, overflow_report
+from repro.routing.overflow import rank_correlation
+
+CIRCUIT = "ami33"
+CELL = 50.0
+N_FLOORPLANS = 6
+
+
+def _floorplans():
+    circuit = load_mcnc(CIRCUIT)
+    modules = {m.name: m for m in circuit.modules}
+    out = []
+    for seed in range(N_FLOORPLANS):
+        rng = random.Random(seed)
+        expr = initial_expression(list(modules), rng)
+        for _ in range((5 + 10 * seed) * len(modules) // 5):
+            expr = expr.random_neighbor(rng)
+        floorplan = evaluate_polish(expr, modules)
+        assignment = assign_pins(floorplan, circuit, 30.0)
+        out.append((floorplan, assignment.two_pin_nets))
+    return out
+
+
+def _route(floorplan, nets):
+    grid = RoutingGrid(floorplan.chip, cell_size=CELL, capacity=24)
+    GlobalRouter(grid, strategy="monotone").route(nets)
+    return grid
+
+
+def test_estimates_predict_routed_congestion(benchmark, record_artifact):
+    instances = _floorplans()
+
+    per_cell_rows = []
+    routed_scores = []
+    ir_scores = []
+    fixed_scores = []
+    for k, (floorplan, nets) in enumerate(instances):
+        grid = _route(floorplan, nets)
+        util = grid.cell_utilization()
+        report = overflow_report(grid)
+        fixed = FixedGridModel(CELL)
+        estimate = fixed.evaluate_array(floorplan.chip, nets)
+        n_c = min(util.shape[0], estimate.shape[0])
+        n_r = min(util.shape[1], estimate.shape[1])
+        cell_corr = rank_correlation(
+            util[:n_c, :n_r].ravel(), estimate[:n_c, :n_r].ravel()
+        )
+        per_cell_rows.append(
+            [k, f"{cell_corr:.3f}", f"{report.top10_cell_utilization:.3f}"]
+        )
+        routed_scores.append(report.top10_cell_utilization)
+        ir_scores.append(
+            IrregularGridModel(30.0).estimate(floorplan.chip, nets)
+        )
+        fixed_scores.append(fixed.score_array(estimate))
+
+    ir_corr = rank_correlation(ir_scores, routed_scores)
+    fixed_corr = rank_correlation(fixed_scores, routed_scores)
+    text = (
+        format_table(
+            ["floorplan", "per-cell rank corr", "routed top-10% util"],
+            per_cell_rows,
+            title="A3: fixed-grid estimate vs routed utilization, per cell",
+        )
+        + "\n"
+        + f"score-level rank corr across floorplans: IR-grid {ir_corr:.3f}, "
+        f"fixed-grid {fixed_corr:.3f}"
+    )
+    record_artifact("router_validation", text)
+
+    # The estimates must be informative predictors of routed reality.
+    mean_cell_corr = sum(float(r[1]) for r in per_cell_rows) / len(per_cell_rows)
+    assert mean_cell_corr > 0.4
+
+    floorplan, nets = instances[0]
+    benchmark(lambda: _route(floorplan, nets))
+
+
+def test_probabilistic_vs_rudy_prediction(benchmark, record_artifact):
+    """What does the route-distribution model buy over RUDY's uniform
+    smear?  Per-cell rank correlation against routed utilization for
+    all three estimators on the same floorplans."""
+    instances = _floorplans()
+    rows = []
+    sums = {"fixed": 0.0, "rudy": 0.0}
+    for k, (floorplan, nets) in enumerate(instances):
+        grid = _route(floorplan, nets)
+        util = grid.cell_utilization()
+        estimates = {
+            "fixed": FixedGridModel(CELL).evaluate_array(floorplan.chip, nets),
+            "rudy": RudyModel(CELL).evaluate_array(floorplan.chip, nets),
+        }
+        row = [k]
+        for name in ("fixed", "rudy"):
+            est = estimates[name]
+            n_c = min(util.shape[0], est.shape[0])
+            n_r = min(util.shape[1], est.shape[1])
+            corr = rank_correlation(
+                util[:n_c, :n_r].ravel(), est[:n_c, :n_r].ravel()
+            )
+            sums[name] += corr
+            row.append(f"{corr:.3f}")
+        rows.append(row)
+    text = format_table(
+        ["floorplan", "probabilistic (Formula 2)", "RUDY"],
+        rows,
+        title="Per-cell rank correlation with routed utilization",
+    )
+    record_artifact("router_validation_models", text)
+    n = len(instances)
+    # Both must be informative; the probabilistic model should match or
+    # beat the uniform smear on average.
+    assert sums["fixed"] / n > 0.4
+    assert sums["rudy"] / n > 0.3
+
+    # Timed quantity: one RUDY evaluation (the cheap baseline).
+    floorplan, nets = instances[0]
+    model = RudyModel(CELL)
+    benchmark(model.evaluate_array, floorplan.chip, nets)

@@ -1,0 +1,98 @@
+"""Extension bench: the congestion model inside a non-slicing floorplanner.
+
+Section 4.6 claims the model embeds into "any general floorplanners".
+This bench runs the same congestion-aware objective under the Wong-Liu
+slicing annealer and the sequence-pair annealer on the same circuit and
+compares the judged outcomes -- the model is representation-agnostic if
+both floorplanners can trade area for judged congestion the same way.
+"""
+
+from repro.anneal import (
+    FloorplanObjective,
+    GeometricSchedule,
+    FloorplanAnnealer,
+    SequencePairAnnealer,
+)
+from repro.congestion import IrregularGridModel, JudgingModel
+from repro.data import load_mcnc
+from repro.experiments.tables import format_table
+
+CIRCUIT = "hp"
+SCHEDULE = GeometricSchedule(cooling_rate=0.8, freeze_ratio=5e-3, max_steps=20)
+
+
+def _objective(netlist):
+    return FloorplanObjective(
+        netlist,
+        alpha=1.0,
+        beta=1.0,
+        gamma=1.0,
+        congestion_model=IrregularGridModel(30.0),
+    )
+
+
+def test_slicing_vs_sequence_pair(benchmark, record_artifact):
+    netlist = load_mcnc(CIRCUIT)
+    judge = JudgingModel(grid_size=10.0)
+    moves = 3 * netlist.n_modules
+
+    slicing = FloorplanAnnealer(
+        netlist,
+        objective=_objective(netlist),
+        seed=0,
+        schedule=SCHEDULE,
+        moves_per_temperature=moves,
+    ).run()
+    seq_pair = SequencePairAnnealer(
+        netlist,
+        objective=_objective(netlist),
+        seed=0,
+        schedule=SCHEDULE,
+        moves_per_temperature=moves,
+    ).run()
+
+    rows = []
+    for label, result in (("slicing", slicing), ("sequence-pair", seq_pair)):
+        result.floorplan.validate()
+        rows.append(
+            [
+                label,
+                result.breakdown.area / 1e6,
+                f"{100 * result.floorplan.whitespace_fraction:.1f}%",
+                result.breakdown.wirelength,
+                result.breakdown.congestion,
+                judge.judge(result.floorplan, netlist),
+                f"{result.runtime_seconds:.1f}",
+            ]
+        )
+    text = format_table(
+        [
+            "floorplanner",
+            "area mm2",
+            "whitespace",
+            "wirelength um",
+            "IR cgt",
+            "judged cgt",
+            "time s",
+        ],
+        rows,
+        title=f"Congestion-aware slicing vs sequence-pair annealing ({CIRCUIT})",
+    )
+    record_artifact("sequence_pair", text)
+
+    # Both representations must land in the same quality regime.
+    judged = [float(r[5]) for r in rows]
+    assert max(judged) <= 3.0 * min(judged)
+
+    # Timed quantity: one sequence-pair packing + objective evaluation.
+    objective = _objective(netlist)
+    objective.calibrate(seed=0)
+    pair = seq_pair.pair
+    modules = {m.name: m for m in netlist.modules}
+
+    def evaluate_pair():
+        from repro.floorplan import pack_sequence_pair
+
+        return objective.evaluate_floorplan(pack_sequence_pair(pair, modules))
+
+    benchmark(evaluate_pair)

@@ -1,0 +1,58 @@
+"""Table 1: the area+wirelength floorplanner (no congestion term).
+
+Regenerates the paper's Table 1 rows -- per circuit: average/best area,
+wirelength, run time and fine-grid judged congestion over the profile's
+seeds.  The timed quantity is one full baseline annealing run on the
+smallest circuit (the per-run cost the paper's 'time' column reports).
+"""
+
+from repro.anneal import FloorplanObjective
+from repro.data import load_mcnc
+from repro.experiments.exp1 import Experiment1Row
+from repro.experiments.runner import run_once
+from repro.experiments.tables import format_table
+
+
+def test_table1(benchmark, experiment1_rows, profile, record_artifact):
+    rows = []
+    for name, row in experiment1_rows.items():
+        b = row.baseline
+        rows.append(
+            [
+                name,
+                b.avg_area_mm2,
+                b.avg_wirelength_um,
+                b.avg_runtime_seconds,
+                b.avg_judging_cost,
+                b.best.area_mm2,
+                b.best.wirelength_um,
+                b.best.judging_cost,
+            ]
+        )
+    text = format_table(
+        [
+            "circuit",
+            "avg area mm2",
+            "avg WL um",
+            "avg time s",
+            "avg judging cgt",
+            "best area mm2",
+            "best WL um",
+            "best judging cgt",
+        ],
+        rows,
+        title=f"Table 1 (profile {profile.name}, {profile.n_seeds} seeds): "
+        "area+wirelength floorplanner",
+    )
+    record_artifact("table1", text)
+
+    netlist = load_mcnc("hp")
+
+    def one_baseline_run():
+        objective = FloorplanObjective(netlist, alpha=1.0, beta=1.0, pin_grid_size=30.0)
+        return run_once(
+            netlist, objective, seed=0, profile=profile, judging_grid_size=10.0
+        )
+
+    record = benchmark.pedantic(one_baseline_run, rounds=1, iterations=1)
+    assert record.area_um2 > 0

@@ -1,0 +1,75 @@
+"""Table 2: the floorplanner with the Irregular-Grid congestion term.
+
+Regenerates the paper's Table 2 rows (area, wirelength, IR-grid
+congestion cost, run time, judged congestion; averages and best) and
+times one congestion-aware annealing run -- the per-run cost whose
+ratio against Table 1's runs shows the price of the congestion term.
+"""
+
+from repro.anneal import FloorplanObjective
+from repro.congestion import IrregularGridModel
+from repro.data import load_mcnc
+from repro.experiments.config import circuit_config
+from repro.experiments.runner import run_once
+from repro.experiments.tables import format_table
+
+
+def test_table2(benchmark, experiment1_rows, profile, record_artifact):
+    rows = []
+    for name, row in experiment1_rows.items():
+        c = row.congestion_aware
+        grid = circuit_config(name).ir_grid_size
+        rows.append(
+            [
+                name,
+                f"{grid:g}x{grid:g}",
+                c.avg_area_mm2,
+                c.avg_wirelength_um,
+                c.avg_congestion_cost,
+                c.avg_runtime_seconds,
+                c.avg_judging_cost,
+                c.best.area_mm2,
+                c.best.wirelength_um,
+                c.best.judging_cost,
+            ]
+        )
+    text = format_table(
+        [
+            "circuit",
+            "grid um",
+            "avg area mm2",
+            "avg WL um",
+            "avg IR cgt",
+            "avg time s",
+            "avg judging cgt",
+            "best area mm2",
+            "best WL um",
+            "best judging cgt",
+        ],
+        rows,
+        title=f"Table 2 (profile {profile.name}, {profile.n_seeds} seeds): "
+        "+ Irregular-Grid congestion term",
+    )
+    record_artifact("table2", text)
+
+    netlist = load_mcnc("hp")
+    cfg = circuit_config("hp")
+
+    def one_aware_run():
+        objective = FloorplanObjective(
+            netlist,
+            alpha=1.0,
+            beta=1.0,
+            gamma=1.0,
+            congestion_model=IrregularGridModel(cfg.ir_grid_size),
+        )
+        return run_once(
+            netlist,
+            objective,
+            seed=0,
+            profile=profile,
+            judging_grid_size=cfg.judging_grid_size,
+        )
+
+    record = benchmark.pedantic(one_aware_run, rounds=1, iterations=1)
+    assert record.congestion_cost > 0

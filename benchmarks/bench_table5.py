@@ -1,0 +1,47 @@
+"""Table 5: congestion-only floorplanning with the fixed-grid model.
+
+Regenerates the paper's Table 5 (ami33, fixed grids at 100x100 and
+50x50 um^2) and prints the head-to-head ratios against Table 4's IR
+configuration -- the paper's claim: the IR model is 2.3-3.5x faster
+with 4.6-8.8 % lower judged congestion.
+
+The timed quantity is one fixed-grid (50 um) congestion-only run, the
+direct counterpart of bench_table4's timed run.
+"""
+
+from repro.anneal import FloorplanObjective
+from repro.congestion import FixedGridModel, IrregularGridModel
+from repro.data import load_mcnc
+from repro.experiments.config import circuit_config
+from repro.experiments.exp3 import format_experiment3, run_experiment3
+from repro.experiments.runner import run_once
+
+CIRCUIT = "ami33"
+
+
+def test_table5(benchmark, profile, record_artifact):
+    rows = run_experiment3(CIRCUIT, profile=profile)
+    text = format_experiment3(rows, CIRCUIT)
+    record_artifact("table5", text)
+
+    netlist = load_mcnc(CIRCUIT)
+    cfg = circuit_config(CIRCUIT)
+
+    def one_fixed_run():
+        objective = FloorplanObjective(
+            netlist,
+            alpha=0.0,
+            beta=0.0,
+            gamma=1.0,
+            congestion_model=FixedGridModel(50.0),
+        )
+        return run_once(
+            netlist,
+            objective,
+            seed=0,
+            profile=profile,
+            judging_grid_size=cfg.judging_grid_size,
+        )
+
+    record = benchmark.pedantic(one_fixed_run, rounds=1, iterations=1)
+    assert record.judging_cost > 0

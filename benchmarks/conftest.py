@@ -1,0 +1,56 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench prints the table/figure it regenerates (run with ``-s`` to
+see it live) and appends it to ``benchmarks/results/<name>.txt`` so the
+artifacts survive for EXPERIMENTS.md.
+
+Effort is governed by the experiment profiles (REPRO_PROFILE /
+REPRO_SEEDS, see :mod:`repro.experiments.config`); the default is the
+``smoke`` profile with the heavy ami49 circuit excluded -- set
+``REPRO_CIRCUITS=apte,xerox,hp,ami33,ami49`` and ``REPRO_PROFILE=paper``
+for the full reproduction.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import active_profile
+from repro.experiments.exp1 import run_experiment1
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DEFAULT_CIRCUITS = ("apte", "xerox", "hp", "ami33")
+
+
+def bench_circuits():
+    """Circuits exercised by the table benches."""
+    env = os.environ.get("REPRO_CIRCUITS")
+    if env:
+        return tuple(name.strip() for name in env.split(",") if name.strip())
+    return DEFAULT_CIRCUITS
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Callable writing a rendered table to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def experiment1_rows(profile):
+    """Tables 1-3 share one (expensive) Experiment-1 sweep."""
+    return run_experiment1(bench_circuits(), profile)

@@ -1,0 +1,90 @@
+"""Congestion-aware vs congestion-blind floorplanning (Experiment 1).
+
+Run:  python examples/congestion_aware_floorplanning.py [circuit]
+
+Anneals the same circuit twice -- once optimizing area+wirelength only,
+once adding the Irregular-Grid congestion term -- judges both results
+with a fine fixed grid, and writes side-by-side SVG heat maps so you can
+*see* the hotspot the congestion term dissolves.
+"""
+
+import sys
+from pathlib import Path
+
+from repro import (
+    FloorplanAnnealer,
+    FloorplanObjective,
+    IrregularGridModel,
+    JudgingModel,
+    assign_pins,
+    load_mcnc,
+)
+from repro.anneal import GeometricSchedule
+from repro.viz import congestion_svg
+
+SCHEDULE = GeometricSchedule(cooling_rate=0.85, freeze_ratio=1e-3, max_steps=30)
+
+
+def anneal(circuit, gamma: float, grid_size: float, seed: int = 1):
+    if gamma > 0:
+        objective = FloorplanObjective(
+            circuit,
+            alpha=1.0,
+            beta=1.0,
+            gamma=gamma,
+            congestion_model=IrregularGridModel(grid_size),
+        )
+    else:
+        objective = FloorplanObjective(
+            circuit, alpha=1.0, beta=1.0, pin_grid_size=grid_size
+        )
+    annealer = FloorplanAnnealer(
+        circuit,
+        objective=objective,
+        seed=seed,
+        schedule=SCHEDULE,
+        moves_per_temperature=5 * circuit.n_modules,
+    )
+    return annealer.run()
+
+
+def main() -> None:
+    circuit_name = sys.argv[1] if len(sys.argv) > 1 else "hp"
+    circuit = load_mcnc(circuit_name)
+    grid_size = 60.0 if circuit_name == "apte" else 30.0
+    judge = JudgingModel(grid_size=10.0)
+    out_dir = Path("examples_output")
+    out_dir.mkdir(exist_ok=True)
+
+    print(f"{circuit}: annealing two floorplanners...")
+    results = {}
+    for label, gamma in (("blind", 0.0), ("aware", 1.0)):
+        result = anneal(circuit, gamma, grid_size)
+        judged = judge.judge(result.floorplan, circuit)
+        results[label] = (result, judged)
+        print(
+            f"  {label:5s}  area {result.breakdown.area / 1e6:8.3f} mm^2   "
+            f"wirelength {result.breakdown.wirelength:9.0f} um   "
+            f"judged congestion {judged:.5f}"
+        )
+        # Render the judged congestion heat map.
+        cmap = judge.judge_map(result.floorplan, circuit)
+        svg_path = out_dir / f"{circuit_name}_{label}.svg"
+        svg_path.write_text(
+            congestion_svg(cmap, px_width=720, floorplan=result.floorplan)
+        )
+        print(f"         heat map -> {svg_path}")
+
+    blind_judged = results["blind"][1]
+    aware_judged = results["aware"][1]
+    if blind_judged > 0:
+        gain = 100.0 * (blind_judged - aware_judged) / blind_judged
+        print(
+            f"\nJudged congestion change from adding the IR term: "
+            f"{gain:+.1f}% (positive = improvement; paper Table 3 "
+            f"reports 2-20% on the MCNC suite)"
+        )
+
+
+if __name__ == "__main__":
+    main()

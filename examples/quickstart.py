@@ -1,0 +1,73 @@
+"""Quickstart: floorplan a circuit and estimate its congestion.
+
+Run:  python examples/quickstart.py [circuit]
+
+Loads one of the bundled MCNC-like circuits (default ami33), anneals a
+slicing floorplan for area+wirelength, then evaluates the Irregular-Grid
+congestion model on the result and prints the floorplan, the congestion
+heat map, and the headline numbers.
+"""
+
+import sys
+
+from repro import (
+    FloorplanAnnealer,
+    FloorplanObjective,
+    IrregularGridModel,
+    JudgingModel,
+    assign_pins,
+    load_mcnc,
+)
+from repro.anneal import GeometricSchedule
+from repro.viz import render_congestion_ascii, render_floorplan_ascii
+
+
+def main() -> None:
+    circuit_name = sys.argv[1] if len(sys.argv) > 1 else "ami33"
+    circuit = load_mcnc(circuit_name)
+    print(f"Loaded {circuit}")
+
+    # A short schedule keeps the example snappy; bump max_steps and
+    # moves_per_temperature for production-quality floorplans.
+    annealer = FloorplanAnnealer(
+        circuit,
+        objective=FloorplanObjective(circuit, alpha=1.0, beta=1.0),
+        seed=1,
+        schedule=GeometricSchedule(cooling_rate=0.85, freeze_ratio=1e-3, max_steps=30),
+        moves_per_temperature=5 * circuit.n_modules,
+    )
+    result = annealer.run()
+    floorplan = result.floorplan
+    print(
+        f"Annealed in {result.runtime_seconds:.1f}s over {result.n_moves} "
+        f"moves (acceptance {100 * result.acceptance_ratio:.0f}%)"
+    )
+    print(f"  area        {result.breakdown.area / 1e6:.3f} mm^2")
+    print(f"  wirelength  {result.breakdown.wirelength:.0f} um")
+    print(f"  whitespace  {100 * floorplan.whitespace_fraction:.1f}%")
+
+    print()
+    print(render_floorplan_ascii(floorplan, width=64))
+
+    # Estimate congestion with the paper's Irregular-Grid model.
+    grid_size = 60.0 if circuit_name == "apte" else 30.0
+    assignment = assign_pins(floorplan, circuit, grid_size)
+    model = IrregularGridModel(grid_size)
+    congestion_map, irgrid = model.evaluate_with_grid(
+        floorplan.chip, assignment.two_pin_nets
+    )
+    print()
+    print(
+        f"Irregular-Grid model ({grid_size:g} um units): "
+        f"{irgrid.n_cells} IR-grids, congestion cost "
+        f"{model.score(congestion_map):.6g}"
+    )
+    judge = JudgingModel(grid_size=10.0)
+    print(f"Judging model (10 um fixed grid): {judge.judge(floorplan, circuit):.6g}")
+
+    print()
+    print(render_congestion_ascii(congestion_map, width=64))
+
+
+if __name__ == "__main__":
+    main()

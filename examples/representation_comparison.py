@@ -1,0 +1,95 @@
+"""One congestion model, three floorplanners.
+
+Run:  python examples/representation_comparison.py [circuit]
+
+Section 4.6 of the paper claims the Irregular-Grid congestion model
+"can be embedded into any general floorplanners".  This example anneals
+the same circuit under the same congestion-aware objective with all
+three classic representations -- Wong-Liu slicing trees, sequence pairs
+and B*-trees -- and compares what each hands back.
+"""
+
+import sys
+
+from repro import JudgingModel, load_mcnc
+from repro.anneal import (
+    BStarTreeAnnealer,
+    FloorplanAnnealer,
+    FloorplanObjective,
+    GeometricSchedule,
+    SequencePairAnnealer,
+)
+from repro.congestion import IrregularGridModel
+from repro.experiments.tables import format_table
+
+SCHEDULE = GeometricSchedule(cooling_rate=0.85, freeze_ratio=1e-2, max_steps=25)
+
+
+def main() -> None:
+    circuit_name = sys.argv[1] if len(sys.argv) > 1 else "hp"
+    circuit = load_mcnc(circuit_name)
+    grid_size = 60.0 if circuit_name == "apte" else 30.0
+    judge = JudgingModel(grid_size=10.0)
+    moves = 4 * circuit.n_modules
+
+    def objective():
+        return FloorplanObjective(
+            circuit,
+            alpha=1.0,
+            beta=1.0,
+            gamma=1.0,
+            congestion_model=IrregularGridModel(grid_size),
+        )
+
+    annealers = (
+        ("slicing (Wong-Liu)", FloorplanAnnealer),
+        ("sequence pair", SequencePairAnnealer),
+        ("B*-tree", BStarTreeAnnealer),
+    )
+    rows = []
+    for label, cls in annealers:
+        result = cls(
+            circuit,
+            objective=objective(),
+            seed=3,
+            schedule=SCHEDULE,
+            moves_per_temperature=moves,
+        ).run()
+        result.floorplan.validate()
+        rows.append(
+            [
+                label,
+                f"{result.breakdown.area / 1e6:.3f}",
+                f"{100 * result.floorplan.whitespace_fraction:.1f}%",
+                f"{result.breakdown.wirelength:.0f}",
+                f"{result.breakdown.congestion:.5g}",
+                f"{judge.judge(result.floorplan, circuit):.4f}",
+                f"{result.runtime_seconds:.1f}",
+            ]
+        )
+        print(f"finished {label}")
+    print()
+    print(
+        format_table(
+            [
+                "representation",
+                "area mm2",
+                "whitespace",
+                "WL um",
+                "IR cost",
+                "judged cgt",
+                "time s",
+            ],
+            rows,
+            title=f"Three floorplanners, one congestion model ({circuit_name})",
+        )
+    )
+    print(
+        "\nAll three optimize the identical objective; differences come"
+        "\nfrom the representations' reachable packings and neighborhood"
+        "\nstructure, not from the congestion model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Validating congestion estimates against an actual global router.
+
+Run:  python examples/routability_validation.py [circuit]
+
+The paper validates its model against a very fine fixed-grid estimate
+(the "judging model").  This example goes one step further: it actually
+*routes* every 2-pin net on a capacitated grid with a congestion-aware
+monotone router, then checks how well the probabilistic models'
+per-cell estimates rank-correlate with the router's measured track
+utilization -- across several floorplans of varying quality.
+"""
+
+import random
+import sys
+
+from repro import (
+    FixedGridModel,
+    assign_pins,
+    evaluate_polish,
+    initial_expression,
+    load_mcnc,
+)
+from repro.experiments.tables import format_table
+from repro.routing import GlobalRouter, RoutingGrid, overflow_report
+from repro.routing.overflow import rank_correlation
+
+
+def validate_one(circuit, seed: int, cell_size: float):
+    modules = {m.name: m for m in circuit.modules}
+    rng = random.Random(seed)
+    expr = initial_expression(list(modules), rng)
+    for _ in range(20 * len(modules)):
+        expr = expr.random_neighbor(rng)
+    floorplan = evaluate_polish(expr, modules)
+    assignment = assign_pins(floorplan, circuit, cell_size)
+
+    # Route for real.
+    grid = RoutingGrid(floorplan.chip, cell_size=cell_size, capacity=24)
+    GlobalRouter(grid, strategy="monotone").route(assignment.two_pin_nets)
+    routed_util = grid.cell_utilization()
+    report = overflow_report(grid)
+
+    # Estimate probabilistically at the same pitch.
+    model = FixedGridModel(cell_size)
+    estimate = model.evaluate_array(floorplan.chip, assignment.two_pin_nets)
+
+    n_c = min(routed_util.shape[0], estimate.shape[0])
+    n_r = min(routed_util.shape[1], estimate.shape[1])
+    corr = rank_correlation(
+        routed_util[:n_c, :n_r].ravel(), estimate[:n_c, :n_r].ravel()
+    )
+    return corr, report
+
+
+def main() -> None:
+    circuit_name = sys.argv[1] if len(sys.argv) > 1 else "ami33"
+    circuit = load_mcnc(circuit_name)
+    cell_size = 60.0 if circuit_name == "apte" else 50.0
+    print(f"{circuit}: routing 5 random floorplans at {cell_size:g} um cells\n")
+
+    rows = []
+    for seed in range(5):
+        corr, report = validate_one(circuit, seed, cell_size)
+        rows.append(
+            [
+                seed,
+                f"{corr:.3f}",
+                f"{report.max_utilization:.2f}",
+                f"{report.mean_utilization:.3f}",
+                report.n_overflowed_edges,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "floorplan seed",
+                "rank corr (est vs routed)",
+                "max util",
+                "mean util",
+                "overflowed edges",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nA rank correlation well above 0.5 means the probabilistic"
+        "\nestimate identifies the same hot regions a real router"
+        "\nexperiences -- the premise behind using it inside the"
+        "\nfloorplanning loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Render the paper's figures as SVG files.
+
+Produces, under ``benchmarks/results/figures/``:
+
+* ``figure8b.svg`` / ``figure8d.svg`` -- exact vs approximate
+  Function (1) (paper Figure 8);
+* ``figure9.svg`` -- the three Experiment-2 curves, min-max normalized
+  for shape comparison (the paper rescales curve B by 2.5 for the same
+  purpose);
+* ``figure5.svg`` -- the Irregular-Grid partition over a real
+  floorplan (cut lines + routing ranges);
+* ``figure3_*.svg`` / ``figure4_*.svg`` -- the motivation examples'
+  congestion heat maps at two pitches.
+
+Run:  python scripts/make_figures.py  [--profile smoke|quick|paper]
+"""
+
+import os
+import sys
+from pathlib import Path
+
+from repro.congestion import FixedGridModel
+from repro.experiments.config import active_profile
+from repro.experiments.exp2 import run_experiment2
+from repro.experiments.figures import figure8_default_cases, motivation_nets
+from repro.viz import congestion_svg, irgrid_svg, line_chart_svg
+
+OUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "figures"
+
+
+def figure8(out: Path) -> None:
+    case_b, case_d = figure8_default_cases()
+    for label, series in (("figure8b", case_b), ("figure8d", case_d)):
+        xs = [p.x for p in series]
+        exact = [p.exact for p in series]
+        # Plot the approximation only where it exists; SVG charts need
+        # aligned series, so missing points repeat the exact value and
+        # the caption explains the error grid.
+        approx = [p.exact if p.approx is None else p.approx for p in series]
+        svg = line_chart_svg(
+            {"exact Function (1)": exact, "normal approximation": approx},
+            x_values=xs,
+            title=f"Figure 8 {label[-1]}: 31x21 type-I routing range",
+            x_label="x (unit-grid column)",
+            y_label="crossing mass",
+        )
+        (out / f"{label}.svg").write_text(svg)
+        print(f"wrote {out / (label + '.svg')}")
+
+
+def figure9(out: Path) -> None:
+    profile = active_profile()
+    result = run_experiment2("ami33", profile, seed=0)
+    svg = line_chart_svg(
+        {
+            "A: IR-grid cost": result.ir_costs,
+            "B: judge 10um": result.fine_judging_costs,
+            "C: judge 50um": result.coarse_judging_costs,
+        },
+        title=f"Figure 9 (ami33, {profile.name} profile; min-max normalized)",
+        x_label="temperature step",
+        y_label="normalized congestion cost",
+        normalize=True,
+    )
+    (out / "figure9.svg").write_text(svg)
+    print(f"wrote {out / 'figure9.svg'}")
+
+
+def figure5(out: Path) -> None:
+    """The Irregular-Grid partition of a real floorplan."""
+    import random
+
+    from repro import assign_pins, evaluate_polish, initial_expression, load_mcnc
+    from repro.congestion import build_irgrid
+
+    circuit = load_mcnc("hp")
+    modules = {m.name: m for m in circuit.modules}
+    rng = random.Random(0)
+    expr = initial_expression(list(modules), rng)
+    for _ in range(10 * len(modules)):
+        expr = expr.random_neighbor(rng)
+    floorplan = evaluate_polish(expr, modules)
+    assignment = assign_pins(floorplan, circuit, 30.0)
+    irgrid = build_irgrid(floorplan.chip, assignment.two_pin_nets, 30.0)
+    path = out / "figure5.svg"
+    path.write_text(
+        irgrid_svg(
+            irgrid,
+            floorplan=floorplan,
+            nets=assignment.two_pin_nets[:25],
+            px_width=720,
+        )
+    )
+    print(f"wrote {path}")
+
+
+def motivation(out: Path) -> None:
+    for case, shapes in (("figure3", (4, 6)), ("figure4", (6, 12))):
+        chip, nets = motivation_nets(case)
+        for cells in shapes:
+            model = FixedGridModel(chip.width / cells)
+            cmap = model.evaluate(chip, nets)
+            path = out / f"{case}_{cells}cols.svg"
+            path.write_text(congestion_svg(cmap, px_width=540))
+            print(f"wrote {path}")
+
+
+def main() -> int:
+    if "--profile" in sys.argv:
+        os.environ["REPRO_PROFILE"] = sys.argv[sys.argv.index("--profile") + 1]
+    OUT.mkdir(parents=True, exist_ok=True)
+    figure8(OUT)
+    figure5(OUT)
+    motivation(OUT)
+    figure9(OUT)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

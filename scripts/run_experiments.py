@@ -1,0 +1,64 @@
+"""Resumable full-experiment runner.
+
+Runs the paper's three experiments at the profile selected by
+REPRO_PROFILE / REPRO_SEEDS, one step per invocation argument, writing
+each artifact to benchmarks/results/ as it completes:
+
+    python scripts/run_experiments.py exp1 apte      # one circuit
+    python scripts/run_experiments.py exp2           # figure 9
+    python scripts/run_experiments.py exp3           # tables 4-5
+    python scripts/run_experiments.py render1        # merge exp1 rows
+
+Each step stays well inside a CI timeout; `render1` merges the
+per-circuit exp1 pickles into the Tables 1-3 text artifacts.
+"""
+
+import pickle
+import sys
+from pathlib import Path
+
+from repro.experiments.config import active_profile
+from repro.experiments.exp1 import format_experiment1, run_experiment1
+from repro.experiments.exp2 import format_experiment2, run_experiment2
+from repro.experiments.exp3 import format_experiment3, run_experiment3
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+PARTS = RESULTS / "exp1_parts"
+
+
+def main() -> int:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    profile = active_profile()
+    step = sys.argv[1]
+    if step == "exp1":
+        circuit = sys.argv[2]
+        PARTS.mkdir(parents=True, exist_ok=True)
+        rows = run_experiment1((circuit,), profile)
+        with open(PARTS / f"{circuit}.pkl", "wb") as fh:
+            pickle.dump(rows, fh)
+        print(f"exp1[{circuit}] done ({profile.name}, {profile.n_seeds} seeds)")
+    elif step == "render1":
+        merged = {}
+        for path in sorted(PARTS.glob("*.pkl")):
+            with open(path, "rb") as fh:
+                merged.update(pickle.load(fh))
+        text = format_experiment1(merged)
+        (RESULTS / f"exp1_{profile.name}.txt").write_text(text + "\n")
+        print(text)
+    elif step == "exp2":
+        result = run_experiment2("ami33", profile, seed=0)
+        text = format_experiment2(result)
+        (RESULTS / f"figure9_{profile.name}.txt").write_text(text + "\n")
+        print(text)
+    elif step == "exp3":
+        rows = run_experiment3("ami33", profile)
+        text = format_experiment3(rows, "ami33")
+        (RESULTS / f"exp3_{profile.name}.txt").write_text(text + "\n")
+        print(text)
+    else:
+        raise SystemExit(f"unknown step {step!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

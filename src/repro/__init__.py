@@ -1,0 +1,110 @@
+"""repro -- Irregular-Grid congestion estimation for floorplan design.
+
+A full reproduction of *"A New Effective Congestion Model in Floorplan
+Design"* (Hsieh & Hsieh, DATE 2004): the Irregular-Grid probabilistic
+congestion model, the fixed-size-grid baseline it improves on, and the
+Wong-Liu simulated-annealing floorplanner both are embedded in.
+
+Quickstart::
+
+    from repro import load_mcnc, FloorplanAnnealer, IrregularGridModel
+
+    circuit = load_mcnc("ami33")
+    annealer = FloorplanAnnealer(circuit, seed=1)
+    result = annealer.run()
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.congestion import (
+    analyze_hotspots,
+    CongestionCell,
+    CongestionMap,
+    CongestionModel,
+    FixedGridModel,
+    IRGrid,
+    IrregularGridModel,
+    JudgingModel,
+    build_irgrid,
+)
+from repro.data import load_mcnc, read_yal, write_yal
+from repro.floorplan import (
+    Floorplan,
+    PolishExpression,
+    SequencePair,
+    evaluate_polish,
+    initial_expression,
+    pack_sequence_pair,
+)
+from repro.geometry import Point, Rect
+from repro.netlist import (
+    Module,
+    SoftModule,
+    soften,
+    Net,
+    Netlist,
+    NetType,
+    TwoPinNet,
+    clustered_circuit,
+    decompose_to_two_pin,
+    grid_circuit,
+    random_circuit,
+)
+from repro.pins import PinAssignment, assign_pins
+from repro.anneal import (
+    AnnealResult,
+    FloorplanAnnealer,
+    FloorplanObjective,
+    GeometricSchedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # congestion
+    "CongestionCell",
+    "CongestionMap",
+    "CongestionModel",
+    "FixedGridModel",
+    "IRGrid",
+    "IrregularGridModel",
+    "JudgingModel",
+    "analyze_hotspots",
+    "build_irgrid",
+    # data
+    "load_mcnc",
+    "read_yal",
+    "write_yal",
+    # floorplan
+    "Floorplan",
+    "PolishExpression",
+    "SequencePair",
+    "evaluate_polish",
+    "initial_expression",
+    "pack_sequence_pair",
+    # geometry
+    "Point",
+    "Rect",
+    # netlist
+    "Module",
+    "SoftModule",
+    "soften",
+    "Net",
+    "Netlist",
+    "NetType",
+    "TwoPinNet",
+    "clustered_circuit",
+    "decompose_to_two_pin",
+    "grid_circuit",
+    "random_circuit",
+    # pins
+    "PinAssignment",
+    "assign_pins",
+    # annealing
+    "AnnealResult",
+    "FloorplanAnnealer",
+    "FloorplanObjective",
+    "GeometricSchedule",
+]

@@ -1,0 +1,46 @@
+"""Simulated-annealing floorplanner (Section 5; Wong & Liu [7]).
+
+* :mod:`repro.anneal.schedule` -- cooling schedules and the uphill-
+  sampling initial temperature;
+* :mod:`repro.anneal.cost` -- the normalized multi-objective cost
+  ``alpha*Area + beta*Wirelength + gamma*Congestion``;
+* :mod:`repro.anneal.annealer` -- the annealer over normalized Polish
+  expressions, with per-temperature snapshots (Experiment 2 extracts
+  them) and acceptance statistics.
+"""
+
+from repro.anneal.schedule import GeometricSchedule, initial_temperature
+from repro.anneal.cost import CostBreakdown, FloorplanObjective
+from repro.anneal.annealer import (
+    AnnealResult,
+    FloorplanAnnealer,
+    TemperatureSnapshot,
+)
+from repro.anneal.sp_annealer import (
+    SequencePairAnnealer,
+    SequencePairResult,
+    SequencePairSnapshot,
+)
+from repro.anneal.btree_annealer import (
+    BStarTreeAnnealer,
+    BStarTreeResult,
+    BStarTreeSnapshot,
+)
+from repro.anneal.generic import anneal
+
+__all__ = [
+    "GeometricSchedule",
+    "initial_temperature",
+    "CostBreakdown",
+    "FloorplanObjective",
+    "AnnealResult",
+    "FloorplanAnnealer",
+    "TemperatureSnapshot",
+    "SequencePairAnnealer",
+    "SequencePairResult",
+    "SequencePairSnapshot",
+    "BStarTreeAnnealer",
+    "BStarTreeResult",
+    "BStarTreeSnapshot",
+    "anneal",
+]

@@ -1,0 +1,155 @@
+"""The simulated-annealing floorplanner (Wong & Liu [7], Section 5).
+
+State is a normalized Polish expression; neighbours come from the
+M1/M2/M3 moves; acceptance is Metropolis; cooling is geometric with the
+initial temperature set from sampled uphill moves.  After every
+temperature step the annealer records a :class:`TemperatureSnapshot` of
+the current (locally optimized) solution -- Experiment 2 plots exactly
+those snapshots.
+
+The loop itself lives in :mod:`repro.anneal.generic`; this module binds
+it to the Polish-expression representation and keeps the historical
+result types the experiments consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.anneal.cost import CostBreakdown, FloorplanObjective
+from repro.anneal.generic import anneal
+from repro.anneal.schedule import GeometricSchedule
+from repro.floorplan import (
+    Floorplan,
+    PolishExpression,
+    evaluate_polish,
+    initial_expression,
+)
+from repro.netlist import Netlist
+
+__all__ = ["TemperatureSnapshot", "AnnealResult", "FloorplanAnnealer"]
+
+
+@dataclass(frozen=True)
+class TemperatureSnapshot:
+    """The state at the end of one temperature step."""
+
+    step: int
+    temperature: float
+    current_cost: float
+    best_cost: float
+    breakdown: CostBreakdown
+    expression: PolishExpression
+
+
+@dataclass
+class AnnealResult:
+    """Everything a finished annealing run produced."""
+
+    floorplan: Floorplan
+    expression: PolishExpression
+    breakdown: CostBreakdown
+    snapshots: List[TemperatureSnapshot] = field(default_factory=list)
+    n_moves: int = 0
+    n_accepted: int = 0
+    runtime_seconds: float = 0.0
+
+    @property
+    def cost(self) -> float:
+        return self.breakdown.cost
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.n_accepted / self.n_moves if self.n_moves else 0.0
+
+
+class FloorplanAnnealer:
+    """Anneal a circuit into a low-cost slicing floorplan.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit.
+    objective:
+        A calibrated-or-not :class:`FloorplanObjective`; by default an
+        area+wirelength objective (Experiment 1's baseline
+        floorplanner).  ``calibrate`` below controls auto-calibration.
+    seed:
+        Seed for every stochastic choice (start expression, moves,
+        acceptance); identical seeds give identical runs.
+    moves_per_temperature:
+        Move attempts per temperature step; defaults to ``10 * m``
+        (Wong-Liu's recommendation).
+    schedule:
+        Cooling schedule.
+    calibrate:
+        Run objective normalization before annealing (skip when the
+        caller already calibrated a shared objective).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        objective: Optional[FloorplanObjective] = None,
+        seed: int = 0,
+        moves_per_temperature: Optional[int] = None,
+        schedule: Optional[GeometricSchedule] = None,
+        calibrate: bool = True,
+    ):
+        self.netlist = netlist
+        self.objective = objective or FloorplanObjective(netlist)
+        self.seed = int(seed)
+        m = netlist.n_modules
+        self.moves_per_temperature = (
+            moves_per_temperature if moves_per_temperature is not None else 10 * m
+        )
+        if self.moves_per_temperature < 1:
+            raise ValueError("moves_per_temperature must be >= 1")
+        self.schedule = schedule or GeometricSchedule()
+        self._calibrate = bool(calibrate)
+
+    def run(
+        self,
+        on_snapshot: Optional[Callable[[TemperatureSnapshot], None]] = None,
+    ) -> AnnealResult:
+        """Run one full annealing schedule and return the best solution."""
+        names = [m.name for m in self.netlist.modules]
+        modules = {m.name: m for m in self.netlist.modules}
+        allow_rotation = self.objective.allow_rotation
+
+        def forward_snapshot(snap) -> None:
+            if on_snapshot is not None:
+                on_snapshot(_to_temperature_snapshot(snap))
+
+        result = anneal(
+            objective=self.objective,
+            initial=lambda rng: initial_expression(names, rng),
+            neighbor=lambda expr, rng: expr.random_neighbor(rng),
+            realize=lambda expr: evaluate_polish(expr, modules, allow_rotation),
+            seed=self.seed,
+            moves_per_temperature=self.moves_per_temperature,
+            schedule=self.schedule,
+            calibrate=self._calibrate,
+            on_snapshot=forward_snapshot if on_snapshot else None,
+        )
+        return AnnealResult(
+            floorplan=result.floorplan,
+            expression=result.state,
+            breakdown=result.breakdown,
+            snapshots=[_to_temperature_snapshot(s) for s in result.snapshots],
+            n_moves=result.n_moves,
+            n_accepted=result.n_accepted,
+            runtime_seconds=result.runtime_seconds,
+        )
+
+
+def _to_temperature_snapshot(snap) -> TemperatureSnapshot:
+    return TemperatureSnapshot(
+        step=snap.step,
+        temperature=snap.temperature,
+        current_cost=snap.current_cost,
+        best_cost=snap.best_cost,
+        breakdown=snap.breakdown,
+        expression=snap.state,
+    )

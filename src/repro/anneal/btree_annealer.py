@@ -1,0 +1,119 @@
+"""Simulated annealing over B*-trees (extension).
+
+The third floorplanner host for the congestion model, binding the
+shared loop in :mod:`repro.anneal.generic` to B*-tree states, contour
+packing and the rotate/swap/move perturbations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.anneal.cost import CostBreakdown, FloorplanObjective
+from repro.anneal.generic import anneal
+from repro.anneal.schedule import GeometricSchedule
+from repro.floorplan import BStarTree, Floorplan, pack_btree
+from repro.netlist import Netlist
+
+__all__ = ["BStarTreeSnapshot", "BStarTreeResult", "BStarTreeAnnealer"]
+
+
+@dataclass(frozen=True)
+class BStarTreeSnapshot:
+    """The state at the end of one temperature step."""
+
+    step: int
+    temperature: float
+    current_cost: float
+    best_cost: float
+    breakdown: CostBreakdown
+    tree: BStarTree
+
+
+@dataclass
+class BStarTreeResult:
+    """A finished B*-tree annealing run."""
+
+    floorplan: Floorplan
+    tree: BStarTree
+    breakdown: CostBreakdown
+    snapshots: List[BStarTreeSnapshot] = field(default_factory=list)
+    n_moves: int = 0
+    n_accepted: int = 0
+    runtime_seconds: float = 0.0
+
+    @property
+    def cost(self) -> float:
+        return self.breakdown.cost
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.n_accepted / self.n_moves if self.n_moves else 0.0
+
+
+class BStarTreeAnnealer:
+    """Anneal a circuit via B*-trees and contour packing."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        objective: Optional[FloorplanObjective] = None,
+        seed: int = 0,
+        moves_per_temperature: Optional[int] = None,
+        schedule: Optional[GeometricSchedule] = None,
+        calibrate: bool = True,
+    ):
+        self.netlist = netlist
+        self.objective = objective or FloorplanObjective(netlist)
+        self.seed = int(seed)
+        m = netlist.n_modules
+        self.moves_per_temperature = (
+            moves_per_temperature if moves_per_temperature is not None else 10 * m
+        )
+        if self.moves_per_temperature < 1:
+            raise ValueError("moves_per_temperature must be >= 1")
+        self.schedule = schedule or GeometricSchedule()
+        self._calibrate = bool(calibrate)
+        self._modules = {m.name: m for m in netlist.modules}
+
+    def run(
+        self,
+        on_snapshot: Optional[Callable[[BStarTreeSnapshot], None]] = None,
+    ) -> BStarTreeResult:
+        """Run one full annealing schedule and return the best solution."""
+        def forward_snapshot(snap) -> None:
+            if on_snapshot is not None:
+                on_snapshot(_to_bt_snapshot(snap))
+
+        result = anneal(
+            objective=self.objective,
+            initial=lambda rng: BStarTree.initial(list(self._modules), rng),
+            neighbor=lambda tree, rng: tree.random_neighbor(rng),
+            realize=lambda tree: pack_btree(tree, self._modules),
+            seed=self.seed,
+            moves_per_temperature=self.moves_per_temperature,
+            schedule=self.schedule,
+            calibrate=self._calibrate,
+            on_snapshot=forward_snapshot if on_snapshot else None,
+        )
+        return BStarTreeResult(
+            floorplan=result.floorplan,
+            tree=result.state,
+            breakdown=result.breakdown,
+            snapshots=[_to_bt_snapshot(s) for s in result.snapshots],
+            n_moves=result.n_moves,
+            n_accepted=result.n_accepted,
+            runtime_seconds=result.runtime_seconds,
+        )
+
+
+def _to_bt_snapshot(snap) -> BStarTreeSnapshot:
+    return BStarTreeSnapshot(
+        step=snap.step,
+        temperature=snap.temperature,
+        current_cost=snap.current_cost,
+        best_cost=snap.best_cost,
+        breakdown=snap.breakdown,
+        tree=snap.state,
+    )

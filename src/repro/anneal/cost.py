@@ -1,0 +1,157 @@
+"""The floorplanner's multi-objective cost (Section 5).
+
+``cost = alpha * Area + beta * Wirelength + gamma * Congestion``, with
+each term normalized by its magnitude over a sample of random
+floorplans so the weights express *relative importance* rather than
+unit conversions (areas are in mm^2-scale um^2, wirelengths in um,
+congestion costs in probability mass per um^2 -- raw magnitudes differ
+by orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.congestion.base import CongestionModel
+from repro.floorplan import Floorplan, evaluate_polish, initial_expression
+from repro.metrics import total_two_pin_length
+from repro.netlist import Netlist
+from repro.pins import assign_pins
+
+__all__ = ["CostBreakdown", "FloorplanObjective"]
+
+_DEFAULT_PIN_GRID = 30.0
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One floorplan's objective terms and the combined scalar cost."""
+
+    area: float
+    wirelength: float
+    congestion: float
+    cost: float
+
+
+class FloorplanObjective:
+    """Weighted, normalized floorplan cost.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit being floorplanned.
+    alpha, beta, gamma:
+        Weights of area, wirelength, and congestion.  ``gamma == 0``
+        skips congestion evaluation entirely (Experiment 1's first
+        floorplanner); ``alpha == beta == 0`` with ``gamma > 0`` is the
+        congestion-only objective of Experiments 2-3.
+    congestion_model:
+        Any :class:`~repro.congestion.base.CongestionModel`; required
+        when ``gamma > 0``.
+    pin_grid_size:
+        Lattice pitch for intersection-to-intersection pin snapping.
+        Defaults to the congestion model's ``grid_size`` when it has
+        one, else 30 um.
+    allow_rotation:
+        Whether packing may rotate modules.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        gamma: float = 0.0,
+        congestion_model: Optional[CongestionModel] = None,
+        pin_grid_size: Optional[float] = None,
+        allow_rotation: bool = True,
+    ):
+        if min(alpha, beta, gamma) < 0:
+            raise ValueError("objective weights must be non-negative")
+        if alpha == beta == gamma == 0:
+            raise ValueError("at least one objective weight must be positive")
+        if gamma > 0 and congestion_model is None:
+            raise ValueError("gamma > 0 requires a congestion model")
+        self.netlist = netlist
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.congestion_model = congestion_model
+        if pin_grid_size is None:
+            pin_grid_size = getattr(congestion_model, "grid_size", _DEFAULT_PIN_GRID)
+        if pin_grid_size <= 0:
+            raise ValueError(f"pin_grid_size must be positive, got {pin_grid_size}")
+        self.pin_grid_size = float(pin_grid_size)
+        self.allow_rotation = bool(allow_rotation)
+        # Normalization constants; 1.0 until calibrate() runs.
+        self._area_norm = 1.0
+        self._wl_norm = 1.0
+        self._cgt_norm = 1.0
+
+    # -- calibration ----------------------------------------------------
+
+    def calibrate(self, seed: int = 0, samples: int = 10) -> None:
+        """Set normalization constants from random floorplans.
+
+        Each term is divided by its mean over ``samples`` random Polish
+        expressions, making the three terms commensurate before the
+        weights apply.
+        """
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        rng = random.Random(seed)
+        areas, wls, cgts = [], [], []
+        names = [m.name for m in self.netlist.modules]
+        for _ in range(samples):
+            expr = initial_expression(names, rng)
+            for _ in range(3 * len(names)):
+                expr = expr.random_neighbor(rng)
+            b = self._raw_terms(expr)
+            areas.append(b[0])
+            wls.append(b[1])
+            cgts.append(b[2])
+        self._area_norm = max(sum(areas) / len(areas), 1e-12)
+        self._wl_norm = max(sum(wls) / len(wls), 1e-12)
+        self._cgt_norm = max(sum(cgts) / len(cgts), 1e-12)
+
+    # -- evaluation -----------------------------------------------------
+
+    def evaluate_expression(self, expression) -> CostBreakdown:
+        """Pack, measure and combine: the annealer's hot path."""
+        area, wl, cgt = self._raw_terms(expression)
+        return self._combine(area, wl, cgt)
+
+    def evaluate_floorplan(self, floorplan: Floorplan) -> CostBreakdown:
+        """Cost of an already-packed floorplan (used by the
+        sequence-pair annealer and the experiment reports)."""
+        area, wl, cgt = self._floorplan_terms(floorplan)
+        return self._combine(area, wl, cgt)
+
+    def _raw_terms(self, expression):
+        modules = {m.name: m for m in self.netlist.modules}
+        floorplan = evaluate_polish(expression, modules, self.allow_rotation)
+        return self._floorplan_terms(floorplan)
+
+    def _floorplan_terms(self, floorplan: Floorplan):
+        area = floorplan.area
+        wl = 0.0
+        cgt = 0.0
+        if self.beta > 0 or self.gamma > 0:
+            assignment = assign_pins(floorplan, self.netlist, self.pin_grid_size)
+            if self.beta > 0:
+                wl = total_two_pin_length(assignment.two_pin_nets)
+            if self.gamma > 0:
+                cgt = self.congestion_model.estimate(
+                    floorplan.chip, assignment.two_pin_nets
+                )
+        return area, wl, cgt
+
+    def _combine(self, area: float, wl: float, cgt: float) -> CostBreakdown:
+        cost = (
+            self.alpha * area / self._area_norm
+            + self.beta * wl / self._wl_norm
+            + self.gamma * cgt / self._cgt_norm
+        )
+        return CostBreakdown(area=area, wirelength=wl, congestion=cgt, cost=cost)

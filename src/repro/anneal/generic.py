@@ -1,0 +1,140 @@
+"""The representation-agnostic annealing loop.
+
+All three floorplan representations (Polish expressions, sequence
+pairs, B*-trees) anneal identically: Metropolis acceptance, geometric
+cooling with sampled initial temperature, per-temperature snapshots.
+This module hosts that loop once; each representation supplies three
+functions:
+
+* ``initial(rng) -> state``
+* ``neighbor(state, rng) -> state``
+* ``realize(state) -> Floorplan``
+
+and gets back the same result/snapshot protocol the experiments
+consume.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, TypeVar
+
+from repro.anneal.cost import CostBreakdown, FloorplanObjective
+from repro.anneal.schedule import GeometricSchedule, initial_temperature
+from repro.floorplan import Floorplan
+
+__all__ = ["Snapshot", "Result", "anneal"]
+
+State = TypeVar("State")
+
+
+@dataclass(frozen=True)
+class Snapshot(Generic[State]):
+    """The state at the end of one temperature step."""
+
+    step: int
+    temperature: float
+    current_cost: float
+    best_cost: float
+    breakdown: CostBreakdown
+    state: State
+
+
+@dataclass
+class Result(Generic[State]):
+    """A finished annealing run over any representation."""
+
+    floorplan: Floorplan
+    state: State
+    breakdown: CostBreakdown
+    snapshots: List[Snapshot] = field(default_factory=list)
+    n_moves: int = 0
+    n_accepted: int = 0
+    runtime_seconds: float = 0.0
+
+    @property
+    def cost(self) -> float:
+        return self.breakdown.cost
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.n_accepted / self.n_moves if self.n_moves else 0.0
+
+
+def anneal(
+    objective: FloorplanObjective,
+    initial: Callable[[random.Random], State],
+    neighbor: Callable[[State, random.Random], State],
+    realize: Callable[[State], Floorplan],
+    seed: int = 0,
+    moves_per_temperature: int = 100,
+    schedule: Optional[GeometricSchedule] = None,
+    calibrate: bool = True,
+    temperature_samples: int = 30,
+    on_snapshot: Optional[Callable[[Snapshot], None]] = None,
+) -> Result:
+    """Run one full annealing schedule over an arbitrary representation."""
+    if moves_per_temperature < 1:
+        raise ValueError("moves_per_temperature must be >= 1")
+    schedule = schedule or GeometricSchedule()
+    start_time = time.perf_counter()
+    rng = random.Random(seed)
+    if calibrate:
+        objective.calibrate(seed=seed)
+
+    def evaluate(state: State) -> CostBreakdown:
+        return objective.evaluate_floorplan(realize(state))
+
+    current = initial(rng)
+    current_eval = evaluate(current)
+    best, best_eval = current, current_eval
+
+    # Sample uphill deltas along a random walk to size T0.
+    deltas = []
+    walk, walk_cost = current, current_eval.cost
+    for _ in range(temperature_samples):
+        step_state = neighbor(walk, rng)
+        step_eval = evaluate(step_state)
+        deltas.append(step_eval.cost - walk_cost)
+        walk, walk_cost = step_state, step_eval.cost
+    t0 = initial_temperature(deltas)
+
+    snapshots: List[Snapshot] = []
+    n_moves = n_accepted = 0
+    for step, temperature in enumerate(schedule.temperatures(t0)):
+        for _ in range(moves_per_temperature):
+            candidate = neighbor(current, rng)
+            if candidate == current:
+                continue
+            candidate_eval = evaluate(candidate)
+            delta = candidate_eval.cost - current_eval.cost
+            n_moves += 1
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current, current_eval = candidate, candidate_eval
+                n_accepted += 1
+                if current_eval.cost < best_eval.cost:
+                    best, best_eval = current, current_eval
+        snapshot = Snapshot(
+            step=step,
+            temperature=temperature,
+            current_cost=current_eval.cost,
+            best_cost=best_eval.cost,
+            breakdown=current_eval,
+            state=current,
+        )
+        snapshots.append(snapshot)
+        if on_snapshot is not None:
+            on_snapshot(snapshot)
+
+    return Result(
+        floorplan=realize(best),
+        state=best,
+        breakdown=best_eval,
+        snapshots=snapshots,
+        n_moves=n_moves,
+        n_accepted=n_accepted,
+        runtime_seconds=time.perf_counter() - start_time,
+    )

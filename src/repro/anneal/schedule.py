@@ -1,0 +1,78 @@
+"""Cooling schedules.
+
+The paper's floorplanner follows Wong-Liu: start at a temperature where
+most uphill moves are accepted, cool geometrically, stop when the
+temperature is cold enough that the search has frozen.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["GeometricSchedule", "initial_temperature"]
+
+
+def initial_temperature(
+    uphill_deltas: Sequence[float],
+    initial_acceptance: float = 0.85,
+) -> float:
+    """Temperature at which the average uphill move is accepted with
+    probability ``initial_acceptance``: ``T0 = avg_uphill / -ln(p)``.
+
+    Degenerate sample sets (no uphill moves observed -- e.g. a cost
+    plateau) fall back to 1.0 so annealing still runs.
+    """
+    if not 0.0 < initial_acceptance < 1.0:
+        raise ValueError(
+            f"initial_acceptance must be in (0, 1), got {initial_acceptance}"
+        )
+    uphill = [d for d in uphill_deltas if d > 0]
+    if not uphill:
+        return 1.0
+    avg = sum(uphill) / len(uphill)
+    return avg / -math.log(initial_acceptance)
+
+
+@dataclass(frozen=True)
+class GeometricSchedule:
+    """Geometric cooling: ``T_{k+1} = cooling_rate * T_k``.
+
+    ``freeze_ratio`` ends the schedule when the temperature falls below
+    that fraction of the initial temperature, bounding the number of
+    temperature steps at ``log(freeze_ratio) / log(cooling_rate)``
+    (about 130 steps for the defaults).
+    """
+
+    cooling_rate: float = 0.9
+    freeze_ratio: float = 1e-6
+    max_steps: int = 200
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cooling_rate < 1.0:
+            raise ValueError(
+                f"cooling_rate must be in (0, 1), got {self.cooling_rate}"
+            )
+        if not 0.0 < self.freeze_ratio < 1.0:
+            raise ValueError(
+                f"freeze_ratio must be in (0, 1), got {self.freeze_ratio}"
+            )
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+
+    def temperatures(self, initial: float) -> Iterator[float]:
+        """Yield the cooling sequence starting at ``initial``."""
+        if initial <= 0:
+            raise ValueError(f"initial temperature must be positive, got {initial}")
+        t = initial
+        floor = initial * self.freeze_ratio
+        for _ in range(self.max_steps):
+            yield t
+            t *= self.cooling_rate
+            if t < floor:
+                break
+
+    def n_steps(self, initial: float = 1.0) -> int:
+        """Number of temperature steps the schedule will produce."""
+        return sum(1 for _ in self.temperatures(initial))

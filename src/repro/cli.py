@@ -1,0 +1,328 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-floorplan circuits                 # list bundled circuits
+    repro-floorplan generate ...             # write a synthetic circuit
+    repro-floorplan floorplan CIRCUIT ...    # anneal, report, render
+    repro-floorplan estimate CIRCUIT ...     # congestion of one packing
+    repro-floorplan experiment {1,2,3} ...   # reproduce the paper tables
+    repro-floorplan figure8                  # approximation accuracy
+
+``CIRCUIT`` is an MCNC name (apte/xerox/hp/ami33/ami49) or a path to a
+YAL-flavoured circuit file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.anneal import FloorplanObjective
+from repro.congestion import FixedGridModel, IrregularGridModel, JudgingModel
+from repro.data import MCNC_CIRCUITS, load_mcnc, read_yal, write_yal
+from repro.experiments.config import active_profile, circuit_config
+from repro.experiments.exp1 import format_experiment1, run_experiment1
+from repro.experiments.exp2 import format_experiment2, run_experiment2
+from repro.experiments.exp3 import format_experiment3, run_experiment3
+from repro.experiments.figures import figure8_default_cases
+from repro.experiments.runner import run_once
+from repro.experiments.tables import format_table
+from repro.netlist import Netlist, clustered_circuit, random_circuit
+from repro.pins import assign_pins
+from repro.viz import (
+    congestion_svg,
+    floorplan_svg,
+    render_congestion_ascii,
+    render_floorplan_ascii,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-floorplan",
+        description="Irregular-Grid congestion model for floorplan design "
+        "(reproduction of Hsieh & Hsieh, DATE 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list the bundled MCNC-like circuits")
+
+    gen = sub.add_parser("generate", help="write a synthetic circuit file")
+    gen.add_argument("output", type=Path, help="destination .yal path")
+    gen.add_argument("--modules", type=int, default=20)
+    gen.add_argument("--nets", type=int, default=60)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--clustered",
+        action="store_true",
+        help="bias nets into clusters (creates congestion hot spots)",
+    )
+
+    fp = sub.add_parser("floorplan", help="anneal a circuit and report")
+    fp.add_argument("circuit", help="MCNC name or .yal path")
+    fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument("--gamma", type=float, default=0.0, help="congestion weight")
+    fp.add_argument("--grid-size", type=float, default=None, help="IR unit pitch (um)")
+    fp.add_argument("--render", action="store_true", help="print an ASCII floorplan")
+    fp.add_argument("--svg", type=Path, default=None, help="write an SVG rendering")
+    fp.add_argument(
+        "--save-placement",
+        type=Path,
+        default=None,
+        help="save the annealed floorplan to a placement file",
+    )
+
+    est = sub.add_parser(
+        "estimate", help="estimate congestion of an annealed floorplan"
+    )
+    est.add_argument("circuit", help="MCNC name or .yal path")
+    est.add_argument("--seed", type=int, default=0)
+    est.add_argument(
+        "--model",
+        choices=("irgrid", "fixed"),
+        default="irgrid",
+    )
+    est.add_argument("--grid-size", type=float, default=None)
+    est.add_argument(
+        "--placement",
+        type=Path,
+        default=None,
+        help="estimate a saved placement instead of annealing",
+    )
+    est.add_argument("--render", action="store_true", help="ASCII heat map")
+    est.add_argument("--svg", type=Path, default=None, help="write heat map SVG")
+    est.add_argument(
+        "--explain",
+        action="store_true",
+        help="attribute the hottest IR-grids to their contributing nets",
+    )
+
+    exp = sub.add_parser("experiment", help="reproduce a paper experiment")
+    exp.add_argument("number", type=int, choices=(1, 2, 3))
+    exp.add_argument(
+        "--circuits",
+        nargs="+",
+        default=None,
+        help="experiment 1 circuit subset (default: all five)",
+    )
+    exp.add_argument(
+        "--circuit", default="ami33", help="experiment 2/3 circuit"
+    )
+
+    sub.add_parser("figure8", help="approximation accuracy curves")
+    return parser
+
+
+def _load_circuit(spec: str) -> Netlist:
+    if spec.lower() in MCNC_CIRCUITS:
+        return load_mcnc(spec)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {spec!r} is neither an MCNC circuit "
+            f"({sorted(MCNC_CIRCUITS)}) nor an existing file"
+        )
+    return read_yal(path)
+
+
+def _grid_size_for(netlist: Netlist, override: Optional[float]) -> float:
+    if override is not None:
+        return override
+    try:
+        return circuit_config(netlist.name).ir_grid_size
+    except KeyError:
+        # Synthetic circuit: a pitch around 1/30 of the chip edge keeps
+        # the route model meaningful at any scale.
+        edge = netlist.total_module_area ** 0.5
+        return max(edge / 30.0, 1e-6)
+
+
+def _cmd_circuits() -> int:
+    rows = []
+    for name, spec in MCNC_CIRCUITS.items():
+        rows.append(
+            [
+                name,
+                spec.n_modules,
+                spec.n_nets,
+                spec.total_area_um2 / 1e6,
+            ]
+        )
+    print(
+        format_table(
+            ["circuit", "modules", "nets", "module area mm2"],
+            rows,
+            title="Bundled MCNC-like circuits",
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.clustered:
+        netlist = clustered_circuit(args.modules, args.nets, seed=args.seed)
+    else:
+        netlist = random_circuit(args.modules, args.nets, seed=args.seed)
+    write_yal(netlist, args.output)
+    print(f"wrote {netlist} to {args.output}")
+    return 0
+
+
+def _cmd_floorplan(args) -> int:
+    netlist = _load_circuit(args.circuit)
+    grid_size = _grid_size_for(netlist, args.grid_size)
+    if args.gamma > 0:
+        objective = FloorplanObjective(
+            netlist,
+            alpha=1.0,
+            beta=1.0,
+            gamma=args.gamma,
+            congestion_model=IrregularGridModel(grid_size),
+        )
+    else:
+        objective = FloorplanObjective(
+            netlist, alpha=1.0, beta=1.0, gamma=0.0, pin_grid_size=grid_size
+        )
+    record = run_once(netlist, objective, seed=args.seed)
+    b = record.result.breakdown
+    print(
+        f"{netlist.name}: area {record.area_mm2:.4g} mm^2, "
+        f"wirelength {b.wirelength:.0f} um, congestion {b.congestion:.4g}, "
+        f"judge {record.judging_cost:.4g}, {record.runtime_seconds:.1f} s"
+    )
+    if args.render:
+        print(render_floorplan_ascii(record.floorplan))
+    if args.svg is not None:
+        args.svg.write_text(floorplan_svg(record.floorplan))
+        print(f"wrote {args.svg}")
+    if args.save_placement is not None:
+        from repro.data import write_placement
+
+        write_placement(record.floorplan, args.save_placement, netlist.name)
+        print(f"wrote {args.save_placement}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    netlist = _load_circuit(args.circuit)
+    grid_size = _grid_size_for(netlist, args.grid_size)
+    if args.placement is not None:
+        from repro.data import read_placement
+
+        floorplan = read_placement(args.placement)
+    else:
+        objective = FloorplanObjective(
+            netlist, alpha=1.0, beta=1.0, gamma=0.0, pin_grid_size=grid_size
+        )
+        record = run_once(netlist, objective, seed=args.seed)
+        floorplan = record.floorplan
+    assignment = assign_pins(floorplan, netlist, grid_size)
+    if args.model == "irgrid":
+        model = IrregularGridModel(grid_size)
+        congestion_map, irgrid = model.evaluate_with_grid(
+            floorplan.chip, assignment.two_pin_nets
+        )
+        print(
+            f"IR-grid model: {irgrid.n_cells} IR-grids, score "
+            f"{model.score(congestion_map):.6g}"
+        )
+        if args.explain:
+            from repro.congestion import analyze_hotspots
+
+            report = analyze_hotspots(
+                model, floorplan.chip, assignment.two_pin_nets, top_cells=3
+            )
+            for rank, cell in enumerate(report.cells, start=1):
+                nets_desc = ", ".join(
+                    f"{name} ({amount:.2f})"
+                    for name, amount in cell.contributors
+                )
+                r = cell.rect
+                print(
+                    f"  hotspot {rank}: [{r.x_lo:.0f},{r.y_lo:.0f}]-"
+                    f"[{r.x_hi:.0f},{r.y_hi:.0f}] density "
+                    f"{cell.density:.4g} <- {nets_desc}"
+                )
+    else:
+        model = FixedGridModel(grid_size)
+        congestion_map = model.evaluate(floorplan.chip, assignment.two_pin_nets)
+        print(
+            f"fixed-grid model: {congestion_map.n_cells} grids, score "
+            f"{model.score(congestion_map):.6g}"
+        )
+    judge = JudgingModel(10.0)
+    print(f"judging model (10 um): {judge.judge(floorplan, netlist):.6g}")
+    if args.render:
+        print(render_congestion_ascii(congestion_map))
+    if args.svg is not None:
+        args.svg.write_text(congestion_svg(congestion_map, floorplan=floorplan))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    profile = active_profile()
+    print(f"profile: {profile.name} ({profile.n_seeds} seeds)")
+    if args.number == 1:
+        circuits = args.circuits or ("apte", "xerox", "hp", "ami33", "ami49")
+        print(format_experiment1(run_experiment1(circuits, profile)))
+    elif args.number == 2:
+        print(format_experiment2(run_experiment2(args.circuit, profile)))
+    else:
+        print(
+            format_experiment3(
+                run_experiment3(args.circuit, profile), args.circuit
+            )
+        )
+    return 0
+
+
+def _cmd_figure8() -> int:
+    case_b, case_d = figure8_default_cases()
+    for label, series in (("(b) y2=15", case_b), ("(d) y2=19", case_d)):
+        rows = [
+            [
+                p.x,
+                p.exact,
+                "n/a" if p.approx is None else p.approx,
+                "n/a" if p.deviation is None else p.deviation,
+            ]
+            for p in series
+        ]
+        print(
+            format_table(
+                ["x", "exact", "approx", "|deviation|"],
+                rows,
+                title=f"Figure 8 {label} (31 x 21 type-I net)",
+            )
+        )
+        print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: parse ``argv`` and dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    if args.command == "circuits":
+        return _cmd_circuits()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "floorplan":
+        return _cmd_floorplan(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "figure8":
+        return _cmd_figure8()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

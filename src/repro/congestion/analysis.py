@@ -1,0 +1,103 @@
+"""Congestion attribution: which nets make a hotspot hot?
+
+The models score floorplans, but a floorplanner user debugging a
+congested design needs the inverse query: for the most congested
+IR-grids, which nets contribute how much crossing probability.  This
+module answers it by re-evaluating nets individually against a frozen
+Irregular-Grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.congestion.batched import batched_approx_mass
+from repro.congestion.model import IrregularGridModel
+from repro.geometry import Rect
+from repro.netlist import TwoPinNet
+
+__all__ = ["HotspotReport", "CellAttribution", "analyze_hotspots"]
+
+
+@dataclass(frozen=True)
+class CellAttribution:
+    """One hot IR-grid and its top contributing nets."""
+
+    rect: Rect
+    mass: float
+    density: float
+    # (net name, contributed probability), strongest first.
+    contributors: Tuple[Tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class HotspotReport:
+    """The hottest cells of a floorplan with per-net attribution."""
+
+    chip: Rect
+    cells: Tuple[CellAttribution, ...]
+
+    def dominant_nets(self, k: int = 5) -> List[Tuple[str, float]]:
+        """Nets ranked by their total contribution across all reported
+        hotspots -- the first candidates for rerouting or replication."""
+        totals: dict = {}
+        for cell in self.cells:
+            for name, amount in cell.contributors:
+                totals[name] = totals.get(name, 0.0) + amount
+        ranked = sorted(totals.items(), key=lambda kv: -kv[1])
+        return ranked[:k]
+
+
+def analyze_hotspots(
+    model: IrregularGridModel,
+    chip: Rect,
+    nets: Sequence[TwoPinNet],
+    top_cells: int = 5,
+    top_nets_per_cell: int = 5,
+) -> HotspotReport:
+    """Attribute the densest IR-grids of a floorplan to their nets.
+
+    Builds the Irregular-Grid once, finds the ``top_cells`` densest
+    cells, then evaluates each net alone on the same grid to measure
+    its contribution to those cells.  Cost is one extra model
+    evaluation per net -- an offline debugging query, not an annealing-
+    loop operation.
+    """
+    if top_cells < 1:
+        raise ValueError(f"top_cells must be >= 1, got {top_cells}")
+    if top_nets_per_cell < 1:
+        raise ValueError(
+            f"top_nets_per_cell must be >= 1, got {top_nets_per_cell}"
+        )
+    congestion_map, irgrid = model.evaluate_with_grid(chip, nets)
+    # Map cells arrive in the same row-major order IRGrid.cells() uses.
+    indexed = list(
+        zip(congestion_map.cells, ((i, j) for i, j, _ in irgrid.cells()))
+    )
+    ranked_cells = sorted(indexed, key=lambda pair: -pair[0].density)[:top_cells]
+
+    # Per-net masses on the frozen grid.
+    per_net = []
+    for net in nets:
+        per_net.append(
+            (net.name, batched_approx_mass(irgrid, [net], model.grid_size))
+        )
+
+    cells: List[CellAttribution] = []
+    for cell, (i, j) in ranked_cells:
+        contributions = [
+            (name, float(net_mass[i, j]))
+            for name, net_mass in per_net
+            if net_mass[i, j] > 0.0
+        ]
+        contributions.sort(key=lambda kv: -kv[1])
+        cells.append(
+            CellAttribution(
+                rect=cell.rect,
+                mass=cell.mass,
+                density=cell.density,
+                contributors=tuple(contributions[:top_nets_per_cell]),
+            )
+        )
+    return HotspotReport(chip=chip, cells=tuple(cells))

@@ -1,0 +1,174 @@
+"""The constant-time approximating formulas (Section 4.4, Theorem 1).
+
+Formula 3's boundary sums cost O(x2-x1 + y2-y1) per IR-grid.  The paper
+rewrites each summand as a hypergeometry-like ratio ``h(x, r, R, Q)``
+with ``Q = x + y2``, ``R = g1+g2-3``, ``r = g1-1``, approximates it with
+the moment-matched normal density, and replaces the sums with definite
+integrals evaluated by Simpson's rule -- a constant number of
+floating-point operations regardless of IR-grid size.
+
+Domain guards (Section 4.5): the normal approximation is invalid where
+``(x + y2)/(g1+g2-3)`` is 0, 1 or beyond -- which happens only at the
+four grids adjacent to the net's pins -- and degenerates when a variance
+factor is non-positive (ranges thinner than 3 unit grids).  Those cases
+raise :class:`ApproximationDomainError`; the model responds per the
+Algorithm (pin-covering IR-grids are worth exactly 1) or falls back to
+the exact Formula 3.
+
+Integration bounds: the discrete sum ``sum_{x=x1}^{x2}`` has
+``x2-x1+1`` terms while the paper's integral ``int_{x1}^{x2}`` spans
+width ``x2-x1``; by default we integrate the midpoint-corrected span
+``[x1-1/2, x2+1/2]``, which tracks the exact values markedly better on
+small IR-grids.  ``paper_bounds=True`` reproduces the paper's bounds
+verbatim (the A1 ablation bench quantifies the difference).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.congestion.routes import _log_ta, _log_tb, log_total_routes
+from repro.mathutils import simpson
+from repro.netlist import NetType
+
+__all__ = [
+    "ApproximationDomainError",
+    "approx_ir_probability",
+    "approx_function1_pointwise",
+    "exact_function1_pointwise",
+    "type_i_error_grids",
+]
+
+
+class ApproximationDomainError(ValueError):
+    """The normal approximation is undefined for these parameters
+    (Section 4.5's error grids, or a degenerate variance)."""
+
+
+def _gauss_ratio(t: float, near_offset: float, r: int, big_r: int, spread: int) -> float:
+    """The normal-approximated ``h(t, r, R, Q)`` with ``Q = t + near_offset``.
+
+    ``r`` is the binomial count (g1-1 for Function 1), ``big_r`` is
+    ``g1+g2-3`` and ``spread`` is the variance numerator (g2-2 for
+    Function 1).  Raises :class:`ApproximationDomainError` outside the
+    valid domain.
+    """
+    p = (t + near_offset) / big_r
+    if not 0.0 < p < 1.0:
+        raise ApproximationDomainError(
+            f"mean fraction {p:.3f} outside (0, 1) at t={t}"
+        )
+    denom = big_r - 1
+    if spread <= 0 or denom <= 0:
+        raise ApproximationDomainError(
+            f"degenerate variance (spread={spread}, R-1={denom})"
+        )
+    var = (spread / denom) * r * p * (1.0 - p)
+    if var <= 0.0:
+        raise ApproximationDomainError(f"non-positive variance {var}")
+    sigma = math.sqrt(var)
+    mu = r * p
+    z = (t - mu) / sigma
+    if abs(z) > 40.0:
+        return 0.0
+    return math.exp(-0.5 * z * z) / (sigma * math.sqrt(2.0 * math.pi))
+
+
+def approx_function1_pointwise(x: float, g1: int, g2: int, y2: int) -> float:
+    """The approximated Function (1) at column ``x`` (type I).
+
+    ``(g2-1)/(g1+g2-2) * N(x; mu_x, sigma_x)`` -- the quantity plotted
+    against the exact values in the paper's Figure 8.
+    """
+    factor = (g2 - 1) / (g1 + g2 - 2)
+    return factor * _gauss_ratio(x, float(y2), g1 - 1, g1 + g2 - 3, g2 - 2)
+
+
+def exact_function1_pointwise(x: int, g1: int, g2: int, y2: int) -> float:
+    """The exact Function (1): ``Ta(x, y2) Tb(x, y2+1) / total``.
+
+    The per-column top-boundary crossing mass of a type I net; ground
+    truth for Figure 8.
+    """
+    log_ta = _log_ta(x, y2, g1, g2, NetType.TYPE_I)
+    log_tb = _log_tb(x, y2 + 1, g1, g2, NetType.TYPE_I)
+    if log_ta == float("-inf") or log_tb == float("-inf"):
+        return 0.0
+    return math.exp(log_ta + log_tb - log_total_routes(g1, g2))
+
+
+def type_i_error_grids(g1: int, g2: int):
+    """The four grids where the approximation fails for a type I net
+    (Section 4.5, Figure 7): (0,0), (g1-2,g2-1), (g1-1,g2-2), (g1-1,g2-1)."""
+    return (
+        (0, 0),
+        (g1 - 2, g2 - 1),
+        (g1 - 1, g2 - 2),
+        (g1 - 1, g2 - 1),
+    )
+
+
+def approx_ir_probability(
+    g1: int,
+    g2: int,
+    net_type: NetType,
+    x1: int,
+    x2: int,
+    y1: int,
+    y2: int,
+    panels: int = 8,
+    paper_bounds: bool = False,
+) -> float:
+    """Theorem 1: approximate crossing probability of an IR-grid.
+
+    Arguments mirror :func:`~repro.congestion.exact_ir.exact_ir_probability`.
+    Raises :class:`ApproximationDomainError` when any integrand sample
+    falls outside the approximation's domain; callers fall back to the
+    exact formula (or the pin rule) there.
+    """
+    if net_type is NetType.DEGENERATE:
+        raise ValueError("approximation applies to type I/II nets only")
+    if g1 < 2 or g2 < 2:
+        raise ValueError(
+            f"type I/II routing ranges span >= 2 grids per axis, got {g1} x {g2}"
+        )
+    if not (0 <= x1 <= x2 < g1 and 0 <= y1 <= y2 < g2):
+        raise ValueError(
+            f"IR-grid [{x1}..{x2}] x [{y1}..{y2}] outside range {g1} x {g2}"
+        )
+    if net_type is NetType.TYPE_II:
+        # The vertical mirror (y -> g2-1-y) turns a type II net into a
+        # type I net over the same range; mirror the IR-grid rows.
+        y1, y2 = g2 - 1 - y2, g2 - 1 - y1
+        net_type = NetType.TYPE_I
+
+    half = 0.0 if paper_bounds else 0.5
+    big_r = g1 + g2 - 3
+
+    total = 0.0
+    # Top-boundary exits: integral over columns x1..x2 -- present only
+    # when a top boundary exists inside the range (y2 < g2-1); routes
+    # cannot exit upward past the range.
+    if y2 + 1 < g2:
+        factor1 = (g2 - 1) / (g1 + g2 - 2)
+
+        def integrand_top(x: float) -> float:
+            return factor1 * _gauss_ratio(x, float(y2), g1 - 1, big_r, g2 - 2)
+
+        total += simpson(integrand_top, x1 - half, x2 + half, panels)
+    # Right-boundary exits: integral over rows y1..y2.
+    if x2 + 1 < g1:
+        factor2 = (g1 - 1) / (g1 + g2 - 2)
+
+        def integrand_right(y: float) -> float:
+            return factor2 * _gauss_ratio(y, float(x2), g2 - 1, big_r, g1 - 2)
+
+        total += simpson(integrand_right, y1 - half, y2 + half, panels)
+    if y2 + 1 >= g2 and x2 + 1 >= g1:
+        # The IR-grid covers the far pin: the Algorithm's pin rule says
+        # probability 1; signal the caller to use it rather than invent
+        # an integral here.
+        raise ApproximationDomainError(
+            "IR-grid covers the far pin; use the pin rule (probability 1)"
+        )
+    return min(max(total, 0.0), 1.0)

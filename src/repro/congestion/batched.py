@@ -1,0 +1,315 @@
+"""Whole-floorplan batched evaluation of the approximate IR model.
+
+The per-net kernels in :mod:`repro.congestion.vectorized` still pay
+tens of numpy-dispatch overheads per net; inside an annealing loop that
+dominates the actual arithmetic.  This module flattens *every covered
+(net, IR-cell) pair of the whole floorplan* into parallel parameter
+vectors and evaluates all Theorem-1 Simpson integrals in one broadcast
+-- a constant number of numpy operations per floorplan evaluation.
+
+The semantics are identical to the scalar Algorithm:
+
+* degenerate nets / ranges spread weight 1 over their covered cells;
+* pin-covering cells get probability 1 (step 3.1);
+* thin ranges (g1 or g2 < 3) and cells whose Simpson nodes leave the
+  approximation's domain fall back to the exact Formula 3 (Section 4.5);
+* everything else gets the Theorem-1 integral (step 3.2).
+
+Tests assert cell-level agreement with the scalar reference pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.congestion.exact_ir import exact_ir_probability
+from repro.congestion.irgrid import IRGrid
+from repro.netlist import NetType, TwoPinNet
+
+__all__ = ["batched_approx_mass"]
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=262_144)
+def _exact_cached(
+    g1: int, g2: int, net_type: NetType, x1: int, x2: int, y1: int, y2: int
+) -> float:
+    return exact_ir_probability(g1, g2, net_type, x1, x2, y1, y2)
+
+
+def _nearest_indices(lines: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`CutLines.nearest_line_index`."""
+    pos = np.searchsorted(lines, coords)
+    pos = np.clip(pos, 0, len(lines) - 1)
+    before = np.clip(pos - 1, 0, len(lines) - 1)
+    use_before = (pos > 0) & (
+        (coords - lines[before]) <= (lines[pos] - coords)
+    )
+    return np.where(use_before, before, pos)
+
+
+def batched_approx_mass(
+    irgrid: IRGrid,
+    nets: Sequence[TwoPinNet],
+    grid_size: float,
+    panels: int = 8,
+    paper_bounds: bool = False,
+) -> np.ndarray:
+    """Congestion mass per IR-cell, shape ``(n_columns, n_rows)``."""
+    n_cols_total = irgrid.n_columns
+    n_rows_total = irgrid.n_rows
+    mass = np.zeros((n_cols_total, n_rows_total))
+    if not nets:
+        return mass
+
+    x_lines = np.asarray(irgrid.x_lines.lines)
+    y_lines = np.asarray(irgrid.y_lines.lines)
+    chip = irgrid.chip
+
+    n = len(nets)
+    rx_lo = np.empty(n)
+    rx_hi = np.empty(n)
+    ry_lo = np.empty(n)
+    ry_hi = np.empty(n)
+    weights = np.empty(n)
+    type_two = np.zeros(n, dtype=bool)
+    degenerate_type = np.zeros(n, dtype=bool)
+    for k, net in enumerate(nets):
+        rng = net.routing_range
+        rx_lo[k] = min(max(rng.x_lo, chip.x_lo), chip.x_hi)
+        rx_hi[k] = min(max(rng.x_hi, chip.x_lo), chip.x_hi)
+        ry_lo[k] = min(max(rng.y_lo, chip.y_lo), chip.y_hi)
+        ry_hi[k] = min(max(rng.y_hi, chip.y_lo), chip.y_hi)
+        weights[k] = net.weight
+        nt = net.net_type
+        type_two[k] = nt is NetType.TYPE_II
+        degenerate_type[k] = nt is NetType.DEGENERATE
+
+    # Snap routing ranges onto the merged cut lines (Algorithm step 2's
+    # "modify the corresponding routing ranges").
+    ix_lo = _nearest_indices(x_lines, rx_lo)
+    ix_hi = _nearest_indices(x_lines, rx_hi)
+    iy_lo = _nearest_indices(y_lines, ry_lo)
+    iy_hi = _nearest_indices(y_lines, ry_hi)
+    sx_lo = x_lines[ix_lo]
+    sx_hi = x_lines[ix_hi]
+    sy_lo = y_lines[iy_lo]
+    sy_hi = y_lines[iy_hi]
+
+    g1 = np.maximum(1, np.rint((sx_hi - sx_lo) / grid_size).astype(int))
+    g2 = np.maximum(1, np.rint((sy_hi - sy_lo) / grid_size).astype(int))
+    degenerate = (
+        degenerate_type
+        | (ix_hi <= ix_lo)
+        | (iy_hi <= iy_lo)
+        | (g1 == 1)
+        | (g2 == 1)
+    )
+
+    # Covered cell index spans (inclusive); a collapsed axis still
+    # covers the single line of cells it lies on.
+    col_lo = np.minimum(ix_lo, n_cols_total - 1)
+    col_hi = np.minimum(np.maximum(ix_hi - 1, col_lo), n_cols_total - 1)
+    row_lo = np.minimum(iy_lo, n_rows_total - 1)
+    row_hi = np.minimum(np.maximum(iy_hi - 1, row_lo), n_rows_total - 1)
+
+    # ---- degenerate nets: rectangle adds of probability 1 ------------
+    for k in np.nonzero(degenerate)[0]:
+        mass[col_lo[k] : col_hi[k] + 1, row_lo[k] : row_hi[k] + 1] += weights[k]
+
+    # ---- regular nets: flatten all covered cells ----------------------
+    idx = np.nonzero(~degenerate)[0]
+    if len(idx) == 0:
+        return mass
+
+    # Per-cell parallel vectors, built without any per-cell Python:
+    # cells are enumerated row-major per net, and every field is
+    # recovered from the flat within-net cell index by integer
+    # arithmetic on repeated per-net quantities.
+    n_c = col_hi[idx] - col_lo[idx] + 1
+    n_r = row_hi[idx] - row_lo[idx] + 1
+    counts = n_c * n_r
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    total_cells = int(counts.sum())
+
+    e = np.arange(total_cells) - np.repeat(offsets, counts)  # within-net
+    rep_nc = np.repeat(n_c, counts)
+    ci = e % rep_nc  # within-net column ordinal
+    ri = e // rep_nc  # within-net row ordinal
+    col = np.repeat(col_lo[idx], counts) + ci
+    row = np.repeat(row_lo[idx], counts) + ri
+
+    gg1 = np.repeat(g1[idx].astype(float), counts)
+    gg2 = np.repeat(g2[idx].astype(float), counts)
+    w = np.repeat(weights[idx], counts)
+    thin = np.repeat((g1[idx] < 3) | (g2[idx] < 3), counts)
+    net_of = np.repeat(idx, counts)
+    two = np.repeat(type_two[idx], counts)
+
+    base_x = np.repeat(sx_lo[idx], counts)
+    base_y = np.repeat(sy_lo[idx], counts)
+    x_unit = np.repeat((sx_hi[idx] - sx_lo[idx]) / g1[idx], counts)
+    y_unit = np.repeat((sy_hi[idx] - sy_lo[idx]) / g2[idx], counts)
+
+    # Unit-grid spans of each cell in its net's routing range.
+    x1 = np.rint((x_lines[col] - base_x) / x_unit)
+    x2 = np.rint((x_lines[col + 1] - base_x) / x_unit) - 1.0
+    x1 = np.clip(x1, 0.0, gg1 - 1.0)
+    x2 = np.clip(np.maximum(x2, x1), 0.0, gg1 - 1.0)
+    y1 = np.rint((y_lines[row] - base_y) / y_unit)
+    y2 = np.rint((y_lines[row + 1] - base_y) / y_unit) - 1.0
+    y1 = np.clip(y1, 0.0, gg2 - 1.0)
+    y2 = np.clip(np.maximum(y2, y1), 0.0, gg2 - 1.0)
+    # Vertical mirror: type II becomes type I with flipped rows.
+    y1_m = np.where(two, gg2 - 1.0 - y2, y1)
+    y2_m = np.where(two, gg2 - 1.0 - y1, y2)
+    y1, y2 = y1_m, y2_m
+
+    # Pin-covering cells: the snapped range's corners on the net's pin
+    # diagonal (step 3.1).
+    first_c = ci == 0
+    last_c = ci == rep_nc - 1
+    first_r = ri == 0
+    last_r = row == np.repeat(row_hi[idx], counts)
+    pin = np.where(
+        two,
+        (last_c & first_r) | (first_c & last_r),
+        (first_c & first_r) | (last_c & last_r),
+    )
+
+    prob = np.zeros(len(col))
+    invalid = thin.copy()
+
+    # ---- Simpson integrals, band-filtered --------------------------
+    # The integrand is (normal-like) exponentially small away from the
+    # route-mass band along the net's pin diagonal; on sprawling
+    # floorplans the overwhelming majority of covered cells sit far
+    # outside it.  A two-endpoint z test finds them (z has constant
+    # sign across a cell: x - mu(x) is linear in x with positive slope
+    # (g2-2)/R), and the full 9-node broadcast runs only on the
+    # surviving band cells.
+    compute = ~pin & ~thin
+    if compute.any():
+        big_r = gg1 + gg2 - 3.0
+        half = 0.0 if paper_bounds else 0.5
+        k_nodes = np.arange(panels + 1)
+        weights_s = np.ones(panels + 1)
+        weights_s[1:-1:2] = 4.0
+        weights_s[2:-1:2] = 2.0
+
+        def integrate(active, lo, hi, offset, count_par, spread_par):
+            """One boundary integral for every active cell.
+
+            ``lo``/``hi`` are the integration bounds per cell,
+            ``offset`` the fixed coordinate in Q = t + offset,
+            ``count_par`` the binomial count (g-1 of the integration
+            axis), ``spread_par`` the variance numerator (g-2 of the
+            other axis).  Adds into ``prob`` and ``invalid``.
+            """
+            with np.errstate(invalid="ignore", divide="ignore"):
+                # Endpoint pre-pass (2 nodes).
+                ends = np.stack([lo, hi], axis=1)  # (cells, 2)
+                p_e = (ends + offset[:, None]) / big_r[:, None]
+                ok_e = (p_e > 0.0) & (p_e < 1.0)
+                var_e = (
+                    (spread_par / (big_r - 1.0))[:, None]
+                    * count_par[:, None]
+                    * p_e
+                    * (1.0 - p_e)
+                )
+                good_e = ok_e & (var_e > 0.0)
+                safe_e = np.where(good_e, var_e, 1.0)
+                z_e = (ends - count_par[:, None] * p_e) / np.sqrt(safe_e)
+                both_good = good_e.all(axis=1)
+                negligible = (
+                    active
+                    & both_good
+                    & (
+                        ((z_e > 8.0).all(axis=1))
+                        | ((z_e < -8.0).all(axis=1))
+                    )
+                )
+                full = active & ~negligible
+                idx = np.nonzero(full)[0]
+                if len(idx) == 0:
+                    return
+                lo_c = lo[idx]
+                hi_c = hi[idx]
+                off_c = offset[idx]
+                cnt_c = count_par[idx]
+                spr_c = spread_par[idx]
+                br_c = big_r[idx]
+                h = (hi_c - lo_c) / panels
+                nodes = lo_c[:, None] + h[:, None] * k_nodes
+                p_n = (nodes + off_c[:, None]) / br_c[:, None]
+                ok = (p_n > 0.0) & (p_n < 1.0)
+                var = (
+                    (spr_c / (br_c - 1.0))[:, None]
+                    * cnt_c[:, None]
+                    * p_n
+                    * (1.0 - p_n)
+                )
+                good = ok & (var > 0.0)
+                safe = np.where(good, var, 1.0)
+                z = (nodes - cnt_c[:, None] * p_n) / np.sqrt(safe)
+                dens = np.where(
+                    good, np.exp(-0.5 * z * z) / np.sqrt(2 * np.pi * safe), 0.0
+                )
+                factor = cnt_c / (gg1[idx] + gg2[idx] - 2.0)
+                # count_par is g-1 along the integration axis; the
+                # prefactor of the *other* axis is (g_other - 1):
+                other = (gg1[idx] + gg2[idx] - 2.0) - cnt_c
+                integral = (
+                    (other / (gg1[idx] + gg2[idx] - 2.0))
+                    * (dens * weights_s).sum(axis=1)
+                    * h
+                    / 3.0
+                )
+                np.add.at(prob, idx, integral)
+                bad = (~good).any(axis=1)
+                if bad.any():
+                    invalid[idx[bad]] = True
+
+        # Top-boundary exits: integrate over x; Q = x + y2; the
+        # binomial count along x is g1-1, variance numerator g2-2.
+        top_active = compute & (y2 + 1.0 < gg2)
+        integrate(
+            top_active, x1 - half, x2 + half, y2, gg1 - 1.0, gg2 - 2.0
+        )
+        # Right-boundary exits: integrate over y; Q = y + x2.
+        right_active = compute & (x2 + 1.0 < gg1)
+        integrate(
+            right_active, y1 - half, y2 + half, x2, gg2 - 1.0, gg1 - 2.0
+        )
+
+        # Cells flush with both far edges but not flagged as pins cannot
+        # be trusted to an empty integral.
+        invalid |= compute & (y2 + 1.0 >= gg2) & (x2 + 1.0 >= gg1)
+
+    prob = np.clip(prob, 0.0, 1.0)
+    prob[pin] = 1.0
+
+    # ---- scalar exact fallback (thin ranges + domain failures) -------
+    # Memoized: across an annealing run the same small (g1, g2, span)
+    # configurations recur constantly.
+    fallback = np.nonzero(invalid & ~pin)[0]
+    if len(fallback):
+        for i in fallback.tolist():
+            nt = NetType.TYPE_II if type_two[net_of[i]] else NetType.TYPE_I
+            # The spans were already mirrored into the type-I frame;
+            # mirror back for the scalar API when the net is type II.
+            g2i = int(gg2[i])
+            if nt is NetType.TYPE_II:
+                fy1 = g2i - 1 - int(y2[i])
+                fy2 = g2i - 1 - int(y1[i])
+            else:
+                fy1, fy2 = int(y1[i]), int(y2[i])
+            prob[i] = _exact_cached(
+                int(gg1[i]), g2i, nt, int(x1[i]), int(x2[i]), fy1, fy2
+            )
+
+    np.add.at(mass, (col, row), w * prob)
+    return mass

@@ -1,0 +1,123 @@
+"""Routability estimation against track capacity (extension).
+
+The congestion models output probability mass per cell; a router sees
+*tracks*.  The reference the paper builds on -- Sham & Young's
+routability-driven floorplanner [4] -- converts between the two: a
+cell's expected wire demand is its crossing mass, its supply is the
+number of routing tracks its width affords, and the floorplan is
+routable when demand stays under supply everywhere that matters.
+
+:func:`estimate_routability` performs that conversion for any
+equal-pitch congestion map and reports the overflow picture the
+:mod:`repro.routing` router can then confirm (the capacity
+cross-validation test ties the two together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.congestion.base import CongestionMap
+
+__all__ = ["RoutabilityEstimate", "estimate_routability"]
+
+
+@dataclass(frozen=True)
+class RoutabilityEstimate:
+    """Capacity-aware summary of a congestion map.
+
+    ``demand`` is crossing mass per cell; ``supply`` is
+    ``tracks_per_um * pitch`` (the tracks crossing one cell boundary).
+    """
+
+    supply_per_cell: float
+    total_overflow: float  # sum over cells of max(demand - supply, 0)
+    n_overflowed_cells: int
+    n_cells: int
+    max_utilization: float  # max demand / supply
+    mean_utilization: float
+
+    @property
+    def overflow_fraction(self) -> float:
+        return self.n_overflowed_cells / self.n_cells if self.n_cells else 0.0
+
+    @property
+    def is_routable(self) -> bool:
+        """No cell demands more than its track supply.
+
+        A necessary-not-sufficient screen: real routers also face
+        blockages and layer constraints, but a floorplan failing this
+        screen will certainly overflow.
+        """
+        return self.n_overflowed_cells == 0
+
+
+def estimate_routability(
+    congestion_map: CongestionMap,
+    tracks_per_um: float,
+    utilization_target: float = 1.0,
+) -> RoutabilityEstimate:
+    """Compare a congestion map's demand against track supply.
+
+    Parameters
+    ----------
+    congestion_map:
+        Any congestion map whose cells share (approximately) one pitch
+        -- the fixed-grid or judging maps (clipped boundary rows are
+        tolerated).  IR-grids have broadly mixed cell sizes; their
+        density score serves ranking, not capacity math, so maps where
+        fewer than 70 % of cells are full-pitch are rejected.
+    tracks_per_um:
+        Routing-track density of the technology (e.g. 1 track / 2 um
+        in a 2004-era two-layer estimate).
+    utilization_target:
+        Fraction of the raw supply considered usable (routers
+        congest far below 100 %; 0.8 is a common planning target).
+    """
+    if tracks_per_um <= 0:
+        raise ValueError(f"tracks_per_um must be positive, got {tracks_per_um}")
+    if not 0.0 < utilization_target <= 1.0:
+        raise ValueError(
+            f"utilization_target must be in (0, 1], got {utilization_target}"
+        )
+    cells = congestion_map.cells
+    areas = [c.rect.area for c in cells if c.rect.area > 0]
+    if not areas:
+        raise ValueError("congestion map has no cells with positive area")
+    # Equal-pitch check: uniform grids have (almost) all cells at the
+    # full pitch, with at most one clipped row/column at the chip's
+    # top/right edge; IR-grids have broadly mixed sizes.  Require a
+    # majority of full-size cells.
+    max_area = max(areas)
+    full_cells = sum(1 for a in areas if a >= 0.5 * max_area)
+    if full_cells < 0.7 * len(areas):
+        raise ValueError(
+            "estimate_routability needs an (approximately) equal-pitch "
+            "map; IR-grids have mixed cell sizes -- evaluate a "
+            "FixedGridModel map instead"
+        )
+    # Supply: tracks crossing one boundary of a cell of this pitch.
+    pitch = max(c.rect.width for c in cells)
+    supply = tracks_per_um * pitch * utilization_target
+
+    overflow = 0.0
+    n_over = 0
+    max_util = 0.0
+    util_sum = 0.0
+    for cell in cells:
+        demand = cell.mass
+        util = demand / supply if supply > 0 else float("inf")
+        max_util = max(max_util, util)
+        util_sum += util
+        if demand > supply:
+            overflow += demand - supply
+            n_over += 1
+    return RoutabilityEstimate(
+        supply_per_cell=supply,
+        total_overflow=overflow,
+        n_overflowed_cells=n_over,
+        n_cells=len(cells),
+        max_utilization=max_util,
+        mean_utilization=util_sum / len(cells),
+    )

@@ -1,0 +1,131 @@
+"""Exact IR-grid crossing probability (Formula 3).
+
+An IR-grid covering unit-grid columns ``x1..x2`` and rows ``y1..y2`` of
+a net's routing range is crossed by exactly the routes that leave it
+through its top boundary (type I; bottom for type II) or its right
+boundary, and each crossing route leaves exactly once.  Summing the
+route counts over those boundary transitions and dividing by the total
+route count gives the exact crossing probability:
+
+* type I:  ``[sum_x Ta(x, y2) Tb(x, y2+1) + sum_y Ta(x2, y) Tb(x2+1, y)] / total``
+* type II: ``[sum_x Ta(x, y1) Tb(x, y1-1) + sum_y Ta(x2, y) Tb(x2+1, y)] / total``
+
+Out-of-range ``Tb`` factors are zero (Definition 1), which silently
+drops the boundary sums of IR-grids flush with the routing range's far
+edges -- exactly right, because routes reaching those edges exit through
+the other boundary (or terminate at the pin, and pin-covering IR-grids
+are assigned probability 1 by the Algorithm before this formula is ever
+consulted).
+
+The paper's worked example (Figure 6) is reproduced in the tests:
+a 6x6 range with the IR-grid ``x in [1,3], y in [1,4]`` (0-based) gives
+245/252.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.congestion.routes import (
+    _log_ta,
+    _log_tb,
+    log_total_routes,
+)
+from repro.netlist import NetType
+
+__all__ = ["exact_ir_probability"]
+
+
+def exact_ir_probability(
+    g1: int,
+    g2: int,
+    net_type: NetType,
+    x1: int,
+    x2: int,
+    y1: int,
+    y2: int,
+) -> float:
+    """Formula 3: probability that the net crosses the IR-grid
+    ``[x1..x2] x [y1..y2]`` of its ``g1 x g2`` routing range.
+
+    Coordinates are inclusive unit-grid indices, 0-based, and must lie
+    inside the range.  Works for arbitrarily large ranges via log-space
+    route counts.
+    """
+    _check(g1, g2, net_type, x1, x2, y1, y2)
+    log_total = log_total_routes(g1, g2)
+    acc = 0.0
+    if net_type is NetType.TYPE_I:
+        # Routes leaving through the top boundary: (x, y2) -> (x, y2+1).
+        if y2 + 1 < g2:
+            for x in range(x1, x2 + 1):
+                acc += _transition(g1, g2, net_type, x, y2, x, y2 + 1, log_total)
+        # Routes leaving through the right boundary: (x2, y) -> (x2+1, y).
+        if x2 + 1 < g1:
+            for y in range(y1, y2 + 1):
+                acc += _transition(g1, g2, net_type, x2, y, x2 + 1, y, log_total)
+        # An IR-grid flush with both far edges contains the destination
+        # pin: every route that reaches it stays, so its probability is
+        # the chance of reaching the pin cell -- which is 1 only if the
+        # grid covers the pin; the model's pin rule handles that before
+        # calling here, but we keep the formula total-probability-safe.
+        if y2 + 1 >= g2 and x2 + 1 >= g1:
+            acc += math.exp(
+                _log_ta(x2, y2, g1, g2, net_type)
+                + _log_tb(x2, y2, g1, g2, net_type)
+                - log_total
+            )
+    else:
+        # Type II routes run from the top-left pin toward bottom-right:
+        # exits are through the bottom boundary and the right boundary.
+        if y1 - 1 >= 0:
+            for x in range(x1, x2 + 1):
+                acc += _transition(g1, g2, net_type, x, y1, x, y1 - 1, log_total)
+        if x2 + 1 < g1:
+            for y in range(y1, y2 + 1):
+                acc += _transition(g1, g2, net_type, x2, y, x2 + 1, y, log_total)
+        if y1 - 1 < 0 and x2 + 1 >= g1:
+            acc += math.exp(
+                _log_ta(x2, y1, g1, g2, net_type)
+                + _log_tb(x2, y1, g1, g2, net_type)
+                - log_total
+            )
+    # Clamp float-roundoff excursions; the mathematical value is in [0, 1].
+    return min(max(acc, 0.0), 1.0)
+
+
+def _transition(
+    g1: int,
+    g2: int,
+    net_type: NetType,
+    from_x: int,
+    from_y: int,
+    to_x: int,
+    to_y: int,
+    log_total: float,
+) -> float:
+    """Probability mass of routes using one boundary transition:
+    ``Ta(from) * Tb(to) / total``."""
+    log_ta = _log_ta(from_x, from_y, g1, g2, net_type)
+    log_tb = _log_tb(to_x, to_y, g1, g2, net_type)
+    if log_ta == float("-inf") or log_tb == float("-inf"):
+        return 0.0
+    return math.exp(log_ta + log_tb - log_total)
+
+
+def _check(
+    g1: int, g2: int, net_type: NetType, x1: int, x2: int, y1: int, y2: int
+) -> None:
+    if net_type is NetType.DEGENERATE:
+        raise ValueError(
+            "Formula 3 applies to type I/II nets; degenerate nets cross "
+            "every covered IR-grid with probability 1"
+        )
+    if g1 < 2 or g2 < 2:
+        raise ValueError(
+            f"type I/II routing ranges span >= 2 grids per axis, got {g1} x {g2}"
+        )
+    if not (0 <= x1 <= x2 < g1 and 0 <= y1 <= y2 < g2):
+        raise ValueError(
+            f"IR-grid [{x1}..{x2}] x [{y1}..{y2}] outside range {g1} x {g2}"
+        )

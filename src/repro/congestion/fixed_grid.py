@@ -1,0 +1,179 @@
+"""The fixed-size-grid congestion model (Section 3; Sham & Young [4]).
+
+The chip is tiled with square grids of a configured pitch; every 2-pin
+net spreads one unit of probability mass over the grids of its routing
+range according to Formula 2; the per-grid sums ``f(x, y)`` form the
+congestion map and the floorplan score is the mean of the top 10 % of
+grids.
+
+This model is both the paper's comparison baseline (Experiment 3) and,
+instantiated at very fine pitch, its "judging model" (Section 5).
+
+The per-net probability tables are evaluated vectorised with numpy from
+a shared log-factorial table, so even the 10 x 10 um^2 judging pitch on
+a ~1 mm chip (>10^4 grids) evaluates in milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
+from repro.geometry import Rect
+from repro.netlist import NetType, TwoPinNet
+
+__all__ = ["FixedGridModel"]
+
+
+class FixedGridModel(CongestionModel):
+    """Probabilistic congestion on a uniform square grid.
+
+    Parameters
+    ----------
+    grid_size:
+        Grid pitch in micrometres (the paper sweeps 10, 50 and 100).
+    top_fraction:
+        Fraction of most-congested grids averaged into the score
+        (paper: 0.1).
+    """
+
+    def __init__(self, grid_size: float, top_fraction: float = 0.1):
+        if grid_size <= 0:
+            raise ValueError(f"grid_size must be positive, got {grid_size}")
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError(
+                f"top_fraction must be in (0, 1], got {top_fraction}"
+            )
+        self.grid_size = float(grid_size)
+        self.top_fraction = float(top_fraction)
+
+    # -- public API ---------------------------------------------------
+
+    def evaluate(self, chip: Rect, nets: Sequence[TwoPinNet]) -> CongestionMap:
+        """Accumulate every net's crossing probabilities over the grid."""
+        grid = self.evaluate_array(chip, nets)
+        cells = self._to_cells(grid, chip)
+        return CongestionMap(chip, cells)
+
+    def evaluate_array(self, chip: Rect, nets: Sequence[TwoPinNet]) -> np.ndarray:
+        """The raw ``f(x, y)`` mass array, shape ``(columns, rows)``.
+
+        The fast path for fine judging grids (a 10 um pitch on a large
+        chip has ~10^5-10^6 cells; building :class:`CongestionCell`
+        objects for them would dwarf the numeric work).
+        """
+        n_cols, n_rows = self.grid_shape(chip)
+        grid = np.zeros((n_cols, n_rows))
+        for net in nets:
+            self._add_net(grid, chip, net)
+        return grid
+
+    def score(self, congestion_map: CongestionMap) -> float:
+        """Mean mass of the top ``top_fraction`` grids (Section 3)."""
+        return congestion_map.top_mass_score(self.top_fraction)
+
+    def score_array(self, grid: np.ndarray) -> float:
+        """:meth:`score` computed directly on a mass array."""
+        flat = np.sort(grid.ravel())[::-1]
+        k = max(1, int(round(self.top_fraction * len(flat))))
+        return float(flat[:k].mean())
+
+    def estimate_fast(self, chip: Rect, nets: Sequence[TwoPinNet]) -> float:
+        """Array-only ``score(evaluate(...))`` without cell objects."""
+        return self.score_array(self.evaluate_array(chip, nets))
+
+    def grid_shape(self, chip: Rect) -> Tuple[int, int]:
+        """(columns, rows) covering the chip; boundary cells may be
+        clipped when the pitch does not divide the chip edge."""
+        n_cols = max(1, math.ceil(chip.width / self.grid_size - 1e-9))
+        n_rows = max(1, math.ceil(chip.height / self.grid_size - 1e-9))
+        return n_cols, n_rows
+
+    def cell_index(self, chip: Rect, x: float, y: float) -> Tuple[int, int]:
+        """Grid cell containing a chip coordinate (half-open cells; the
+        top/right chip edge folds into the last cell)."""
+        n_cols, n_rows = self.grid_shape(chip)
+        ix = int((x - chip.x_lo) / self.grid_size)
+        iy = int((y - chip.y_lo) / self.grid_size)
+        return min(max(ix, 0), n_cols - 1), min(max(iy, 0), n_rows - 1)
+
+    # -- internals -----------------------------------------------------
+
+    def _add_net(self, grid: np.ndarray, chip: Rect, net: TwoPinNet) -> None:
+        n_cols, n_rows = grid.shape
+        ix1, iy1 = self._index(chip, net.p1.x, net.p1.y, n_cols, n_rows)
+        ix2, iy2 = self._index(chip, net.p2.x, net.p2.y, n_cols, n_rows)
+        x_lo, x_hi = min(ix1, ix2), max(ix1, ix2)
+        y_lo, y_hi = min(iy1, iy2), max(iy1, iy2)
+        g1 = x_hi - x_lo + 1
+        g2 = y_hi - y_lo + 1
+        if g1 == 1 or g2 == 1:
+            # Degenerate range: every shortest route crosses every
+            # covered grid, probability 1 (Section 2).
+            grid[x_lo : x_hi + 1, y_lo : y_hi + 1] += net.weight
+            return
+        if net.net_type is NetType.TYPE_I:
+            table = _probability_block(g1, g2, type_two=False)
+        else:
+            table = _probability_block(g1, g2, type_two=True)
+        grid[x_lo : x_hi + 1, y_lo : y_hi + 1] += net.weight * table
+
+    def _index(
+        self, chip: Rect, x: float, y: float, n_cols: int, n_rows: int
+    ) -> Tuple[int, int]:
+        ix = int((x - chip.x_lo) / self.grid_size)
+        iy = int((y - chip.y_lo) / self.grid_size)
+        return min(max(ix, 0), n_cols - 1), min(max(iy, 0), n_rows - 1)
+
+    def _to_cells(self, grid: np.ndarray, chip: Rect) -> List[CongestionCell]:
+        n_cols, n_rows = grid.shape
+        cells: List[CongestionCell] = []
+        for ix in range(n_cols):
+            cx_lo = chip.x_lo + ix * self.grid_size
+            cx_hi = min(cx_lo + self.grid_size, chip.x_hi)
+            for iy in range(n_rows):
+                cy_lo = chip.y_lo + iy * self.grid_size
+                cy_hi = min(cy_lo + self.grid_size, chip.y_hi)
+                cells.append(
+                    CongestionCell(
+                        Rect(cx_lo, cy_lo, cx_hi, cy_hi),
+                        float(grid[ix, iy]),
+                    )
+                )
+        return cells
+
+
+def _probability_block(g1: int, g2: int, type_two: bool) -> np.ndarray:
+    """Vectorised Formula-2 table, shape ``(g1, g2)``.
+
+    Type II is the vertical mirror of type I (flip y), which the closed
+    forms confirm: substituting y -> g2-1-y maps one into the other.
+    """
+    r = g1 + g2 - 2
+    lg = _log_factorials(r)
+    x = np.arange(g1)[:, None]
+    y = np.arange(g2)[None, :]
+    s = x + y
+    log_ta = lg[s] - lg[x] - lg[y]
+    log_tb = lg[r - s] - lg[g1 - 1 - x] - lg[g2 - 1 - y]
+    log_total = lg[r] - lg[g1 - 1] - lg[g2 - 1]
+    table = np.exp(log_ta + log_tb - log_total)
+    if type_two:
+        table = table[:, ::-1]
+    return table
+
+
+_LOG_FACTORIAL_CACHE = np.zeros(1)
+
+
+def _log_factorials(n: int) -> np.ndarray:
+    """``[log(0!), ..., log(n!)]`` with a grow-only module cache."""
+    global _LOG_FACTORIAL_CACHE
+    if len(_LOG_FACTORIAL_CACHE) <= n:
+        grown = np.zeros(n + 1)
+        grown[1:] = np.cumsum(np.log(np.arange(1, n + 1)))
+        _LOG_FACTORIAL_CACHE = grown
+    return _LOG_FACTORIAL_CACHE[: n + 1]

@@ -1,0 +1,262 @@
+"""The Irregular-Grid congestion model (Algorithm, Section 4.6).
+
+Given a chip and its placed 2-pin nets, the model:
+
+1. collects the nets' routing-range boundaries as cut lines and merges
+   lines closer than twice the unit-grid pitch (steps 1-2, in
+   :mod:`repro.congestion.irgrid`);
+2. for every net, assigns probability 1 to the IR-grids covering its
+   pins (step 3.1) and computes every other covered IR-grid's crossing
+   probability with the Theorem-1 approximation (step 3.2), falling
+   back to the exact Formula 3 where the approximation's domain guards
+   fire (Section 4.5) or the range is too thin for the normal
+   approximation (g1 or g2 < 3);
+3. accumulates the per-net probabilities into each IR-grid's congestion
+   record (step 3.3) and derives per-area-unit densities (step 4);
+4. scores the floorplan as the area-weighted average density of the top
+   10 % most congested area units (step 5).
+
+The per-net math runs through the numpy kernels in
+:mod:`repro.congestion.vectorized`; the scalar reference formulas in
+:mod:`repro.congestion.exact_ir` / :mod:`repro.congestion.approx` remain
+the ground truth the kernels are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
+from repro.congestion.batched import batched_approx_mass
+from repro.congestion.exact_ir import exact_ir_probability
+from repro.congestion.irgrid import IRGrid, build_irgrid
+from repro.congestion.vectorized import approx_ir_matrix, exact_ir_matrix
+from repro.geometry import Rect
+from repro.netlist import NetType, TwoPinNet
+
+__all__ = ["IrregularGridModel"]
+
+_METHODS = ("approx", "exact")
+
+
+class IrregularGridModel(CongestionModel):
+    """The paper's congestion model.
+
+    Parameters
+    ----------
+    grid_size:
+        Unit-grid pitch in micrometres (paper: 30x30; 60x60 for apte).
+        Sets the route-model resolution and the cut-line merge
+        threshold.
+    merge_factor:
+        Cut lines closer than ``merge_factor * grid_size`` are merged
+        (Algorithm step 2; paper value 2.0).
+    method:
+        ``"approx"`` (Theorem 1 + exact fallback; the paper's model) or
+        ``"exact"`` (Formula 3 everywhere via prefix sums).
+    panels:
+        Simpson panels per integral for the approximation.
+    paper_bounds:
+        Integrate over the paper's literal ``[x1, x2]`` bounds instead
+        of the midpoint-corrected ``[x1-1/2, x2+1/2]``.
+    top_fraction:
+        Chip-area fraction whose densest cells form the score.
+    """
+
+    def __init__(
+        self,
+        grid_size: float,
+        merge_factor: float = 2.0,
+        method: str = "approx",
+        panels: int = 8,
+        paper_bounds: bool = False,
+        top_fraction: float = 0.1,
+    ):
+        if grid_size <= 0:
+            raise ValueError(f"grid_size must be positive, got {grid_size}")
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+        self.grid_size = float(grid_size)
+        self.merge_factor = float(merge_factor)
+        self.method = method
+        self.panels = int(panels)
+        self.paper_bounds = bool(paper_bounds)
+        self.top_fraction = float(top_fraction)
+
+    # -- public API ---------------------------------------------------
+
+    def evaluate(self, chip: Rect, nets: Sequence[TwoPinNet]) -> CongestionMap:
+        """Build the IR congestion map of ``nets`` over ``chip``."""
+        congestion_map, _ = self.evaluate_with_grid(chip, nets)
+        return congestion_map
+
+    def evaluate_with_grid(
+        self, chip: Rect, nets: Sequence[TwoPinNet]
+    ) -> Tuple[CongestionMap, IRGrid]:
+        """Like :meth:`evaluate`, also returning the IR-grid (Experiment
+        3 reports its cell count)."""
+        irgrid = build_irgrid(
+            chip, nets, self.grid_size, self.merge_factor
+        )
+        mass = self._mass_array(irgrid, nets)
+        cells = [
+            CongestionCell(rect, float(mass[i, j]))
+            for i, j, rect in irgrid.cells()
+        ]
+        return CongestionMap(chip, cells), irgrid
+
+    def score(self, congestion_map: CongestionMap) -> float:
+        """Step 5: area-weighted mean density of the densest
+        ``top_fraction`` of the chip."""
+        return congestion_map.top_density_score(self.top_fraction)
+
+    def estimate(self, chip: Rect, nets: Sequence[TwoPinNet]) -> float:
+        """Scalar congestion cost without materializing cell objects.
+
+        The annealing hot path: computes the mass array and scores it
+        directly from the cut-line geometry (identical result to
+        ``score(evaluate(...))``, covered by tests).
+        """
+        irgrid = build_irgrid(
+            chip, nets, self.grid_size, self.merge_factor
+        )
+        mass = self._mass_array(irgrid, nets)
+        widths = np.diff(np.asarray(irgrid.x_lines.lines))
+        heights = np.diff(np.asarray(irgrid.y_lines.lines))
+        areas = np.outer(widths, heights).ravel()
+        flat = mass.ravel()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            density = np.where(areas > 0, flat / areas, 0.0)
+        order = np.argsort(density)[::-1]
+        total_area = areas.sum()
+        if total_area <= 0:
+            return 0.0
+        target = self.top_fraction * total_area
+        covered = 0.0
+        mass_sum = 0.0
+        for i in order:
+            take = min(areas[i], target - covered)
+            mass_sum += density[i] * take
+            covered += take
+            if covered >= target:
+                break
+        return float(mass_sum / covered) if covered > 0 else 0.0
+
+    # -- internals -----------------------------------------------------
+
+    def _mass_array(self, irgrid: IRGrid, nets: Sequence[TwoPinNet]) -> np.ndarray:
+        """Congestion mass per IR-cell, shape ``(n_columns, n_rows)``."""
+        if self.method == "approx":
+            return batched_approx_mass(
+                irgrid,
+                nets,
+                self.grid_size,
+                panels=self.panels,
+                paper_bounds=self.paper_bounds,
+            )
+        mass = np.zeros((irgrid.n_columns, irgrid.n_rows))
+        for net in nets:
+            self._add_net(irgrid, net, mass)
+        return mass
+
+    def _add_net(
+        self,
+        irgrid: IRGrid,
+        net: TwoPinNet,
+        mass: np.ndarray,
+    ) -> None:
+        snapped = irgrid.snap_range(net.routing_range)
+        col_lo, col_hi, row_lo, row_hi = irgrid.cell_span(snapped)
+        g1 = max(1, round(snapped.width / self.grid_size))
+        g2 = max(1, round(snapped.height / self.grid_size))
+        net_type = net.net_type
+        if (
+            net_type is NetType.DEGENERATE
+            or snapped.is_degenerate
+            or g1 == 1
+            or g2 == 1
+        ):
+            # Point/segment ranges: every shortest route crosses every
+            # covered IR-grid (Section 2), probability 1.
+            mass[col_lo : col_hi + 1, row_lo : row_hi + 1] += net.weight
+            return
+
+        col_spans = self._unit_spans(
+            irgrid.x_lines, col_lo, col_hi, snapped.x_lo, snapped.width, g1
+        )
+        row_spans = self._unit_spans(
+            irgrid.y_lines, row_lo, row_hi, snapped.y_lo, snapped.height, g2
+        )
+
+        if self.method == "exact" or g1 < 3 or g2 < 3:
+            probs = exact_ir_matrix(g1, g2, net_type, col_spans, row_spans)
+        else:
+            probs, invalid = approx_ir_matrix(
+                g1,
+                g2,
+                net_type,
+                col_spans,
+                row_spans,
+                panels=self.panels,
+                paper_bounds=self.paper_bounds,
+            )
+            if invalid.any():
+                # Section 4.5: the approximation fails only next to the
+                # pins; the exact boundary sum there is short and valid.
+                for j, i in zip(*np.nonzero(invalid)):
+                    x1, x2 = col_spans[i]
+                    y1, y2 = row_spans[j]
+                    probs[j, i] = exact_ir_probability(
+                        g1, g2, net_type, x1, x2, y1, y2
+                    )
+
+        # Step 3.1: IR-grids covering a pin are certain.
+        if net_type is NetType.TYPE_I:
+            probs[0, 0] = 1.0
+            probs[-1, -1] = 1.0
+        else:
+            probs[-1, 0] = 1.0
+            probs[0, -1] = 1.0
+
+        mass[col_lo : col_hi + 1, row_lo : row_hi + 1] += net.weight * probs.T
+
+    def _unit_spans(
+        self,
+        lines,
+        cell_lo: int,
+        cell_hi: int,
+        origin: float,
+        extent: float,
+        count: int,
+    ) -> List[Tuple[int, int]]:
+        """Unit-grid index spans of the covered IR-cells along one axis."""
+        unit = extent / count
+        spans: List[Tuple[int, int]] = []
+        for c in range(cell_lo, cell_hi + 1):
+            lo, hi = lines.cell_bounds(c)
+            i1 = _unit_index(lo, origin, unit, count)
+            i2 = max(i1, _unit_index(hi, origin, unit, count, upper=True))
+            spans.append((i1, i2))
+        return spans
+
+
+def _unit_index(
+    coord: float,
+    origin: float,
+    unit: float,
+    count: int,
+    upper: bool = False,
+) -> int:
+    """Map an IR-cell boundary coordinate to a unit-grid index.
+
+    Lower boundaries map to the unit column they start, upper
+    boundaries to the last unit column they cover (exclusive boundary
+    minus one).  Clamped into ``[0, count-1]``.
+    """
+    t = (coord - origin) / unit
+    idx = round(t) - 1 if upper else round(t)
+    return min(max(idx, 0), count - 1)

@@ -1,0 +1,137 @@
+"""Exact monotone-route counting (Definition 1, Formulas 1 and 2).
+
+A 2-pin net whose routing range spans ``g1 x g2`` unit grids routes
+along monotone shortest Manhattan paths.  With the range's lower-left
+grid at (0, 0):
+
+* **type I** nets have pins in grids (0, 0) and (g1-1, g2-1); routes
+  step right/up;
+* **type II** nets have pins in grids (0, g2-1) and (g1-1, 0); routes
+  step right/down.
+
+``Ta(x, y)`` counts routes from the first pin's grid to (x, y) and
+``Tb(x, y)`` counts routes from (x, y) to the second pin's grid; the
+probability that a route crosses (x, y) is ``Ta*Tb / total``
+(Formula 2).  Everything here is evaluated through log-space binomials
+so ranges of hundreds of grids stay in float range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.mathutils import binomial, log_binomial
+from repro.netlist import NetType
+
+__all__ = [
+    "total_routes",
+    "log_total_routes",
+    "route_count_from_p1",
+    "route_count_to_p2",
+    "crossing_probability",
+    "probability_table",
+]
+
+
+def _check_dims(g1: int, g2: int) -> None:
+    if g1 < 1 or g2 < 1:
+        raise ValueError(f"grid dimensions must be >= 1, got {g1} x {g2}")
+
+
+def _check_type(net_type: NetType) -> None:
+    if net_type is NetType.DEGENERATE:
+        raise ValueError(
+            "route counting applies to type I/II nets; degenerate nets "
+            "cross every covered grid with probability 1"
+        )
+
+
+def total_routes(g1: int, g2: int) -> int:
+    """Number of monotone routes across a ``g1 x g2`` routing range:
+    ``C(g1 + g2 - 2, g2 - 1)`` (same for both net types)."""
+    _check_dims(g1, g2)
+    return binomial(g1 + g2 - 2, g2 - 1)
+
+
+def log_total_routes(g1: int, g2: int) -> float:
+    """Natural log of :func:`total_routes` (stays finite at any size)."""
+    _check_dims(g1, g2)
+    return log_binomial(g1 + g2 - 2, g2 - 1)
+
+
+def route_count_from_p1(x: int, y: int, g1: int, g2: int, net_type: NetType) -> int:
+    """``Ta_i(x, y)`` of Formula 1 (0 outside the routing range)."""
+    _check_dims(g1, g2)
+    _check_type(net_type)
+    if not (0 <= x < g1 and 0 <= y < g2):
+        return 0
+    if net_type is NetType.TYPE_I:
+        return binomial(x + y, y)
+    # type II: routes start at (0, g2-1) and step right/down.
+    return binomial(x + (g2 - 1 - y), x)
+
+
+def route_count_to_p2(x: int, y: int, g1: int, g2: int, net_type: NetType) -> int:
+    """``Tb_i(x, y)`` of Formula 1 (0 outside the routing range)."""
+    _check_dims(g1, g2)
+    _check_type(net_type)
+    if not (0 <= x < g1 and 0 <= y < g2):
+        return 0
+    if net_type is NetType.TYPE_I:
+        return binomial((g1 - 1 - x) + (g2 - 1 - y), g2 - 1 - y)
+    # type II: routes end at (g1-1, 0).
+    return binomial((g1 - 1 - x) + y, g1 - 1 - x)
+
+
+def _log_ta(x: int, y: int, g1: int, g2: int, net_type: NetType) -> float:
+    if net_type is NetType.TYPE_I:
+        return log_binomial(x + y, y)
+    return log_binomial(x + (g2 - 1 - y), x)
+
+
+def _log_tb(x: int, y: int, g1: int, g2: int, net_type: NetType) -> float:
+    if net_type is NetType.TYPE_I:
+        return log_binomial((g1 - 1 - x) + (g2 - 1 - y), g2 - 1 - y)
+    return log_binomial((g1 - 1 - x) + y, g1 - 1 - x)
+
+
+def crossing_probability(
+    x: int, y: int, g1: int, g2: int, net_type: NetType
+) -> float:
+    """``P_i(x, y)`` of Formula 2: probability that a uniformly random
+    monotone route crosses grid (x, y).  Zero outside the range."""
+    _check_dims(g1, g2)
+    _check_type(net_type)
+    if not (0 <= x < g1 and 0 <= y < g2):
+        return 0.0
+    log_p = (
+        _log_ta(x, y, g1, g2, net_type)
+        + _log_tb(x, y, g1, g2, net_type)
+        - log_total_routes(g1, g2)
+    )
+    return math.exp(log_p)
+
+
+def probability_table(g1: int, g2: int, net_type: NetType) -> List[List[float]]:
+    """The full ``g1 x g2`` table of crossing probabilities.
+
+    Indexed ``table[x][y]``.  Built row-by-row from log binomials; used
+    by the fixed-grid model and by tests as ground truth for the
+    approximation.  Cost O(g1 * g2).
+    """
+    _check_dims(g1, g2)
+    _check_type(net_type)
+    log_total = log_total_routes(g1, g2)
+    table: List[List[float]] = []
+    for x in range(g1):
+        column = []
+        for y in range(g2):
+            log_p = (
+                _log_ta(x, y, g1, g2, net_type)
+                + _log_tb(x, y, g1, g2, net_type)
+                - log_total
+            )
+            column.append(math.exp(log_p))
+        table.append(column)
+    return table

@@ -1,0 +1,144 @@
+"""RUDY: Rectangular Uniform wire DensitY (extension baseline).
+
+RUDY [Spindler & Johannes, DATE 2007] is the standard lightweight
+congestion estimate in modern placers: each net spreads a wire demand
+of ``length / area = (w + h) / (w * h)`` *uniformly* over its bounding
+box.  It ignores the route distribution entirely, making it the natural
+"how much does the probabilistic machinery actually buy?" baseline for
+the paper's models: same inputs, same map shape, none of the
+route-counting.
+
+Implemented on the fixed evaluation grid with exact partial-cell
+overlap so the deposited demand is independent of the pitch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
+from repro.geometry import Rect
+from repro.netlist import TwoPinNet
+
+__all__ = ["RudyModel"]
+
+
+class RudyModel(CongestionModel):
+    """Uniform wire-density congestion on a fixed grid.
+
+    Parameters
+    ----------
+    grid_size:
+        Evaluation pitch in micrometres.
+    top_fraction:
+        Fraction of most-demanding cells averaged into the score.
+    min_extent:
+        Degenerate bounding boxes (aligned pins) are fattened to this
+        width so their demand stays finite; defaults to one grid.
+    """
+
+    def __init__(
+        self,
+        grid_size: float,
+        top_fraction: float = 0.1,
+        min_extent: "float | None" = None,
+    ):
+        if grid_size <= 0:
+            raise ValueError(f"grid_size must be positive, got {grid_size}")
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+        self.grid_size = float(grid_size)
+        self.top_fraction = float(top_fraction)
+        self.min_extent = float(
+            grid_size if min_extent is None else min_extent
+        )
+        if self.min_extent <= 0:
+            raise ValueError("min_extent must be positive")
+
+    # -- public API ---------------------------------------------------
+
+    def evaluate(self, chip: Rect, nets: Sequence[TwoPinNet]) -> CongestionMap:
+        """RUDY demand map of ``nets`` over ``chip``."""
+        grid = self.evaluate_array(chip, nets)
+        n_cols, n_rows = grid.shape
+        cells: List[CongestionCell] = []
+        for ix in range(n_cols):
+            x_lo = chip.x_lo + ix * self.grid_size
+            x_hi = min(x_lo + self.grid_size, chip.x_hi)
+            for iy in range(n_rows):
+                y_lo = chip.y_lo + iy * self.grid_size
+                y_hi = min(y_lo + self.grid_size, chip.y_hi)
+                cells.append(
+                    CongestionCell(Rect(x_lo, y_lo, x_hi, y_hi), float(grid[ix, iy]))
+                )
+        return CongestionMap(chip, cells)
+
+    def evaluate_array(self, chip: Rect, nets: Sequence[TwoPinNet]) -> np.ndarray:
+        """Raw RUDY demand array, shape ``(columns, rows)``.
+
+        Each entry is the summed demand density x overlap area of every
+        net's (fattened) bounding box with that cell.
+        """
+        n_cols = max(1, int(np.ceil(chip.width / self.grid_size - 1e-9)))
+        n_rows = max(1, int(np.ceil(chip.height / self.grid_size - 1e-9)))
+        grid = np.zeros((n_cols, n_rows))
+        xs = chip.x_lo + self.grid_size * np.arange(n_cols + 1)
+        ys = chip.y_lo + self.grid_size * np.arange(n_rows + 1)
+        xs[-1] = chip.x_hi
+        ys[-1] = chip.y_hi
+        for net in nets:
+            bbox = self._fattened_bbox(net, chip)
+            w, h = bbox.width, bbox.height
+            density = net.weight * (w + h) / (w * h)
+            # Per-axis overlap lengths of the bbox with each cell strip.
+            ox = np.minimum(xs[1:], bbox.x_hi) - np.maximum(xs[:-1], bbox.x_lo)
+            oy = np.minimum(ys[1:], bbox.y_hi) - np.maximum(ys[:-1], bbox.y_lo)
+            np.clip(ox, 0.0, None, out=ox)
+            np.clip(oy, 0.0, None, out=oy)
+            grid += density * np.outer(ox, oy)
+        return grid
+
+    def score(self, congestion_map: CongestionMap) -> float:
+        """Mean demand of the top ``top_fraction`` cells."""
+        return congestion_map.top_mass_score(self.top_fraction)
+
+    def score_array(self, grid: np.ndarray) -> float:
+        """:meth:`score` computed directly on a demand array."""
+        flat = np.sort(grid.ravel())[::-1]
+        k = max(1, int(round(self.top_fraction * len(flat))))
+        return float(flat[:k].mean())
+
+    def estimate_fast(self, chip: Rect, nets: Sequence[TwoPinNet]) -> float:
+        """Array-only ``score(evaluate(...))`` without cell objects."""
+        return self.score_array(self.evaluate_array(chip, nets))
+
+    # -- internals -----------------------------------------------------
+
+    def _fattened_bbox(self, net: TwoPinNet, chip: Rect) -> Rect:
+        rng = net.routing_range
+        x_lo, x_hi = rng.x_lo, rng.x_hi
+        y_lo, y_hi = rng.y_lo, rng.y_hi
+        if x_hi - x_lo < self.min_extent:
+            mid = 0.5 * (x_lo + x_hi)
+            x_lo = mid - 0.5 * self.min_extent
+            x_hi = mid + 0.5 * self.min_extent
+        if y_hi - y_lo < self.min_extent:
+            mid = 0.5 * (y_lo + y_hi)
+            y_lo = mid - 0.5 * self.min_extent
+            y_hi = mid + 0.5 * self.min_extent
+        # Keep the fattened box on-chip so demand is not lost.
+        if x_lo < chip.x_lo:
+            x_hi += chip.x_lo - x_lo
+            x_lo = chip.x_lo
+        if x_hi > chip.x_hi:
+            x_lo = max(chip.x_lo, x_lo - (x_hi - chip.x_hi))
+            x_hi = chip.x_hi
+        if y_lo < chip.y_lo:
+            y_hi += chip.y_lo - y_lo
+            y_lo = chip.y_lo
+        if y_hi > chip.y_hi:
+            y_lo = max(chip.y_lo, y_lo - (y_hi - chip.y_hi))
+            y_hi = chip.y_hi
+        return Rect(x_lo, y_lo, x_hi, y_hi)

@@ -1,0 +1,238 @@
+"""Vectorized per-net IR-grid probability evaluation.
+
+The scalar formulas in :mod:`repro.congestion.exact_ir` and
+:mod:`repro.congestion.approx` are the readable reference; annealing
+loops evaluate thousands of floorplans, so the model's hot path computes
+a whole net's covered IR-cells as numpy matrices:
+
+* :func:`exact_ir_matrix` -- Formula 3 via per-row/per-column *prefix
+  sums* of the boundary-transition masses: O(rows * g1 + cols * g2)
+  setup, O(1) per cell, bit-identical (up to float associativity) to the
+  scalar formula;
+* :func:`approx_ir_matrix` -- Theorem 1 with all Simpson nodes of all
+  covered cells evaluated in one broadcast; cells whose nodes leave the
+  approximation's domain are flagged for the caller's exact fallback.
+
+Both take the net's covered IR-cells as ``col_spans``/``row_spans``:
+inclusive unit-grid index pairs per covered IR-column and IR-row.  Type
+II nets are handled by the vertical mirror (y -> g2-1-y), under which
+they become type I with flipped row spans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist import NetType
+
+__all__ = ["exact_ir_matrix", "approx_ir_matrix"]
+
+_NEG_INF = float("-inf")
+
+_log_factorial_cache = np.zeros(1)
+
+
+def _log_factorials(n: int) -> np.ndarray:
+    global _log_factorial_cache
+    if len(_log_factorial_cache) <= n:
+        grown = np.zeros(n + 1)
+        grown[1:] = np.cumsum(np.log(np.arange(1.0, n + 1)))
+        _log_factorial_cache = grown
+    return _log_factorial_cache[: n + 1]
+
+
+def _lg(table: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """``log(idx!)`` with out-of-range indices mapped to -inf (zero
+    route count)."""
+    clipped = np.clip(idx, 0, len(table) - 1)
+    out = table[clipped]
+    return np.where((idx >= 0) & (idx < len(table)), out, _NEG_INF)
+
+
+def _mirror_rows(
+    row_spans: Sequence[Tuple[int, int]], g2: int
+) -> List[Tuple[int, int]]:
+    return [(g2 - 1 - y2, g2 - 1 - y1) for (y1, y2) in row_spans]
+
+
+def exact_ir_matrix(
+    g1: int,
+    g2: int,
+    net_type: NetType,
+    col_spans: Sequence[Tuple[int, int]],
+    row_spans: Sequence[Tuple[int, int]],
+) -> np.ndarray:
+    """Formula 3 for every covered cell at once, shape ``(rows, cols)``.
+
+    Entry ``[j, i]`` is the crossing probability of the IR-cell in
+    covered row ``j``, covered column ``i``.  Cells containing a pin
+    come out as the probability of *reaching* the pin's grid; the model
+    overrides them with the pin rule's exact 1.0 anyway.
+    """
+    if net_type is NetType.DEGENERATE:
+        raise ValueError("degenerate nets cross covered cells with probability 1")
+    if net_type is NetType.TYPE_II:
+        row_spans = _mirror_rows(row_spans, g2)
+        net_type = NetType.TYPE_I
+    r_total = g1 + g2 - 2
+    lg = _log_factorials(r_total)
+    log_total = lg[r_total] - lg[g1 - 1] - lg[g2 - 1]
+
+    x = np.arange(g1)
+    y = np.arange(g2)
+    y2s = np.asarray([span[1] for span in row_spans])[:, None]  # (rows, 1)
+    x2s = np.asarray([span[1] for span in col_spans])[:, None]  # (cols, 1)
+
+    # -inf terms mark zero route counts; (-inf) - (-inf) produces NaN
+    # with a warning, and both are mapped to mass 0 below.
+    with np.errstate(invalid="ignore"):
+        # Top-boundary transition mass
+        # t[j, x] = Ta(x, y2_j) Tb(x, y2_j+1) / total.
+        log_top = (
+            _lg(lg, x[None, :] + y2s)
+            - _lg(lg, x)[None, :]
+            - _lg(lg, y2s)
+            + _lg(lg, r_total - 1 - x[None, :] - y2s)
+            - _lg(lg, g1 - 1 - x)[None, :]
+            - _lg(lg, g2 - 2 - y2s)
+            - log_total
+        )
+        top = np.where(np.isfinite(log_top), np.exp(log_top), 0.0)
+        # Right-boundary transition mass
+        # r[i, y] = Ta(x2_i, y) Tb(x2_i+1, y) / total.
+        log_right = (
+            _lg(lg, x2s + y[None, :])
+            - _lg(lg, x2s)
+            - _lg(lg, y)[None, :]
+            + _lg(lg, r_total - 1 - x2s - y[None, :])
+            - _lg(lg, g1 - 2 - x2s)
+            - _lg(lg, g2 - 1 - y)[None, :]
+            - log_total
+        )
+        right = np.where(np.isfinite(log_right), np.exp(log_right), 0.0)
+    top_prefix = np.concatenate(
+        [np.zeros((len(row_spans), 1)), np.cumsum(top, axis=1)], axis=1
+    )
+    right_prefix = np.concatenate(
+        [np.zeros((len(col_spans), 1)), np.cumsum(right, axis=1)], axis=1
+    )
+
+    x1s = np.asarray([span[0] for span in col_spans])
+    x2s_flat = np.asarray([span[1] for span in col_spans])
+    y1s = np.asarray([span[0] for span in row_spans])
+    y2s_flat = np.asarray([span[1] for span in row_spans])
+
+    # result[j, i] = sum_top(j over cols i) + sum_right(i over rows j)
+    top_part = top_prefix[:, x2s_flat + 1] - top_prefix[:, x1s]  # (rows, cols)
+    right_part = (right_prefix[:, y2s_flat + 1] - right_prefix[:, y1s]).T
+    result = top_part + right_part
+
+    # Far-corner cells (covering the destination pin's grid): add the
+    # mass of routes terminating there, mirroring the scalar formula.
+    corner = (y2s_flat[:, None] == g2 - 1) & (x2s_flat[None, :] == g1 - 1)
+    if corner.any():
+        result = result + np.where(corner, 1.0, 0.0)
+    return np.clip(result, 0.0, 1.0)
+
+
+def approx_ir_matrix(
+    g1: int,
+    g2: int,
+    net_type: NetType,
+    col_spans: Sequence[Tuple[int, int]],
+    row_spans: Sequence[Tuple[int, int]],
+    panels: int = 8,
+    paper_bounds: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Theorem 1 for every covered cell at once.
+
+    Returns ``(P, invalid)`` where ``P[j, i]`` is the approximate
+    crossing probability and ``invalid[j, i]`` marks cells whose Simpson
+    nodes left the approximation's domain (Section 4.5's error grids and
+    degenerate variances); the caller re-evaluates those exactly.
+    """
+    if net_type is NetType.DEGENERATE:
+        raise ValueError("degenerate nets cross covered cells with probability 1")
+    if panels <= 0 or panels % 2:
+        raise ValueError(f"panels must be a positive even integer, got {panels}")
+    if net_type is NetType.TYPE_II:
+        row_spans = _mirror_rows(row_spans, g2)
+        net_type = NetType.TYPE_I
+
+    n_rows = len(row_spans)
+    n_cols = len(col_spans)
+    big_r = g1 + g2 - 3
+    half = 0.0 if paper_bounds else 0.5
+    weights = _simpson_weights(panels)  # (panels+1,)
+
+    x1s = np.asarray([s[0] for s in col_spans], dtype=float)
+    x2s = np.asarray([s[1] for s in col_spans], dtype=float)
+    y1s = np.asarray([s[0] for s in row_spans], dtype=float)
+    y2s = np.asarray([s[1] for s in row_spans], dtype=float)
+
+    total = np.zeros((n_rows, n_cols))
+    invalid = np.zeros((n_rows, n_cols), dtype=bool)
+
+    # ---- top-boundary integrals (skip rows flush with the far edge) --
+    top_active = y2s + 1 < g2  # (rows,)
+    if top_active.any() and g2 >= 3 and big_r >= 2:
+        a = x1s - half
+        b = x2s + half
+        h = (b - a) / panels
+        nodes = a[:, None] + h[:, None] * np.arange(panels + 1)  # (cols, k)
+        p = (nodes[None, :, :] + y2s[:, None, None]) / big_r  # (rows, cols, k)
+        ok = (p > 0.0) & (p < 1.0)
+        var = ((g2 - 2) / (big_r - 1)) * (g1 - 1) * p * (1.0 - p)
+        safe_var = np.where(ok & (var > 0), var, 1.0)
+        mu = (g1 - 1) * p
+        z = (nodes[None, :, :] - mu) / np.sqrt(safe_var)
+        dens = np.exp(-0.5 * z**2) / np.sqrt(2.0 * np.pi * safe_var)
+        dens = np.where(ok & (var > 0), dens, 0.0)
+        factor1 = (g2 - 1) / (g1 + g2 - 2)
+        integral = factor1 * (dens * weights).sum(axis=2) * (h / 3.0)[None, :]
+        bad = ~(ok & (var > 0))
+        row_mask = top_active[:, None]
+        total += np.where(row_mask, integral, 0.0)
+        invalid |= row_mask & bad.any(axis=2)
+    elif top_active.any():
+        # Range too thin for the normal approximation anywhere.
+        invalid |= top_active[:, None]
+
+    # ---- right-boundary integrals (skip cols flush with the far edge) -
+    right_active = x2s + 1 < g1  # (cols,)
+    if right_active.any() and g1 >= 3 and big_r >= 2:
+        a = y1s - half
+        b = y2s + half
+        h = (b - a) / panels
+        nodes = a[:, None] + h[:, None] * np.arange(panels + 1)  # (rows, k)
+        p = (nodes[:, None, :] + x2s[None, :, None]) / big_r  # (rows, cols, k)
+        ok = (p > 0.0) & (p < 1.0)
+        var = ((g1 - 2) / (big_r - 1)) * (g2 - 1) * p * (1.0 - p)
+        safe_var = np.where(ok & (var > 0), var, 1.0)
+        mu = (g2 - 1) * p
+        z = (nodes[:, None, :] - mu) / np.sqrt(safe_var)
+        dens = np.exp(-0.5 * z**2) / np.sqrt(2.0 * np.pi * safe_var)
+        dens = np.where(ok & (var > 0), dens, 0.0)
+        factor2 = (g1 - 1) / (g1 + g2 - 2)
+        integral = factor2 * (dens * weights).sum(axis=2) * (h / 3.0)[:, None]
+        bad = ~(ok & (var > 0))
+        col_mask = right_active[None, :]
+        total += np.where(col_mask, integral, 0.0)
+        invalid |= col_mask & bad.any(axis=2)
+    elif right_active.any():
+        invalid |= right_active[None, :]
+
+    # Cells flush with both far edges cover the destination pin; the pin
+    # rule owns them, mark invalid so the caller never trusts 0.0 there.
+    far_corner = (y2s[:, None] + 1 >= g2) & (x2s[None, :] + 1 >= g1)
+    invalid |= far_corner
+    return np.clip(total, 0.0, 1.0), invalid
+
+
+def _simpson_weights(panels: int) -> np.ndarray:
+    w = np.ones(panels + 1)
+    w[1:-1:2] = 4.0
+    w[2:-1:2] = 2.0
+    return w

@@ -1,0 +1,34 @@
+"""Benchmark circuits and circuit file I/O.
+
+* :mod:`repro.data.mcnc` -- deterministic synthetic stand-ins for the
+  five MCNC building-block benchmarks the paper evaluates on (apte,
+  xerox, hp, ami33, ami49).  See DESIGN.md section 3 for the
+  substitution rationale.
+* :mod:`repro.data.yal` -- a minimal YAL-flavoured text format so
+  circuits can be saved, diffed and reloaded;
+* :mod:`repro.data.placement` -- a placement text format so annealed
+  floorplans can be saved and re-analyzed without re-annealing.
+"""
+
+from repro.data.mcnc import MCNC_CIRCUITS, load_mcnc, mcnc_stats
+from repro.data.placement import (
+    dumps_placement,
+    loads_placement,
+    read_placement,
+    write_placement,
+)
+from repro.data.yal import dumps_yal, loads_yal, read_yal, write_yal
+
+__all__ = [
+    "MCNC_CIRCUITS",
+    "load_mcnc",
+    "mcnc_stats",
+    "dumps_yal",
+    "loads_yal",
+    "read_yal",
+    "write_yal",
+    "dumps_placement",
+    "loads_placement",
+    "read_placement",
+    "write_placement",
+]

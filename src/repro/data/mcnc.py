@@ -1,0 +1,151 @@
+"""Synthetic stand-ins for the MCNC building-block benchmarks.
+
+The paper evaluates on the five classic MCNC block benchmarks.  The
+original YAL files are not redistributable here, so this module
+generates *deterministic* synthetic circuits matching the published
+aggregate statistics of each benchmark:
+
+=========  ========  ======  ===================
+circuit    modules   nets    total module area
+=========  ========  ======  ===================
+apte       9         97      46.56 mm^2
+xerox      10        203     19.35 mm^2
+hp         11        83       8.83 mm^2
+ami33      33        123      1.16 mm^2
+ami49      49        408     35.45 mm^2
+=========  ========  ======  ===================
+
+Module areas follow a log-normal-ish spread normalized to the published
+total; net connectivity is cluster-biased (real block netlists are
+strongly local).  Every circuit is a pure function of its name, so all
+experiments are reproducible bit-for-bit.
+
+Why this substitution preserves the paper's comparisons: the congestion
+models consume only module rectangles and net terminal sets.  Every
+experiment compares two *models* (or two *floorplanner objectives*) on
+the *same* circuit, so the who-wins conclusions depend on the workload's
+scale and locality statistics -- matched here -- not on the exact MCNC
+geometry.  See DESIGN.md section 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.netlist import Module, Net, Netlist
+
+__all__ = ["MCNC_CIRCUITS", "BenchmarkSpec", "load_mcnc", "mcnc_stats"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Published aggregate statistics of one MCNC benchmark."""
+
+    name: str
+    n_modules: int
+    n_nets: int
+    total_area_um2: float
+    # Size heterogeneity: ratio between the largest and smallest module
+    # areas.  apte/xerox/hp are few large heterogeneous blocks; ami33/49
+    # are many moderate macro cells.
+    area_ratio: float
+    max_aspect: float
+    n_clusters: int
+    seed: int
+
+
+MCNC_CIRCUITS: Dict[str, BenchmarkSpec] = {
+    "apte": BenchmarkSpec("apte", 9, 97, 46.5616e6, 8.0, 2.2, 3, 0xA97E),
+    "xerox": BenchmarkSpec("xerox", 10, 203, 19.3503e6, 10.0, 2.5, 3, 0x0E0C),
+    "hp": BenchmarkSpec("hp", 11, 83, 8.8306e6, 12.0, 2.5, 3, 0x5107),
+    "ami33": BenchmarkSpec("ami33", 33, 123, 1.1564e6, 15.0, 2.8, 5, 0x3333),
+    "ami49": BenchmarkSpec("ami49", 49, 408, 35.4450e6, 25.0, 2.8, 7, 0x4949),
+}
+
+
+def load_mcnc(name: str) -> Netlist:
+    """Build the synthetic MCNC-like circuit ``name``.
+
+    Accepted names: ``apte``, ``xerox``, ``hp``, ``ami33``, ``ami49``
+    (case-insensitive).
+    """
+    try:
+        spec = MCNC_CIRCUITS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown MCNC circuit {name!r}; choose from "
+            f"{sorted(MCNC_CIRCUITS)}"
+        )
+    return _build(spec)
+
+
+def mcnc_stats(name: str) -> BenchmarkSpec:
+    """The published statistics the synthetic circuit is matched to."""
+    return MCNC_CIRCUITS[name.lower()]
+
+
+def _build(spec: BenchmarkSpec) -> Netlist:
+    rng = random.Random(spec.seed)
+    modules = _modules(spec, rng)
+    nets = _nets(spec, [m.name for m in modules], rng)
+    return Netlist(spec.name, modules, nets)
+
+
+def _modules(spec: BenchmarkSpec, rng: random.Random) -> List[Module]:
+    # Draw raw areas log-uniformly over [1, area_ratio], then scale the
+    # batch so the total matches the published figure exactly (up to
+    # rounding of individual dimensions).
+    raw = [
+        spec.area_ratio ** rng.random() for _ in range(spec.n_modules)
+    ]
+    scale = spec.total_area_um2 / sum(raw)
+    modules = []
+    for i, r in enumerate(raw):
+        area = r * scale
+        aspect = rng.uniform(1.0, spec.max_aspect)
+        if rng.random() < 0.5:
+            aspect = 1.0 / aspect
+        width = (area / aspect) ** 0.5
+        height = area / width
+        modules.append(
+            Module(f"{spec.name}_m{i}", round(width, 2), round(height, 2))
+        )
+    return modules
+
+
+def _nets(
+    spec: BenchmarkSpec, names: List[str], rng: random.Random
+) -> List[Net]:
+    clusters: List[List[str]] = [[] for _ in range(spec.n_clusters)]
+    for i, nm in enumerate(names):
+        clusters[i % spec.n_clusters].append(nm)
+    nets = []
+    for j in range(spec.n_nets):
+        u = rng.random()
+        if u < 0.62:
+            degree = 2
+        elif u < 0.87:
+            degree = 3
+        else:
+            degree = rng.randint(4, 6)
+        degree = min(degree, len(names))
+        cluster = clusters[rng.randrange(spec.n_clusters)]
+        if rng.random() < 0.75 and len(cluster) >= degree:
+            terminals = rng.sample(cluster, degree)
+        else:
+            terminals = rng.sample(names, degree)
+        nets.append(Net(f"{spec.name}_n{j}", terminals))
+    return nets
+
+
+def chip_scale(name: str) -> Tuple[float, float]:
+    """Rough chip edge lengths (um) implied by the circuit's total area.
+
+    Handy for choosing judging-grid pitches: the paper's 10x10 um^2
+    judging grid on ami33 (~1 mm^2) means a ~110 x 110 judging lattice.
+    """
+    spec = mcnc_stats(name)
+    edge = spec.total_area_um2 ** 0.5
+    return edge, edge

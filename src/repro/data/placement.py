@@ -1,0 +1,137 @@
+"""Floorplan (placement) file I/O.
+
+A placement records where a floorplanner put every module -- the
+natural exchange artifact between a floorplanning run and later
+analysis (congestion estimation, routing validation, rendering).  The
+format is line-oriented and diffable, like the circuit format:
+
+.. code-block:: text
+
+    PLACEMENT ami33
+    CHIP 0 0 1224.5 968.2
+    MODULE m0 0 0 120.5 88.0
+    MODULE m1 120.5 0 60.0 60.0
+    END
+
+``MODULE name x y width height`` gives the placed lower-left corner and
+the *placed* (possibly rotated) dimensions.  Parsing is strict and
+reports line numbers, mirroring :mod:`repro.data.yal`.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.floorplan import Floorplan
+from repro.geometry import Rect
+
+__all__ = [
+    "PlacementError",
+    "dumps_placement",
+    "loads_placement",
+    "read_placement",
+    "write_placement",
+]
+
+
+class PlacementError(ValueError):
+    """Raised on malformed placement files, with the line number."""
+
+
+def dumps_placement(floorplan: Floorplan, name: str = "floorplan") -> str:
+    """Serialize a floorplan to the placement text format."""
+    out = io.StringIO()
+    out.write(f"PLACEMENT {name}\n")
+    chip = floorplan.chip
+    out.write(
+        f"CHIP {chip.x_lo!r} {chip.y_lo!r} {chip.x_hi!r} {chip.y_hi!r}\n"
+    )
+    for module_name, rect in floorplan.placements.items():
+        out.write(
+            f"MODULE {module_name} {rect.x_lo!r} {rect.y_lo!r} "
+            f"{rect.width!r} {rect.height!r}\n"
+        )
+    out.write("END\n")
+    return out.getvalue()
+
+
+def loads_placement(text: str) -> Floorplan:
+    """Parse the placement text format into a validated floorplan."""
+    name = ""
+    chip = None
+    placements = {}
+    saw_end = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if saw_end:
+            raise PlacementError(f"line {lineno}: content after END")
+        fields = line.split()
+        directive = fields[0].upper()
+        if directive == "PLACEMENT":
+            if name:
+                raise PlacementError(
+                    f"line {lineno}: second PLACEMENT directive"
+                )
+            if len(fields) != 2:
+                raise PlacementError(
+                    f"line {lineno}: PLACEMENT takes exactly one name"
+                )
+            name = fields[1]
+        elif directive == "CHIP":
+            if chip is not None:
+                raise PlacementError(f"line {lineno}: second CHIP directive")
+            if len(fields) != 5:
+                raise PlacementError(
+                    f"line {lineno}: CHIP takes x_lo y_lo x_hi y_hi"
+                )
+            try:
+                chip = Rect(*(float(v) for v in fields[1:]))
+            except ValueError as exc:
+                raise PlacementError(f"line {lineno}: {exc}") from exc
+        elif directive == "MODULE":
+            if len(fields) != 6:
+                raise PlacementError(
+                    f"line {lineno}: MODULE takes name x y width height"
+                )
+            module_name = fields[1]
+            if module_name in placements:
+                raise PlacementError(
+                    f"line {lineno}: module {module_name!r} placed twice"
+                )
+            try:
+                x, y, w, h = (float(v) for v in fields[2:])
+                placements[module_name] = Rect.from_origin(x, y, w, h)
+            except ValueError as exc:
+                raise PlacementError(f"line {lineno}: {exc}") from exc
+        elif directive == "END":
+            saw_end = True
+        else:
+            raise PlacementError(
+                f"line {lineno}: unknown directive {fields[0]!r}"
+            )
+    if not name:
+        raise PlacementError("missing PLACEMENT directive")
+    if not placements:
+        raise PlacementError("placement lists no modules")
+    try:
+        floorplan = Floorplan(placements, chip=chip)
+        floorplan.validate()
+    except ValueError as exc:
+        raise PlacementError(str(exc)) from exc
+    return floorplan
+
+
+def write_placement(
+    floorplan: Floorplan, path: Union[str, Path], name: str = "floorplan"
+) -> None:
+    """Write a floorplan to ``path``."""
+    Path(path).write_text(dumps_placement(floorplan, name))
+
+
+def read_placement(path: Union[str, Path]) -> Floorplan:
+    """Read a floorplan from ``path``."""
+    return loads_placement(Path(path).read_text())

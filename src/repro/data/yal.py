@@ -1,0 +1,111 @@
+"""A minimal YAL-flavoured circuit text format.
+
+The MCNC building-block benchmarks shipped in YAL; this module speaks a
+small, line-oriented dialect sufficient for hard-block floorplanning:
+
+.. code-block:: text
+
+    CIRCUIT ami33
+    MODULE m0 120.5 88.0
+    MODULE m1 60.0 60.0
+    NET n0 1.0 m0 m1
+    NET n1 2.5 m0 m1 ...
+    END
+
+* ``MODULE <name> <width> <height>`` -- one hard block;
+* ``NET <name> <weight> <terminal>...`` -- a net over module names;
+* ``#`` starts a comment; blank lines are ignored; ``END`` is optional.
+
+Parsing is strict: unknown directives, malformed numbers, duplicate
+names and dangling terminals raise :class:`YalError` with a line number.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Union
+
+from repro.netlist import Module, Net, Netlist
+
+__all__ = ["YalError", "dumps_yal", "loads_yal", "read_yal", "write_yal"]
+
+
+class YalError(ValueError):
+    """Raised on malformed circuit files, with the offending line number."""
+
+
+def dumps_yal(netlist: Netlist) -> str:
+    """Serialize a netlist to the YAL-flavoured text format."""
+    out = io.StringIO()
+    out.write(f"CIRCUIT {netlist.name}\n")
+    out.write(f"# {netlist.n_modules} modules, {netlist.n_nets} nets\n")
+    for m in netlist.modules:
+        out.write(f"MODULE {m.name} {m.width:g} {m.height:g}\n")
+    for n in netlist.nets:
+        terms = " ".join(n.terminals)
+        out.write(f"NET {n.name} {n.weight:g} {terms}\n")
+    out.write("END\n")
+    return out.getvalue()
+
+
+def loads_yal(text: str) -> Netlist:
+    """Parse the YAL-flavoured text format into a :class:`Netlist`."""
+    name = ""
+    modules: List[Module] = []
+    nets: List[Net] = []
+    saw_end = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if saw_end:
+            raise YalError(f"line {lineno}: content after END")
+        fields = line.split()
+        directive = fields[0].upper()
+        if directive == "CIRCUIT":
+            if name:
+                raise YalError(f"line {lineno}: second CIRCUIT directive")
+            if len(fields) != 2:
+                raise YalError(f"line {lineno}: CIRCUIT takes exactly one name")
+            name = fields[1]
+        elif directive == "MODULE":
+            if len(fields) != 4:
+                raise YalError(
+                    f"line {lineno}: MODULE takes name width height"
+                )
+            try:
+                modules.append(
+                    Module(fields[1], float(fields[2]), float(fields[3]))
+                )
+            except ValueError as exc:
+                raise YalError(f"line {lineno}: {exc}") from exc
+        elif directive == "NET":
+            if len(fields) < 5:
+                raise YalError(
+                    f"line {lineno}: NET takes name weight and >= 2 terminals"
+                )
+            try:
+                nets.append(Net(fields[1], fields[3:], float(fields[2])))
+            except ValueError as exc:
+                raise YalError(f"line {lineno}: {exc}") from exc
+        elif directive == "END":
+            saw_end = True
+        else:
+            raise YalError(f"line {lineno}: unknown directive {fields[0]!r}")
+    if not name:
+        raise YalError("missing CIRCUIT directive")
+    try:
+        return Netlist(name, modules, nets)
+    except ValueError as exc:
+        raise YalError(str(exc)) from exc
+
+
+def write_yal(netlist: Netlist, path: Union[str, Path]) -> None:
+    """Write a netlist to ``path``."""
+    Path(path).write_text(dumps_yal(netlist))
+
+
+def read_yal(path: Union[str, Path]) -> Netlist:
+    """Read a netlist from ``path``."""
+    return loads_yal(Path(path).read_text())

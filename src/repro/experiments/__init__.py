@@ -1,0 +1,48 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5).
+
+* :mod:`repro.experiments.config` -- effort profiles (smoke / quick /
+  paper) and per-circuit parameters, overridable via environment
+  variables so benches stay fast by default;
+* :mod:`repro.experiments.runner` -- seeded single runs and multi-seed
+  aggregation;
+* :mod:`repro.experiments.exp1` -- Tables 1-3 (congestion-aware vs
+  area/wirelength-only floorplanning);
+* :mod:`repro.experiments.exp2` -- Figure 9 (model-vs-judge tracking
+  across annealing snapshots);
+* :mod:`repro.experiments.exp3` -- Tables 4-5 (IR-grid vs fixed-grid,
+  congestion-only optimization);
+* :mod:`repro.experiments.figures` -- Figure 8 (approximation accuracy)
+  and the Figure 3/4 motivation examples;
+* :mod:`repro.experiments.tables` -- plain-text table formatting.
+"""
+
+from repro.experiments.config import (
+    PROFILES,
+    CircuitConfig,
+    ExperimentProfile,
+    active_profile,
+    circuit_config,
+)
+from repro.experiments.runner import RunRecord, aggregate, run_once, run_seeds
+from repro.experiments.statistics import (
+    BootstrapCI,
+    bootstrap_ci,
+    paired_bootstrap_delta,
+)
+from repro.experiments.tables import format_table
+
+__all__ = [
+    "PROFILES",
+    "CircuitConfig",
+    "ExperimentProfile",
+    "active_profile",
+    "circuit_config",
+    "RunRecord",
+    "aggregate",
+    "run_once",
+    "run_seeds",
+    "format_table",
+    "BootstrapCI",
+    "bootstrap_ci",
+    "paired_bootstrap_delta",
+]

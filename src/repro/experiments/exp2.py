@@ -1,0 +1,157 @@
+"""Experiment 2 (Figure 9): does the IR cost track real congestion?
+
+A congestion-only annealer runs on one circuit; the locally-optimized
+solution at each temperature step is extracted and judged by two
+fixed-grid models -- the fine 10x10 um^2 judge and a coarse 50x50 one.
+Three aligned series result:
+
+* **curve A** -- the Irregular-Grid cost the annealer itself optimized;
+* **curve B** -- the fine judge on the same snapshots;
+* **curve C** -- the coarse judge on the same snapshots.
+
+The paper's claim ("the slopes of curve A and B are more similar than
+the slopes of curve A and C") is that the IR model behaves like a
+*fine* fixed grid, not like a coarse one.  We quantify shape-tracking
+with Spearman rank correlation, so the claim becomes
+``corr(A, B) > corr(A, C)`` -- no manual 2.5x curve rescaling needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.anneal import FloorplanObjective
+from repro.congestion import IrregularGridModel, JudgingModel
+from repro.data import load_mcnc
+from repro.experiments.config import (
+    ExperimentProfile,
+    active_profile,
+    circuit_config,
+)
+from repro.experiments.runner import run_once
+from repro.experiments.tables import format_table
+from repro.floorplan import evaluate_polish
+from repro.netlist import Netlist
+from repro.routing.overflow import rank_correlation
+
+__all__ = ["Experiment2Result", "run_experiment2", "format_experiment2"]
+
+
+@dataclass(frozen=True)
+class Experiment2Result:
+    """The three aligned per-temperature-step series."""
+
+    circuit: str
+    ir_costs: List[float]  # curve A
+    fine_judging_costs: List[float]  # curve B (10x10)
+    coarse_judging_costs: List[float]  # curve C (50x50)
+
+    @property
+    def n_snapshots(self) -> int:
+        return len(self.ir_costs)
+
+    @property
+    def corr_model_vs_fine(self) -> float:
+        """corr(A, B): how much the IR cost behaves like the fine judge."""
+        return rank_correlation(self.ir_costs, self.fine_judging_costs)
+
+    @property
+    def corr_model_vs_coarse(self) -> float:
+        """corr(A, C): how much the IR cost behaves like the coarse judge."""
+        return rank_correlation(self.ir_costs, self.coarse_judging_costs)
+
+    @property
+    def corr_coarse_vs_fine(self) -> float:
+        """corr(C, B), reported for context."""
+        return rank_correlation(
+            self.coarse_judging_costs, self.fine_judging_costs
+        )
+
+    @property
+    def model_tracks_better(self) -> bool:
+        """The paper's Figure 9 conclusion: the IR cost resembles the
+        fine judge more than it resembles the coarse judge."""
+        return self.corr_model_vs_fine >= self.corr_model_vs_coarse
+
+
+def run_experiment2(
+    circuit: str = "ami33",
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    max_snapshots: int = 20,
+    netlist: Optional[Netlist] = None,
+    merge_factor: float = 2.0,
+) -> Experiment2Result:
+    """Run the congestion-only annealer and judge every snapshot.
+
+    ``max_snapshots`` keeps the judged series to the paper's ~20 points
+    by sampling the snapshot list evenly when the schedule is longer.
+    ``merge_factor`` exposes the cut-line merge threshold: it sets the
+    IR-grid's effective resolution and therefore which judging pitch
+    the IR cost resembles (the F9-merge ablation sweeps it).
+    """
+    profile = profile or active_profile()
+    cfg = circuit_config(circuit)
+    netlist = netlist or load_mcnc(circuit)
+    model = IrregularGridModel(cfg.ir_grid_size, merge_factor=merge_factor)
+    objective = FloorplanObjective(
+        netlist, alpha=0.0, beta=0.0, gamma=1.0, congestion_model=model
+    )
+    record = run_once(
+        netlist,
+        objective,
+        seed=seed,
+        profile=profile,
+        judging_grid_size=cfg.judging_grid_size,
+    )
+    snapshots = record.result.snapshots
+    if len(snapshots) > max_snapshots:
+        stride = len(snapshots) / max_snapshots
+        snapshots = [
+            snapshots[int(i * stride)] for i in range(max_snapshots)
+        ]
+    modules = {m.name: m for m in netlist.modules}
+    fine = JudgingModel(cfg.judging_grid_size)
+    coarse = JudgingModel(cfg.coarse_judging_grid_size)
+    ir_costs: List[float] = []
+    fine_costs: List[float] = []
+    coarse_costs: List[float] = []
+    for snap in snapshots:
+        floorplan = evaluate_polish(snap.expression, modules)
+        ir_costs.append(snap.breakdown.congestion)
+        fine_costs.append(fine.judge(floorplan, netlist))
+        coarse_costs.append(coarse.judge(floorplan, netlist))
+    return Experiment2Result(
+        circuit=circuit,
+        ir_costs=ir_costs,
+        fine_judging_costs=fine_costs,
+        coarse_judging_costs=coarse_costs,
+    )
+
+
+def format_experiment2(result: Experiment2Result) -> str:
+    """Render the three curves plus the tracking statistics."""
+    rows = [
+        [i + 1, a, b, c]
+        for i, (a, b, c) in enumerate(
+            zip(
+                result.ir_costs,
+                result.fine_judging_costs,
+                result.coarse_judging_costs,
+            )
+        )
+    ]
+    table = format_table(
+        ["step", "A: IR cost", "B: judge 10um", "C: judge 50um"],
+        rows,
+        title=f"Figure 9 series ({result.circuit})",
+    )
+    summary = (
+        f"rank corr(A, B) = {result.corr_model_vs_fine:.3f}   "
+        f"rank corr(A, C) = {result.corr_model_vs_coarse:.3f}   "
+        f"rank corr(C, B) = {result.corr_coarse_vs_fine:.3f}   "
+        f"IR tracks the fine judge better than the coarse one: "
+        f"{result.model_tracks_better}"
+    )
+    return table + "\n" + summary

@@ -1,0 +1,162 @@
+"""Experiment 3 (Tables 4-5): IR-grid vs fixed-grid, head to head.
+
+Two congestion-only floorplanners on one circuit: one drives its
+annealer with the Irregular-Grid model (Table 4), the other with the
+fixed-size-grid model at coarser pitches (Table 5, paper: 100x100 and
+50x50 um^2).  Reported per configuration: grid count, the model's own
+cost, wall-clock time, and the fine judge's verdict on the final
+floorplan.
+
+The paper's claim: the IR model spends *less* time than the 50/100 um
+fixed grids yet lands floorplans the judge scores *better* (2.3-3.5x
+faster, 4.6-8.8 % lower judged congestion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.anneal import FloorplanObjective
+from repro.congestion import FixedGridModel, IrregularGridModel
+from repro.data import load_mcnc
+from repro.experiments.config import (
+    ExperimentProfile,
+    active_profile,
+    circuit_config,
+)
+from repro.experiments.runner import Aggregate, aggregate, run_seeds
+from repro.experiments.tables import format_table
+from repro.netlist import Netlist
+from repro.pins import assign_pins
+
+__all__ = ["Experiment3Row", "run_experiment3", "format_experiment3"]
+
+
+@dataclass(frozen=True)
+class Experiment3Row:
+    """One congestion-only floorplanner configuration's results."""
+
+    model_kind: str  # "irgrid" or "fixed"
+    grid_size: float
+    n_grids_avg: float
+    aggregate: Aggregate
+
+
+def _fixed_grid_count(model: FixedGridModel, record) -> int:
+    n_cols, n_rows = model.grid_shape(record.floorplan.chip)
+    return n_cols * n_rows
+
+
+def run_experiment3(
+    circuit: str = "ami33",
+    profile: Optional[ExperimentProfile] = None,
+    fixed_grid_sizes: Optional[Sequence[float]] = None,
+    netlist: Optional[Netlist] = None,
+) -> List[Experiment3Row]:
+    """Run the IR configuration and every fixed-grid configuration."""
+    profile = profile or active_profile()
+    cfg = circuit_config(circuit)
+    netlist = netlist or load_mcnc(circuit)
+    fixed_grid_sizes = tuple(fixed_grid_sizes or cfg.fixed_grid_sizes)
+    rows: List[Experiment3Row] = []
+
+    # --- Irregular-Grid floorplanner (Table 4) -----------------------
+    def ir_objective() -> FloorplanObjective:
+        return FloorplanObjective(
+            netlist,
+            alpha=0.0,
+            beta=0.0,
+            gamma=1.0,
+            congestion_model=IrregularGridModel(cfg.ir_grid_size),
+        )
+
+    ir_records = run_seeds(netlist, ir_objective, profile, cfg.judging_grid_size)
+    ir_agg = aggregate(ir_records)
+    rows.append(
+        Experiment3Row(
+            model_kind="irgrid",
+            grid_size=cfg.ir_grid_size,
+            n_grids_avg=ir_agg.avg_n_irgrids,
+            aggregate=ir_agg,
+        )
+    )
+
+    # --- Fixed-grid floorplanners (Table 5) ---------------------------
+    for pitch in fixed_grid_sizes:
+        def fixed_objective(pitch=pitch) -> FloorplanObjective:
+            return FloorplanObjective(
+                netlist,
+                alpha=0.0,
+                beta=0.0,
+                gamma=1.0,
+                congestion_model=FixedGridModel(pitch),
+            )
+
+        records = run_seeds(
+            netlist, fixed_objective, profile, cfg.judging_grid_size
+        )
+        agg = aggregate(records)
+        model = FixedGridModel(pitch)
+        n_grids = sum(_fixed_grid_count(model, r) for r in records) / len(records)
+        rows.append(
+            Experiment3Row(
+                model_kind="fixed",
+                grid_size=pitch,
+                n_grids_avg=n_grids,
+                aggregate=agg,
+            )
+        )
+    return rows
+
+
+def format_experiment3(rows: Sequence[Experiment3Row], circuit: str = "ami33") -> str:
+    """Render Tables 4-5 plus the speed/accuracy ratios."""
+    body = []
+    for row in rows:
+        a = row.aggregate
+        body.append(
+            [
+                row.model_kind,
+                f"{row.grid_size:g}x{row.grid_size:g}",
+                round(row.n_grids_avg, 1),
+                a.avg_congestion_cost,
+                a.avg_runtime_seconds,
+                a.avg_judging_cost,
+                a.best.congestion_cost,
+                a.best.runtime_seconds,
+                a.best.judging_cost,
+            ]
+        )
+    table = format_table(
+        [
+            "model",
+            "grid size um",
+            "# grids avg",
+            "avg cgt cost",
+            "avg time s",
+            "avg judge cgt",
+            "best cgt cost",
+            "best time s",
+            "best judge cgt",
+        ],
+        body,
+        title=f"Tables 4-5: congestion-only floorplanners ({circuit})",
+    )
+    ir = next(r for r in rows if r.model_kind == "irgrid")
+    ratios = []
+    for row in rows:
+        if row.model_kind != "fixed":
+            continue
+        speedup = (
+            row.aggregate.avg_runtime_seconds
+            / max(ir.aggregate.avg_runtime_seconds, 1e-9)
+        )
+        judge_gain = 100.0 * (
+            row.aggregate.avg_judging_cost - ir.aggregate.avg_judging_cost
+        ) / max(row.aggregate.avg_judging_cost, 1e-12)
+        ratios.append(
+            f"vs fixed {row.grid_size:g}um: IR is {speedup:.2f}x faster, "
+            f"judged congestion {judge_gain:+.2f}% better"
+        )
+    return table + "\n" + "\n".join(ratios)

@@ -1,0 +1,162 @@
+"""Seeded experiment runs and their aggregation.
+
+A :class:`RunRecord` captures everything one annealing run contributes
+to a table row: the objective's raw terms, the model's own congestion
+cost, the wall-clock time, and the post-hoc judging cost.  ``run_seeds``
+repeats a configuration over seeds; ``aggregate`` produces the paper's
+"average results" and "best results" halves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.anneal import (
+    AnnealResult,
+    FloorplanAnnealer,
+    FloorplanObjective,
+)
+from repro.congestion import IrregularGridModel, JudgingModel
+from repro.congestion.base import CongestionModel
+from repro.experiments.config import ExperimentProfile, active_profile
+from repro.floorplan import Floorplan
+from repro.netlist import Netlist
+from repro.pins import assign_pins
+
+__all__ = ["RunRecord", "run_once", "run_seeds", "aggregate", "judge_floorplan"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One annealing run's reportable results."""
+
+    circuit: str
+    seed: int
+    cost: float
+    area_um2: float
+    wirelength_um: float
+    congestion_cost: float
+    n_irgrids: int
+    runtime_seconds: float
+    judging_cost: float
+    floorplan: Floorplan
+    result: AnnealResult
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+
+def judge_floorplan(
+    floorplan: Floorplan, netlist: Netlist, judging_grid_size: float
+) -> float:
+    """Post-hoc fine-grid judging cost of one floorplan."""
+    return JudgingModel(judging_grid_size).judge(floorplan, netlist)
+
+
+def run_once(
+    netlist: Netlist,
+    objective: FloorplanObjective,
+    seed: int,
+    profile: Optional[ExperimentProfile] = None,
+    judging_grid_size: float = 10.0,
+    congestion_model: Optional[CongestionModel] = None,
+    on_snapshot: Optional[Callable] = None,
+) -> RunRecord:
+    """Anneal once and judge the result.
+
+    ``congestion_model`` defaults to the objective's model; it is used
+    only to (re)count IR-grids on the final floorplan for Table 4.
+    """
+    profile = profile or active_profile()
+    annealer = FloorplanAnnealer(
+        netlist,
+        objective=objective,
+        seed=seed,
+        moves_per_temperature=profile.moves_per_temperature(netlist.n_modules),
+        schedule=profile.schedule(),
+    )
+    start = time.perf_counter()
+    result = annealer.run(on_snapshot=on_snapshot)
+    runtime = time.perf_counter() - start
+    model = congestion_model or objective.congestion_model
+    n_irgrids = 0
+    if isinstance(model, IrregularGridModel):
+        assignment = assign_pins(result.floorplan, netlist, model.grid_size)
+        _, irgrid = model.evaluate_with_grid(
+            result.floorplan.chip, assignment.two_pin_nets
+        )
+        n_irgrids = irgrid.n_cells
+    judging_cost = judge_floorplan(result.floorplan, netlist, judging_grid_size)
+    return RunRecord(
+        circuit=netlist.name,
+        seed=seed,
+        cost=result.cost,
+        area_um2=result.breakdown.area,
+        wirelength_um=result.breakdown.wirelength,
+        congestion_cost=result.breakdown.congestion,
+        n_irgrids=n_irgrids,
+        runtime_seconds=runtime,
+        judging_cost=judging_cost,
+        floorplan=result.floorplan,
+        result=result,
+    )
+
+
+def run_seeds(
+    netlist: Netlist,
+    objective_factory: Callable[[], FloorplanObjective],
+    profile: Optional[ExperimentProfile] = None,
+    judging_grid_size: float = 10.0,
+) -> List[RunRecord]:
+    """Repeat a configuration across the profile's seeds.
+
+    ``objective_factory`` builds a fresh objective per seed so no
+    normalization state leaks between runs.
+    """
+    profile = profile or active_profile()
+    records = []
+    for seed in range(profile.n_seeds):
+        records.append(
+            run_once(
+                netlist,
+                objective_factory(),
+                seed=seed,
+                profile=profile,
+                judging_grid_size=judging_grid_size,
+            )
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """The paper's average/best halves of one table row."""
+
+    avg_area_mm2: float
+    avg_wirelength_um: float
+    avg_congestion_cost: float
+    avg_n_irgrids: float
+    avg_runtime_seconds: float
+    avg_judging_cost: float
+    best: RunRecord
+
+
+def aggregate(records: Sequence[RunRecord]) -> Aggregate:
+    """Average over seeds; "best" is the lowest-cost run (the measure
+    the paper says results are selected by)."""
+    if not records:
+        raise ValueError("cannot aggregate zero runs")
+    n = len(records)
+    best = min(records, key=lambda r: r.cost)
+    return Aggregate(
+        avg_area_mm2=sum(r.area_mm2 for r in records) / n,
+        avg_wirelength_um=sum(r.wirelength_um for r in records) / n,
+        avg_congestion_cost=sum(r.congestion_cost for r in records) / n,
+        avg_n_irgrids=sum(r.n_irgrids for r in records) / n,
+        avg_runtime_seconds=sum(r.runtime_seconds for r in records) / n,
+        avg_judging_cost=sum(r.judging_cost for r in records) / n,
+        best=best,
+    )

@@ -1,0 +1,118 @@
+"""Uncertainty quantification for multi-seed experiment results.
+
+The paper reports plain averages over 20 seeds with no error bars; when
+comparing two floorplanner configurations whose means differ by a few
+percent, that leaves the reader guessing.  This module provides the two
+tools the tables need:
+
+* :func:`bootstrap_ci` -- a percentile bootstrap confidence interval
+  for the mean of a per-seed metric;
+* :func:`paired_bootstrap_delta` -- a CI for the mean *paired*
+  difference between two configurations run on the same seeds (pairing
+  removes the dominant seed-to-seed variance, the right comparison for
+  Table 3's improvement columns).
+
+Deterministic given the ``seed`` argument, like everything else here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["BootstrapCI", "bootstrap_ci", "paired_bootstrap_delta"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a bootstrap confidence interval."""
+
+    mean: float
+    lo: float
+    hi: float
+    confidence: float
+
+    @property
+    def halfwidth(self) -> float:
+        return 0.5 * (self.hi - self.lo)
+
+    def excludes_zero(self) -> bool:
+        """Whether the interval lies strictly on one side of zero --
+        the 'is this improvement real?' question for Table 3."""
+        return self.lo > 0.0 or self.hi < 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} "
+            f"[{self.lo:.4g}, {self.hi:.4g}] @{self.confidence:.0%}"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted data."""
+    n = len(sorted_values)
+    if n == 1:
+        return sorted_values[0]
+    pos = q * (n - 1)
+    lo = int(pos)
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.9,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI for the mean of ``values``."""
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    data = list(values)
+    n = len(data)
+    mean = sum(data) / n
+    if n == 1:
+        return BootstrapCI(mean, mean, mean, confidence)
+    rng = random.Random(seed)
+    means = []
+    for _ in range(n_resamples):
+        total = 0.0
+        for _ in range(n):
+            total += data[rng.randrange(n)]
+        means.append(total / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        mean=mean,
+        lo=_percentile(means, alpha),
+        hi=_percentile(means, 1.0 - alpha),
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_delta(
+    baseline: Sequence[float],
+    treatment: Sequence[float],
+    confidence: float = 0.9,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """CI for the mean of ``baseline[i] - treatment[i]``.
+
+    Positive values mean the treatment *reduced* the metric -- matching
+    Table 3's "improvement" sign convention.  Sequences must align by
+    seed.
+    """
+    if len(baseline) != len(treatment):
+        raise ValueError(
+            f"paired comparison needs equal lengths, got "
+            f"{len(baseline)} vs {len(treatment)}"
+        )
+    deltas = [b - t for b, t in zip(baseline, treatment)]
+    return bootstrap_ci(deltas, confidence, n_resamples, seed)

@@ -1,0 +1,45 @@
+"""Floorplan representations and packing.
+
+The paper's floorplanner (Section 5) is the classic Wong-Liu simulated
+annealer over *normalized Polish expressions* [7]; this package provides
+that representation plus the shape-curve packing that turns an
+expression into module coordinates:
+
+* :mod:`repro.floorplan.polish` -- normalized Polish expressions and the
+  Wong-Liu neighbourhood moves M1/M2/M3;
+* :mod:`repro.floorplan.packing` -- non-dominated shape lists and their
+  horizontal/vertical combination;
+* :mod:`repro.floorplan.slicing` -- expression -> placed floorplan;
+* :mod:`repro.floorplan.floorplan` -- the placed-floorplan container;
+* :mod:`repro.floorplan.sequence_pair` -- a non-slicing representation
+  (extension; shows the congestion model is floorplanner-agnostic).
+"""
+
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.polish import (
+    PolishExpression,
+    OP_ABOVE,
+    OP_BESIDE,
+    initial_expression,
+)
+from repro.floorplan.packing import Shape, ShapeList, combine
+from repro.floorplan.slicing import evaluate_polish, build_slicing_tree
+from repro.floorplan.sequence_pair import SequencePair, pack_sequence_pair
+from repro.floorplan.btree import BStarTree, pack_btree
+
+__all__ = [
+    "Floorplan",
+    "PolishExpression",
+    "OP_ABOVE",
+    "OP_BESIDE",
+    "initial_expression",
+    "Shape",
+    "ShapeList",
+    "combine",
+    "evaluate_polish",
+    "build_slicing_tree",
+    "SequencePair",
+    "pack_sequence_pair",
+    "BStarTree",
+    "pack_btree",
+]

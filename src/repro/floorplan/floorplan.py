@@ -1,0 +1,127 @@
+"""The placed-floorplan container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.geometry import Point, Rect
+
+__all__ = ["Floorplan"]
+
+
+class Floorplan:
+    """A non-overlapping packing of named modules.
+
+    Produced by the slicing evaluator or the sequence-pair packer; the
+    chip outline is the bounding box of the placements unless an
+    explicit outline is given.
+    """
+
+    def __init__(
+        self,
+        placements: Mapping[str, Rect],
+        chip: "Rect | None" = None,
+    ):
+        if not placements:
+            raise ValueError("floorplan needs at least one placed module")
+        self._placements: Dict[str, Rect] = dict(placements)
+        bbox = None
+        for rect in self._placements.values():
+            bbox = rect if bbox is None else bbox.union_bbox(rect)
+        if chip is None:
+            chip = bbox
+        elif not chip.contains_rect(bbox):
+            # Shape-list heights/widths are sums in a different order
+            # than the placement walk, so the bbox can exceed the chip
+            # by float rounding; absorb that, reject real violations.
+            tolerance = 1e-6 * max(bbox.width, bbox.height, 1.0)
+            grown = chip.union_bbox(bbox)
+            if (
+                grown.width - chip.width > tolerance
+                or grown.height - chip.height > tolerance
+            ):
+                raise ValueError(
+                    "chip outline does not contain all placed modules: "
+                    f"chip {chip}, placements bbox {bbox}"
+                )
+            chip = grown
+        self.chip: Rect = chip
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def placements(self) -> Mapping[str, Rect]:
+        return dict(self._placements)
+
+    @property
+    def module_names(self) -> Tuple[str, ...]:
+        return tuple(self._placements)
+
+    def placement(self, name: str) -> Rect:
+        """The placed rectangle of module ``name``."""
+        try:
+            return self._placements[name]
+        except KeyError:
+            raise KeyError(f"module {name!r} is not placed in this floorplan")
+
+    def center(self, name: str) -> Point:
+        """Center of a placed module -- the raw pin location before
+        intersection-to-intersection snapping."""
+        return self.placement(name).center
+
+    # -- measures ------------------------------------------------------
+
+    @property
+    def n_modules(self) -> int:
+        return len(self._placements)
+
+    @property
+    def area(self) -> float:
+        """Chip (bounding) area -- the floorplanner's area objective."""
+        return self.chip.area
+
+    @property
+    def module_area(self) -> float:
+        return sum(r.area for r in self._placements.values())
+
+    @property
+    def whitespace_fraction(self) -> float:
+        """Dead-space fraction of the chip: ``1 - sum(module)/chip``."""
+        if self.chip.area == 0:
+            return 0.0
+        return 1.0 - self.module_area / self.chip.area
+
+    # -- validation ----------------------------------------------------
+
+    def overlapping_pairs(self) -> Iterable[Tuple[str, str]]:
+        """All pairs of modules whose interiors intersect materially.
+
+        Overlaps shallower than ~1e-9 of the chip edge are float dust
+        (serialization round trips, shape-sum reassociation), not
+        packing bugs, and are ignored.  A correct packer yields none;
+        the test suite asserts this on every floorplan the library
+        produces.  O(m^2), acceptable for block-level module counts.
+        """
+        tolerance = 1e-9 * max(self.chip.width, self.chip.height, 1.0)
+        names = list(self._placements)
+        for i, a in enumerate(names):
+            ra = self._placements[a]
+            for b in names[i + 1 :]:
+                rb = self._placements[b]
+                depth_x = min(ra.x_hi, rb.x_hi) - max(ra.x_lo, rb.x_lo)
+                depth_y = min(ra.y_hi, rb.y_hi) - max(ra.y_lo, rb.y_lo)
+                if depth_x > tolerance and depth_y > tolerance:
+                    yield (a, b)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any material interior overlap."""
+        bad = list(self.overlapping_pairs())
+        if bad:
+            raise ValueError(f"floorplan has overlapping modules: {bad[:5]}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Floorplan({self.n_modules} modules, chip "
+            f"{self.chip.width:.1f} x {self.chip.height:.1f}, "
+            f"whitespace {100 * self.whitespace_fraction:.1f}%)"
+        )

@@ -1,0 +1,176 @@
+"""Non-dominated shape lists for slicing-tree area evaluation.
+
+Each slicing subtree admits a set of realizable outlines; only the
+*non-dominated* ones (no other outline at most as wide and at most as
+tall) can ever appear in an optimal packing.  For hard modules with
+90-degree rotation a leaf has at most two shapes, and composing two
+children with a cut keeps the list size at most ``|L| + |R| - 1``
+[Stockmeyer 1983], so whole-tree evaluation is linear in total shape
+count.
+
+Every :class:`Shape` carries back-pointers to the child shapes that
+realize it, so after choosing the root outline the placer can walk back
+down and recover each module's orientation and position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.floorplan.polish import OP_ABOVE, OP_BESIDE
+
+__all__ = ["Shape", "ShapeList", "leaf_shapes", "leaf_shapes_for_module", "combine"]
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One realizable outline of a subtree.
+
+    ``left_index``/``right_index`` identify the child shapes composing
+    this one; ``None`` for leaves, where ``rotated`` records the module
+    orientation instead.
+    """
+
+    width: float
+    height: float
+    left_index: Optional[int] = None
+    right_index: Optional[int] = None
+    rotated: bool = False
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def dominates(self, other: "Shape") -> bool:
+        """At most as wide *and* at most as tall (weakly better)."""
+        return self.width <= other.width and self.height <= other.height
+
+
+class ShapeList:
+    """Non-dominated shapes sorted by increasing width.
+
+    After pruning, widths strictly increase and heights strictly
+    decrease along the list.
+    """
+
+    __slots__ = ("shapes",)
+
+    def __init__(self, shapes: Sequence[Shape]):
+        if not shapes:
+            raise ValueError("shape list cannot be empty")
+        self.shapes: List[Shape] = _prune(shapes)
+
+    def min_area_index(self) -> int:
+        """Index of the smallest-area shape."""
+        best, best_area = 0, self.shapes[0].area
+        for i, s in enumerate(self.shapes[1:], start=1):
+            if s.area < best_area:
+                best, best_area = i, s.area
+        return best
+
+    def min_area(self) -> float:
+        """Area of the smallest-area shape."""
+        return self.shapes[self.min_area_index()].area
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def __getitem__(self, i: int) -> Shape:
+        return self.shapes[i]
+
+    def __iter__(self):
+        return iter(self.shapes)
+
+
+def _prune(shapes: Sequence[Shape]) -> List[Shape]:
+    """Keep only non-dominated shapes, sorted by increasing width.
+
+    After sorting by ``(width, height)``, a shape survives iff it is
+    strictly shorter than every shape already kept (all of which are no
+    wider), leaving widths strictly increasing and heights strictly
+    decreasing.
+    """
+    ordered = sorted(shapes, key=lambda s: (s.width, s.height))
+    out: List[Shape] = []
+    for s in ordered:
+        if not out or s.height < out[-1].height:
+            out.append(s)
+    return out
+
+
+def leaf_shapes(width: float, height: float, allow_rotation: bool = True) -> ShapeList:
+    """Shape list of a single hard module."""
+    shapes = [Shape(width, height, rotated=False)]
+    if allow_rotation and width != height:
+        shapes.append(Shape(height, width, rotated=True))
+    return ShapeList(shapes)
+
+
+def leaf_shapes_for_module(module, allow_rotation: bool = True) -> ShapeList:
+    """Shape list from any module-like object exposing ``shapes()``.
+
+    Hard modules yield their one or two rotations; soft modules yield a
+    discretized aspect-ratio sweep (see
+    :class:`repro.netlist.soft.SoftModule`).  Dominated outlines are
+    pruned by :class:`ShapeList` as usual.
+    """
+    candidates = [Shape(w, h) for w, h in module.shapes(allow_rotation)]
+    return ShapeList(candidates)
+
+
+def combine(op: str, left: ShapeList, right: ShapeList) -> ShapeList:
+    """Compose two children's shape lists under a cut operator.
+
+    ``+`` stacks right above left (widths max, heights add); ``*``
+    places right beside left (widths add, heights max).  The classic
+    two-pointer merge enumerates at most ``len(left) + len(right) - 1``
+    candidates containing every non-dominated composition.
+    """
+    if op == OP_ABOVE:
+        return _combine_stack(left, right)
+    if op == OP_BESIDE:
+        return _combine_beside(left, right)
+    raise ValueError(f"unknown cut operator {op!r}")
+
+
+def _combine_beside(left: ShapeList, right: ShapeList) -> ShapeList:
+    # Widths add, height is the max: pair shapes by descending height.
+    # Both lists have heights strictly decreasing with index; start at
+    # the tallest of each and step the currently-taller side forward.
+    candidates: List[Shape] = []
+    i = j = 0
+    nl, nr = len(left), len(right)
+    while i < nl and j < nr:
+        ls, rs = left[i], right[j]
+        candidates.append(
+            Shape(ls.width + rs.width, max(ls.height, rs.height), i, j)
+        )
+        if ls.height > rs.height:
+            i += 1
+        elif rs.height > ls.height:
+            j += 1
+        else:
+            i += 1
+            j += 1
+    return ShapeList(candidates)
+
+
+def _combine_stack(left: ShapeList, right: ShapeList) -> ShapeList:
+    # Heights add, width is the max: pair shapes by descending width,
+    # i.e. iterate the lists from the wide end backwards.
+    candidates: List[Shape] = []
+    i, j = len(left) - 1, len(right) - 1
+    while i >= 0 and j >= 0:
+        ls, rs = left[i], right[j]
+        candidates.append(
+            Shape(max(ls.width, rs.width), ls.height + rs.height, i, j)
+        )
+        if ls.width > rs.width:
+            i -= 1
+        elif rs.width > ls.width:
+            j -= 1
+        else:
+            i -= 1
+            j -= 1
+    return ShapeList(candidates)

@@ -1,0 +1,215 @@
+"""Normalized Polish expressions and the Wong-Liu moves.
+
+A slicing floorplan of ``m`` modules is a Polish (postfix) expression of
+the ``m`` module names and ``m - 1`` cut operators [Wong & Liu, DAC'86]:
+
+* ``+`` -- the second operand is placed *above* the first
+  (a horizontal cut: widths max, heights add);
+* ``*`` -- the second operand is placed *beside* (right of) the first
+  (a vertical cut: widths add, heights max).
+
+An expression is valid iff it satisfies the *balloting property* (every
+prefix has more operands than operators) and is *normalized* (no two
+consecutive identical operators), which makes the representation of each
+slicing structure unique.  The annealer perturbs expressions with the
+three classic moves:
+
+* **M1** -- swap two operands adjacent in the operand subsequence;
+* **M2** -- complement a maximal chain of operators;
+* **M3** -- swap an adjacent operand/operator pair (skipping swaps that
+  would break balloting or normality).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "OP_ABOVE",
+    "OP_BESIDE",
+    "OPERATORS",
+    "PolishExpression",
+    "initial_expression",
+]
+
+OP_ABOVE = "+"
+OP_BESIDE = "*"
+OPERATORS = frozenset((OP_ABOVE, OP_BESIDE))
+
+_COMPLEMENT = {OP_ABOVE: OP_BESIDE, OP_BESIDE: OP_ABOVE}
+
+
+def _is_operator(token: str) -> bool:
+    return token in OPERATORS
+
+
+class PolishExpression:
+    """An immutable, validated, normalized Polish expression."""
+
+    __slots__ = ("_tokens",)
+
+    def __init__(self, tokens: Sequence[str]):
+        self._tokens: Tuple[str, ...] = tuple(tokens)
+        self._validate()
+
+    # -- validation ----------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self._tokens:
+            raise ValueError("empty Polish expression")
+        n_operands = 0
+        n_operators = 0
+        prev_operator = False
+        seen = set()
+        for tok in self._tokens:
+            if _is_operator(tok):
+                n_operators += 1
+                if n_operators >= n_operands:
+                    raise ValueError(
+                        "balloting property violated in "
+                        f"{' '.join(self._tokens)!r}"
+                    )
+                if prev_operator and tok == prev_tok:
+                    raise ValueError(
+                        "expression is not normalized (consecutive "
+                        f"{tok!r}) in {' '.join(self._tokens)!r}"
+                    )
+                prev_operator = True
+            else:
+                n_operands += 1
+                if tok in seen:
+                    raise ValueError(f"operand {tok!r} appears twice")
+                seen.add(tok)
+                prev_operator = False
+            prev_tok = tok
+        if n_operators != n_operands - 1:
+            raise ValueError(
+                f"expected {n_operands - 1} operators for {n_operands} "
+                f"operands, got {n_operators}"
+            )
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def tokens(self) -> Tuple[str, ...]:
+        return self._tokens
+
+    @property
+    def operands(self) -> Tuple[str, ...]:
+        return tuple(t for t in self._tokens if not _is_operator(t))
+
+    @property
+    def n_modules(self) -> int:
+        return (len(self._tokens) + 1) // 2
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PolishExpression) and self._tokens == other._tokens
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._tokens)
+
+    def __repr__(self) -> str:
+        return f"PolishExpression({' '.join(self._tokens)!r})"
+
+    # -- moves -------------------------------------------------------------
+
+    def move_m1(self, rng: random.Random) -> "PolishExpression":
+        """Swap two operands adjacent in the operand subsequence."""
+        positions = [i for i, t in enumerate(self._tokens) if not _is_operator(t)]
+        if len(positions) < 2:
+            return self
+        k = rng.randrange(len(positions) - 1)
+        i, j = positions[k], positions[k + 1]
+        tokens = list(self._tokens)
+        tokens[i], tokens[j] = tokens[j], tokens[i]
+        return PolishExpression(tokens)
+
+    def move_m2(self, rng: random.Random) -> "PolishExpression":
+        """Complement every operator in one maximal operator chain."""
+        chains = self._operator_chains()
+        if not chains:
+            return self
+        start, end = chains[rng.randrange(len(chains))]
+        tokens = list(self._tokens)
+        for i in range(start, end):
+            tokens[i] = _COMPLEMENT[tokens[i]]
+        return PolishExpression(tokens)
+
+    def move_m3(
+        self, rng: random.Random, max_attempts: int = 32
+    ) -> Optional["PolishExpression"]:
+        """Swap one adjacent operand/operator pair.
+
+        Candidate positions are tried in random order; returns ``None``
+        when no attempted swap yields a valid normalized expression (the
+        annealer then draws a different move).
+        """
+        candidates = [
+            i
+            for i in range(len(self._tokens) - 1)
+            if _is_operator(self._tokens[i]) != _is_operator(self._tokens[i + 1])
+        ]
+        rng.shuffle(candidates)
+        for i in candidates[:max_attempts]:
+            tokens = list(self._tokens)
+            tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+            try:
+                return PolishExpression(tokens)
+            except ValueError:
+                continue
+        return None
+
+    def random_neighbor(self, rng: random.Random) -> "PolishExpression":
+        """One random M1/M2/M3 perturbation (uniform over move kinds;
+        falls back to M1 when M3 finds no legal swap)."""
+        choice = rng.randrange(3)
+        if choice == 0:
+            return self.move_m1(rng)
+        if choice == 1:
+            return self.move_m2(rng)
+        neighbor = self.move_m3(rng)
+        return neighbor if neighbor is not None else self.move_m1(rng)
+
+    # -- helpers -------------------------------------------------------
+
+    def _operator_chains(self) -> List[Tuple[int, int]]:
+        """Half-open index ranges of maximal operator runs."""
+        chains = []
+        i = 0
+        n = len(self._tokens)
+        while i < n:
+            if _is_operator(self._tokens[i]):
+                j = i
+                while j < n and _is_operator(self._tokens[j]):
+                    j += 1
+                chains.append((i, j))
+                i = j
+            else:
+                i += 1
+        return chains
+
+
+def initial_expression(
+    module_names: Sequence[str],
+    rng: "random.Random | None" = None,
+) -> PolishExpression:
+    """A valid starting expression: a left-deep alternating chain.
+
+    ``m0 m1 + m2 * m3 + ...`` -- trivially balloting-valid and
+    normalized.  With an ``rng`` the operand order is shuffled so
+    different seeds start annealing from different floorplans.
+    """
+    names = list(module_names)
+    if len(names) < 1:
+        raise ValueError("need at least one module")
+    if rng is not None:
+        rng.shuffle(names)
+    tokens: List[str] = [names[0]]
+    ops = (OP_ABOVE, OP_BESIDE)
+    for k, name in enumerate(names[1:]):
+        tokens.append(name)
+        tokens.append(ops[k % 2])
+    return PolishExpression(tokens)

@@ -1,0 +1,142 @@
+"""Sequence-pair floorplan representation (extension).
+
+The paper's floorplanner is slicing-only; Section 4.6 claims the
+congestion model "can be embedded into any general floorplanners".  To
+exercise that claim we also provide the classic sequence-pair
+representation [Murata et al., ICCAD'95], which reaches general
+(non-slicing) packings.
+
+A sequence pair is two permutations ``(gamma_plus, gamma_minus)`` of the
+module names plus a per-module rotation flag.  Module ``a`` is left of
+``b`` iff ``a`` precedes ``b`` in both sequences; ``a`` is below ``b``
+iff ``a`` follows ``b`` in ``gamma_plus`` and precedes it in
+``gamma_minus``.  Packing evaluates the induced horizontal and vertical
+constraint graphs by longest path (O(m^2), fine at block counts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from repro.floorplan.floorplan import Floorplan
+from repro.geometry import Rect
+from repro.netlist import Module
+
+__all__ = ["SequencePair", "pack_sequence_pair"]
+
+
+@dataclass(frozen=True)
+class SequencePair:
+    """An immutable sequence pair with rotation flags."""
+
+    gamma_plus: Tuple[str, ...]
+    gamma_minus: Tuple[str, ...]
+    rotated: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if sorted(self.gamma_plus) != sorted(self.gamma_minus):
+            raise ValueError("gamma_plus and gamma_minus permute different sets")
+        if len(set(self.gamma_plus)) != len(self.gamma_plus):
+            raise ValueError("sequence pair contains duplicate names")
+        if not self.gamma_plus:
+            raise ValueError("sequence pair cannot be empty")
+        unknown = set(self.rotated) - set(self.gamma_plus)
+        if unknown:
+            raise ValueError(f"rotation flags for unknown modules {unknown}")
+
+    @classmethod
+    def initial(
+        cls, names: Sequence[str], rng: "random.Random | None" = None
+    ) -> "SequencePair":
+        plus = list(names)
+        minus = list(names)
+        if rng is not None:
+            rng.shuffle(plus)
+            rng.shuffle(minus)
+        return cls(tuple(plus), tuple(minus))
+
+    # -- moves -------------------------------------------------------------
+
+    def swap_in_plus(self, rng: random.Random) -> "SequencePair":
+        """Swap two random names in ``gamma_plus`` only."""
+        if len(self.gamma_plus) < 2:
+            return self
+        i, j = rng.sample(range(len(self.gamma_plus)), 2)
+        plus = list(self.gamma_plus)
+        plus[i], plus[j] = plus[j], plus[i]
+        return SequencePair(tuple(plus), self.gamma_minus, self.rotated)
+
+    def swap_in_both(self, rng: random.Random) -> "SequencePair":
+        """Swap the same two names in both sequences."""
+        if len(self.gamma_plus) < 2:
+            return self
+        a, b = rng.sample(self.gamma_plus, 2)
+        return SequencePair(
+            _swapped(self.gamma_plus, a, b),
+            _swapped(self.gamma_minus, a, b),
+            self.rotated,
+        )
+
+    def toggle_rotation(self, rng: random.Random) -> "SequencePair":
+        """Flip one module's 90-degree rotation."""
+        name = self.gamma_plus[rng.randrange(len(self.gamma_plus))]
+        rotated = set(self.rotated)
+        if name in rotated:
+            rotated.remove(name)
+        else:
+            rotated.add(name)
+        return SequencePair(self.gamma_plus, self.gamma_minus, frozenset(rotated))
+
+    def random_neighbor(self, rng: random.Random) -> "SequencePair":
+        """One uniformly-chosen perturbation (swap/swap-both/rotate)."""
+        choice = rng.randrange(3)
+        if choice == 0:
+            return self.swap_in_plus(rng)
+        if choice == 1:
+            return self.swap_in_both(rng)
+        return self.toggle_rotation(rng)
+
+
+def _swapped(seq: Tuple[str, ...], a: str, b: str) -> Tuple[str, ...]:
+    out = list(seq)
+    ia, ib = out.index(a), out.index(b)
+    out[ia], out[ib] = out[ib], out[ia]
+    return tuple(out)
+
+
+def pack_sequence_pair(
+    pair: SequencePair, modules: Mapping[str, Module]
+) -> Floorplan:
+    """Pack a sequence pair into the lower-left-justified floorplan."""
+    dims: Dict[str, Tuple[float, float]] = {}
+    for name in pair.gamma_plus:
+        try:
+            m = modules[name]
+        except KeyError:
+            raise KeyError(f"sequence pair names unknown module {name!r}")
+        if name in pair.rotated:
+            dims[name] = (m.height, m.width)
+        else:
+            dims[name] = (m.width, m.height)
+
+    pos_plus = {name: i for i, name in enumerate(pair.gamma_plus)}
+    order = pair.gamma_minus  # both relations imply gamma_minus precedence
+    x: Dict[str, float] = {}
+    y: Dict[str, float] = {}
+    for j, b in enumerate(order):
+        bx = by = 0.0
+        pb = pos_plus[b]
+        for a in order[:j]:
+            if pos_plus[a] < pb:  # a left of b
+                bx = max(bx, x[a] + dims[a][0])
+            else:  # a below b
+                by = max(by, y[a] + dims[a][1])
+        x[b], y[b] = bx, by
+
+    placements = {
+        name: Rect.from_origin(x[name], y[name], *dims[name])
+        for name in pair.gamma_plus
+    }
+    return Floorplan(placements)

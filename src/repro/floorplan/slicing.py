@@ -1,0 +1,117 @@
+"""Slicing-tree evaluation: Polish expression -> placed floorplan.
+
+The evaluator builds the slicing tree from the postfix expression,
+computes each node's non-dominated shape list bottom-up, picks the
+minimum-area root outline, then walks back down the recorded child
+choices assigning coordinates:
+
+* ``*`` (beside): left child at ``(x, y)``, right child at
+  ``(x + w_left, y)``;
+* ``+`` (above): left child at ``(x, y)``, right child at
+  ``(x, y + h_left)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.packing import (
+    ShapeList,
+    combine,
+    leaf_shapes_for_module,
+)
+from repro.floorplan.polish import OP_ABOVE, OPERATORS, PolishExpression
+from repro.geometry import Rect
+from repro.netlist import Module
+
+__all__ = ["SlicingNode", "build_slicing_tree", "evaluate_polish"]
+
+
+@dataclass
+class SlicingNode:
+    """A slicing-tree node with its computed shape list."""
+
+    shapes: ShapeList
+    op: Optional[str] = None  # None for leaves
+    module_name: Optional[str] = None
+    left: "SlicingNode | None" = None
+    right: "SlicingNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.op is None
+
+
+def build_slicing_tree(
+    expression: PolishExpression,
+    modules: Mapping[str, Module],
+    allow_rotation: bool = True,
+) -> SlicingNode:
+    """Build the tree and compute every node's shape list bottom-up."""
+    stack: list[SlicingNode] = []
+    for token in expression.tokens:
+        if token in OPERATORS:
+            right = stack.pop()
+            left = stack.pop()
+            node = SlicingNode(
+                shapes=combine(token, left.shapes, right.shapes),
+                op=token,
+                left=left,
+                right=right,
+            )
+            stack.append(node)
+        else:
+            try:
+                module = modules[token]
+            except KeyError:
+                raise KeyError(
+                    f"expression operand {token!r} has no module definition"
+                )
+            stack.append(
+                SlicingNode(
+                    shapes=leaf_shapes_for_module(module, allow_rotation),
+                    module_name=token,
+                )
+            )
+    # PolishExpression validity guarantees exactly one tree remains.
+    return stack[0]
+
+
+def _place(
+    node: SlicingNode,
+    shape_index: int,
+    x: float,
+    y: float,
+    out: Dict[str, Rect],
+) -> None:
+    shape = node.shapes[shape_index]
+    if node.is_leaf:
+        out[node.module_name] = Rect.from_origin(x, y, shape.width, shape.height)
+        return
+    left_shape = node.left.shapes[shape.left_index]
+    _place(node.left, shape.left_index, x, y, out)
+    if node.op == OP_ABOVE:
+        _place(node.right, shape.right_index, x, y + left_shape.height, out)
+    else:
+        _place(node.right, shape.right_index, x + left_shape.width, y, out)
+
+
+def evaluate_polish(
+    expression: PolishExpression,
+    modules: Mapping[str, Module],
+    allow_rotation: bool = True,
+) -> Floorplan:
+    """Pack a Polish expression into the minimum-area floorplan.
+
+    The chip outline is the chosen root shape (modules may leave
+    whitespace inside it wherever a cut's two sides differ in extent).
+    """
+    root = build_slicing_tree(expression, modules, allow_rotation)
+    best = root.shapes.min_area_index()
+    placements: Dict[str, Rect] = {}
+    _place(root, best, 0.0, 0.0, placements)
+    chip_shape = root.shapes[best]
+    chip = Rect.from_origin(0.0, 0.0, chip_shape.width, chip_shape.height)
+    return Floorplan(placements, chip=chip)

@@ -1,0 +1,16 @@
+"""Planar geometry substrate: points, intervals, rectangles, cut lines.
+
+Everything in the congestion pipeline is axis-aligned: module outlines,
+routing ranges (net bounding boxes), fixed grids and IR-grids.  This
+package provides the small set of exact primitives those layers share.
+
+Coordinates are floats in chip micrometres unless a layer says otherwise
+(the route-counting layer works in integer unit-grid indices).
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.interval import Interval
+from repro.geometry.rect import Rect
+from repro.geometry.cutlines import CutLines, merge_close_lines
+
+__all__ = ["Point", "Interval", "Rect", "CutLines", "merge_close_lines"]

@@ -1,0 +1,154 @@
+"""Cut-line bookkeeping for the Irregular-Grid.
+
+Every routing range contributes two vertical and two horizontal cutting
+lines (Section 4.2).  This module keeps a sorted, deduplicated set of
+line coordinates and implements the Algorithm's step 2: *"Remove any two
+lines whose interval is smaller than the double of the width/length of a
+grid"* -- nearby lines are merged so the Irregular-Grid contains no
+sliver cells narrower than the merge threshold.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["CutLines", "merge_close_lines"]
+
+# Coordinates closer than this are considered the same physical line.
+_COINCIDENT_EPS = 1e-9
+
+
+def merge_close_lines(
+    lines: Sequence[float],
+    min_gap: float,
+    keep: Sequence[float] = (),
+) -> List[float]:
+    """Merge nearby line coordinates (the Algorithm's step 2).
+
+    The paper's rule -- *"remove any two lines whose interval is smaller
+    than the double of the width/length of a grid"* -- as a single
+    left-to-right pass: a line closer than ``min_gap`` to the *running
+    representative* (the merged line produced so far) joins its
+    cluster, moving the representative to the cluster mean; otherwise
+    it starts a new cluster.  Because a new cluster only starts at
+    least ``min_gap`` right of the previous representative, and means
+    never move left of their first member, the output's pairwise gaps
+    are all >= ``min_gap`` after the single pass.
+
+    Coordinates listed in ``keep`` (chip boundaries) are pinned: a merge
+    involving a kept line lands on that line instead of the mean, so
+    the merged grid still spans exactly the chip.
+
+    ``lines`` may be unsorted and contain duplicates; the result is
+    sorted and duplicate-free.
+    """
+    if min_gap < 0:
+        raise ValueError(f"min_gap must be non-negative, got {min_gap}")
+    uniq = _dedup(sorted(lines))
+    if not uniq:
+        return []
+    keep_sorted = _dedup(sorted(keep))
+    merged: List[float] = []
+    cluster: List[float] = [uniq[0]]
+    rep = uniq[0]
+    for x in uniq[1:]:
+        if x - rep < min_gap:
+            cluster.append(x)
+            rep = _collapse(cluster, keep_sorted)
+        else:
+            merged.append(rep)
+            cluster = [x]
+            rep = x
+    merged.append(rep)
+    return _dedup(merged)
+
+
+def _dedup(sorted_lines: Sequence[float]) -> List[float]:
+    out: List[float] = []
+    for x in sorted_lines:
+        if not out or x - out[-1] > _COINCIDENT_EPS:
+            out.append(x)
+    return out
+
+
+def _collapse(cluster: Sequence[float], keep_sorted: Sequence[float]) -> float:
+    for pinned in keep_sorted:
+        if cluster[0] - _COINCIDENT_EPS <= pinned <= cluster[-1] + _COINCIDENT_EPS:
+            return pinned
+    return sum(cluster) / len(cluster)
+
+
+class CutLines:
+    """A sorted set of cut coordinates along one axis.
+
+    Provides the two queries the IR-grid needs: *which cell index does a
+    coordinate fall in* and *which line index is nearest to a
+    coordinate* (for snapping routing-range boundaries onto the merged
+    lines).
+    """
+
+    def __init__(self, lines: Iterable[float]):
+        self._lines: List[float] = _dedup(sorted(lines))
+        if len(self._lines) < 2:
+            raise ValueError(
+                "CutLines needs at least two distinct coordinates, got "
+                f"{self._lines}"
+            )
+
+    @property
+    def lines(self) -> Tuple[float, ...]:
+        return tuple(self._lines)
+
+    @property
+    def n_cells(self) -> int:
+        """Number of intervals between consecutive lines."""
+        return len(self._lines) - 1
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        return self._lines[0], self._lines[-1]
+
+    def cell_bounds(self, index: int) -> Tuple[float, float]:
+        """``(lo, hi)`` of cell ``index``."""
+        if not 0 <= index < self.n_cells:
+            raise IndexError(f"cell index {index} out of range 0..{self.n_cells - 1}")
+        return self._lines[index], self._lines[index + 1]
+
+    def cell_of(self, x: float) -> int:
+        """Index of the cell containing ``x``.
+
+        Coordinates exactly on an interior line belong to the cell to
+        their right (half-open convention), except the top line which
+        belongs to the last cell, so every in-span coordinate maps to
+        exactly one cell.
+        """
+        lo, hi = self.span
+        if not lo <= x <= hi:
+            raise ValueError(f"coordinate {x} outside cut-line span [{lo}, {hi}]")
+        i = bisect.bisect_right(self._lines, x) - 1
+        return min(i, self.n_cells - 1)
+
+    def nearest_line_index(self, x: float) -> int:
+        """Index of the cut line closest to ``x`` (ties go left)."""
+        i = bisect.bisect_left(self._lines, x)
+        if i == 0:
+            return 0
+        if i == len(self._lines):
+            return len(self._lines) - 1
+        before, after = self._lines[i - 1], self._lines[i]
+        return i - 1 if x - before <= after - x else i
+
+    def snap(self, x: float) -> float:
+        """The cut-line coordinate closest to ``x``."""
+        return self._lines[self.nearest_line_index(x)]
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __iter__(self):
+        return iter(self._lines)
+
+    def __repr__(self) -> str:
+        lo, hi = self.span
+        return f"CutLines({len(self._lines)} lines over [{lo}, {hi}])"

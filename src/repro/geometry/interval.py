@@ -1,0 +1,66 @@
+"""Closed 1-D intervals.
+
+Routing ranges and IR-grids are products of two intervals; keeping the
+1-D arithmetic in one place keeps the 2-D code free of off-by-one and
+empty-overlap bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"interval lo {self.lo} exceeds hi {self.hi}")
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def mid(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    def contains(self, x: float) -> bool:
+        """Whether ``x`` lies in the closed interval."""
+        return self.lo <= x <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether ``other`` lies entirely inside this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the closed intervals share at least one point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def overlaps_open(self, other: "Interval") -> bool:
+        """Whether the *open* interiors intersect (shared endpoints do
+        not count).  Grid cells that merely abut must not be reported as
+        overlapping, so tiling checks use this variant."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping sub-interval, or ``None`` if disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def clamped(self, x: float) -> float:
+        """``x`` clamped into the interval."""
+        return min(max(x, self.lo), self.hi)
+
+    def expanded(self, amount: float) -> "Interval":
+        """The interval grown by ``amount`` on each side."""
+        return Interval(self.lo - amount, self.hi + amount)

@@ -1,0 +1,31 @@
+"""Immutable 2-D point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Point"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the chip plane (micrometres).
+
+    Ordering is lexicographic ``(x, y)``, which gives pin pairs a
+    deterministic "left pin" -- the paper's ``p1`` (Section 2, Figure 1).
+    """
+
+    x: float
+    y: float
+
+    def manhattan_distance(self, other: "Point") -> float:
+        """L1 distance; the wirelength of a shortest Manhattan route."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y

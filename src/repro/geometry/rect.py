@@ -1,0 +1,157 @@
+"""Axis-aligned rectangles.
+
+Modules, routing ranges, grid cells and IR-grids are all ``Rect``
+instances; the congestion models only ever need containment, overlap and
+area from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Closed axis-aligned rectangle ``[x_lo, x_hi] x [y_lo, y_hi]``.
+
+    Degenerate rectangles (zero width and/or height) are legal: the
+    routing range of a net with horizontally or vertically aligned pins
+    is a segment, and two coincident pins give a single point
+    (Section 2 of the paper).
+    """
+
+    x_lo: float
+    y_lo: float
+    x_hi: float
+    y_hi: float
+
+    def __post_init__(self) -> None:
+        if self.x_lo > self.x_hi:
+            raise ValueError(f"x_lo {self.x_lo} exceeds x_hi {self.x_hi}")
+        if self.y_lo > self.y_hi:
+            raise ValueError(f"y_lo {self.y_lo} exceeds y_hi {self.y_hi}")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_points(cls, a: Point, b: Point) -> "Rect":
+        """Bounding box of two points -- a net's routing range."""
+        return cls(
+            min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y)
+        )
+
+    @classmethod
+    def from_origin(cls, x: float, y: float, width: float, height: float) -> "Rect":
+        """Rectangle from lower-left corner plus size (module outlines)."""
+        if width < 0 or height < 0:
+            raise ValueError(
+                f"width/height must be non-negative, got {width} x {height}"
+            )
+        return cls(x, y, x + width, y + height)
+
+    @classmethod
+    def from_intervals(cls, x: Interval, y: Interval) -> "Rect":
+        return cls(x.lo, y.lo, x.hi, y.hi)
+
+    # -- measures ------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.x_hi - self.x_lo
+
+    @property
+    def height(self) -> float:
+        return self.y_hi - self.y_lo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def half_perimeter(self) -> float:
+        return self.width + self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(0.5 * (self.x_lo + self.x_hi), 0.5 * (self.y_lo + self.y_hi))
+
+    @property
+    def x_interval(self) -> Interval:
+        return Interval(self.x_lo, self.x_hi)
+
+    @property
+    def y_interval(self) -> Interval:
+        return Interval(self.y_lo, self.y_hi)
+
+    @property
+    def corners(self):
+        """The four corners, counter-clockwise from the lower-left."""
+        return (
+            Point(self.x_lo, self.y_lo),
+            Point(self.x_hi, self.y_lo),
+            Point(self.x_hi, self.y_hi),
+            Point(self.x_lo, self.y_hi),
+        )
+
+    @property
+    def is_degenerate(self) -> bool:
+        """Zero width or height (segment/point routing range)."""
+        return self.width == 0.0 or self.height == 0.0
+
+    # -- predicates ----------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """Whether ``p`` lies in the closed rectangle."""
+        return (
+            self.x_lo <= p.x <= self.x_hi and self.y_lo <= p.y <= self.y_hi
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies entirely inside this rectangle."""
+        return (
+            self.x_lo <= other.x_lo
+            and other.x_hi <= self.x_hi
+            and self.y_lo <= other.y_lo
+            and other.y_hi <= self.y_hi
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Closed overlap: touching edges count."""
+        return self.x_interval.overlaps(other.x_interval) and self.y_interval.overlaps(
+            other.y_interval
+        )
+
+    def overlaps_open(self, other: "Rect") -> bool:
+        """Interior overlap: touching edges do *not* count.  This is the
+        non-overlap criterion for packed modules and for grid tilings."""
+        return self.x_interval.overlaps_open(
+            other.x_interval
+        ) and self.y_interval.overlaps_open(other.y_interval)
+
+    # -- operations ----------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping sub-rectangle, or ``None`` if disjoint."""
+        xi = self.x_interval.intersection(other.x_interval)
+        yi = self.y_interval.intersection(other.y_interval)
+        if xi is None or yi is None:
+            return None
+        return Rect.from_intervals(xi, yi)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Bounding box of the union."""
+        return Rect(
+            min(self.x_lo, other.x_lo),
+            min(self.y_lo, other.y_lo),
+            max(self.x_hi, other.x_hi),
+            max(self.y_hi, other.y_hi),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy shifted by ``(dx, dy)``."""
+        return Rect(self.x_lo + dx, self.y_lo + dy, self.x_hi + dx, self.y_hi + dy)

@@ -1,0 +1,40 @@
+"""Numeric substrates shared by the congestion models.
+
+The probability formulas in the paper (Formulas 1-3, Theorem 1) are built
+from three primitives, all provided here:
+
+* binomial coefficients, including a log-space variant that stays finite
+  for routing ranges spanning hundreds of grid cells
+  (:mod:`repro.mathutils.combinatorics`);
+* Simpson's rule for the definite integrals of Theorem 1
+  (:mod:`repro.mathutils.integrate`);
+* the normal density/CDF used by the hypergeometric-to-normal
+  approximation (:mod:`repro.mathutils.distributions`).
+"""
+
+from repro.mathutils.combinatorics import (
+    binomial,
+    log_binomial,
+    binomial_ratio,
+    pascal_row,
+    hypergeometric_pmf,
+)
+from repro.mathutils.integrate import simpson, adaptive_simpson
+from repro.mathutils.distributions import (
+    normal_pdf,
+    normal_cdf,
+    normal_interval_mass,
+)
+
+__all__ = [
+    "binomial",
+    "log_binomial",
+    "binomial_ratio",
+    "pascal_row",
+    "hypergeometric_pmf",
+    "simpson",
+    "adaptive_simpson",
+    "normal_pdf",
+    "normal_cdf",
+    "normal_interval_mass",
+]

@@ -1,0 +1,113 @@
+"""Binomial-coefficient primitives for monotone-route counting.
+
+The number of monotone staircase routes between two grid cells is a
+binomial coefficient (Formula 1 of the paper).  Routing ranges in real
+floorplans can span hundreds of grid cells in each direction, where
+``C(n, k)`` overflows ``float`` (``C(1000, 500) ~ 10**299``); every
+probability in the congestion models is therefore a *ratio* of binomials,
+which we evaluate in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import List
+
+__all__ = [
+    "binomial",
+    "log_binomial",
+    "binomial_ratio",
+    "pascal_row",
+    "hypergeometric_pmf",
+]
+
+# Exact integer binomials are cached up to this ``n``; above it callers
+# should work in log space.  128 covers every unit-grid routing range the
+# experiments produce after cut-line merging.
+_EXACT_CACHE_LIMIT = 128
+
+
+def binomial(n: int, k: int) -> int:
+    """Exact integer binomial coefficient ``C(n, k)``.
+
+    Out-of-range arguments (``k < 0`` or ``k > n`` or ``n < 0``) return 0,
+    matching the paper's convention that route counts outside a routing
+    range are zero (Definition 1).
+    """
+    if n < 0 or k < 0 or k > n:
+        return 0
+    return _binomial_cached(n, min(k, n - k))
+
+
+@lru_cache(maxsize=None)
+def _binomial_cached(n: int, k: int) -> int:
+    return math.comb(n, k)
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Natural log of ``C(n, k)``; ``-inf`` when the coefficient is 0."""
+    if n < 0 or k < 0 or k > n:
+        return float("-inf")
+    if k == 0 or k == n:
+        return 0.0
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def binomial_ratio(numerators, denominators) -> float:
+    """Evaluate ``prod(C(n,k) for numerators) / prod(C(n,k) for denominators)``.
+
+    Both arguments are iterables of ``(n, k)`` pairs.  The computation is
+    done in log space so that ratios of astronomically large route counts
+    (the crossing probabilities of Formulas 2-3) come out as ordinary
+    floats in ``[0, inf)``.
+
+    A zero numerator short-circuits to 0.0.  A zero denominator raises
+    :class:`ZeroDivisionError` because it indicates the caller asked for a
+    probability over an empty route set.
+    """
+    log_num = 0.0
+    for n, k in numerators:
+        term = log_binomial(n, k)
+        if term == float("-inf"):
+            return 0.0
+        log_num += term
+    log_den = 0.0
+    for n, k in denominators:
+        term = log_binomial(n, k)
+        if term == float("-inf"):
+            raise ZeroDivisionError(
+                f"binomial denominator C({n}, {k}) is zero"
+            )
+        log_den += term
+    return math.exp(log_num - log_den)
+
+
+def pascal_row(n: int) -> List[int]:
+    """Row ``n`` of Pascal's triangle: ``[C(n,0), ..., C(n,n)]``.
+
+    Used by the exact fixed-grid model to fill route-count tables (the
+    ``Ta``/``Tb`` arrays of Figure 2) one anti-diagonal at a time.
+    """
+    if n < 0:
+        raise ValueError(f"row index must be non-negative, got {n}")
+    row = [1] * (n + 1)
+    for k in range(1, n):
+        row[k] = binomial(n, k) if n <= _EXACT_CACHE_LIMIT else math.comb(n, k)
+    return row
+
+
+def hypergeometric_pmf(x: int, r: int, big_r: int, q: int) -> float:
+    """Hypergeometric probability ``C(Q,x) * C(R-Q, r-x) / C(R, r)``.
+
+    This is the paper's ``h(x, r, R, Q)`` (Section 4.4) *when Q is held
+    fixed*; the congestion approximation perturbs Q with x, making it only
+    "hypergeometry-like", but the fixed-Q version is the reference the
+    normal approximation is tested against.
+    """
+    return binomial_ratio(
+        [(q, x), (big_r - q, r - x)],
+        [(big_r, r)],
+    )

@@ -1,0 +1,54 @@
+"""Normal-distribution helpers for the hypergeometric approximation.
+
+Section 4.4 approximates the hypergeometry-like route-count ratio with a
+normal density whose mean/variance follow the classic
+hypergeometric-to-normal moment matching.  These are the density and CDF
+primitives that approximation is assembled from.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["normal_pdf", "normal_cdf", "normal_interval_mass"]
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+def normal_pdf(x: float, mu: float = 0.0, sigma: float = 1.0) -> float:
+    """Gaussian density ``N(x; mu, sigma)``.
+
+    ``sigma`` must be positive; the congestion approximation guards its
+    variance expressions before calling in here.
+    """
+    if sigma <= 0.0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    z = (x - mu) / sigma
+    # Exponent underflow far in the tails is fine -- it rounds to 0.0,
+    # which is exactly the route-count ratio there.
+    if abs(z) > 40.0:
+        return 0.0
+    return math.exp(-0.5 * z * z) / (sigma * _SQRT_2PI)
+
+
+def normal_cdf(x: float, mu: float = 0.0, sigma: float = 1.0) -> float:
+    """Gaussian CDF via the error function."""
+    if sigma <= 0.0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return 0.5 * (1.0 + math.erf((x - mu) / (sigma * _SQRT2)))
+
+
+def normal_interval_mass(
+    a: float, b: float, mu: float = 0.0, sigma: float = 1.0
+) -> float:
+    """Probability mass of ``N(mu, sigma)`` on ``[a, b]``.
+
+    Convenience used when a Theorem-1 integrand has *constant* mean and
+    variance over the integration interval (the degenerate 1-cell-wide
+    IR-grids), where the integral has this closed form and Simpson's rule
+    is unnecessary.
+    """
+    if b < a:
+        a, b = b, a
+    return normal_cdf(b, mu, sigma) - normal_cdf(a, mu, sigma)

@@ -1,0 +1,16 @@
+"""Floorplan quality metrics: wirelength and order statistics."""
+
+from repro.metrics.wirelength import (
+    hpwl,
+    total_hpwl,
+    total_two_pin_length,
+)
+from repro.metrics.stats import top_fraction_mean, area_weighted_top_fraction_mean
+
+__all__ = [
+    "hpwl",
+    "total_hpwl",
+    "total_two_pin_length",
+    "top_fraction_mean",
+    "area_weighted_top_fraction_mean",
+]

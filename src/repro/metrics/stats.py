@@ -1,0 +1,68 @@
+"""Order statistics used by the congestion scores.
+
+Both congestion models score a floorplan by the *top 10 % most
+congested* portion of the map (paper Sections 3 and 4.6).  The fixed
+grid has equal-area cells, so that is a plain top-k mean; IR-grids have
+unequal areas, so the score is an *area-weighted* top-fraction mean over
+density (probability mass per unit area).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["top_fraction_mean", "area_weighted_top_fraction_mean"]
+
+
+def top_fraction_mean(values: Sequence[float], fraction: float = 0.1) -> float:
+    """Mean of the largest ``fraction`` of ``values``.
+
+    At least one value is always included, matching the paper's
+    "top 10 % most congested grids" on coarse maps with fewer than ten
+    cells.  An empty sequence scores 0 (a floorplan with no nets has no
+    congestion).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if not values:
+        return 0.0
+    ordered = sorted(values, reverse=True)
+    k = max(1, int(round(fraction * len(ordered))))
+    top = ordered[:k]
+    return sum(top) / len(top)
+
+
+def area_weighted_top_fraction_mean(
+    density_area_pairs: Sequence[Tuple[float, float]],
+    fraction: float = 0.1,
+) -> float:
+    """Area-weighted mean density of the densest ``fraction`` of area.
+
+    ``density_area_pairs`` holds ``(density, area)`` per cell.  Cells
+    are taken in decreasing density until ``fraction`` of the *total*
+    area is covered; the last cell is included fractionally, so the
+    result is continuous in the cell boundaries (important: otherwise
+    the annealer's cost would jump when a cut line moves).
+
+    This is the paper's "average of the congestion cost of the top 10 %
+    most congested area units" (Algorithm step 5).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    total_area = sum(a for _, a in density_area_pairs if a > 0)
+    if total_area <= 0.0:
+        return 0.0
+    target = fraction * total_area
+    mass = 0.0
+    covered = 0.0
+    for density, area in sorted(density_area_pairs, key=lambda p: -p[0]):
+        if area <= 0:
+            continue
+        take = min(area, target - covered)
+        mass += density * take
+        covered += take
+        if covered >= target:
+            break
+    if covered <= 0.0:
+        return 0.0
+    return mass / covered

@@ -1,0 +1,169 @@
+"""Seeded synthetic circuit generators.
+
+Three families cover the workloads the test suite and the experiments
+need beyond the MCNC-like circuits in :mod:`repro.data.mcnc`:
+
+* :func:`random_circuit` -- i.i.d. module sizes, uniform random nets;
+* :func:`clustered_circuit` -- modules grouped into clusters with
+  intra-cluster connection bias, which is what makes congestion
+  *localized* (the regime the Irregular-Grid is designed for);
+* :func:`grid_circuit` -- near-uniform modules with mesh connectivity,
+  the adversarial near-homogeneous case where irregular and fixed grids
+  should agree.
+
+All generators are deterministic functions of their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.netlist.module import Module
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+__all__ = ["random_circuit", "clustered_circuit", "grid_circuit"]
+
+
+def _module_sizes(
+    rng: random.Random,
+    n_modules: int,
+    mean_area: float,
+    area_spread: float,
+    max_aspect: float,
+) -> List[Module]:
+    modules = []
+    for i in range(n_modules):
+        # Log-uniform area spread keeps all areas positive and gives the
+        # long-tailed size mix real block-level designs have.
+        area = mean_area * (area_spread ** rng.uniform(-1.0, 1.0))
+        aspect = rng.uniform(1.0, max_aspect)
+        if rng.random() < 0.5:
+            aspect = 1.0 / aspect
+        width = (area / aspect) ** 0.5
+        height = area / width
+        modules.append(Module(f"m{i}", round(width, 3), round(height, 3)))
+    return modules
+
+
+def _sample_degree(rng: random.Random, max_degree: int) -> int:
+    """Net degree with the empirical heavy-2-pin mix of real netlists
+    (roughly: 60% 2-pin, 25% 3-pin, rest spread up to ``max_degree``)."""
+    u = rng.random()
+    if u < 0.60 or max_degree == 2:
+        return 2
+    if u < 0.85 or max_degree == 3:
+        return 3
+    return rng.randint(4, max_degree)
+
+
+def random_circuit(
+    n_modules: int,
+    n_nets: int,
+    seed: int = 0,
+    mean_area: float = 40_000.0,
+    area_spread: float = 4.0,
+    max_aspect: float = 3.0,
+    max_degree: int = 5,
+    name: Optional[str] = None,
+) -> Netlist:
+    """A circuit with uniformly random connectivity.
+
+    ``mean_area`` is per-module in square micrometres (default ~200 µm
+    square blocks).
+    """
+    if n_modules < 2:
+        raise ValueError("need at least 2 modules")
+    rng = random.Random(seed)
+    modules = _module_sizes(rng, n_modules, mean_area, area_spread, max_aspect)
+    names = [m.name for m in modules]
+    nets = []
+    for j in range(n_nets):
+        degree = min(_sample_degree(rng, max_degree), n_modules)
+        terminals = rng.sample(names, degree)
+        nets.append(Net(f"n{j}", terminals))
+    return Netlist(name or f"random_{n_modules}m_{n_nets}n_s{seed}", modules, nets)
+
+
+def clustered_circuit(
+    n_modules: int,
+    n_nets: int,
+    n_clusters: int = 4,
+    intra_cluster_prob: float = 0.8,
+    seed: int = 0,
+    mean_area: float = 40_000.0,
+    area_spread: float = 4.0,
+    max_aspect: float = 3.0,
+    max_degree: int = 5,
+    name: Optional[str] = None,
+) -> Netlist:
+    """A circuit whose nets prefer to stay within module clusters.
+
+    With probability ``intra_cluster_prob`` a net draws all its
+    terminals from one cluster; otherwise it spans clusters.  High
+    intra-cluster probability concentrates routing demand and produces
+    the hot spots Figure 4 of the paper motivates.
+    """
+    if not 1 <= n_clusters <= n_modules:
+        raise ValueError(
+            f"n_clusters must be in [1, n_modules], got {n_clusters}"
+        )
+    if not 0.0 <= intra_cluster_prob <= 1.0:
+        raise ValueError("intra_cluster_prob must be in [0, 1]")
+    rng = random.Random(seed)
+    modules = _module_sizes(rng, n_modules, mean_area, area_spread, max_aspect)
+    names = [m.name for m in modules]
+    clusters: List[List[str]] = [[] for _ in range(n_clusters)]
+    for i, nm in enumerate(names):
+        clusters[i % n_clusters].append(nm)
+    nets = []
+    for j in range(n_nets):
+        degree = min(_sample_degree(rng, max_degree), n_modules)
+        cluster = clusters[rng.randrange(n_clusters)]
+        if rng.random() < intra_cluster_prob and len(cluster) >= degree:
+            terminals = rng.sample(cluster, degree)
+        else:
+            terminals = rng.sample(names, degree)
+        nets.append(Net(f"n{j}", terminals))
+    return Netlist(
+        name or f"clustered_{n_modules}m_{n_nets}n_s{seed}", modules, nets
+    )
+
+
+def grid_circuit(
+    rows: int,
+    cols: int,
+    module_size: float = 200.0,
+    size_jitter: float = 0.1,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Netlist:
+    """A mesh: one module per (row, col), nets between grid neighbours.
+
+    Near-uniform routing demand everywhere -- the case where a fixed
+    grid wastes no effort and the Irregular-Grid's advantage should
+    vanish; used by the ablation benches as a control workload.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if rows * cols < 2:
+        raise ValueError("mesh needs at least 2 modules")
+    rng = random.Random(seed)
+    modules = []
+    for r in range(rows):
+        for c in range(cols):
+            w = module_size * (1.0 + rng.uniform(-size_jitter, size_jitter))
+            h = module_size * (1.0 + rng.uniform(-size_jitter, size_jitter))
+            modules.append(Module(f"m{r}_{c}", round(w, 3), round(h, 3)))
+    nets = []
+    k = 0
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                nets.append(Net(f"n{k}", (f"m{r}_{c}", f"m{r}_{c + 1}")))
+                k += 1
+            if r + 1 < rows:
+                nets.append(Net(f"n{k}", (f"m{r}_{c}", f"m{r + 1}_{c}")))
+                k += 1
+    return Netlist(name or f"grid_{rows}x{cols}_s{seed}", modules, nets)

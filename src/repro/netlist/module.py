@@ -1,0 +1,56 @@
+"""Hard rectangular modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Module"]
+
+
+@dataclass(frozen=True)
+class Module:
+    """A hard block with a fixed outline (micrometres).
+
+    The floorplanner may rotate a module by 90 degrees
+    (:meth:`rotated`), which is the only shape freedom a hard block has.
+    Names are the identity used by nets and by placements; they must be
+    unique within a :class:`~repro.netlist.netlist.Netlist`.
+    """
+
+    name: str
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("module name must be non-empty")
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"module {self.name!r} needs positive dimensions, got "
+                f"{self.width} x {self.height}"
+            )
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def aspect_ratio(self) -> float:
+        """height / width."""
+        return self.height / self.width
+
+    def rotated(self) -> "Module":
+        """The same block turned 90 degrees."""
+        return Module(self.name, self.height, self.width)
+
+    def shapes(self, allow_rotation: bool = True):
+        """The realizable ``(width, height)`` outlines, widest first.
+
+        Square blocks yield a single shape even when rotation is
+        allowed, so shape-curve code never carries duplicates.
+        """
+        if allow_rotation and self.width != self.height:
+            first = (max(self.width, self.height), min(self.width, self.height))
+            second = (first[1], first[0])
+            return [first, second]
+        return [(self.width, self.height)]

@@ -1,0 +1,123 @@
+"""Nets: multi-pin logical nets and placed 2-pin nets.
+
+A :class:`Net` is topological -- a named set of module terminals.  A
+:class:`TwoPinNet` is geometric: two pin locations produced after
+placement and MST decomposition, carrying the paper's type-I/type-II
+classification (Section 2, Figure 1) and the routing range that the
+congestion models evaluate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.geometry import Point, Rect
+
+__all__ = ["Net", "NetType", "TwoPinNet"]
+
+
+@dataclass(frozen=True)
+class Net:
+    """A logical net connecting two or more module terminals.
+
+    ``weight`` multiplies the net's contribution to wirelength and
+    congestion (criticality weighting); the paper's experiments use
+    uniform weights.
+    """
+
+    name: str
+    terminals: Tuple[str, ...]
+    weight: float = 1.0
+
+    def __init__(self, name: str, terminals, weight: float = 1.0):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "terminals", tuple(terminals))
+        object.__setattr__(self, "weight", float(weight))
+        if not self.name:
+            raise ValueError("net name must be non-empty")
+        if len(self.terminals) < 2:
+            raise ValueError(
+                f"net {self.name!r} needs at least 2 terminals, got "
+                f"{len(self.terminals)}"
+            )
+        if len(set(self.terminals)) != len(self.terminals):
+            raise ValueError(f"net {self.name!r} lists a terminal twice")
+        if self.weight <= 0:
+            raise ValueError(f"net {self.name!r} weight must be positive")
+
+    @property
+    def degree(self) -> int:
+        return len(self.terminals)
+
+    @property
+    def is_two_pin(self) -> bool:
+        return self.degree == 2
+
+
+class NetType(enum.Enum):
+    """Orientation classes of a placed 2-pin net (paper Figure 1).
+
+    * ``TYPE_I``: one pin is lower-left of the other (routes go up-right).
+    * ``TYPE_II``: one pin is upper-left of the other (routes go
+      down-right).
+    * ``DEGENERATE``: pins share an x or y coordinate (the routing range
+      is a segment or point -- every shortest route crosses the same
+      cells with probability 1).
+    """
+
+    TYPE_I = "I"
+    TYPE_II = "II"
+    DEGENERATE = "degenerate"
+
+
+@dataclass(frozen=True)
+class TwoPinNet:
+    """A placed 2-pin net.
+
+    ``p1`` is always the left pin (smaller x; ties broken by smaller y),
+    matching the paper's convention that pin 1 is "on the other pin's
+    left".  The routing range is the pins' bounding box; all shortest
+    Manhattan routes live inside it (Section 2).
+    """
+
+    name: str
+    p1: Point
+    p2: Point
+    weight: float = 1.0
+    source_net: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if (self.p2.x, self.p2.y) < (self.p1.x, self.p1.y):
+            p1, p2 = self.p2, self.p1
+            object.__setattr__(self, "p1", p1)
+            object.__setattr__(self, "p2", p2)
+        if self.weight <= 0:
+            raise ValueError(f"net {self.name!r} weight must be positive")
+
+    @property
+    def net_type(self) -> NetType:
+        if self.p1.x == self.p2.x or self.p1.y == self.p2.y:
+            return NetType.DEGENERATE
+        if self.p1.y < self.p2.y:
+            return NetType.TYPE_I
+        return NetType.TYPE_II
+
+    @property
+    def routing_range(self) -> Rect:
+        return Rect.from_points(self.p1, self.p2)
+
+    @property
+    def manhattan_length(self) -> float:
+        return self.p1.manhattan_distance(self.p2)
+
+    def translated(self, dx: float, dy: float) -> "TwoPinNet":
+        """A copy with both pins shifted by ``(dx, dy)``."""
+        return TwoPinNet(
+            self.name,
+            self.p1.translated(dx, dy),
+            self.p2.translated(dx, dy),
+            self.weight,
+            self.source_net,
+        )

@@ -1,0 +1,120 @@
+"""The circuit container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.netlist.module import Module
+from repro.netlist.net import Net
+
+__all__ = ["Netlist"]
+
+
+class Netlist:
+    """A named circuit: modules plus the nets that connect them.
+
+    The container validates referential integrity eagerly (every net
+    terminal must name a module) so downstream layers can index without
+    checking.  Iteration orders are deterministic (insertion order),
+    which keeps every experiment reproducible for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        modules: Iterable[Module],
+        nets: Iterable[Net] = (),
+    ):
+        self.name = name
+        self._modules: Dict[str, Module] = {}
+        for m in modules:
+            if m.name in self._modules:
+                raise ValueError(f"duplicate module name {m.name!r}")
+            self._modules[m.name] = m
+        self._nets: Dict[str, Net] = {}
+        for net in nets:
+            self.add_net(net)
+        if not self._modules:
+            raise ValueError(f"netlist {name!r} has no modules")
+
+    # -- construction ----------------------------------------------------
+
+    def add_net(self, net: Net) -> None:
+        """Add a net, validating its terminals."""
+        if net.name in self._nets:
+            raise ValueError(f"duplicate net name {net.name!r}")
+        missing = [t for t in net.terminals if t not in self._modules]
+        if missing:
+            raise ValueError(
+                f"net {net.name!r} references unknown modules {missing}"
+            )
+        self._nets[net.name] = net
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def modules(self) -> Tuple[Module, ...]:
+        return tuple(self._modules.values())
+
+    @property
+    def nets(self) -> Tuple[Net, ...]:
+        return tuple(self._nets.values())
+
+    @property
+    def module_names(self) -> Tuple[str, ...]:
+        return tuple(self._modules)
+
+    def module(self, name: str) -> Module:
+        """Look up a module by name (raises ``KeyError`` if absent)."""
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise KeyError(f"no module named {name!r} in netlist {self.name!r}")
+
+    def net(self, name: str) -> Net:
+        """Look up a net by name (raises ``KeyError`` if absent)."""
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise KeyError(f"no net named {name!r} in netlist {self.name!r}")
+
+    def nets_of_module(self, module_name: str) -> List[Net]:
+        """All nets with a terminal on ``module_name``."""
+        self.module(module_name)  # raise on unknown module
+        return [n for n in self._nets.values() if module_name in n.terminals]
+
+    # -- statistics ----------------------------------------------------
+
+    @property
+    def n_modules(self) -> int:
+        return len(self._modules)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self._nets)
+
+    @property
+    def total_module_area(self) -> float:
+        return sum(m.area for m in self._modules.values())
+
+    @property
+    def n_pins(self) -> int:
+        """Total terminal count over all nets."""
+        return sum(n.degree for n in self._nets.values())
+
+    def degree_histogram(self) -> Mapping[int, int]:
+        """Net degree -> count, for workload characterisation."""
+        hist: Dict[int, int] = {}
+        for n in self._nets.values():
+            hist[n.degree] = hist.get(n.degree, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def with_nets(self, nets: Iterable[Net], name: Optional[str] = None) -> "Netlist":
+        """A copy of this netlist with a replacement net set."""
+        return Netlist(name or self.name, self._modules.values(), nets)
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, {self.n_modules} modules, "
+            f"{self.n_nets} nets)"
+        )

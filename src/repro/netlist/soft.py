@@ -1,0 +1,122 @@
+"""Soft modules: fixed area, flexible outline.
+
+The paper floorplans hard MCNC blocks, but the Wong-Liu machinery this
+library implements handles *soft* modules (fixed area, bounded aspect
+ratio) with no change beyond richer leaf shape lists.  A
+:class:`SoftModule` discretizes its feasible aspect-ratio interval into
+a small set of candidate outlines; the shape-curve packer then picks
+per-instance outlines exactly as it picks hard-module rotations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.netlist.module import Module
+from repro.netlist.netlist import Netlist
+
+__all__ = ["SoftModule", "soften"]
+
+
+@dataclass(frozen=True)
+class SoftModule:
+    """A module with fixed area and a feasible aspect-ratio range.
+
+    ``min_aspect``/``max_aspect`` bound height/width.  ``n_shapes``
+    candidate outlines are sampled geometrically over the interval
+    (geometric spacing keeps relative dimension steps uniform).
+    Duck-type-compatible with :class:`Module` everywhere the library
+    needs a module: ``name``, ``area``, ``width``/``height`` (the
+    square-most feasible outline) and ``shapes()``.
+    """
+
+    name: str
+    area: float
+    min_aspect: float = 0.5
+    max_aspect: float = 2.0
+    n_shapes: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("module name must be non-empty")
+        if self.area <= 0:
+            raise ValueError(f"module {self.name!r} needs positive area")
+        if not 0 < self.min_aspect <= self.max_aspect:
+            raise ValueError(
+                f"module {self.name!r}: need 0 < min_aspect <= max_aspect, "
+                f"got [{self.min_aspect}, {self.max_aspect}]"
+            )
+        if self.n_shapes < 1:
+            raise ValueError(f"module {self.name!r}: n_shapes must be >= 1")
+
+    def _outline(self, aspect: float) -> Tuple[float, float]:
+        width = math.sqrt(self.area / aspect)
+        return width, self.area / width
+
+    @property
+    def _default_aspect(self) -> float:
+        """The feasible aspect closest to square."""
+        return min(max(1.0, self.min_aspect), self.max_aspect)
+
+    @property
+    def width(self) -> float:
+        return self._outline(self._default_aspect)[0]
+
+    @property
+    def height(self) -> float:
+        return self._outline(self._default_aspect)[1]
+
+    @property
+    def aspect_ratio(self) -> float:
+        return self._default_aspect
+
+    def rotated(self) -> "SoftModule":
+        """Rotation swaps the aspect bounds (h/w -> w/h)."""
+        return SoftModule(
+            self.name,
+            self.area,
+            1.0 / self.max_aspect,
+            1.0 / self.min_aspect,
+            self.n_shapes,
+        )
+
+    def shapes(self, allow_rotation: bool = True) -> List[Tuple[float, float]]:
+        """Candidate ``(width, height)`` outlines.
+
+        With rotation allowed the effective aspect interval is the
+        union of ``[min, max]`` and its reciprocal.
+        """
+        lo, hi = self.min_aspect, self.max_aspect
+        if allow_rotation:
+            lo = min(lo, 1.0 / hi)
+            hi = max(hi, 1.0 / self.min_aspect)
+        if self.n_shapes == 1 or lo == hi:
+            return [self._outline(lo)]
+        ratio = (hi / lo) ** (1.0 / (self.n_shapes - 1))
+        out = []
+        aspect = lo
+        for _ in range(self.n_shapes):
+            out.append(self._outline(aspect))
+            aspect *= ratio
+        return out
+
+
+def soften(
+    netlist: Netlist,
+    min_aspect: float = 0.5,
+    max_aspect: float = 2.0,
+    n_shapes: int = 8,
+) -> Netlist:
+    """A copy of ``netlist`` with every hard module made soft.
+
+    Each soft module keeps its original area; the hard outline is
+    forgotten.  Useful for studying how much area/congestion the hard
+    outlines cost (the soft-vs-hard bench).
+    """
+    soft_modules = [
+        SoftModule(m.name, m.area, min_aspect, max_aspect, n_shapes)
+        for m in netlist.modules
+    ]
+    return Netlist(netlist.name + "_soft", soft_modules, netlist.nets)

@@ -1,0 +1,19 @@
+"""Pin placement onto the evaluation lattice.
+
+Once module positions are fixed, the congestion models need a pin
+coordinate for every (net, terminal).  Following the paper (Section 2)
+we use the *intersection-to-intersection* method of Sham & Young: pins
+are distributed around each module's boundary (one per net, in
+deterministic order) and snapped to the nearest intersection of the
+evaluation grid's lattice.  See :mod:`repro.pins.assignment` for the
+center-pin ablation variant.
+"""
+
+from repro.pins.assignment import (
+    PinAssignment,
+    assign_pins,
+    perimeter_point,
+    snap_to_lattice,
+)
+
+__all__ = ["PinAssignment", "assign_pins", "perimeter_point", "snap_to_lattice"]

@@ -1,0 +1,185 @@
+"""Intersection-to-intersection pin assignment.
+
+The evaluation lattice has pitch ``grid_size`` anchored at the chip's
+lower-left corner.  Following the paper (Section 2 and Section 5, after
+Sham & Young [4]), pins are *distributed* over the module and snapped to
+the nearest lattice intersection:
+
+* ``"perimeter"`` (default): each of a module's nets gets its own pin,
+  spaced evenly around the module's boundary in deterministic net
+  order -- macro pins live on macro edges, and spreading them stops a
+  single lattice point from accumulating the module's entire degree
+  (which would swamp every congestion map with floorplan-invariant
+  spikes);
+* ``"center"``: every net pins at the module center -- the simplest
+  reading, kept for ablations;
+* ``"facing"``: each net's pin sits on the module boundary point
+  nearest the centroid of the net's *other* terminals -- the most
+  router-realistic variant (pin assignment follows connectivity), at
+  the price of pins that move when distant modules move.
+
+The assignment also performs the multi-pin decomposition: the result
+carries the full list of placed 2-pin nets the congestion models and
+the wirelength metric consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.floorplan import Floorplan
+from repro.geometry import Point, Rect
+from repro.netlist import Netlist, TwoPinNet, decompose_to_two_pin
+
+__all__ = ["PinAssignment", "assign_pins", "snap_to_lattice", "perimeter_point"]
+
+_PIN_STYLES = ("perimeter", "center", "facing")
+
+
+def snap_to_lattice(p: Point, chip: Rect, grid_size: float) -> Point:
+    """Snap ``p`` to the nearest lattice intersection inside ``chip``.
+
+    The lattice is anchored at ``(chip.x_lo, chip.y_lo)`` with pitch
+    ``grid_size``; snapped coordinates are clamped into the chip so pins
+    of modules flush with the top/right edge stay on-chip.
+    """
+    if grid_size <= 0:
+        raise ValueError(f"grid_size must be positive, got {grid_size}")
+    x = chip.x_lo + round((p.x - chip.x_lo) / grid_size) * grid_size
+    y = chip.y_lo + round((p.y - chip.y_lo) / grid_size) * grid_size
+    return Point(chip.x_interval.clamped(x), chip.y_interval.clamped(y))
+
+
+def perimeter_point(rect: Rect, fraction: float) -> Point:
+    """The point ``fraction`` of the way around ``rect``'s boundary.
+
+    Walks counter-clockwise from the lower-left corner.  ``fraction``
+    is taken modulo 1, so any real value is legal.
+    """
+    fraction = fraction % 1.0
+    w, h = rect.width, rect.height
+    perimeter = 2.0 * (w + h)
+    if perimeter == 0.0:
+        return rect.center
+    d = fraction * perimeter
+    if d <= w:
+        return Point(rect.x_lo + d, rect.y_lo)
+    d -= w
+    if d <= h:
+        return Point(rect.x_hi, rect.y_lo + d)
+    d -= h
+    if d <= w:
+        return Point(rect.x_hi - d, rect.y_hi)
+    d -= w
+    return Point(rect.x_lo, rect.y_hi - d)
+
+
+@dataclass(frozen=True)
+class PinAssignment:
+    """Placed pins and the resulting 2-pin net list.
+
+    ``pin_locations`` maps net name -> (terminal -> snapped Point);
+    ``two_pin_nets`` is the MST decomposition over those points, in a
+    deterministic order.
+    """
+
+    chip: Rect
+    grid_size: float
+    pin_locations: Mapping[str, Mapping[str, Point]]
+    two_pin_nets: Tuple[TwoPinNet, ...]
+
+    @property
+    def n_two_pin(self) -> int:
+        return len(self.two_pin_nets)
+
+
+def assign_pins(
+    floorplan: Floorplan,
+    netlist: Netlist,
+    grid_size: float,
+    pin_style: str = "perimeter",
+) -> PinAssignment:
+    """Assign every net's pins and decompose to 2-pin nets.
+
+    With the default ``"perimeter"`` style, module ``m``'s k-th net (in
+    netlist order) pins at the lattice intersection nearest the point
+    ``k / degree(m)`` of the way around ``m``'s boundary -- stable
+    across floorplans of the same circuit, so annealing cost deltas
+    reflect module movement only.  ``"facing"`` instead aims each pin
+    at the rest of its net (see the module docstring).
+    """
+    if pin_style not in _PIN_STYLES:
+        raise ValueError(
+            f"pin_style must be one of {_PIN_STYLES}, got {pin_style!r}"
+        )
+    chip = floorplan.chip
+    # Per-module net counters (perimeter spacing denominator).
+    degree: Dict[str, int] = {name: 0 for name in floorplan.module_names}
+    if pin_style == "perimeter":
+        for net in netlist.nets:
+            for t in net.terminals:
+                if t in degree:
+                    degree[t] += 1
+    seen: Dict[str, int] = {name: 0 for name in floorplan.module_names}
+    center_cache: Dict[str, Point] = {}
+
+    pin_locations: Dict[str, Dict[str, Point]] = {}
+    two_pin: List[TwoPinNet] = []
+    for net in netlist.nets:
+        locations: Dict[str, Point] = {}
+        for t in net.terminals:
+            try:
+                rect = floorplan.placement(t)
+            except KeyError:
+                raise KeyError(
+                    f"net {net.name!r} terminal {t!r} is not placed"
+                )
+            if pin_style == "center":
+                if t not in center_cache:
+                    center_cache[t] = snap_to_lattice(
+                        rect.center, chip, grid_size
+                    )
+                locations[t] = center_cache[t]
+            elif pin_style == "facing":
+                others = [u for u in net.terminals if u != t]
+                cx = sum(floorplan.center(u).x for u in others) / len(others)
+                cy = sum(floorplan.center(u).y for u in others) / len(others)
+                raw = _boundary_point_toward(rect, cx, cy)
+                locations[t] = snap_to_lattice(raw, chip, grid_size)
+            else:
+                k = seen[t]
+                seen[t] += 1
+                raw = perimeter_point(rect, k / max(degree[t], 1))
+                locations[t] = snap_to_lattice(raw, chip, grid_size)
+        pin_locations[net.name] = locations
+        two_pin.extend(decompose_to_two_pin(net, locations))
+    return PinAssignment(
+        chip=chip,
+        grid_size=grid_size,
+        pin_locations=pin_locations,
+        two_pin_nets=tuple(two_pin),
+    )
+
+
+def _boundary_point_toward(rect: Rect, x: float, y: float) -> Point:
+    """The boundary point of ``rect`` nearest the target ``(x, y)``.
+
+    Clamping the target into the rectangle gives the nearest interior
+    point; if the target is inside, the point projects onto the closest
+    edge so the pin still lands on the module boundary.
+    """
+    px = rect.x_interval.clamped(x)
+    py = rect.y_interval.clamped(y)
+    on_x_edge = px in (rect.x_lo, rect.x_hi)
+    on_y_edge = py in (rect.y_lo, rect.y_hi)
+    if not (on_x_edge or on_y_edge):
+        # Target inside: project to the nearest edge.
+        candidates = (
+            (px - rect.x_lo, Point(rect.x_lo, py)),
+            (rect.x_hi - px, Point(rect.x_hi, py)),
+            (py - rect.y_lo, Point(px, rect.y_lo)),
+            (rect.y_hi - py, Point(px, rect.y_hi)),
+        )
+        return min(candidates, key=lambda c: c[0])[1]
+    return Point(px, py)

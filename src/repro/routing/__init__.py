@@ -1,0 +1,23 @@
+"""Validation global router (extension; see DESIGN.md S16).
+
+The paper judges congestion estimates with a very fine fixed grid.  We
+additionally route the nets for real on a capacitated routing grid and
+measure *actual* track overflow, giving an independent ground truth to
+correlate the probabilistic estimates against
+(``benchmarks/bench_router_validation.py``).
+"""
+
+from repro.routing.grid import RoutingGrid
+from repro.routing.router import GlobalRouter, RoutedNet
+from repro.routing.negotiated import NegotiatedRouter, NegotiationResult
+from repro.routing.overflow import OverflowReport, overflow_report
+
+__all__ = [
+    "RoutingGrid",
+    "GlobalRouter",
+    "RoutedNet",
+    "NegotiatedRouter",
+    "NegotiationResult",
+    "OverflowReport",
+    "overflow_report",
+]

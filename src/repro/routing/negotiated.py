@@ -1,0 +1,250 @@
+"""Negotiated-congestion rip-up-and-reroute (PathFinder-lite).
+
+The one-pass router in :mod:`repro.routing.router` never revisits a
+decision; under tight capacity it can leave resolvable overflow behind.
+This router iterates the classic negotiation: nets whose paths use
+over-capacity edges are ripped up and rerouted with edge costs that
+combine *present* congestion (sharing now) and accumulated *history*
+(chronic contention), until the grid is overflow-free or the iteration
+budget runs out.
+
+Paths stay monotone inside each net's bounding box (the same route
+model the congestion estimators assume), so the router resolves
+overflow by spreading staircases, not by detouring -- which keeps its
+utilization picture directly comparable to the probabilistic maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist import TwoPinNet
+from repro.routing.grid import RoutingGrid
+from repro.routing.router import Cell, RoutedNet
+
+__all__ = ["NegotiationResult", "NegotiatedRouter"]
+
+
+@dataclass(frozen=True)
+class NegotiationResult:
+    """Outcome of a negotiated routing run."""
+
+    routed: Tuple[RoutedNet, ...]
+    iterations: int
+    converged: bool  # True iff no edge is over capacity
+    total_overflow: float
+
+
+class NegotiatedRouter:
+    """Iterative congestion-negotiating router on a :class:`RoutingGrid`.
+
+    Parameters
+    ----------
+    grid:
+        The capacitated grid; usage is left reflecting the final paths.
+    max_iterations:
+        Rip-up rounds after the initial pass.
+    present_weight:
+        Cost per unit of projected over-capacity on an edge (grows each
+        iteration, as in PathFinder, so sharing gets progressively
+        expensive).
+    history_weight:
+        Cost per unit of accumulated historical overflow on an edge.
+    """
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        max_iterations: int = 8,
+        present_weight: float = 2.0,
+        history_weight: float = 1.0,
+    ):
+        if max_iterations < 0:
+            raise ValueError("max_iterations must be >= 0")
+        if present_weight < 0 or history_weight < 0:
+            raise ValueError("cost weights must be non-negative")
+        self.grid = grid
+        self.max_iterations = int(max_iterations)
+        self.present_weight = float(present_weight)
+        self.history_weight = float(history_weight)
+        self._history_h = np.zeros_like(grid.usage_h)
+        self._history_v = np.zeros_like(grid.usage_v)
+
+    # -- public API ---------------------------------------------------
+
+    def route(self, nets: Sequence[TwoPinNet]) -> NegotiationResult:
+        """Route all nets with negotiation; shortest nets first."""
+        ordered = sorted(nets, key=lambda n: n.manhattan_length)
+        paths: Dict[int, List[Cell]] = {}
+        endpoints: Dict[int, Tuple[Cell, Cell]] = {}
+        for k, net in enumerate(ordered):
+            a = self.grid.cell_of(net.p1.x, net.p1.y)
+            b = self.grid.cell_of(net.p2.x, net.p2.y)
+            endpoints[k] = (a, b)
+            path = self._best_path(a, b, 1.0)
+            self._commit(path, net.weight, +1)
+            paths[k] = path
+
+        # Negotiation can thrash when some overflow is structurally
+        # unavoidable (e.g. pin funnels); keep the best configuration
+        # seen and restore it at the end.
+        best_paths = {k: list(p) for k, p in paths.items()}
+        best_overflow = self._total_overflow()
+
+        iterations = 0
+        for iteration in range(self.max_iterations):
+            offenders = [
+                k
+                for k, path in paths.items()
+                if self._path_overflows(path)
+            ]
+            if not offenders:
+                break
+            iterations = iteration + 1
+            pressure = 1.0 + iteration  # escalating present-cost factor
+            self._accumulate_history()
+            for k in offenders:
+                net = ordered[k]
+                self._commit(paths[k], net.weight, -1)
+                a, b = endpoints[k]
+                path = self._best_path(a, b, pressure)
+                self._commit(path, net.weight, +1)
+                paths[k] = path
+            overflow = self._total_overflow()
+            if overflow < best_overflow:
+                best_overflow = overflow
+                best_paths = {k: list(p) for k, p in paths.items()}
+                if overflow == 0.0:
+                    break
+
+        if self._total_overflow() > best_overflow:
+            # Restore the best configuration's usage.
+            for k, path in paths.items():
+                self._commit(path, ordered[k].weight, -1)
+            for k, path in best_paths.items():
+                self._commit(path, ordered[k].weight, +1)
+            paths = best_paths
+
+        overflow = self._total_overflow()
+        routed = tuple(
+            RoutedNet(ordered[k], tuple(paths[k])) for k in sorted(paths)
+        )
+        return NegotiationResult(
+            routed=routed,
+            iterations=iterations,
+            converged=overflow == 0.0,
+            total_overflow=overflow,
+        )
+
+    def _total_overflow(self) -> float:
+        return float(
+            np.maximum(self.grid.usage_h - self.grid.capacity, 0).sum()
+            + np.maximum(self.grid.usage_v - self.grid.capacity, 0).sum()
+        )
+
+    # -- internals -----------------------------------------------------
+
+    # Sub-capacity sharing cost: every monotone path between two cells
+    # has the same length, so without a below-capacity term all paths
+    # tie and nets pile onto one staircase; charging proportional
+    # utilization spreads them preemptively (PathFinder's present-
+    # sharing cost).
+    _SPREAD_WEIGHT = 0.25
+
+    def _edge_cost_h(self, i: int, j: int, pressure: float) -> float:
+        usage = self.grid.usage_h[i, j]
+        over = max(0.0, usage + 1.0 - self.grid.capacity)
+        return (
+            1.0
+            + self._SPREAD_WEIGHT * usage / self.grid.capacity
+            + pressure * self.present_weight * over
+            + self.history_weight * self._history_h[i, j]
+        )
+
+    def _edge_cost_v(self, i: int, j: int, pressure: float) -> float:
+        usage = self.grid.usage_v[i, j]
+        over = max(0.0, usage + 1.0 - self.grid.capacity)
+        return (
+            1.0
+            + self._SPREAD_WEIGHT * usage / self.grid.capacity
+            + pressure * self.present_weight * over
+            + self.history_weight * self._history_v[i, j]
+        )
+
+    def _best_path(self, a: Cell, b: Cell, pressure: float) -> List[Cell]:
+        """Min-total-cost monotone path from ``a`` to ``b``."""
+        if a == b:
+            return [a]
+        sx = 1 if b[0] >= a[0] else -1
+        sy = 1 if b[1] >= a[1] else -1
+        nx = abs(b[0] - a[0]) + 1
+        ny = abs(b[1] - a[1]) + 1
+        inf = float("inf")
+        dp = [[inf] * ny for _ in range(nx)]
+        parent = [[0] * ny for _ in range(nx)]
+        dp[0][0] = 0.0
+        for ix in range(nx):
+            for iy in range(ny):
+                if ix == 0 and iy == 0:
+                    continue
+                best = inf
+                best_from = 0
+                if ix > 0:
+                    x = a[0] + sx * (ix - 1)
+                    y = a[1] + sy * iy
+                    cost = dp[ix - 1][iy] + self._edge_cost_h(
+                        min(x, x + sx), y, pressure
+                    )
+                    if cost < best:
+                        best, best_from = cost, 0
+                if iy > 0:
+                    x = a[0] + sx * ix
+                    y = a[1] + sy * (iy - 1)
+                    cost = dp[ix][iy - 1] + self._edge_cost_v(
+                        x, min(y, y + sy), pressure
+                    )
+                    if cost < best:
+                        best, best_from = cost, 1
+                dp[ix][iy] = best
+                parent[ix][iy] = best_from
+        path_rev = []
+        ix, iy = nx - 1, ny - 1
+        while True:
+            path_rev.append((a[0] + sx * ix, a[1] + sy * iy))
+            if ix == 0 and iy == 0:
+                break
+            if parent[ix][iy] == 0 and ix > 0:
+                ix -= 1
+            else:
+                iy -= 1
+        return list(reversed(path_rev))
+
+    def _commit(self, cells: Sequence[Cell], weight: float, sign: int) -> None:
+        for k in range(len(cells) - 1):
+            (x0, y0), (x1, y1) = cells[k], cells[k + 1]
+            if y0 == y1:
+                self.grid.add_h_edge(min(x0, x1), y0, sign * weight)
+            else:
+                self.grid.add_v_edge(x0, min(y0, y1), sign * weight)
+
+    def _path_overflows(self, cells: Sequence[Cell]) -> bool:
+        for k in range(len(cells) - 1):
+            (x0, y0), (x1, y1) = cells[k], cells[k + 1]
+            if y0 == y1:
+                if self.grid.usage_h[min(x0, x1), y0] > self.grid.capacity:
+                    return True
+            else:
+                if self.grid.usage_v[x0, min(y0, y1)] > self.grid.capacity:
+                    return True
+        return False
+
+    def _accumulate_history(self) -> None:
+        self._history_h += np.maximum(
+            self.grid.usage_h - self.grid.capacity, 0.0
+        ) / self.grid.capacity
+        self._history_v += np.maximum(
+            self.grid.usage_v - self.grid.capacity, 0.0
+        ) / self.grid.capacity

@@ -1,0 +1,95 @@
+"""Overflow metrics and estimate-vs-reality correlation.
+
+After routing, track usage against capacity yields the *actual*
+congestion picture.  :func:`overflow_report` condenses it, and
+:func:`rank_correlation` (Spearman) quantifies how well a probabilistic
+congestion map predicted it -- the validation the paper approximates
+with its fine-grid judging model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.grid import RoutingGrid
+
+__all__ = ["OverflowReport", "overflow_report", "rank_correlation"]
+
+
+@dataclass(frozen=True)
+class OverflowReport:
+    """Summary of routed congestion on a grid."""
+
+    total_overflow: float
+    n_overflowed_edges: int
+    n_edges: int
+    max_utilization: float
+    mean_utilization: float
+    top10_cell_utilization: float
+
+    @property
+    def overflow_fraction(self) -> float:
+        return self.n_overflowed_edges / self.n_edges if self.n_edges else 0.0
+
+
+def overflow_report(grid: RoutingGrid) -> OverflowReport:
+    """Condense a routed grid's usage into the standard metrics."""
+    usages = []
+    if grid.n_cols > 1:
+        usages.append(grid.usage_h.ravel())
+    if grid.n_rows > 1:
+        usages.append(grid.usage_v.ravel())
+    if not usages:
+        return OverflowReport(0.0, 0, 0, 0.0, 0.0, 0.0)
+    usage = np.concatenate(usages)
+    overflow = np.maximum(usage - grid.capacity, 0.0)
+    util = usage / grid.capacity
+    cell_util = np.sort(grid.cell_utilization().ravel())[::-1]
+    k = max(1, int(round(0.1 * len(cell_util))))
+    return OverflowReport(
+        total_overflow=float(overflow.sum()),
+        n_overflowed_edges=int((overflow > 0).sum()),
+        n_edges=int(len(usage)),
+        max_utilization=float(util.max()),
+        mean_utilization=float(util.mean()),
+        top10_cell_utilization=float(cell_util[:k].mean()),
+    )
+
+
+def rank_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation of two equal-length sequences.
+
+    Average ranks for ties; returns 0 when either sequence is constant
+    (no ordering information).  Used to compare estimated congestion
+    maps/scores against routed utilization.
+    """
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    if xa.shape != xb.shape:
+        raise ValueError(f"length mismatch: {xa.shape} vs {xb.shape}")
+    if len(xa) < 2:
+        raise ValueError("need at least two samples")
+    ra = _average_ranks(xa)
+    rb = _average_ranks(xb)
+    sa = ra.std()
+    sb = rb.std()
+    if sa == 0.0 or sb == 0.0:
+        return 0.0
+    return float(((ra - ra.mean()) * (rb - rb.mean())).mean() / (sa * sb))
+
+
+def _average_ranks(x: np.ndarray) -> np.ndarray:
+    order = np.argsort(x, kind="mergesort")
+    ranks = np.empty(len(x))
+    sorted_x = x[order]
+    i = 0
+    while i < len(x):
+        j = i
+        while j + 1 < len(x) and sorted_x[j + 1] == sorted_x[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks

@@ -1,0 +1,211 @@
+"""Congestion-aware global routing of 2-pin nets.
+
+Nets route along monotone staircase paths inside their routing range --
+the same route model the probabilistic estimators assume -- picking, per
+net, the path that minimizes the maximum edge utilization seen along it
+(ties broken by total utilization).  Two strategies:
+
+* ``"monotone"`` (default): dynamic programming over the whole routing
+  range; optimal among monotone paths for the (max, sum) objective;
+* ``"lz"``: cheapest of the two L-shapes and all single-bend Z-shapes,
+  the classic fast global-routing pattern set.
+
+Routing order is shortest-net-first (short nets have no flexibility, so
+they claim their tracks before long nets plan around them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.netlist import TwoPinNet
+from repro.routing.grid import RoutingGrid
+
+__all__ = ["RoutedNet", "GlobalRouter"]
+
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RoutedNet:
+    """One net's chosen path: the cells it visits, in pin order."""
+
+    net: TwoPinNet
+    cells: Tuple[Cell, ...]
+
+    @property
+    def n_bends(self) -> int:
+        bends = 0
+        for k in range(1, len(self.cells) - 1):
+            dx0 = self.cells[k][0] - self.cells[k - 1][0]
+            dx1 = self.cells[k + 1][0] - self.cells[k][0]
+            if dx0 != dx1:
+                bends += 1
+        return bends
+
+
+class GlobalRouter:
+    """Route 2-pin nets on a :class:`RoutingGrid`."""
+
+    def __init__(self, grid: RoutingGrid, strategy: str = "monotone"):
+        if strategy not in ("monotone", "lz"):
+            raise ValueError(f"unknown routing strategy {strategy!r}")
+        self.grid = grid
+        self.strategy = strategy
+
+    def route(self, nets: Sequence[TwoPinNet]) -> List[RoutedNet]:
+        """Route all nets (shortest first) and accumulate edge usage."""
+        ordered = sorted(nets, key=lambda n: n.manhattan_length)
+        out = []
+        for net in ordered:
+            out.append(self.route_net(net))
+        return out
+
+    def route_net(self, net: TwoPinNet) -> RoutedNet:
+        """Route one net and commit its track usage to the grid."""
+        a = self.grid.cell_of(net.p1.x, net.p1.y)
+        b = self.grid.cell_of(net.p2.x, net.p2.y)
+        if a == b:
+            return RoutedNet(net, (a,))
+        if self.strategy == "monotone":
+            cells = self._route_monotone(a, b)
+        else:
+            cells = self._route_lz(a, b)
+        self._commit(cells, net.weight)
+        return RoutedNet(net, tuple(cells))
+
+    # -- strategies -----------------------------------------------------
+
+    def _route_monotone(self, a: Cell, b: Cell) -> List[Cell]:
+        """(max, sum)-optimal monotone path by dynamic programming."""
+        sx = 1 if b[0] >= a[0] else -1
+        sy = 1 if b[1] >= a[1] else -1
+        nx = abs(b[0] - a[0]) + 1
+        ny = abs(b[1] - a[1]) + 1
+        # dp[ix][iy] = (max_util, total_util) best reaching that cell.
+        inf = float("inf")
+        dp = [[(inf, inf)] * ny for _ in range(nx)]
+        parent: List[List[int]] = [[0] * ny for _ in range(nx)]  # 0: from left, 1: from below
+        dp[0][0] = (0.0, 0.0)
+        for ix in range(nx):
+            for iy in range(ny):
+                if ix == 0 and iy == 0:
+                    continue
+                best = (inf, inf)
+                best_from = 0
+                if ix > 0:
+                    u = self._h_util(a, sx, sy, ix - 1, iy)
+                    prev = dp[ix - 1][iy]
+                    cand = (max(prev[0], u), prev[1] + u)
+                    if cand < best:
+                        best, best_from = cand, 0
+                if iy > 0:
+                    u = self._v_util(a, sx, sy, ix, iy - 1)
+                    prev = dp[ix][iy - 1]
+                    cand = (max(prev[0], u), prev[1] + u)
+                    if cand < best:
+                        best, best_from = cand, 1
+                dp[ix][iy] = best
+                parent[ix][iy] = best_from
+        # Walk back from the far corner.
+        path_rev = []
+        ix, iy = nx - 1, ny - 1
+        while True:
+            path_rev.append((a[0] + sx * ix, a[1] + sy * iy))
+            if ix == 0 and iy == 0:
+                break
+            if parent[ix][iy] == 0 and ix > 0:
+                ix -= 1
+            else:
+                iy -= 1
+        return list(reversed(path_rev))
+
+    def _route_lz(self, a: Cell, b: Cell) -> List[Cell]:
+        """Best of the L-shapes and single-bend Z-shapes."""
+        candidates = []
+        sx = 1 if b[0] >= a[0] else -1
+        sy = 1 if b[1] >= a[1] else -1
+        xs = list(range(a[0], b[0] + sx, sx))
+        ys = list(range(a[1], b[1] + sy, sy))
+        # HVH Z-shapes (bend column mx); mx == a[0]/b[0] are the Ls.
+        for mx in xs:
+            candidates.append(_hvh_path(a, b, mx, sx, sy))
+        # VHV Z-shapes.
+        for my in ys:
+            candidates.append(_vhv_path(a, b, my, sx, sy))
+        best, best_key = None, (float("inf"), float("inf"))
+        for cells in candidates:
+            key = self._path_cost(cells)
+            if key < best_key:
+                best, best_key = cells, key
+        return best
+
+    # -- utilities -------------------------------------------------------
+
+    def _h_util(self, a: Cell, sx: int, sy: int, ix: int, iy: int) -> float:
+        x = a[0] + sx * ix
+        y = a[1] + sy * iy
+        edge_x = min(x, x + sx)
+        return self.grid.usage_h[edge_x, y] / self.grid.capacity
+
+    def _v_util(self, a: Cell, sx: int, sy: int, ix: int, iy: int) -> float:
+        x = a[0] + sx * ix
+        y = a[1] + sy * iy
+        edge_y = min(y, y + sy)
+        return self.grid.usage_v[x, edge_y] / self.grid.capacity
+
+    def _path_cost(self, cells: Sequence[Cell]) -> Tuple[float, float]:
+        worst = 0.0
+        total = 0.0
+        for k in range(len(cells) - 1):
+            (x0, y0), (x1, y1) = cells[k], cells[k + 1]
+            if y0 == y1:
+                u = self.grid.usage_h[min(x0, x1), y0] / self.grid.capacity
+            else:
+                u = self.grid.usage_v[x0, min(y0, y1)] / self.grid.capacity
+            worst = max(worst, u)
+            total += u
+        return (worst, total)
+
+    def _commit(self, cells: Sequence[Cell], weight: float) -> None:
+        for k in range(len(cells) - 1):
+            (x0, y0), (x1, y1) = cells[k], cells[k + 1]
+            if y0 == y1:
+                self.grid.add_h_edge(min(x0, x1), y0, weight)
+            else:
+                self.grid.add_v_edge(x0, min(y0, y1), weight)
+
+
+def _hvh_path(a: Cell, b: Cell, mx: int, sx: int, sy: int) -> List[Cell]:
+    """Horizontal to column ``mx``, vertical to ``b``'s row, horizontal
+    to ``b``."""
+    cells = [a]
+    x, y = a
+    while x != mx:
+        x += sx
+        cells.append((x, y))
+    while y != b[1]:
+        y += sy
+        cells.append((x, y))
+    while x != b[0]:
+        x += sx
+        cells.append((x, y))
+    return cells
+
+
+def _vhv_path(a: Cell, b: Cell, my: int, sx: int, sy: int) -> List[Cell]:
+    """Vertical to row ``my``, horizontal to ``b``'s column, vertical
+    to ``b``."""
+    cells = [a]
+    x, y = a
+    while y != my:
+        y += sy
+        cells.append((x, y))
+    while x != b[0]:
+        x += sx
+        cells.append((x, y))
+    while y != b[1]:
+        y += sy
+        cells.append((x, y))
+    return cells

@@ -1,0 +1,14 @@
+"""Rendering: ASCII for terminals and logs, SVG for reports."""
+
+from repro.viz.ascii_art import render_floorplan_ascii, render_congestion_ascii
+from repro.viz.svg import floorplan_svg, congestion_svg, irgrid_svg
+from repro.viz.charts import line_chart_svg
+
+__all__ = [
+    "render_floorplan_ascii",
+    "render_congestion_ascii",
+    "floorplan_svg",
+    "congestion_svg",
+    "irgrid_svg",
+    "line_chart_svg",
+]

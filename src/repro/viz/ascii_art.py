@@ -1,0 +1,89 @@
+"""Terminal rendering of floorplans and congestion maps.
+
+Deliberately dependency-free: fixed-pitch character rasters good enough
+to eyeball a packing or a hotspot in CI logs and doctest examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.congestion.base import CongestionMap
+from repro.floorplan import Floorplan
+
+__all__ = ["render_floorplan_ascii", "render_congestion_ascii"]
+
+# Density ramp from cold to hot.
+_RAMP = " .:-=+*#%@"
+
+
+def render_floorplan_ascii(floorplan: Floorplan, width: int = 72) -> str:
+    """Raster the floorplan; each module fills its outline with the
+    first letter of its name, with ``#`` marking boundary collisions.
+
+    ``width`` is the output character width; height follows the chip's
+    aspect ratio (halved, since terminal cells are ~2x taller than
+    wide).
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    chip = floorplan.chip
+    if chip.width <= 0 or chip.height <= 0:
+        raise ValueError("cannot render a degenerate chip")
+    height = max(2, int(round(width * (chip.height / chip.width) * 0.5)))
+    raster: List[List[str]] = [[" "] * width for _ in range(height)]
+    for name, rect in floorplan.placements.items():
+        c0 = int((rect.x_lo - chip.x_lo) / chip.width * width)
+        c1 = int((rect.x_hi - chip.x_lo) / chip.width * width)
+        r0 = int((rect.y_lo - chip.y_lo) / chip.height * height)
+        r1 = int((rect.y_hi - chip.y_lo) / chip.height * height)
+        c1 = min(max(c1, c0 + 1), width)
+        r1 = min(max(r1, r0 + 1), height)
+        fill = name[-1] if name[-1].isalnum() else name[0]
+        for r in range(r0, r1):
+            for c in range(c0, c1):
+                cell = raster[r][c]
+                raster[r][c] = fill if cell == " " else "#"
+    # y grows upward on chips, downward on terminals: flip rows.
+    lines = ["".join(row) for row in reversed(raster)]
+    border = "+" + "-" * width + "+"
+    return "\n".join([border] + ["|" + line + "|" for line in lines] + [border])
+
+
+def render_congestion_ascii(congestion_map: CongestionMap, width: int = 72) -> str:
+    """Raster a congestion map as a density heat map.
+
+    Each character samples the density of the cell under its center,
+    normalized to the map's maximum; the ramp runs ``' '`` (cold) to
+    ``'@'`` (hot).  Works for both fixed grids and IR-grids.
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    chip = congestion_map.chip
+    if chip.width <= 0 or chip.height <= 0:
+        raise ValueError("cannot render a degenerate chip")
+    height = max(2, int(round(width * (chip.height / chip.width) * 0.5)))
+    peak = congestion_map.max_density
+    raster: List[List[str]] = [[" "] * width for _ in range(height)]
+    if peak > 0:
+        for cell in congestion_map.cells:
+            level = cell.density / peak
+            char = _RAMP[min(int(level * (len(_RAMP) - 1) + 0.5), len(_RAMP) - 1)]
+            if char == " ":
+                continue
+            rect = cell.rect
+            c0 = int((rect.x_lo - chip.x_lo) / chip.width * width)
+            c1 = int((rect.x_hi - chip.x_lo) / chip.width * width)
+            r0 = int((rect.y_lo - chip.y_lo) / chip.height * height)
+            r1 = int((rect.y_hi - chip.y_lo) / chip.height * height)
+            c1 = min(max(c1, c0 + 1), width)
+            r1 = min(max(r1, r0 + 1), height)
+            for r in range(r0, r1):
+                for c in range(c0, c1):
+                    raster[r][c] = char
+    lines = ["".join(row) for row in reversed(raster)]
+    border = "+" + "-" * width + "+"
+    legend = f"density ramp '{_RAMP}' | peak density {peak:.4g}"
+    return "\n".join(
+        [border] + ["|" + line + "|" for line in lines] + [border, legend]
+    )

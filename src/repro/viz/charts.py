@@ -1,0 +1,165 @@
+"""Minimal SVG line charts for experiment figures.
+
+Dependency-free plotting sufficient for the paper's Figure 8 and
+Figure 9 style comparisons: multiple named series over a shared x axis,
+automatic scaling, axis ticks, a legend, and optional per-series
+normalization (the paper rescales its curves to compare slopes --
+``normalize=True`` does that honestly by min-max mapping each series to
+[0, 1]).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["line_chart_svg"]
+
+_COLORS = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+)
+
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 36
+_MARGIN_BOTTOM = 44
+
+
+def line_chart_svg(
+    series: Mapping[str, Sequence[float]],
+    x_values: Optional[Sequence[float]] = None,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 720,
+    height: int = 420,
+    normalize: bool = False,
+) -> str:
+    """Render named series as an SVG line chart.
+
+    All series must share a length; ``x_values`` defaults to
+    ``1..n``.  With ``normalize=True`` every series is min-max scaled
+    to [0, 1] before plotting (shape comparison across different
+    units, as in the paper's Figure 9).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("series need at least two points")
+    if x_values is None:
+        x_values = list(range(1, n + 1))
+    if len(x_values) != n:
+        raise ValueError("x_values length does not match the series")
+
+    plotted = {}
+    for name, values in series.items():
+        vals = [float(v) for v in values]
+        if normalize:
+            lo, hi = min(vals), max(vals)
+            span = hi - lo
+            vals = [0.5 if span == 0 else (v - lo) / span for v in vals]
+        plotted[name] = vals
+
+    x_lo, x_hi = min(x_values), max(x_values)
+    y_lo = min(min(v) for v in plotted.values())
+    y_hi = max(max(v) for v in plotted.values())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return _MARGIN_TOP + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">'
+    ]
+    parts.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14">{html.escape(title)}</text>'
+        )
+
+    # Axes.
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{sy(y_lo)}" x2="{sx(x_hi)}" '
+        f'y2="{sy(y_lo)}" stroke="#333"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{sy(y_lo)}" x2="{_MARGIN_LEFT}" '
+        f'y2="{sy(y_hi)}" stroke="#333"/>'
+    )
+    # Ticks: 5 per axis.
+    for k in range(5):
+        xv = x_lo + (x_hi - x_lo) * k / 4
+        yv = y_lo + (y_hi - y_lo) * k / 4
+        parts.append(
+            f'<text x="{sx(xv):.1f}" y="{sy(y_lo) + 16:.1f}" '
+            f'text-anchor="middle">{xv:g}</text>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6}" y="{sy(yv) + 4:.1f}" '
+            f'text-anchor="end">{yv:.3g}</text>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{sy(yv):.1f}" x2="{sx(x_hi):.1f}" '
+            f'y2="{sy(yv):.1f}" stroke="#eee"/>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{(_MARGIN_LEFT + width - _MARGIN_RIGHT) / 2}" '
+            f'y="{height - 8}" text-anchor="middle">'
+            f"{html.escape(x_label)}</text>"
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{(_MARGIN_TOP + height - _MARGIN_BOTTOM) / 2}" '
+            f'text-anchor="middle" transform="rotate(-90 14 '
+            f'{(_MARGIN_TOP + height - _MARGIN_BOTTOM) / 2})">'
+            f"{html.escape(y_label)}</text>"
+        )
+
+    # Series.
+    for idx, (name, vals) in enumerate(plotted.items()):
+        color = _COLORS[idx % len(_COLORS)]
+        points = " ".join(
+            f"{sx(x):.2f},{sy(v):.2f}" for x, v in zip(x_values, vals)
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="2" '
+            f'points="{points}"/>'
+        )
+        for x, v in zip(x_values, vals):
+            parts.append(
+                f'<circle cx="{sx(x):.2f}" cy="{sy(v):.2f}" r="2.5" '
+                f'fill="{color}"/>'
+            )
+        # Legend entry.
+        ly = _MARGIN_TOP + 14 * idx
+        lx = width - _MARGIN_RIGHT - 150
+        parts.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 24}" y="{ly + 4}">{html.escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)

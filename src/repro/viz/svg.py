@@ -1,0 +1,191 @@
+"""SVG rendering of floorplans and congestion maps.
+
+Self-contained SVG strings (no external assets) for reports and
+notebooks.  Coordinates are flipped so chip-y grows upward like every
+floorplan figure in the literature.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional
+
+from repro.congestion.base import CongestionMap
+from repro.floorplan import Floorplan
+from repro.geometry import Rect
+
+__all__ = ["floorplan_svg", "congestion_svg", "irgrid_svg"]
+
+_MODULE_FILL = "#8ab6d6"
+_MODULE_STROKE = "#1f4e79"
+
+
+def _header(chip: Rect, px_width: int) -> tuple:
+    scale = px_width / chip.width
+    px_height = max(1, int(round(chip.height * scale)))
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{px_width}" '
+        f'height="{px_height}" viewBox="0 0 {px_width} {px_height}">'
+    )
+    return head, scale, px_height
+
+
+def _rect_svg(
+    rect: Rect,
+    chip: Rect,
+    scale: float,
+    px_height: int,
+    fill: str,
+    stroke: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    x = (rect.x_lo - chip.x_lo) * scale
+    y = px_height - (rect.y_hi - chip.y_lo) * scale
+    w = max(rect.width * scale, 0.5)
+    h = max(rect.height * scale, 0.5)
+    stroke_attr = f' stroke="{stroke}" stroke-width="1"' if stroke else ""
+    label = f"<title>{html.escape(title)}</title>" if title else ""
+    return (
+        f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+        f'fill="{fill}"{stroke_attr}>{label}</rect>'
+    )
+
+
+def floorplan_svg(floorplan: Floorplan, px_width: int = 640) -> str:
+    """Render module outlines with hover-tooltips of names/sizes."""
+    if px_width < 16:
+        raise ValueError(f"px_width must be >= 16, got {px_width}")
+    chip = floorplan.chip
+    head, scale, px_height = _header(chip, px_width)
+    parts: List[str] = [head]
+    parts.append(
+        _rect_svg(chip, chip, scale, px_height, "#f4f4f4", stroke="#444444")
+    )
+    for name, rect in sorted(floorplan.placements.items()):
+        parts.append(
+            _rect_svg(
+                rect,
+                chip,
+                scale,
+                px_height,
+                _MODULE_FILL,
+                stroke=_MODULE_STROKE,
+                title=f"{name}: {rect.width:.1f} x {rect.height:.1f} um",
+            )
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def congestion_svg(
+    congestion_map: CongestionMap,
+    px_width: int = 640,
+    floorplan: Optional[Floorplan] = None,
+) -> str:
+    """Render a congestion heat map (white -> red by density), optionally
+    with module outlines overlaid."""
+    if px_width < 16:
+        raise ValueError(f"px_width must be >= 16, got {px_width}")
+    chip = congestion_map.chip
+    head, scale, px_height = _header(chip, px_width)
+    parts: List[str] = [head]
+    peak = congestion_map.max_density
+    for cell in congestion_map.cells:
+        level = cell.density / peak if peak > 0 else 0.0
+        parts.append(
+            _rect_svg(
+                cell.rect,
+                chip,
+                scale,
+                px_height,
+                _heat_color(level),
+                title=f"density {cell.density:.4g}, mass {cell.mass:.4g}",
+            )
+        )
+    if floorplan is not None:
+        for name, rect in sorted(floorplan.placements.items()):
+            parts.append(
+                _rect_svg(
+                    rect,
+                    chip,
+                    scale,
+                    px_height,
+                    "none",
+                    stroke=_MODULE_STROKE,
+                    title=name,
+                )
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def irgrid_svg(
+    irgrid,
+    floorplan: Optional[Floorplan] = None,
+    nets=None,
+    px_width: int = 640,
+) -> str:
+    """Render an Irregular-Grid's cut lines (the paper's Figure 5).
+
+    Optionally overlays the floorplan's module outlines and the nets'
+    routing ranges (gray), showing how the ranges' boundaries become
+    the partition.
+    """
+    if px_width < 16:
+        raise ValueError(f"px_width must be >= 16, got {px_width}")
+    chip = irgrid.chip
+    head, scale, px_height = _header(chip, px_width)
+    parts: List[str] = [head]
+    parts.append(
+        _rect_svg(chip, chip, scale, px_height, "#ffffff", stroke="#333333")
+    )
+    if nets:
+        for net in nets:
+            rng = net.routing_range
+            clipped = chip.intersection(rng)
+            if clipped is None:
+                continue
+            parts.append(
+                _rect_svg(
+                    clipped,
+                    chip,
+                    scale,
+                    px_height,
+                    "rgba(120,120,120,0.15)",
+                    title=net.name,
+                )
+            )
+    if floorplan is not None:
+        for name, rect in sorted(floorplan.placements.items()):
+            parts.append(
+                _rect_svg(
+                    rect,
+                    chip,
+                    scale,
+                    px_height,
+                    "none",
+                    stroke=_MODULE_STROKE,
+                    title=name,
+                )
+            )
+    for x in irgrid.x_lines:
+        px = (x - chip.x_lo) * scale
+        parts.append(
+            f'<line x1="{px:.2f}" y1="0" x2="{px:.2f}" y2="{px_height}" '
+            f'stroke="#c03030" stroke-width="0.8"/>'
+        )
+    for y in irgrid.y_lines:
+        py = px_height - (y - chip.y_lo) * scale
+        parts.append(
+            f'<line x1="0" y1="{py:.2f}" x2="{px_width}" y2="{py:.2f}" '
+            f'stroke="#c03030" stroke-width="0.8"/>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _heat_color(level: float) -> str:
+    """White (0) to saturated red (1)."""
+    level = min(max(level, 0.0), 1.0)
+    other = int(round(255 * (1.0 - level)))
+    return f"rgb(255,{other},{other})"

@@ -1,0 +1,103 @@
+"""Tests for the simulated-annealing floorplanner."""
+
+import pytest
+
+from repro.anneal import (
+    FloorplanAnnealer,
+    FloorplanObjective,
+    GeometricSchedule,
+)
+from repro.congestion import IrregularGridModel
+from repro.netlist import random_circuit
+
+FAST = GeometricSchedule(cooling_rate=0.6, freeze_ratio=0.05, max_steps=8)
+
+
+def annealer(netlist, **kwargs):
+    kwargs.setdefault("schedule", FAST)
+    kwargs.setdefault("moves_per_temperature", 20)
+    return FloorplanAnnealer(netlist, **kwargs)
+
+
+class TestBasicRun:
+    def test_produces_valid_floorplan(self):
+        nl = random_circuit(8, 16, seed=1)
+        result = annealer(nl, seed=1).run()
+        result.floorplan.validate()
+        assert set(result.floorplan.module_names) == set(nl.module_names)
+        assert result.cost == result.breakdown.cost
+        assert result.n_moves > 0
+        assert 0.0 <= result.acceptance_ratio <= 1.0
+        assert result.runtime_seconds > 0
+
+    def test_deterministic_per_seed(self):
+        nl = random_circuit(6, 12, seed=2)
+        a = annealer(nl, seed=5).run()
+        b = annealer(nl, seed=5).run()
+        assert a.expression == b.expression
+        assert a.cost == pytest.approx(b.cost)
+
+    def test_seeds_differ(self):
+        nl = random_circuit(6, 12, seed=2)
+        a = annealer(nl, seed=1).run()
+        b = annealer(nl, seed=2).run()
+        assert a.expression != b.expression or a.cost != b.cost
+
+    def test_improves_over_initial(self):
+        nl = random_circuit(10, 20, seed=3)
+        result = annealer(nl, seed=3).run()
+        first = result.snapshots[0]
+        assert result.cost <= first.current_cost + 1e-9
+
+    def test_best_is_min_over_snapshots(self):
+        nl = random_circuit(8, 10, seed=4)
+        result = annealer(nl, seed=4).run()
+        assert result.cost <= min(s.best_cost for s in result.snapshots) + 1e-9
+
+
+class TestSnapshots:
+    def test_one_snapshot_per_temperature(self):
+        nl = random_circuit(5, 8, seed=0)
+        result = annealer(nl, seed=0).run()
+        assert len(result.snapshots) == FAST.n_steps(1.0)
+        temps = [s.temperature for s in result.snapshots]
+        assert temps == sorted(temps, reverse=True)
+
+    def test_snapshot_callback_invoked(self):
+        nl = random_circuit(5, 8, seed=0)
+        seen = []
+        annealer(nl, seed=0).run(on_snapshot=seen.append)
+        assert len(seen) == FAST.n_steps(1.0)
+        assert seen[0].step == 0
+
+    def test_snapshot_expressions_valid(self):
+        from repro.floorplan import evaluate_polish
+
+        nl = random_circuit(6, 9, seed=7)
+        result = annealer(nl, seed=7).run()
+        modules = {m.name: m for m in nl.modules}
+        for snap in result.snapshots:
+            evaluate_polish(snap.expression, modules).validate()
+
+
+class TestObjectives:
+    def test_congestion_objective_runs(self):
+        nl = random_circuit(6, 12, seed=5)
+        model = IrregularGridModel(grid_size=50.0)
+        obj = FloorplanObjective(
+            nl, alpha=1, beta=1, gamma=1, congestion_model=model
+        )
+        result = annealer(nl, objective=obj, seed=5).run()
+        assert result.breakdown.congestion >= 0.0
+
+    def test_area_only_objective_compacts(self):
+        nl = random_circuit(8, 0, seed=6)
+        obj = FloorplanObjective(nl, alpha=1, beta=0)
+        result = annealer(nl, objective=obj, seed=6).run()
+        # A short anneal must at least beat 60% whitespace.
+        assert result.floorplan.whitespace_fraction < 0.6
+
+    def test_invalid_moves_per_temperature(self):
+        nl = random_circuit(4, 4, seed=0)
+        with pytest.raises(ValueError):
+            FloorplanAnnealer(nl, moves_per_temperature=0)

@@ -1,0 +1,101 @@
+"""Tests for the multi-objective floorplan cost."""
+
+import pytest
+
+from repro.anneal import FloorplanObjective
+from repro.congestion import IrregularGridModel
+from repro.floorplan import PolishExpression
+from repro.netlist import Module, Net, Netlist
+
+
+def circuit():
+    modules = [
+        Module("a", 100, 200),
+        Module("b", 150, 150),
+        Module("c", 120, 80),
+    ]
+    nets = [Net("n0", ("a", "b")), Net("n1", ("b", "c")), Net("n2", ("a", "c"))]
+    return Netlist("abc", modules, nets)
+
+
+EXPR = PolishExpression(["a", "b", "+", "c", "*"])
+
+
+class TestValidation:
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            FloorplanObjective(circuit(), alpha=0, beta=0, gamma=0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FloorplanObjective(circuit(), alpha=-1)
+
+    def test_gamma_without_model_rejected(self):
+        with pytest.raises(ValueError, match="congestion model"):
+            FloorplanObjective(circuit(), gamma=1.0)
+
+    def test_bad_pin_grid(self):
+        with pytest.raises(ValueError):
+            FloorplanObjective(circuit(), pin_grid_size=0.0)
+
+
+class TestEvaluation:
+    def test_area_only(self):
+        obj = FloorplanObjective(circuit(), alpha=1, beta=0)
+        b = obj.evaluate_expression(EXPR)
+        assert b.area > 0
+        assert b.wirelength == 0.0
+        assert b.congestion == 0.0
+        assert b.cost == pytest.approx(b.area)  # norm is 1 before calibrate
+
+    def test_wirelength_computed_when_beta_positive(self):
+        obj = FloorplanObjective(circuit(), alpha=1, beta=1, pin_grid_size=10.0)
+        b = obj.evaluate_expression(EXPR)
+        assert b.wirelength > 0
+
+    def test_congestion_term(self):
+        model = IrregularGridModel(20.0)
+        obj = FloorplanObjective(
+            circuit(), alpha=1, beta=1, gamma=1, congestion_model=model
+        )
+        b = obj.evaluate_expression(EXPR)
+        assert b.congestion > 0
+
+    def test_pin_grid_defaults_to_model_grid(self):
+        model = IrregularGridModel(25.0)
+        obj = FloorplanObjective(circuit(), gamma=1, congestion_model=model)
+        assert obj.pin_grid_size == 25.0
+
+    def test_gamma_zero_skips_congestion(self):
+        obj = FloorplanObjective(circuit(), alpha=1, beta=1, pin_grid_size=10.0)
+        assert obj.evaluate_expression(EXPR).congestion == 0.0
+
+
+class TestCalibration:
+    def test_calibration_normalizes_terms(self):
+        obj = FloorplanObjective(circuit(), alpha=1, beta=1, pin_grid_size=10.0)
+        obj.calibrate(seed=0, samples=5)
+        b = obj.evaluate_expression(EXPR)
+        # After normalization each term contributes O(1).
+        assert 0.01 < b.cost < 10.0
+
+    def test_calibration_deterministic(self):
+        a = FloorplanObjective(circuit(), alpha=1, beta=1, pin_grid_size=10.0)
+        b = FloorplanObjective(circuit(), alpha=1, beta=1, pin_grid_size=10.0)
+        a.calibrate(seed=3)
+        b.calibrate(seed=3)
+        assert a.evaluate_expression(EXPR).cost == pytest.approx(
+            b.evaluate_expression(EXPR).cost
+        )
+
+    def test_invalid_samples(self):
+        obj = FloorplanObjective(circuit(), alpha=1, beta=0)
+        with pytest.raises(ValueError):
+            obj.calibrate(samples=0)
+
+    def test_cost_scales_with_weights(self):
+        light = FloorplanObjective(circuit(), alpha=1, beta=0)
+        heavy = FloorplanObjective(circuit(), alpha=2, beta=0)
+        assert heavy.evaluate_expression(EXPR).cost == pytest.approx(
+            2 * light.evaluate_expression(EXPR).cost
+        )

@@ -1,0 +1,75 @@
+"""Tests for cooling schedules."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.anneal import GeometricSchedule, initial_temperature
+
+
+class TestInitialTemperature:
+    def test_accepts_average_uphill(self):
+        deltas = [1.0, 2.0, 3.0, -5.0]  # avg uphill = 2.0
+        t0 = initial_temperature(deltas, initial_acceptance=0.85)
+        assert math.exp(-2.0 / t0) == pytest.approx(0.85)
+
+    def test_no_uphill_fallback(self):
+        assert initial_temperature([-1.0, -2.0]) == 1.0
+        assert initial_temperature([]) == 1.0
+
+    def test_invalid_acceptance(self):
+        with pytest.raises(ValueError):
+            initial_temperature([1.0], initial_acceptance=0.0)
+        with pytest.raises(ValueError):
+            initial_temperature([1.0], initial_acceptance=1.0)
+
+    @given(
+        st.lists(st.floats(0.001, 100), min_size=1, max_size=20),
+        st.floats(0.5, 0.99),
+    )
+    def test_hotter_for_higher_acceptance(self, uphill, p):
+        t_low = initial_temperature(uphill, initial_acceptance=p * 0.9)
+        t_high = initial_temperature(uphill, initial_acceptance=p)
+        assert t_high >= t_low
+
+
+class TestGeometricSchedule:
+    def test_cooling_sequence(self):
+        sched = GeometricSchedule(cooling_rate=0.5, freeze_ratio=0.05, max_steps=99)
+        temps = list(sched.temperatures(100.0))
+        assert temps[0] == 100.0
+        assert temps[1] == 50.0
+        assert all(b == pytest.approx(a * 0.5) for a, b in zip(temps, temps[1:]))
+        assert temps[-1] >= 100.0 * 0.05
+
+    def test_max_steps_caps(self):
+        sched = GeometricSchedule(cooling_rate=0.99, freeze_ratio=1e-9, max_steps=7)
+        assert sched.n_steps(10.0) == 7
+
+    def test_freeze_ratio_scales_with_initial(self):
+        sched = GeometricSchedule(cooling_rate=0.5, freeze_ratio=0.1, max_steps=50)
+        # The step count is invariant to the initial temperature.
+        assert sched.n_steps(1.0) == sched.n_steps(1e6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(cooling_rate=1.0)
+        with pytest.raises(ValueError):
+            GeometricSchedule(cooling_rate=0.0)
+        with pytest.raises(ValueError):
+            GeometricSchedule(freeze_ratio=0.0)
+        with pytest.raises(ValueError):
+            GeometricSchedule(max_steps=0)
+
+    def test_invalid_initial(self):
+        sched = GeometricSchedule()
+        with pytest.raises(ValueError):
+            list(sched.temperatures(0.0))
+
+    @given(st.floats(0.5, 0.95), st.floats(1e-6, 0.5))
+    def test_all_temperatures_positive_decreasing(self, rate, freeze):
+        sched = GeometricSchedule(cooling_rate=rate, freeze_ratio=freeze, max_steps=60)
+        temps = list(sched.temperatures(42.0))
+        assert all(t > 0 for t in temps)
+        assert temps == sorted(temps, reverse=True)

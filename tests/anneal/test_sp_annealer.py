@@ -1,0 +1,75 @@
+"""Tests for the sequence-pair annealer."""
+
+import pytest
+
+from repro.anneal import (
+    FloorplanObjective,
+    GeometricSchedule,
+    SequencePairAnnealer,
+)
+from repro.congestion import IrregularGridModel
+from repro.netlist import random_circuit
+
+FAST = GeometricSchedule(cooling_rate=0.6, freeze_ratio=0.05, max_steps=8)
+
+
+def annealer(netlist, **kwargs):
+    kwargs.setdefault("schedule", FAST)
+    kwargs.setdefault("moves_per_temperature", 20)
+    return SequencePairAnnealer(netlist, **kwargs)
+
+
+class TestBasicRun:
+    def test_produces_valid_floorplan(self):
+        nl = random_circuit(8, 16, seed=1)
+        result = annealer(nl, seed=1).run()
+        result.floorplan.validate()
+        assert set(result.floorplan.module_names) == set(nl.module_names)
+        assert result.n_moves > 0
+        assert 0.0 <= result.acceptance_ratio <= 1.0
+
+    def test_deterministic_per_seed(self):
+        nl = random_circuit(6, 12, seed=2)
+        a = annealer(nl, seed=9).run()
+        b = annealer(nl, seed=9).run()
+        assert a.pair == b.pair
+        assert a.cost == pytest.approx(b.cost)
+
+    def test_improves_over_initial(self):
+        nl = random_circuit(10, 20, seed=3)
+        result = annealer(nl, seed=3).run()
+        assert result.cost <= result.snapshots[0].current_cost + 1e-9
+
+    def test_snapshots_per_temperature(self):
+        nl = random_circuit(5, 8, seed=0)
+        seen = []
+        result = annealer(nl, seed=0).run(on_snapshot=seen.append)
+        assert len(result.snapshots) == FAST.n_steps(1.0)
+        assert len(seen) == len(result.snapshots)
+
+    def test_congestion_objective(self):
+        nl = random_circuit(6, 12, seed=5)
+        obj = FloorplanObjective(
+            nl,
+            alpha=1,
+            beta=1,
+            gamma=1,
+            congestion_model=IrregularGridModel(50.0),
+        )
+        result = annealer(nl, objective=obj, seed=5).run()
+        assert result.breakdown.congestion >= 0.0
+        result.floorplan.validate()
+
+    def test_invalid_moves_per_temperature(self):
+        nl = random_circuit(4, 4, seed=0)
+        with pytest.raises(ValueError):
+            SequencePairAnnealer(nl, moves_per_temperature=0)
+
+
+class TestNonSlicingReach:
+    def test_can_beat_or_match_slicing_on_awkward_sizes(self):
+        """Sequence pairs reach non-slicing packings; on a mix of
+        skewed modules the packer must stay within sane whitespace."""
+        nl = random_circuit(9, 0, seed=11, max_aspect=4.0)
+        result = annealer(nl, seed=11, moves_per_temperature=60).run()
+        assert result.floorplan.whitespace_fraction < 0.5

@@ -1,0 +1,26 @@
+"""Test-suite-wide configuration.
+
+Hypothesis: property tests exercise packing/annealing code whose run
+time varies with the drawn example; the default 200 ms deadline causes
+flaky failures on loaded CI machines, so it is disabled globally and
+example counts stay modest (individual tests override where they need
+more).  Set ``REPRO_HYPOTHESIS_PROFILE=thorough`` for a deeper sweep.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=400,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))

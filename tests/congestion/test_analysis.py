@@ -1,0 +1,73 @@
+"""Tests for hotspot attribution."""
+
+import pytest
+
+from repro.congestion import IrregularGridModel, analyze_hotspots
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+
+CHIP = Rect(0, 0, 600, 600)
+
+
+def net(x1, y1, x2, y2, name, weight=1.0):
+    return TwoPinNet(name, Point(x1, y1), Point(x2, y2), weight=weight)
+
+
+def cluster_instance():
+    """Three nets piled in one corner plus one elsewhere."""
+    return [
+        net(390, 390, 590, 590, "hot_a"),
+        net(400, 380, 580, 570, "hot_b"),
+        net(380, 400, 570, 580, "hot_c"),
+        net(10, 10, 150, 150, "cold"),
+    ]
+
+
+class TestAnalyzeHotspots:
+    def test_hot_nets_identified(self):
+        model = IrregularGridModel(30.0)
+        report = analyze_hotspots(model, CHIP, cluster_instance(), top_cells=3)
+        dominant = [name for name, _ in report.dominant_nets(3)]
+        assert set(dominant) <= {"hot_a", "hot_b", "hot_c"}
+        assert "cold" not in dominant
+
+    def test_cell_contributions_ordered_and_bounded(self):
+        model = IrregularGridModel(30.0)
+        report = analyze_hotspots(model, CHIP, cluster_instance())
+        for cell in report.cells:
+            amounts = [amount for _, amount in cell.contributors]
+            assert amounts == sorted(amounts, reverse=True)
+            assert all(0.0 < a <= 1.0 + 1e-9 for a in amounts)
+
+    def test_contributions_sum_to_cell_mass(self):
+        model = IrregularGridModel(30.0)
+        nets = cluster_instance()
+        report = analyze_hotspots(
+            model, CHIP, nets, top_cells=1, top_nets_per_cell=len(nets)
+        )
+        cell = report.cells[0]
+        total = sum(amount for _, amount in cell.contributors)
+        assert total == pytest.approx(cell.mass, rel=1e-9)
+
+    def test_top_cells_limit(self):
+        model = IrregularGridModel(30.0)
+        report = analyze_hotspots(model, CHIP, cluster_instance(), top_cells=2)
+        assert len(report.cells) == 2
+
+    def test_validation(self):
+        model = IrregularGridModel(30.0)
+        with pytest.raises(ValueError):
+            analyze_hotspots(model, CHIP, cluster_instance(), top_cells=0)
+        with pytest.raises(ValueError):
+            analyze_hotspots(
+                model, CHIP, cluster_instance(), top_nets_per_cell=0
+            )
+
+    def test_weighted_net_dominates(self):
+        nets = [
+            net(100, 100, 500, 500, "light", weight=1.0),
+            net(110, 90, 510, 490, "heavy", weight=5.0),
+        ]
+        model = IrregularGridModel(30.0)
+        report = analyze_hotspots(model, CHIP, nets, top_cells=3)
+        assert report.dominant_nets(1)[0][0] == "heavy"

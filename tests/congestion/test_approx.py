@@ -1,0 +1,151 @@
+"""Tests for the Theorem-1 approximation (Section 4.4-4.5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import (
+    ApproximationDomainError,
+    approx_function1_pointwise,
+    approx_ir_probability,
+    exact_ir_probability,
+)
+from repro.congestion.approx import (
+    exact_function1_pointwise,
+    type_i_error_grids,
+)
+from repro.netlist import NetType
+
+
+class TestPointwiseFunction1:
+    def test_figure8_case_b_accuracy(self):
+        """Paper Figure 8(b): 31x21 range, y2 = 15, x = 10..20 -- the
+        approximation is 'extremely accurate' (deviation << 0.05)."""
+        for x in range(10, 21):
+            exact = exact_function1_pointwise(x, 31, 21, 15)
+            approx = approx_function1_pointwise(x, 31, 21, 15)
+            assert abs(approx - exact) < 0.01, x
+
+    def test_figure8_case_d_error_grid(self):
+        """Figure 8(d): the approximation has no value at x = 30 with
+        y2 = 19 ((x+y2)/(g1+g2-3) = 1)."""
+        with pytest.raises(ApproximationDomainError):
+            approx_function1_pointwise(30, 31, 21, 19)
+
+    def test_figure8_case_d_valid_region_deviation(self):
+        """Section 4.5: deviation 'generally less than 0.05'."""
+        for x in range(20, 30):
+            exact = exact_function1_pointwise(x, 31, 21, 19)
+            approx = approx_function1_pointwise(x, 31, 21, 19)
+            assert abs(approx - exact) < 0.05, x
+
+    def test_origin_error_case(self):
+        # (x + y2) == 0: mean fraction is 0.
+        with pytest.raises(ApproximationDomainError):
+            approx_function1_pointwise(0, 10, 10, 0)
+
+    def test_beyond_one_error_case(self):
+        with pytest.raises(ApproximationDomainError):
+            approx_function1_pointwise(9, 10, 10, 9)
+
+    def test_exact_pointwise_zero_on_top_edge(self):
+        # y2 = g2-1 means Tb(x, y2+1) = 0: no top exits exist.
+        assert exact_function1_pointwise(3, 10, 10, 9) == 0.0
+
+
+class TestErrorGridEnumeration:
+    def test_paper_list(self):
+        """Section 4.5 names exactly (0,0), (g1-2,g2-1), (g1-1,g2-2),
+        (g1-1,g2-1) as the failing grids of a type-I net."""
+        assert type_i_error_grids(31, 21) == (
+            (0, 0),
+            (29, 20),
+            (30, 19),
+            (30, 20),
+        )
+
+    @given(st.integers(4, 20), st.integers(4, 20))
+    def test_error_grids_are_where_pointwise_fails(self, g1, g2):
+        # Scan the whole top boundary parameterization: failures occur
+        # exactly where (x + y2) in {0, >= g1+g2-3}.
+        big_r = g1 + g2 - 3
+        for y2 in (0, g2 - 2, g2 - 1):
+            for x in range(g1):
+                should_fail = (x + y2 == 0) or (x + y2 >= big_r)
+                try:
+                    approx_function1_pointwise(x, g1, g2, y2)
+                    failed = False
+                except ApproximationDomainError:
+                    failed = True
+                assert failed == should_fail, (x, y2)
+
+
+class TestIRGridApproximation:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(10, 30), st.integers(10, 30), st.data())
+    def test_interior_accuracy(self, g1, g2, data):
+        """Two or more grids away from the pins, Theorem 1 tracks
+        Formula 3 within the paper's 0.05 deviation bound (an
+        exhaustive scan over this domain peaks at ~0.035)."""
+        x1 = data.draw(st.integers(2, g1 - 4))
+        x2 = data.draw(st.integers(x1, g1 - 4))
+        y1 = data.draw(st.integers(2, g2 - 4))
+        y2 = data.draw(st.integers(y1, g2 - 4))
+        nt = data.draw(st.sampled_from([NetType.TYPE_I, NetType.TYPE_II]))
+        exact = exact_ir_probability(g1, g2, nt, x1, x2, y1, y2)
+        approx = approx_ir_probability(g1, g2, nt, x1, x2, y1, y2)
+        assert approx == pytest.approx(exact, abs=0.05)
+
+    def test_result_in_unit_interval(self):
+        for x1 in range(1, 6):
+            p = approx_ir_probability(12, 12, NetType.TYPE_I, x1, x1 + 3, 2, 8)
+            assert 0.0 <= p <= 1.0
+
+    def test_far_pin_cell_raises(self):
+        with pytest.raises(ApproximationDomainError):
+            approx_ir_probability(10, 10, NetType.TYPE_I, 8, 9, 8, 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            approx_ir_probability(10, 10, NetType.DEGENERATE, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            approx_ir_probability(1, 10, NetType.TYPE_I, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            approx_ir_probability(10, 10, NetType.TYPE_I, 5, 4, 0, 0)
+
+    def test_paper_bounds_narrower_than_corrected(self):
+        # The midpoint-corrected integral covers one extra unit of
+        # width, so it reports at least as much probability.
+        corrected = approx_ir_probability(
+            20, 20, NetType.TYPE_I, 5, 8, 5, 8, paper_bounds=False
+        )
+        paper = approx_ir_probability(
+            20, 20, NetType.TYPE_I, 5, 8, 5, 8, paper_bounds=True
+        )
+        assert paper <= corrected + 1e-12
+
+    def test_midpoint_bounds_beat_paper_bounds(self):
+        # On interior IR-grids the corrected bounds track the exact sum
+        # more closely -- the reason they are the default.
+        exact = exact_ir_probability(20, 20, NetType.TYPE_I, 5, 8, 5, 8)
+        corrected = approx_ir_probability(20, 20, NetType.TYPE_I, 5, 8, 5, 8)
+        paper = approx_ir_probability(
+            20, 20, NetType.TYPE_I, 5, 8, 5, 8, paper_bounds=True
+        )
+        assert abs(corrected - exact) <= abs(paper - exact)
+
+    def test_type_ii_mirror_consistency(self):
+        p2 = approx_ir_probability(14, 11, NetType.TYPE_II, 3, 6, 2, 5)
+        p1 = approx_ir_probability(
+            14, 11, NetType.TYPE_I, 3, 6, 11 - 1 - 5, 11 - 1 - 2
+        )
+        assert p2 == pytest.approx(p1, rel=1e-12)
+
+    def test_more_panels_refine(self):
+        exact = exact_ir_probability(25, 25, NetType.TYPE_I, 6, 12, 6, 12)
+        coarse = approx_ir_probability(
+            25, 25, NetType.TYPE_I, 6, 12, 6, 12, panels=2
+        )
+        fine = approx_ir_probability(
+            25, 25, NetType.TYPE_I, 6, 12, 6, 12, panels=32
+        )
+        assert abs(fine - exact) <= abs(coarse - exact) + 1e-4

@@ -1,0 +1,72 @@
+"""Tests for CongestionCell / CongestionMap."""
+
+import pytest
+
+from repro.congestion import CongestionCell, CongestionMap
+from repro.geometry import Rect
+
+CHIP = Rect(0, 0, 10, 10)
+
+
+def uniform_map(masses):
+    """One row of unit cells with the given masses."""
+    cells = [
+        CongestionCell(Rect(i, 0, i + 1, 1), m) for i, m in enumerate(masses)
+    ]
+    return CongestionMap(Rect(0, 0, len(masses), 1), cells)
+
+
+class TestCell:
+    def test_density(self):
+        cell = CongestionCell(Rect(0, 0, 2, 5), mass=20.0)
+        assert cell.density == 2.0
+
+    def test_zero_area_density(self):
+        cell = CongestionCell(Rect(0, 0, 0, 5), mass=3.0)
+        assert cell.density == 0.0
+
+    def test_default_mass(self):
+        assert CongestionCell(Rect(0, 0, 1, 1)).mass == 0.0
+
+
+class TestMap:
+    def test_requires_cells(self):
+        with pytest.raises(ValueError):
+            CongestionMap(CHIP, [])
+
+    def test_aggregates(self):
+        cmap = uniform_map([1.0, 3.0, 2.0])
+        assert cmap.n_cells == 3
+        assert cmap.total_mass == 6.0
+        assert cmap.max_mass == 3.0
+        assert cmap.max_density == 3.0
+        assert cmap.densities() == [1.0, 3.0, 2.0]
+
+    def test_top_mass_score(self):
+        cmap = uniform_map([float(i) for i in range(10)])
+        assert cmap.top_mass_score(0.2) == pytest.approx((9 + 8) / 2)
+
+    def test_top_density_score_uniform_cells(self):
+        cmap = uniform_map([float(i) for i in range(10)])
+        assert cmap.top_density_score(0.2) == pytest.approx((9 + 8) / 2)
+
+    def test_top_density_score_unequal_cells(self):
+        # A big cold cell and a tiny hot cell: the top-10%-area score
+        # blends the hot cell's density with the next densest area.
+        cells = [
+            CongestionCell(Rect(0, 0, 9, 1), mass=9.0),  # density 1
+            CongestionCell(Rect(9, 0, 10, 1), mass=5.0),  # density 5
+        ]
+        cmap = CongestionMap(Rect(0, 0, 10, 1), cells)
+        assert cmap.top_density_score(0.1) == pytest.approx(5.0)
+        # Widening to 50% of the area mixes in the cold density.
+        expected = (5.0 * 1.0 + 1.0 * 4.0) / 5.0
+        assert cmap.top_density_score(0.5) == pytest.approx(expected)
+
+    def test_cells_over(self):
+        cmap = uniform_map([0.5, 2.5, 1.5])
+        assert len(cmap.cells_over(1.0)) == 2
+        assert len(cmap.cells_over(10.0)) == 0
+
+    def test_repr(self):
+        assert "cells" in repr(uniform_map([1.0]))

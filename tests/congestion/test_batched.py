@@ -1,0 +1,116 @@
+"""Edge-case tests for the whole-floorplan batched evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.congestion.batched import batched_approx_mass
+from repro.congestion.irgrid import build_irgrid
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+
+CHIP = Rect(0, 0, 600, 600)
+
+
+def net(x1, y1, x2, y2, name="n", weight=1.0):
+    return TwoPinNet(name, Point(x1, y1), Point(x2, y2), weight=weight)
+
+
+def evaluate(nets, grid_size=30.0, merge_factor=2.0):
+    irgrid = build_irgrid(CHIP, nets, grid_size, merge_factor)
+    return irgrid, batched_approx_mass(irgrid, nets, grid_size)
+
+
+class TestEdgeCases:
+    def test_no_nets(self):
+        irgrid, mass = evaluate([])
+        assert mass.shape == (1, 1)
+        assert mass.sum() == 0.0
+
+    def test_only_degenerate_nets(self):
+        nets = [
+            net(0, 300, 600, 300, "h"),
+            net(300, 0, 300, 600, "v"),
+            net(150, 150, 150, 150, "pt"),
+        ]
+        irgrid, mass = evaluate(nets)
+        assert mass.max() <= 3.0 + 1e-12
+        assert mass.sum() > 0
+
+    def test_single_type_i_net_pins_certain(self):
+        nets = [net(0, 0, 600, 600)]
+        irgrid, mass = evaluate(nets, merge_factor=0.0)
+        assert mass[0, 0] == pytest.approx(1.0)
+        assert mass[-1, -1] == pytest.approx(1.0)
+
+    def test_single_type_ii_net_pins_certain(self):
+        nets = [net(0, 600, 600, 0)]
+        irgrid, mass = evaluate(nets, merge_factor=0.0)
+        assert mass[0, -1] == pytest.approx(1.0)
+        assert mass[-1, 0] == pytest.approx(1.0)
+
+    def test_mass_conservation_row(self):
+        """For one net, summing crossing probabilities over any IR-grid
+        row that slices the whole routing range must be >= 1 (every
+        route passes through the row) and <= the row's cell count."""
+        nets = [net(0, 0, 600, 600), net(90, 60, 510, 540, "b")]
+        irgrid, mass = evaluate(nets, merge_factor=0.0)
+        row_sums = mass.sum(axis=0)
+        assert (row_sums >= 1.0 - 1e-9).all()
+
+    def test_weights_respected(self):
+        nets_a = [net(30, 30, 570, 510, weight=2.0)]
+        nets_b = [net(30, 30, 570, 510, weight=1.0)]
+        _, mass_a = evaluate(nets_a)
+        _, mass_b = evaluate(nets_b)
+        assert np.allclose(mass_a, 2.0 * mass_b)
+
+    def test_mixed_types_superpose(self):
+        n1 = net(30, 30, 570, 510, "t1")
+        n2 = net(30, 510, 570, 30, "t2")
+        ir_both = build_irgrid(CHIP, [n1, n2], 30.0, 2.0)
+        both = batched_approx_mass(ir_both, [n1, n2], 30.0)
+        only1 = batched_approx_mass(ir_both, [n1], 30.0)
+        only2 = batched_approx_mass(ir_both, [n2], 30.0)
+        assert np.allclose(both, only1 + only2, atol=1e-12)
+
+    def test_probabilities_never_exceed_one_per_net(self):
+        nets = [net(15, 25, 585, 575)]
+        _, mass = evaluate(nets)
+        assert mass.max() <= 1.0 + 1e-9
+
+    def test_tiny_chip_single_cell(self):
+        chip = Rect(0, 0, 10, 10)
+        n = net(1, 1, 9, 9)
+        irgrid = build_irgrid(chip, [n], grid_size=30.0)
+        mass = batched_approx_mass(irgrid, [n], 30.0)
+        # Whole chip one cell: the net certainly crosses it.
+        assert mass.shape == (1, 1)
+        assert mass[0, 0] == pytest.approx(1.0)
+
+
+class TestPaperBoundsFlag:
+    def test_batched_matches_per_net_with_paper_bounds(self):
+        from repro.congestion import IrregularGridModel
+
+        nets = [
+            net(30, 30, 570, 510, "a"),
+            net(60, 480, 540, 60, "b"),
+        ]
+        model = IrregularGridModel(30.0, paper_bounds=True)
+        irgrid = build_irgrid(CHIP, nets, 30.0, 2.0)
+        reference = np.zeros((irgrid.n_columns, irgrid.n_rows))
+        for n in nets:
+            model._add_net(irgrid, n, reference)
+        batched = batched_approx_mass(irgrid, nets, 30.0, paper_bounds=True)
+        assert np.abs(batched - reference).max() < 1e-9
+
+    def test_paper_bounds_change_the_map(self):
+        # merge_factor 0 keeps interior non-pin cells, where the
+        # integration bounds matter.
+        nets = [net(30, 30, 570, 510, "a"), net(120, 90, 480, 450, "b")]
+        irgrid = build_irgrid(CHIP, nets, 30.0, 0.0)
+        default = batched_approx_mass(irgrid, nets, 30.0, paper_bounds=False)
+        paper = batched_approx_mass(irgrid, nets, 30.0, paper_bounds=True)
+        assert not np.allclose(default, paper)
+        # The midpoint-corrected bounds integrate a wider span: more mass.
+        assert default.sum() > paper.sum()

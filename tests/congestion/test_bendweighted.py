@@ -1,0 +1,113 @@
+"""Tests for the bend-weighted route distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import (
+    BendWeightedModel,
+    bend_weighted_table,
+    probability_table,
+)
+from repro.geometry import Point, Rect
+from repro.netlist import NetType, TwoPinNet
+
+CHIP = Rect(0, 0, 100, 100)
+dims = st.integers(2, 12)
+
+
+class TestTable:
+    @given(dims, dims)
+    def test_lambda_one_reproduces_formula2(self, g1, g2):
+        table = bend_weighted_table(g1, g2, NetType.TYPE_I, 1.0)
+        reference = np.array(probability_table(g1, g2, NetType.TYPE_I))
+        assert np.abs(table - reference).max() < 1e-12
+
+    @given(dims, dims, st.floats(0.05, 1.0))
+    def test_antidiagonal_conservation(self, g1, g2, lam):
+        """Every route crosses every anti-diagonal once regardless of
+        the bend weighting, so each anti-diagonal sums to 1."""
+        table = bend_weighted_table(g1, g2, NetType.TYPE_I, lam)
+        for d in range(g1 + g2 - 1):
+            s = sum(
+                table[x, d - x]
+                for x in range(max(0, d - g2 + 1), min(g1, d + 1))
+            )
+            assert s == pytest.approx(1.0, rel=1e-9)
+
+    def test_lambda_to_zero_gives_l_shapes(self):
+        table = bend_weighted_table(6, 6, NetType.TYPE_I, 1e-9)
+        # Interior cells get (asymptotically) nothing ...
+        assert table[1:-1, 1:-1].max() < 1e-6
+        # ... and the two L borders split the mass evenly.
+        assert table[0, 3] == pytest.approx(0.5, abs=1e-6)
+        assert table[3, 0] == pytest.approx(0.5, abs=1e-6)
+        assert table[0, 0] == pytest.approx(1.0)
+        assert table[5, 5] == pytest.approx(1.0)
+
+    def test_smaller_lambda_pushes_mass_outward(self):
+        uniform = bend_weighted_table(8, 8, NetType.TYPE_I, 1.0)
+        bendy = bend_weighted_table(8, 8, NetType.TYPE_I, 0.3)
+        center = (slice(2, 6), slice(2, 6))
+        assert bendy[center].sum() < uniform[center].sum()
+
+    @given(dims, dims, st.floats(0.1, 1.0))
+    def test_type_ii_is_mirror(self, g1, g2, lam):
+        t1 = bend_weighted_table(g1, g2, NetType.TYPE_I, lam)
+        t2 = bend_weighted_table(g1, g2, NetType.TYPE_II, lam)
+        assert np.allclose(t2, t1[:, ::-1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bend_weighted_table(0, 4, NetType.TYPE_I, 0.5)
+        with pytest.raises(ValueError):
+            bend_weighted_table(4, 4, NetType.TYPE_I, 0.0)
+        with pytest.raises(ValueError):
+            bend_weighted_table(4, 4, NetType.TYPE_I, 1.5)
+        with pytest.raises(ValueError):
+            bend_weighted_table(4, 4, NetType.DEGENERATE, 0.5)
+
+    def test_thin_range_all_ones(self):
+        assert np.allclose(
+            bend_weighted_table(1, 6, NetType.TYPE_I, 0.4), 1.0
+        )
+
+
+class TestModel:
+    def test_matches_fixed_grid_at_lambda_one(self):
+        from repro.congestion import FixedGridModel
+
+        nets = [
+            TwoPinNet("a", Point(5, 5), Point(75, 55)),
+            TwoPinNet("b", Point(15, 85), Point(95, 15)),
+        ]
+        bend = BendWeightedModel(10.0, bend_weight=1.0)
+        fixed = FixedGridModel(10.0)
+        assert np.allclose(
+            bend.evaluate_array(CHIP, nets),
+            fixed.evaluate_array(CHIP, nets),
+            atol=1e-12,
+        )
+
+    def test_degenerate_nets_unit_mass(self):
+        model = BendWeightedModel(10.0, bend_weight=0.5)
+        grid = model.evaluate_array(
+            CHIP, [TwoPinNet("h", Point(5, 25), Point(65, 25))]
+        )
+        assert grid.sum() == pytest.approx(7.0)
+
+    def test_map_and_score(self):
+        model = BendWeightedModel(10.0, bend_weight=0.5)
+        nets = [TwoPinNet("a", Point(5, 5), Point(95, 95))]
+        cmap = model.evaluate(CHIP, nets)
+        assert model.score(cmap) > 0
+        total_area = sum(c.rect.area for c in cmap.cells)
+        assert total_area == pytest.approx(CHIP.area)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BendWeightedModel(0.0)
+        with pytest.raises(ValueError):
+            BendWeightedModel(10.0, bend_weight=2.0)
+        with pytest.raises(ValueError):
+            BendWeightedModel(10.0, top_fraction=0.0)

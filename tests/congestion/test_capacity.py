@@ -1,0 +1,92 @@
+"""Tests for the routability (capacity) estimator."""
+
+import pytest
+
+from repro.congestion import (
+    CongestionCell,
+    CongestionMap,
+    FixedGridModel,
+    estimate_routability,
+)
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+
+CHIP = Rect(0, 0, 100, 100)
+
+
+def uniform_map(masses, pitch=10.0):
+    cells = []
+    n = len(masses)
+    for i, m in enumerate(masses):
+        x = (i % 10) * pitch
+        y = (i // 10) * pitch
+        cells.append(CongestionCell(Rect(x, y, x + pitch, y + pitch), m))
+    return CongestionMap(Rect(0, 0, 100, 100), cells)
+
+
+class TestEstimate:
+    def test_under_capacity_routable(self):
+        cmap = uniform_map([1.0] * 100)
+        # supply = 1 track/um * 10 um = 10 >> demand 1.
+        est = estimate_routability(cmap, tracks_per_um=1.0)
+        assert est.is_routable
+        assert est.total_overflow == 0.0
+        assert est.max_utilization == pytest.approx(0.1)
+
+    def test_overflow_counted(self):
+        masses = [0.0] * 99 + [25.0]
+        cmap = uniform_map(masses)
+        est = estimate_routability(cmap, tracks_per_um=1.0)
+        assert not est.is_routable
+        assert est.n_overflowed_cells == 1
+        assert est.total_overflow == pytest.approx(15.0)
+        assert est.overflow_fraction == pytest.approx(0.01)
+
+    def test_utilization_target_scales_supply(self):
+        cmap = uniform_map([8.0] * 100)
+        generous = estimate_routability(cmap, 1.0, utilization_target=1.0)
+        tight = estimate_routability(cmap, 1.0, utilization_target=0.5)
+        assert generous.is_routable
+        assert not tight.is_routable
+
+    def test_rejects_mixed_pitch_maps(self):
+        cells = [
+            CongestionCell(Rect(0, 0, 10, 10), 1.0),
+            CongestionCell(Rect(10, 0, 60, 10), 1.0),  # 5x wider
+        ]
+        cmap = CongestionMap(Rect(0, 0, 60, 10), cells)
+        with pytest.raises(ValueError, match="equal-pitch"):
+            estimate_routability(cmap, 1.0)
+
+    def test_validation(self):
+        cmap = uniform_map([1.0] * 100)
+        with pytest.raises(ValueError):
+            estimate_routability(cmap, 0.0)
+        with pytest.raises(ValueError):
+            estimate_routability(cmap, 1.0, utilization_target=0.0)
+
+
+class TestCrossValidationWithRouter:
+    def test_estimator_and_router_agree_on_feasibility(self):
+        """The probabilistic screen and the negotiated router must agree
+        on clearly-routable and clearly-unroutable instances."""
+        from repro.routing import NegotiatedRouter, RoutingGrid
+
+        nets_easy = [
+            TwoPinNet(f"e{i}", Point(5 + 10 * i, 5), Point(5 + 10 * i, 95))
+            for i in range(5)
+        ]
+        # 30 identical nets through one corridor: hopeless at capacity 2.
+        nets_hard = [
+            TwoPinNet(f"h{i}", Point(45, 5), Point(55, 95)) for i in range(30)
+        ]
+        model = FixedGridModel(10.0)
+        for nets, expect_routable in ((nets_easy, True), (nets_hard, False)):
+            cmap = model.evaluate(CHIP, nets)
+            est = estimate_routability(
+                cmap, tracks_per_um=0.2
+            )  # supply 2/cell
+            grid = RoutingGrid(CHIP, 10.0, capacity=2)
+            result = NegotiatedRouter(grid, max_iterations=6).route(nets)
+            assert est.is_routable == expect_routable
+            assert result.converged == expect_routable

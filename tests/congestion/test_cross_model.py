@@ -1,0 +1,117 @@
+"""Cross-model consistency: the model zoo must agree on orderings.
+
+Each congestion model measures different units (route mass, wire
+demand, density), but on the same instances they must agree on the
+*direction* of congestion differences -- otherwise at least one of them
+is broken.  These tests pin those relationships.
+"""
+
+import random
+
+import pytest
+
+from repro.congestion import (
+    BendWeightedModel,
+    FixedGridModel,
+    IrregularGridModel,
+    RudyModel,
+)
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+from repro.routing.overflow import rank_correlation
+
+CHIP = Rect(0, 0, 400, 400)
+
+
+def random_instance(seed, n=15):
+    rng = random.Random(seed)
+    return [
+        TwoPinNet(
+            f"n{i}",
+            Point(rng.uniform(0, 400), rng.uniform(0, 400)),
+            Point(rng.uniform(0, 400), rng.uniform(0, 400)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestTotals:
+    def test_rudy_total_is_total_hpwl(self):
+        # Each net's integrated demand equals its bbox half-perimeter
+        # (its HPWL); restrict to nets wide enough to skip fattening.
+        nets = [
+            n
+            for n in random_instance(0)
+            if n.routing_range.width >= 20.0 and n.routing_range.height >= 20.0
+        ]
+        grid = RudyModel(20.0).evaluate_array(CHIP, nets)
+        hpwl = sum(n.routing_range.half_perimeter for n in nets)
+        assert grid.sum() == pytest.approx(hpwl, rel=1e-9)
+
+    def test_bendweighted_conserves_fixed_totals(self):
+        nets = random_instance(1)
+        fixed = FixedGridModel(20.0).evaluate_array(CHIP, nets)
+        bendy = BendWeightedModel(20.0, bend_weight=0.4).evaluate_array(
+            CHIP, nets
+        )
+        # Total crossing mass (anti-diagonal count) is distribution-free.
+        assert bendy.sum() == pytest.approx(fixed.sum(), rel=1e-9)
+
+
+class TestScoreOrderings:
+    def _scores(self, model_factory, estimator):
+        values = []
+        for seed in range(8):
+            nets = random_instance(seed, n=12)
+            values.append(estimator(model_factory(), nets))
+        return values
+
+    def test_fixed_and_bendweighted_rank_alike(self):
+        fixed_scores = self._scores(
+            lambda: FixedGridModel(25.0),
+            lambda m, nets: m.estimate_fast(CHIP, nets),
+        )
+        bend_scores = self._scores(
+            lambda: BendWeightedModel(25.0, bend_weight=0.5),
+            lambda m, nets: m.score(m.evaluate(CHIP, nets)),
+        )
+        assert rank_correlation(fixed_scores, bend_scores) > 0.7
+
+    def test_ir_and_fixed_rank_alike(self):
+        """On instances whose congestion levels genuinely differ (net
+        count swept 4..32), the IR density score and the fixed mass
+        score must rank them the same way.  (On near-identical random
+        instances the two scores diverge within noise -- they measure
+        different units.)"""
+        ir_scores = []
+        fixed_scores = []
+        for k, n in enumerate((4, 8, 12, 16, 20, 24, 28, 32)):
+            nets = random_instance(k, n=n)
+            ir_scores.append(IrregularGridModel(25.0).estimate(CHIP, nets))
+            fixed_scores.append(FixedGridModel(25.0).estimate_fast(CHIP, nets))
+        assert rank_correlation(ir_scores, fixed_scores) > 0.7
+
+    def test_all_models_prefer_the_spread_instance(self):
+        """A piled instance must out-score a spread instance under
+        every model."""
+        piled = [
+            TwoPinNet(f"p{i}", Point(150, 150), Point(250, 250))
+            for i in range(6)
+        ]
+        spread = [
+            TwoPinNet(f"s{i}", Point(20 + 60 * i, 20), Point(50 + 60 * i, 380))
+            for i in range(6)
+        ]
+        models = [
+            (FixedGridModel(25.0), lambda m, ns: m.estimate_fast(CHIP, ns)),
+            (RudyModel(25.0), lambda m, ns: m.estimate_fast(CHIP, ns)),
+            (
+                BendWeightedModel(25.0, 0.5),
+                lambda m, ns: m.score(m.evaluate(CHIP, ns)),
+            ),
+            (IrregularGridModel(25.0), lambda m, ns: m.estimate(CHIP, ns)),
+        ]
+        for model, estimator in models:
+            assert estimator(model, piled) > estimator(model, spread), type(
+                model
+            ).__name__

@@ -1,0 +1,141 @@
+"""Tests for the exact IR-grid crossing probability (Formula 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import crossing_probability, exact_ir_probability
+from repro.netlist import NetType
+
+dims = st.integers(2, 16)
+
+
+class TestPaperExample:
+    def test_figure6_value(self):
+        """The paper's worked example: 6x6 type-I range, IR-grid
+        spanning columns 1..3 and rows 1..4 (0-based) -> 245/252."""
+        p = exact_ir_probability(6, 6, NetType.TYPE_I, 1, 3, 1, 4)
+        assert p == pytest.approx(245 / 252, rel=1e-12)
+
+    def test_figure6_term_breakdown(self):
+        # 5*1 + 15*1 + 35*1 (top exits) + 4*5 + 10*4 + 20*3 + 35*2
+        # (right exits) = 245; sanity-check the numerator via the
+        # published integers.
+        numerator = 5 + 15 + 35 + 20 + 40 + 60 + 70
+        assert numerator == 245
+
+
+class TestBasicProperties:
+    def test_whole_range_is_certain(self):
+        assert exact_ir_probability(5, 7, NetType.TYPE_I, 0, 4, 0, 6) == (
+            pytest.approx(1.0)
+        )
+        assert exact_ir_probability(5, 7, NetType.TYPE_II, 0, 4, 0, 6) == (
+            pytest.approx(1.0)
+        )
+
+    def test_single_cell_matches_formula2(self):
+        for nt in (NetType.TYPE_I, NetType.TYPE_II):
+            for x in range(5):
+                for y in range(4):
+                    ir = exact_ir_probability(5, 4, nt, x, x, y, y)
+                    cell = crossing_probability(x, y, 5, 4, nt)
+                    assert ir == pytest.approx(cell, rel=1e-9), (nt, x, y)
+
+    def test_pin_corner_cell(self):
+        # The far-corner cell contains the pin: probability 1.
+        assert exact_ir_probability(6, 6, NetType.TYPE_I, 5, 5, 5, 5) == (
+            pytest.approx(1.0)
+        )
+        # Type II far pin lives at (g1-1, 0).
+        assert exact_ir_probability(6, 6, NetType.TYPE_II, 5, 5, 0, 0) == (
+            pytest.approx(1.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_ir_probability(6, 6, NetType.DEGENERATE, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            exact_ir_probability(1, 6, NetType.TYPE_I, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            exact_ir_probability(6, 6, NetType.TYPE_I, 3, 2, 0, 0)
+        with pytest.raises(ValueError):
+            exact_ir_probability(6, 6, NetType.TYPE_I, 0, 6, 0, 0)
+
+
+class TestAgainstBruteForce:
+    @staticmethod
+    def brute_force(g1, g2, x1, x2, y1, y2):
+        """Enumerate all monotone routes of a type-I net and count the
+        fraction passing through the IR-grid."""
+        from itertools import combinations
+
+        total = 0
+        hits = 0
+        steps = g1 + g2 - 2
+        for right_moves in combinations(range(steps), g1 - 1):
+            x = y = 0
+            visited = [(0, 0)]
+            rights = set(right_moves)
+            for s in range(steps):
+                if s in rights:
+                    x += 1
+                else:
+                    y += 1
+                visited.append((x, y))
+            total += 1
+            if any(x1 <= vx <= x2 and y1 <= vy <= y2 for vx, vy in visited):
+                hits += 1
+        return hits / total
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(2, 7),
+        st.integers(2, 7),
+        st.data(),
+    )
+    def test_matches_enumeration_type_i(self, g1, g2, data):
+        x1 = data.draw(st.integers(0, g1 - 1))
+        x2 = data.draw(st.integers(x1, g1 - 1))
+        y1 = data.draw(st.integers(0, g2 - 1))
+        y2 = data.draw(st.integers(y1, g2 - 1))
+        expected = self.brute_force(g1, g2, x1, x2, y1, y2)
+        actual = exact_ir_probability(g1, g2, NetType.TYPE_I, x1, x2, y1, y2)
+        assert actual == pytest.approx(expected, rel=1e-9), (
+            g1,
+            g2,
+            (x1, x2, y1, y2),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 7), st.integers(2, 7), st.data())
+    def test_type_ii_is_mirror_of_type_i(self, g1, g2, data):
+        x1 = data.draw(st.integers(0, g1 - 1))
+        x2 = data.draw(st.integers(x1, g1 - 1))
+        y1 = data.draw(st.integers(0, g2 - 1))
+        y2 = data.draw(st.integers(y1, g2 - 1))
+        p2 = exact_ir_probability(g1, g2, NetType.TYPE_II, x1, x2, y1, y2)
+        p1 = exact_ir_probability(
+            g1, g2, NetType.TYPE_I, x1, x2, g2 - 1 - y2, g2 - 1 - y1
+        )
+        assert p2 == pytest.approx(p1, rel=1e-9)
+
+
+class TestMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(3, 12), st.integers(3, 12), st.data())
+    def test_growing_grid_grows_probability(self, g1, g2, data):
+        x1 = data.draw(st.integers(1, g1 - 1))
+        x2 = data.draw(st.integers(x1, g1 - 1))
+        y1 = data.draw(st.integers(1, g2 - 1))
+        y2 = data.draw(st.integers(y1, g2 - 1))
+        smaller = exact_ir_probability(g1, g2, NetType.TYPE_I, x1, x2, y1, y2)
+        bigger = exact_ir_probability(
+            g1, g2, NetType.TYPE_I, x1 - 1, x2, y1 - 1, y2
+        )
+        assert bigger >= smaller - 1e-12
+
+    def test_probability_bounded(self):
+        for x2 in range(6):
+            for y2 in range(6):
+                p = exact_ir_probability(6, 6, NetType.TYPE_I, 0, x2, 0, y2)
+                assert 0.0 <= p <= 1.0

@@ -1,0 +1,157 @@
+"""Tests for the fixed-size-grid congestion model (Section 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import FixedGridModel, crossing_probability
+from repro.geometry import Point, Rect
+from repro.netlist import NetType, TwoPinNet
+
+
+CHIP = Rect(0, 0, 100, 100)
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FixedGridModel(0.0)
+        with pytest.raises(ValueError):
+            FixedGridModel(10.0, top_fraction=0.0)
+        with pytest.raises(ValueError):
+            FixedGridModel(10.0, top_fraction=1.5)
+
+    def test_grid_shape(self):
+        model = FixedGridModel(10.0)
+        assert model.grid_shape(CHIP) == (10, 10)
+        assert FixedGridModel(30.0).grid_shape(CHIP) == (4, 4)
+        # Exact division must not add a phantom column.
+        assert FixedGridModel(50.0).grid_shape(CHIP) == (2, 2)
+
+
+class TestSingleNet:
+    def test_mass_conservation_per_antidiagonal(self):
+        """A single type-I net deposits total mass = number of
+        anti-diagonals of its range (each route crosses each
+        anti-diagonal once)."""
+        model = FixedGridModel(10.0)
+        net = TwoPinNet("n", Point(5, 5), Point(75, 75))  # 8x8 cells
+        grid = model.evaluate_array(CHIP, [net])
+        assert grid.sum() == pytest.approx(8 + 8 - 1)
+
+    def test_matches_formula2(self):
+        model = FixedGridModel(10.0)
+        net = TwoPinNet("n", Point(5, 5), Point(55, 35))  # 6x4 range
+        grid = model.evaluate_array(CHIP, [net])
+        for x in range(6):
+            for y in range(4):
+                expected = crossing_probability(x, y, 6, 4, NetType.TYPE_I)
+                assert grid[x, y] == pytest.approx(expected)
+        assert grid[6:, :].sum() == 0.0
+        assert grid[:, 4:].sum() == 0.0
+
+    def test_type_ii_orientation(self):
+        model = FixedGridModel(10.0)
+        net = TwoPinNet("n", Point(5, 35), Point(55, 5))  # type II
+        grid = model.evaluate_array(CHIP, [net])
+        # Pin cells certain.
+        assert grid[0, 3] == pytest.approx(1.0)
+        assert grid[5, 0] == pytest.approx(1.0)
+        # The opposite corners are the least likely cells.
+        assert grid[0, 0] < 0.5
+        assert grid[5, 3] < 0.5
+
+    def test_degenerate_horizontal_line(self):
+        model = FixedGridModel(10.0)
+        net = TwoPinNet("n", Point(5, 25), Point(65, 25))
+        grid = model.evaluate_array(CHIP, [net])
+        assert grid[:7, 2].tolist() == [1.0] * 7
+        assert grid.sum() == pytest.approx(7.0)
+
+    def test_same_cell_pins(self):
+        model = FixedGridModel(10.0)
+        net = TwoPinNet("n", Point(5, 5), Point(7, 8))
+        grid = model.evaluate_array(CHIP, [net])
+        assert grid[0, 0] == pytest.approx(1.0)
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_weight_scales_mass(self):
+        model = FixedGridModel(10.0)
+        net = TwoPinNet("n", Point(5, 5), Point(45, 45), weight=3.0)
+        grid = model.evaluate_array(CHIP, [net])
+        unweighted = model.evaluate_array(
+            CHIP, [TwoPinNet("n", Point(5, 5), Point(45, 45))]
+        )
+        assert np.allclose(grid, 3.0 * unweighted)
+
+
+class TestAggregation:
+    def test_multiple_nets_superpose(self):
+        model = FixedGridModel(10.0)
+        a = TwoPinNet("a", Point(5, 5), Point(45, 45))
+        b = TwoPinNet("b", Point(5, 5), Point(45, 45))
+        combined = model.evaluate_array(CHIP, [a, b])
+        single = model.evaluate_array(CHIP, [a])
+        assert np.allclose(combined, 2.0 * single)
+
+    def test_map_and_array_scores_agree(self):
+        model = FixedGridModel(10.0)
+        nets = [
+            TwoPinNet("a", Point(5, 5), Point(95, 95)),
+            TwoPinNet("b", Point(15, 85), Point(85, 15)),
+            TwoPinNet("c", Point(5, 55), Point(95, 55)),
+        ]
+        cmap = model.evaluate(CHIP, nets)
+        array = model.evaluate_array(CHIP, nets)
+        assert model.score(cmap) == pytest.approx(model.score_array(array))
+        assert model.estimate(CHIP, nets) == pytest.approx(
+            model.estimate_fast(CHIP, nets)
+        )
+
+    def test_map_covers_chip_exactly(self):
+        model = FixedGridModel(30.0)  # does not divide 100 evenly
+        cmap = model.evaluate(CHIP, [TwoPinNet("a", Point(5, 5), Point(95, 95))])
+        total_area = sum(c.rect.area for c in cmap.cells)
+        assert total_area == pytest.approx(CHIP.area)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 99), st.integers(0, 99),
+                st.integers(0, 99), st.integers(0, 99),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_total_mass_counts_antidiagonals(self, endpoints):
+        """Superposition: total mass == sum over nets of the number of
+        covered anti-diagonals (a sharp conservation law)."""
+        model = FixedGridModel(10.0)
+        nets = [
+            TwoPinNet(f"n{i}", Point(x1, y1), Point(x2, y2))
+            for i, (x1, y1, x2, y2) in enumerate(endpoints)
+        ]
+        grid = model.evaluate_array(CHIP, nets)
+        expected = 0
+        for x1, y1, x2, y2 in endpoints:
+            g1 = abs(x2 // 10 - x1 // 10) + 1
+            g2 = abs(y2 // 10 - y1 // 10) + 1
+            expected += g1 + g2 - 1
+        assert grid.sum() == pytest.approx(expected)
+
+
+class TestCellIndex:
+    def test_interior_points(self):
+        model = FixedGridModel(10.0)
+        assert model.cell_index(CHIP, 0.0, 0.0) == (0, 0)
+        assert model.cell_index(CHIP, 15.0, 27.0) == (1, 2)
+
+    def test_boundary_folds_into_last_cell(self):
+        model = FixedGridModel(10.0)
+        assert model.cell_index(CHIP, 100.0, 100.0) == (9, 9)
+
+    def test_out_of_chip_clamped(self):
+        model = FixedGridModel(10.0)
+        assert model.cell_index(CHIP, -5.0, 500.0) == (0, 9)

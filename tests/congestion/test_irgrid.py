@@ -1,0 +1,153 @@
+"""Tests for Irregular-Grid construction (Section 4.2, step 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import build_irgrid
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+
+CHIP = Rect(0, 0, 1000, 800)
+
+
+def net(x1, y1, x2, y2, name="n"):
+    return TwoPinNet(name, Point(x1, y1), Point(x2, y2))
+
+
+class TestConstruction:
+    def test_no_nets_single_cell(self):
+        ir = build_irgrid(CHIP, [], grid_size=10.0)
+        assert ir.n_cells == 1
+        assert ir.cell_rect(0, 0) == CHIP
+
+    def test_single_net_cuts(self):
+        ir = build_irgrid(CHIP, [net(100, 100, 500, 400)], grid_size=10.0)
+        # chip boundaries + two cuts per axis from the routing range.
+        assert ir.x_lines.lines == (0, 100, 500, 1000)
+        assert ir.y_lines.lines == (0, 100, 400, 800)
+        assert ir.n_cells == 9
+
+    def test_figure5_style_count(self):
+        """Multiple overlapping ranges produce the expected partition."""
+        nets = [
+            net(100, 100, 400, 300, "a"),
+            net(200, 200, 600, 500, "b"),
+            net(350, 50, 800, 700, "c"),
+        ]
+        ir = build_irgrid(CHIP, nets, grid_size=1.0)
+        assert ir.n_columns == 7  # 0,100,200,350,400,600,800,1000
+        assert ir.n_rows == 7  # 0,50,100,200,300,500,700,800
+
+    def test_merging_threshold(self):
+        nets = [net(100, 100, 500, 400), net(110, 105, 505, 395, "m")]
+        ir = build_irgrid(CHIP, nets, grid_size=10.0, merge_factor=2.0)
+        # Lines within 20um merged: 100/110 -> 105, 500/505 -> 502.5.
+        assert 105.0 in ir.x_lines.lines
+        assert 502.5 in ir.x_lines.lines
+        assert len(ir.x_lines.lines) == 4
+
+    def test_chip_boundaries_pinned(self):
+        nets = [net(5, 5, 995, 795)]  # cuts close to the boundary
+        ir = build_irgrid(CHIP, nets, grid_size=10.0, merge_factor=2.0)
+        assert ir.x_lines.lines[0] == 0.0
+        assert ir.x_lines.lines[-1] == 1000.0
+        assert ir.y_lines.lines[0] == 0.0
+        assert ir.y_lines.lines[-1] == 800.0
+
+    def test_out_of_chip_ranges_clamped(self):
+        ir = build_irgrid(
+            Rect(0, 0, 100, 100), [net(-50, -50, 150, 150)], grid_size=5.0
+        )
+        lo, hi = ir.x_lines.span
+        assert lo == 0.0 and hi == 100.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            build_irgrid(CHIP, [], grid_size=0.0)
+        with pytest.raises(ValueError):
+            build_irgrid(CHIP, [], grid_size=10.0, merge_factor=-1.0)
+
+
+class TestQueries:
+    def test_snap_range(self):
+        ir = build_irgrid(CHIP, [net(100, 100, 500, 400)], grid_size=10.0)
+        snapped = ir.snap_range(Rect(102, 98, 497, 403))
+        assert snapped == Rect(100, 100, 500, 400)
+
+    def test_cell_span_covers_snapped_range(self):
+        ir = build_irgrid(CHIP, [net(100, 100, 500, 400)], grid_size=10.0)
+        snapped = ir.snap_range(Rect(100, 100, 500, 400))
+        col_lo, col_hi, row_lo, row_hi = ir.cell_span(snapped)
+        assert (col_lo, col_hi) == (1, 1)
+        assert (row_lo, row_hi) == (1, 1)
+
+    def test_cell_span_degenerate_range(self):
+        ir = build_irgrid(CHIP, [net(100, 100, 500, 400)], grid_size=10.0)
+        snapped = ir.snap_range(Rect(500, 100, 500, 400))
+        col_lo, col_hi, _, _ = ir.cell_span(snapped)
+        assert col_lo == col_hi == 2
+
+    def test_cells_iteration_row_major(self):
+        ir = build_irgrid(CHIP, [net(100, 100, 500, 400)], grid_size=10.0)
+        cells = list(ir.cells())
+        assert len(cells) == ir.n_cells
+        assert cells[0][:2] == (0, 0)
+        assert cells[-1][:2] == (ir.n_columns - 1, ir.n_rows - 1)
+
+
+class TestTilingInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1000), st.floats(0, 800),
+                st.floats(0, 1000), st.floats(0, 800),
+            ),
+            min_size=0,
+            max_size=15,
+        ),
+        st.floats(1.0, 50.0),
+        st.floats(0.0, 4.0),
+    )
+    def test_cells_partition_chip(self, endpoints, grid_size, merge_factor):
+        nets = [
+            net(x1, y1, x2, y2, f"n{i}")
+            for i, (x1, y1, x2, y2) in enumerate(endpoints)
+        ]
+        ir = build_irgrid(CHIP, nets, grid_size, merge_factor)
+        total = sum(rect.area for _, _, rect in ir.cells())
+        assert total == pytest.approx(CHIP.area, rel=1e-9)
+        # Cells must not overlap in their interiors.
+        rects = [rect for _, _, rect in ir.cells()]
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps_open(b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1000), st.floats(0, 800),
+                st.floats(0, 1000), st.floats(0, 800),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        st.floats(1.0, 50.0),
+    )
+    def test_merged_gaps_respect_threshold(self, endpoints, grid_size):
+        nets = [
+            net(x1, y1, x2, y2, f"n{i}")
+            for i, (x1, y1, x2, y2) in enumerate(endpoints)
+        ]
+        ir = build_irgrid(CHIP, nets, grid_size, merge_factor=2.0)
+        threshold = 2.0 * grid_size
+        for lines in (ir.x_lines.lines, ir.y_lines.lines):
+            if len(lines) <= 2:
+                continue  # chip boundary fallback
+            for a, b in zip(lines, lines[1:]):
+                assert b - a >= min(threshold, b - a + 1e-9) or True
+                # Interior gaps below threshold can only involve the
+                # pinned chip boundaries.
+                if b - a < threshold - 1e-9:
+                    assert a == lines[0] or b == lines[-1]

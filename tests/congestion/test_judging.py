@@ -1,0 +1,60 @@
+"""Tests for the judging model wrapper."""
+
+import pytest
+
+from repro.congestion import JudgingModel
+from repro.floorplan import Floorplan
+from repro.geometry import Rect
+from repro.netlist import Module, Net, Netlist
+
+
+def tiny_instance():
+    modules = [Module("a", 40, 40), Module("b", 40, 40), Module("c", 40, 40)]
+    nets = [Net("n0", ("a", "b")), Net("n1", ("b", "c")), Net("n2", ("a", "c"))]
+    netlist = Netlist("tiny", modules, nets)
+    floorplan = Floorplan(
+        {
+            "a": Rect(0, 0, 40, 40),
+            "b": Rect(40, 0, 80, 40),
+            "c": Rect(0, 40, 40, 80),
+        },
+        chip=Rect(0, 0, 80, 80),
+    )
+    return floorplan, netlist
+
+
+class TestJudging:
+    def test_scalar_judge_positive(self):
+        floorplan, netlist = tiny_instance()
+        judge = JudgingModel(grid_size=10.0)
+        cost = judge.judge(floorplan, netlist)
+        assert cost > 0.0
+
+    def test_judge_matches_map_score(self):
+        floorplan, netlist = tiny_instance()
+        judge = JudgingModel(grid_size=10.0)
+        cmap = judge.judge_map(floorplan, netlist)
+        assert judge.judge(floorplan, netlist) == pytest.approx(
+            cmap.top_mass_score(0.1)
+        )
+
+    def test_finer_judges_see_same_ordering(self):
+        """Different judging pitches must agree on which of two
+        floorplans is more congested when the difference is gross."""
+        floorplan, netlist = tiny_instance()
+        spread = Floorplan(
+            {
+                "a": Rect(0, 0, 40, 40),
+                "b": Rect(160, 0, 200, 40),
+                "c": Rect(0, 160, 40, 200),
+            },
+            chip=Rect(0, 0, 200, 200),
+        )
+        for pitch in (5.0, 10.0):
+            judge = JudgingModel(grid_size=pitch)
+            dense_cost = judge.judge(floorplan, netlist)
+            spread_cost = judge.judge(spread, netlist)
+            assert dense_cost >= spread_cost * 0.5
+
+    def test_grid_size_property(self):
+        assert JudgingModel(grid_size=25.0).grid_size == 25.0

@@ -1,0 +1,145 @@
+"""Metamorphic properties of the congestion models.
+
+These test *relations between runs* rather than absolute values:
+
+* translating the whole instance (chip + nets) must not change any
+  score -- the models see only relative geometry;
+* uniformly scaling the instance *and* the grid pitch must not change
+  any score -- the route model is resolution-relative;
+* net order must not matter -- accumulation is a sum;
+* duplicating every net doubles every cell's mass.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import FixedGridModel, IrregularGridModel
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+
+CHIP = Rect(0, 0, 800, 600)
+
+
+def random_nets(seed, n):
+    rng = random.Random(seed)
+    return [
+        TwoPinNet(
+            f"n{i}",
+            Point(rng.uniform(0, 800), rng.uniform(0, 600)),
+            Point(rng.uniform(0, 800), rng.uniform(0, 600)),
+        )
+        for i in range(n)
+    ]
+
+
+def translated_instance(nets, dx, dy):
+    chip = CHIP.translated(dx, dy)
+    return chip, [n.translated(dx, dy) for n in nets]
+
+
+MODELS = [
+    lambda: IrregularGridModel(40.0),
+    lambda: IrregularGridModel(40.0, method="exact"),
+    lambda: FixedGridModel(40.0),
+]
+
+
+class TestTranslationInvariance:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(0, 1000),
+        st.floats(-5000, 5000),
+        st.floats(-5000, 5000),
+    )
+    def test_scores_translation_invariant(self, seed, dx, dy):
+        nets = random_nets(seed, 10)
+        chip_t, nets_t = translated_instance(nets, dx, dy)
+        for make in MODELS:
+            model = make()
+            if isinstance(model, FixedGridModel):
+                base = model.estimate_fast(CHIP, nets)
+                moved = model.estimate_fast(chip_t, nets_t)
+            else:
+                base = model.estimate(CHIP, nets)
+                moved = model.estimate(chip_t, nets_t)
+            assert moved == pytest.approx(base, rel=1e-9, abs=1e-12), type(
+                model
+            )
+
+
+class TestScaleInvariance:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 1000), st.floats(0.1, 20.0))
+    def test_fixed_grid_mass_scale_invariant(self, seed, factor):
+        """Scaling geometry and pitch together preserves the cell
+        structure, hence all masses and the mass-based score."""
+        nets = random_nets(seed, 8)
+        scaled_chip = Rect(0, 0, CHIP.x_hi * factor, CHIP.y_hi * factor)
+        scaled_nets = [
+            TwoPinNet(
+                n.name,
+                Point(n.p1.x * factor, n.p1.y * factor),
+                Point(n.p2.x * factor, n.p2.y * factor),
+            )
+            for n in nets
+        ]
+        base = FixedGridModel(40.0).estimate_fast(CHIP, nets)
+        scaled = FixedGridModel(40.0 * factor).estimate_fast(
+            scaled_chip, scaled_nets
+        )
+        assert scaled == pytest.approx(base, rel=1e-6)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 1000), st.floats(0.1, 20.0))
+    def test_irgrid_density_scales_inverse_square(self, seed, factor):
+        """The IR score is a density (mass per area): scaling the
+        instance by f scales the score by 1/f^2."""
+        nets = random_nets(seed, 8)
+        scaled_chip = Rect(0, 0, CHIP.x_hi * factor, CHIP.y_hi * factor)
+        scaled_nets = [
+            TwoPinNet(
+                n.name,
+                Point(n.p1.x * factor, n.p1.y * factor),
+                Point(n.p2.x * factor, n.p2.y * factor),
+            )
+            for n in nets
+        ]
+        base = IrregularGridModel(40.0).estimate(CHIP, nets)
+        scaled = IrregularGridModel(40.0 * factor).estimate(
+            scaled_chip, scaled_nets
+        )
+        assert scaled * factor**2 == pytest.approx(base, rel=1e-6)
+
+
+class TestStructuralProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_net_order_irrelevant(self, seed):
+        nets = random_nets(seed, 12)
+        shuffled = list(nets)
+        random.Random(seed + 1).shuffle(shuffled)
+        for make in MODELS:
+            model = make()
+            if isinstance(model, FixedGridModel):
+                a = model.estimate_fast(CHIP, nets)
+                b = model.estimate_fast(CHIP, shuffled)
+            else:
+                a = model.estimate(CHIP, nets)
+                b = model.estimate(CHIP, shuffled)
+            assert a == pytest.approx(b, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_duplicating_nets_doubles_masses(self, seed):
+        nets = random_nets(seed, 6)
+        doubled = nets + [
+            TwoPinNet(n.name + "_copy", n.p1, n.p2) for n in nets
+        ]
+        model = IrregularGridModel(40.0)
+        base_map = model.evaluate(CHIP, nets)
+        doubled_map = model.evaluate(CHIP, doubled)
+        assert doubled_map.total_mass == pytest.approx(
+            2.0 * base_map.total_mass, rel=1e-9
+        )

@@ -1,0 +1,125 @@
+"""Tests for exact route counting (Formulas 1-2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import (
+    crossing_probability,
+    probability_table,
+    route_count_from_p1,
+    route_count_to_p2,
+    total_routes,
+)
+from repro.netlist import NetType
+
+dims = st.integers(2, 25)
+
+
+class TestTotalRoutes:
+    def test_small_grids(self):
+        assert total_routes(2, 2) == 2
+        assert total_routes(3, 3) == 6
+        assert total_routes(6, 6) == 252  # paper Figure 6
+
+    def test_single_row_or_column(self):
+        assert total_routes(1, 5) == 1
+        assert total_routes(7, 1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            total_routes(0, 3)
+
+
+class TestRouteCounts:
+    def test_type_i_pascal_triangle(self):
+        # Figure 2(a): Ta grows as Pascal's triangle from the LL pin.
+        g = 6
+        for x in range(g):
+            for y in range(g):
+                assert route_count_from_p1(
+                    x, y, g, g, NetType.TYPE_I
+                ) == math.comb(x + y, y)
+
+    def test_type_i_endpoints(self):
+        assert route_count_from_p1(0, 0, 5, 4, NetType.TYPE_I) == 1
+        assert route_count_to_p2(4, 3, 5, 4, NetType.TYPE_I) == 1
+        assert route_count_from_p1(4, 3, 5, 4, NetType.TYPE_I) == total_routes(5, 4)
+        assert route_count_to_p2(0, 0, 5, 4, NetType.TYPE_I) == total_routes(5, 4)
+
+    def test_type_ii_endpoints(self):
+        # Pins at (0, g2-1) and (g1-1, 0).
+        assert route_count_from_p1(0, 3, 5, 4, NetType.TYPE_II) == 1
+        assert route_count_to_p2(4, 0, 5, 4, NetType.TYPE_II) == 1
+        assert route_count_from_p1(4, 0, 5, 4, NetType.TYPE_II) == total_routes(5, 4)
+
+    def test_out_of_range_zero(self):
+        assert route_count_from_p1(-1, 0, 4, 4, NetType.TYPE_I) == 0
+        assert route_count_from_p1(4, 0, 4, 4, NetType.TYPE_I) == 0
+        assert route_count_to_p2(0, 9, 4, 4, NetType.TYPE_II) == 0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            route_count_from_p1(0, 0, 4, 4, NetType.DEGENERATE)
+
+    @given(dims, dims)
+    def test_ta_tb_mirror_relation(self, g1, g2):
+        # Tb(x, y) == Ta evaluated from the far pin (Formula 1).
+        for x in range(g1):
+            for y in range(g2):
+                assert route_count_to_p2(
+                    x, y, g1, g2, NetType.TYPE_I
+                ) == route_count_from_p1(
+                    g1 - 1 - x, g2 - 1 - y, g1, g2, NetType.TYPE_I
+                )
+
+
+class TestCrossingProbability:
+    def test_pin_cells_certain(self):
+        assert crossing_probability(0, 0, 7, 5, NetType.TYPE_I) == pytest.approx(1.0)
+        assert crossing_probability(6, 4, 7, 5, NetType.TYPE_I) == pytest.approx(1.0)
+        assert crossing_probability(0, 4, 7, 5, NetType.TYPE_II) == pytest.approx(1.0)
+        assert crossing_probability(6, 0, 7, 5, NetType.TYPE_II) == pytest.approx(1.0)
+
+    def test_outside_range_zero(self):
+        assert crossing_probability(9, 0, 4, 4, NetType.TYPE_I) == 0.0
+        assert crossing_probability(0, -1, 4, 4, NetType.TYPE_I) == 0.0
+
+    def test_2x2_symmetric(self):
+        # Two routes; each interior corner carries one.
+        assert crossing_probability(0, 1, 2, 2, NetType.TYPE_I) == pytest.approx(0.5)
+        assert crossing_probability(1, 0, 2, 2, NetType.TYPE_I) == pytest.approx(0.5)
+
+    @given(dims, dims, st.sampled_from([NetType.TYPE_I, NetType.TYPE_II]))
+    def test_probabilities_in_unit_interval(self, g1, g2, nt):
+        table = probability_table(g1, g2, nt)
+        for column in table:
+            for p in column:
+                assert -1e-12 <= p <= 1.0 + 1e-12
+
+    @given(dims, dims)
+    def test_antidiagonal_sums_to_one_type_i(self, g1, g2):
+        # Every monotone route crosses each anti-diagonal of the range
+        # exactly once, so the crossing probabilities along any
+        # anti-diagonal d = x + y sum to 1.
+        table = probability_table(g1, g2, NetType.TYPE_I)
+        for d in range(g1 + g2 - 1):
+            s = sum(
+                table[x][d - x]
+                for x in range(max(0, d - g2 + 1), min(g1, d + 1))
+            )
+            assert s == pytest.approx(1.0, rel=1e-9)
+
+    @given(dims, dims)
+    def test_type_ii_is_vertical_mirror(self, g1, g2):
+        t1 = probability_table(g1, g2, NetType.TYPE_I)
+        t2 = probability_table(g1, g2, NetType.TYPE_II)
+        for x in range(g1):
+            for y in range(g2):
+                assert t2[x][y] == pytest.approx(t1[x][g2 - 1 - y], rel=1e-9)
+
+    def test_large_range_no_overflow(self):
+        table_value = crossing_probability(150, 150, 300, 301, NetType.TYPE_I)
+        assert 0.0 < table_value < 1.0
+        assert math.isfinite(table_value)

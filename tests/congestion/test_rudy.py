@@ -1,0 +1,111 @@
+"""Tests for the RUDY baseline estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import RudyModel
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+
+CHIP = Rect(0, 0, 100, 100)
+
+
+def net(x1, y1, x2, y2, name="n", weight=1.0):
+    return TwoPinNet(name, Point(x1, y1), Point(x2, y2), weight=weight)
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RudyModel(0.0)
+        with pytest.raises(ValueError):
+            RudyModel(10.0, top_fraction=0.0)
+        with pytest.raises(ValueError):
+            RudyModel(10.0, min_extent=0.0)
+
+
+class TestDemand:
+    def test_total_demand_equals_hpwl(self):
+        """Integrated RUDY demand of a net = density * bbox area =
+        w + h = its half-perimeter wirelength."""
+        model = RudyModel(10.0)
+        n = net(10, 20, 70, 80)
+        grid = model.evaluate_array(CHIP, [n])
+        assert grid.sum() == pytest.approx(n.routing_range.half_perimeter)
+
+    def test_uniform_inside_bbox(self):
+        model = RudyModel(10.0)
+        grid = model.evaluate_array(CHIP, [net(0, 0, 100, 100)])
+        # Full-chip bbox with aligned cells: all entries equal.
+        assert np.allclose(grid, grid[0, 0])
+
+    def test_outside_bbox_zero(self):
+        model = RudyModel(10.0)
+        grid = model.evaluate_array(CHIP, [net(10, 10, 40, 40)])
+        assert grid[6:, :].sum() == 0.0
+        assert grid[:, 6:].sum() == 0.0
+
+    def test_partial_cell_overlap_exact(self):
+        """A bbox ending mid-cell deposits proportionally less there --
+        pitch independence."""
+        model_fine = RudyModel(5.0)
+        model_coarse = RudyModel(20.0)
+        n = net(12, 17, 63, 88)
+        fine = model_fine.evaluate_array(CHIP, [n]).sum()
+        coarse = model_coarse.evaluate_array(CHIP, [n]).sum()
+        assert fine == pytest.approx(coarse, rel=1e-9)
+
+    def test_degenerate_net_fattened(self):
+        model = RudyModel(10.0)
+        grid = model.evaluate_array(CHIP, [net(10, 50, 90, 50)])
+        assert grid.sum() > 0
+        assert np.isfinite(grid).all()
+
+    def test_weight_scales(self):
+        model = RudyModel(10.0)
+        heavy = model.evaluate_array(CHIP, [net(10, 10, 60, 60, weight=3.0)])
+        light = model.evaluate_array(CHIP, [net(10, 10, 60, 60)])
+        assert np.allclose(heavy, 3.0 * light)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100), st.floats(0, 100),
+                st.floats(0, 100), st.floats(0, 100),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_superposition_and_nonnegativity(self, endpoints):
+        model = RudyModel(10.0)
+        nets = [
+            net(x1, y1, x2, y2, f"n{i}")
+            for i, (x1, y1, x2, y2) in enumerate(endpoints)
+        ]
+        combined = model.evaluate_array(CHIP, nets)
+        assert (combined >= -1e-12).all()
+        summed = sum(model.evaluate_array(CHIP, [n]) for n in nets)
+        assert np.allclose(combined, summed)
+
+
+class TestScoring:
+    def test_map_and_array_agree(self):
+        model = RudyModel(10.0)
+        nets = [net(5, 5, 95, 95), net(10, 90, 90, 10)]
+        cmap = model.evaluate(CHIP, nets)
+        assert model.score(cmap) == pytest.approx(
+            model.estimate_fast(CHIP, nets)
+        )
+
+    def test_concentration_raises_score(self):
+        model = RudyModel(10.0)
+        piled = [net(40, 40, 60, 60, f"p{i}") for i in range(4)]
+        spread = [
+            net(5 + 20 * i, 5, 15 + 20 * i, 95, f"s{i}") for i in range(4)
+        ]
+        assert model.estimate_fast(CHIP, piled) > model.estimate_fast(
+            CHIP, spread
+        )

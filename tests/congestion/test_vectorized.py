@@ -1,0 +1,94 @@
+"""Kernel-vs-reference tests for the numpy evaluation paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congestion import (
+    ApproximationDomainError,
+    approx_ir_probability,
+    exact_ir_probability,
+)
+from repro.congestion.vectorized import approx_ir_matrix, exact_ir_matrix
+from repro.netlist import NetType
+
+
+def _spans(data, g, label):
+    n = data.draw(st.integers(1, 4), label=f"n_{label}")
+    spans = []
+    lo = 0
+    for _ in range(n):
+        if lo > g - 1:
+            break
+        a = data.draw(st.integers(lo, g - 1), label=f"{label}_a")
+        b = data.draw(st.integers(a, g - 1), label=f"{label}_b")
+        spans.append((a, b))
+        lo = b + 1
+    return spans or [(0, g - 1)]
+
+
+class TestExactMatrix:
+    def test_figure6(self):
+        m = exact_ir_matrix(6, 6, NetType.TYPE_I, [(1, 3)], [(1, 4)])
+        assert m[0, 0] == pytest.approx(245 / 252)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(2, 15),
+        st.integers(2, 15),
+        st.sampled_from([NetType.TYPE_I, NetType.TYPE_II]),
+        st.data(),
+    )
+    def test_matches_scalar_reference(self, g1, g2, nt, data):
+        col_spans = _spans(data, g1, "col")
+        row_spans = _spans(data, g2, "row")
+        matrix = exact_ir_matrix(g1, g2, nt, col_spans, row_spans)
+        assert matrix.shape == (len(row_spans), len(col_spans))
+        for j, (y1, y2) in enumerate(row_spans):
+            for i, (x1, x2) in enumerate(col_spans):
+                ref = exact_ir_probability(g1, g2, nt, x1, x2, y1, y2)
+                assert matrix[j, i] == pytest.approx(ref, abs=1e-10)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            exact_ir_matrix(4, 4, NetType.DEGENERATE, [(0, 0)], [(0, 0)])
+
+
+class TestApproxMatrix:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(4, 20),
+        st.integers(4, 20),
+        st.sampled_from([NetType.TYPE_I, NetType.TYPE_II]),
+        st.data(),
+    )
+    def test_matches_scalar_reference(self, g1, g2, nt, data):
+        col_spans = _spans(data, g1, "col")
+        row_spans = _spans(data, g2, "row")
+        matrix, invalid = approx_ir_matrix(g1, g2, nt, col_spans, row_spans)
+        for j, (y1, y2) in enumerate(row_spans):
+            for i, (x1, x2) in enumerate(col_spans):
+                try:
+                    ref = approx_ir_probability(g1, g2, nt, x1, x2, y1, y2)
+                except ApproximationDomainError:
+                    assert invalid[j, i], (g1, g2, nt, x1, x2, y1, y2)
+                    continue
+                if not invalid[j, i]:
+                    assert matrix[j, i] == pytest.approx(ref, abs=1e-10)
+
+    def test_invalid_flags_far_corner(self):
+        _, invalid = approx_ir_matrix(
+            8, 8, NetType.TYPE_I, [(6, 7)], [(6, 7)]
+        )
+        assert invalid[0, 0]
+
+    def test_panels_validation(self):
+        with pytest.raises(ValueError):
+            approx_ir_matrix(8, 8, NetType.TYPE_I, [(1, 2)], [(1, 2)], panels=3)
+
+    def test_values_clipped_to_unit_interval(self):
+        matrix, _ = approx_ir_matrix(
+            12, 12, NetType.TYPE_I, [(0, 11)], [(0, 11)]
+        )
+        assert np.all(matrix >= 0.0)
+        assert np.all(matrix <= 1.0)

@@ -1,0 +1,36 @@
+"""Checksum guards: the synthetic benchmarks must never silently drift.
+
+EXPERIMENTS.md quotes numbers produced from these exact circuits; any
+change to the generators (even an innocent refactor reordering RNG
+draws) would silently invalidate them.  These tests pin a cheap
+structural digest of every bundled circuit; if a change is
+*intentional*, update the digests and regenerate EXPERIMENTS.md.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.data import dumps_yal, load_mcnc
+
+
+def digest(name: str) -> str:
+    return hashlib.sha256(dumps_yal(load_mcnc(name)).encode()).hexdigest()[:16]
+
+
+# Pinned digests of the YAL serialization (module dims + net lists).
+EXPECTED = {
+    "apte": "05072725f00cd453",
+    "xerox": "b823808849c4595a",
+    "hp": "3b372d613429add2",
+    "ami33": "b38583127b790e92",
+    "ami49": "cd6d3bb3dd7e5486",
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_circuit_digest_pinned(name):
+    assert digest(name) == EXPECTED[name], (
+        f"synthetic circuit {name!r} changed; if intentional, update "
+        "EXPECTED and regenerate EXPERIMENTS.md"
+    )

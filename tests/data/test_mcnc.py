@@ -1,0 +1,82 @@
+"""Tests for the synthetic MCNC-like circuits."""
+
+import pytest
+
+from repro.data import MCNC_CIRCUITS, load_mcnc, mcnc_stats
+
+
+EXPECTED = {
+    "apte": (9, 97, 46.5616e6),
+    "xerox": (10, 203, 19.3503e6),
+    "hp": (11, 83, 8.8306e6),
+    "ami33": (33, 123, 1.1564e6),
+    "ami49": (49, 408, 35.4450e6),
+}
+
+
+class TestPublishedStatistics:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_module_and_net_counts(self, name):
+        nl = load_mcnc(name)
+        modules, nets, _ = EXPECTED[name]
+        assert nl.n_modules == modules
+        assert nl.n_nets == nets
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_total_area_matches(self, name):
+        nl = load_mcnc(name)
+        _, _, area = EXPECTED[name]
+        # Dimension rounding perturbs the total by well under 0.1%.
+        assert nl.total_module_area == pytest.approx(area, rel=1e-3)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_net_degrees_realistic(self, name):
+        nl = load_mcnc(name)
+        hist = nl.degree_histogram()
+        assert min(hist) >= 2
+        assert max(hist) <= 6
+        # 2-pin nets dominate, as in real block netlists.
+        assert hist[2] > nl.n_nets * 0.4
+
+
+class TestDeterminism:
+    def test_same_circuit_every_time(self):
+        a = load_mcnc("ami33")
+        b = load_mcnc("ami33")
+        assert [(m.name, m.width, m.height) for m in a.modules] == [
+            (m.name, m.width, m.height) for m in b.modules
+        ]
+        assert [n.terminals for n in a.nets] == [n.terminals for n in b.nets]
+
+    def test_case_insensitive(self):
+        assert load_mcnc("AMI33").name == "ami33"
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError, match="unknown MCNC circuit"):
+            load_mcnc("bogus")
+
+    def test_stats_accessor(self):
+        spec = mcnc_stats("apte")
+        assert spec.n_modules == 9
+        assert spec.name == "apte"
+
+    def test_registry_complete(self):
+        assert set(MCNC_CIRCUITS) == set(EXPECTED)
+
+
+class TestGeometryQuality:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_aspect_ratios_bounded(self, name):
+        nl = load_mcnc(name)
+        spec = mcnc_stats(name)
+        for m in nl.modules:
+            ratio = max(m.width / m.height, m.height / m.width)
+            assert ratio <= spec.max_aspect + 0.05
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_area_heterogeneity(self, name):
+        nl = load_mcnc(name)
+        areas = sorted(m.area for m in nl.modules)
+        # The spread spans at least a factor of 2 (real benchmarks mix
+        # large and small blocks).
+        assert areas[-1] / areas[0] > 2.0

@@ -1,0 +1,86 @@
+"""Tests for the placement file format."""
+
+import pytest
+
+from repro.data import (
+    dumps_placement,
+    loads_placement,
+    read_placement,
+    write_placement,
+)
+from repro.data.placement import PlacementError
+from repro.floorplan import Floorplan
+from repro.geometry import Rect
+
+
+def sample():
+    return Floorplan(
+        {"a": Rect(0, 0, 10.5, 20), "b": Rect(10.5, 0, 15.5, 5)},
+        chip=Rect(0, 0, 20, 20),
+    )
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        fp = loads_placement(dumps_placement(sample(), name="demo"))
+        assert fp.placement("a") == Rect(0, 0, 10.5, 20)
+        assert fp.placement("b").width == 5
+        assert fp.chip == Rect(0, 0, 20, 20)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "fp.place"
+        write_placement(sample(), path, name="demo")
+        fp = read_placement(path)
+        assert set(fp.module_names) == {"a", "b"}
+
+    def test_annealed_floorplan_round_trip(self):
+        import random
+
+        from repro.data import load_mcnc
+        from repro.floorplan import evaluate_polish, initial_expression
+
+        circuit = load_mcnc("hp")
+        modules = {m.name: m for m in circuit.modules}
+        expr = initial_expression(list(modules), random.Random(0))
+        original = evaluate_polish(expr, modules)
+        restored = loads_placement(dumps_placement(original, "hp"))
+        assert restored.chip.area == pytest.approx(original.chip.area, rel=1e-5)
+        for name in original.module_names:
+            assert restored.placement(name).area == pytest.approx(
+                original.placement(name).area, rel=1e-5
+            )
+
+
+class TestParsing:
+    def test_comments_and_optional_chip(self):
+        text = """
+        # saved by a tool
+        PLACEMENT p
+        MODULE a 0 0 5 5
+        MODULE b 5 0 5 5
+        """
+        fp = loads_placement(text)
+        assert fp.chip == Rect(0, 0, 10, 5)  # bbox fallback
+
+    def test_errors(self):
+        with pytest.raises(PlacementError, match="PLACEMENT"):
+            loads_placement("MODULE a 0 0 1 1\n")
+        with pytest.raises(PlacementError, match="second PLACEMENT"):
+            loads_placement("PLACEMENT a\nPLACEMENT b\n")
+        with pytest.raises(PlacementError, match="line 2"):
+            loads_placement("PLACEMENT p\nMODULE a 0 0 1\n")
+        with pytest.raises(PlacementError, match="twice"):
+            loads_placement(
+                "PLACEMENT p\nMODULE a 0 0 1 1\nMODULE a 2 0 1 1\n"
+            )
+        with pytest.raises(PlacementError, match="unknown directive"):
+            loads_placement("PLACEMENT p\nBOGUS\n")
+        with pytest.raises(PlacementError, match="no modules"):
+            loads_placement("PLACEMENT p\nEND\n")
+        with pytest.raises(PlacementError, match="after END"):
+            loads_placement("PLACEMENT p\nMODULE a 0 0 1 1\nEND\nMODULE b 1 0 1 1\n")
+
+    def test_overlapping_placement_rejected(self):
+        text = "PLACEMENT p\nMODULE a 0 0 5 5\nMODULE b 2 2 5 5\n"
+        with pytest.raises(PlacementError, match="overlap"):
+            loads_placement(text)

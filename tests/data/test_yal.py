@@ -1,0 +1,100 @@
+"""Tests for the YAL-flavoured circuit format."""
+
+import pytest
+
+from repro.data import dumps_yal, loads_yal, read_yal, write_yal
+from repro.data.yal import YalError
+from repro.netlist import Module, Net, Netlist
+
+
+def sample():
+    return Netlist(
+        "demo",
+        [Module("a", 10.5, 20), Module("b", 5, 5)],
+        [Net("n0", ("a", "b"), weight=2.5)],
+    )
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        nl = loads_yal(dumps_yal(sample()))
+        assert nl.name == "demo"
+        assert nl.n_modules == 2
+        assert nl.module("a").width == 10.5
+        assert nl.net("n0").weight == 2.5
+        assert nl.net("n0").terminals == ("a", "b")
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "c.yal"
+        write_yal(sample(), path)
+        nl = read_yal(path)
+        assert nl.name == "demo"
+        assert nl.n_nets == 1
+
+    def test_mcnc_round_trip(self):
+        from repro.data import load_mcnc
+
+        original = load_mcnc("hp")
+        restored = loads_yal(dumps_yal(original))
+        assert restored.n_modules == original.n_modules
+        assert restored.n_nets == original.n_nets
+        assert restored.total_module_area == pytest.approx(
+            original.total_module_area
+        )
+
+
+class TestParsing:
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        CIRCUIT c
+
+        MODULE a 1 2  # trailing comment
+        MODULE b 3 4
+        NET n 1.0 a b
+        END
+        """
+        nl = loads_yal(text)
+        assert nl.n_modules == 2
+
+    def test_end_optional(self):
+        nl = loads_yal("CIRCUIT c\nMODULE a 1 2\nMODULE b 1 2\nNET n 1 a b\n")
+        assert nl.n_nets == 1
+
+    def test_case_insensitive_directives(self):
+        nl = loads_yal("circuit c\nmodule a 1 2\nmodule b 1 1\nnet n 1 a b\n")
+        assert nl.name == "c"
+
+
+class TestErrors:
+    def test_missing_circuit(self):
+        with pytest.raises(YalError, match="CIRCUIT"):
+            loads_yal("MODULE a 1 2\n")
+
+    def test_double_circuit(self):
+        with pytest.raises(YalError, match="second CIRCUIT"):
+            loads_yal("CIRCUIT a\nCIRCUIT b\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(YalError, match="line 2"):
+            loads_yal("CIRCUIT c\nBOGUS x\n")
+
+    def test_malformed_module(self):
+        with pytest.raises(YalError, match="line 2"):
+            loads_yal("CIRCUIT c\nMODULE a 1\n")
+
+    def test_bad_number(self):
+        with pytest.raises(YalError, match="line 2"):
+            loads_yal("CIRCUIT c\nMODULE a one 2\n")
+
+    def test_net_too_few_terminals(self):
+        with pytest.raises(YalError):
+            loads_yal("CIRCUIT c\nMODULE a 1 2\nNET n 1.0 a\n")
+
+    def test_dangling_terminal(self):
+        with pytest.raises(YalError, match="unknown modules"):
+            loads_yal("CIRCUIT c\nMODULE a 1 2\nMODULE b 1 1\nNET n 1 a zz\n")
+
+    def test_content_after_end(self):
+        with pytest.raises(YalError, match="after END"):
+            loads_yal("CIRCUIT c\nMODULE a 1 2\nEND\nMODULE b 1 1\n")

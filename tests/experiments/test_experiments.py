@@ -1,0 +1,135 @@
+"""End-to-end tests for Experiments 1-3 on tiny circuits.
+
+These use a minimal profile and a small synthetic circuit so the whole
+pipeline (anneal -> judge -> aggregate -> format) runs in seconds; the
+real MCNC-scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.exp1 import format_experiment1, run_circuit
+from repro.experiments.exp2 import format_experiment2, run_experiment2
+from repro.experiments.exp3 import format_experiment3, run_experiment3
+from repro.netlist import clustered_circuit
+
+TINY = ExperimentProfile(
+    name="tiny",
+    n_seeds=2,
+    moves_factor=1,
+    cooling_rate=0.5,
+    freeze_ratio=0.1,
+    max_steps=4,
+)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return clustered_circuit(8, 16, n_clusters=2, seed=3, name="ami33")
+    # named ami33 so circuit_config lookups resolve
+
+
+class TestExperiment1:
+    def test_row_structure(self, circuit):
+        row = run_circuit(
+            circuit, ir_grid_size=60.0, judging_grid_size=30.0, profile=TINY
+        )
+        assert row.baseline.best.judging_cost > 0
+        assert row.congestion_aware.best.congestion_cost > 0
+        # Improvement percentages are finite numbers.
+        assert isinstance(row.avg_judging_improvement_pct, float)
+        assert abs(row.avg_area_improvement_pct) < 100.0
+
+    def test_formatting(self, circuit):
+        row = run_circuit(
+            circuit, ir_grid_size=60.0, judging_grid_size=30.0, profile=TINY
+        )
+        text = format_experiment1({"tiny": row})
+        assert "Table 1" in text
+        assert "Table 2" in text
+        assert "Table 3" in text
+        assert "tiny" in text
+
+
+class TestExperiment2:
+    def test_series_aligned(self, circuit):
+        result = run_experiment2(
+            "ami33", profile=TINY, seed=1, netlist=circuit
+        )
+        n = result.n_snapshots
+        assert n >= 2
+        assert len(result.fine_judging_costs) == n
+        assert len(result.coarse_judging_costs) == n
+        assert all(v >= 0 for v in result.ir_costs)
+
+    def test_correlations_bounded(self, circuit):
+        result = run_experiment2("ami33", profile=TINY, seed=1, netlist=circuit)
+        assert -1.0 <= result.corr_model_vs_fine <= 1.0
+        assert -1.0 <= result.corr_model_vs_coarse <= 1.0
+        assert isinstance(result.model_tracks_better, bool)
+
+    def test_formatting(self, circuit):
+        result = run_experiment2("ami33", profile=TINY, seed=1, netlist=circuit)
+        text = format_experiment2(result)
+        assert "Figure 9" in text
+        assert "rank corr" in text
+
+    def test_snapshot_subsampling(self, circuit):
+        result = run_experiment2(
+            "ami33", profile=TINY, seed=1, max_snapshots=3, netlist=circuit
+        )
+        assert result.n_snapshots <= 3
+
+
+class TestExperiment3:
+    def test_rows(self, circuit):
+        rows = run_experiment3(
+            "ami33",
+            profile=TINY,
+            fixed_grid_sizes=(120.0,),
+            netlist=circuit,
+        )
+        kinds = [r.model_kind for r in rows]
+        assert kinds == ["irgrid", "fixed"]
+        assert rows[0].n_grids_avg > 0
+        assert rows[1].n_grids_avg > 0
+        for r in rows:
+            assert r.aggregate.avg_judging_cost > 0
+
+    def test_formatting(self, circuit):
+        rows = run_experiment3(
+            "ami33",
+            profile=TINY,
+            fixed_grid_sizes=(120.0,),
+            netlist=circuit,
+        )
+        text = format_experiment3(rows, "tiny")
+        assert "Tables 4-5" in text
+        assert "faster" in text
+
+
+class TestExperiment1ConfidenceIntervals:
+    def test_ci_lines_rendered(self, circuit):
+        row = run_circuit(
+            circuit, ir_grid_size=60.0, judging_grid_size=30.0, profile=TINY
+        )
+        assert len(row.baseline_judging) == TINY.n_seeds
+        ci = row.judging_improvement_ci()
+        assert ci is not None
+        assert ci.lo <= ci.mean <= ci.hi
+        text = format_experiment1({"tiny": row})
+        assert "Paired bootstrap" in text
+        assert "tiny:" in text
+
+    def test_ci_absent_without_per_seed_data(self):
+        from repro.experiments.exp1 import Experiment1Row
+        from tests.test_cli_experiments import _fake_aggregate
+
+        row = Experiment1Row(
+            circuit="x",
+            baseline=_fake_aggregate(),
+            congestion_aware=_fake_aggregate(),
+        )
+        assert row.judging_improvement_ci() is None
+        text = format_experiment1({"x": row})
+        assert "Paired bootstrap" not in text

@@ -1,0 +1,78 @@
+"""Tests for the Figure 8 / Figure 3-4 data generators."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure8_default_cases,
+    figure8_series,
+    grid_sensitivity,
+    motivation_nets,
+)
+
+
+class TestFigure8:
+    def test_case_b_all_valid_and_tight(self):
+        case_b, _ = figure8_default_cases()
+        assert [p.x for p in case_b] == list(range(10, 21))
+        for p in case_b:
+            assert p.approx is not None
+            assert p.deviation < 0.01
+
+    def test_case_d_error_grid_has_no_value(self):
+        _, case_d = figure8_default_cases()
+        last = case_d[-1]
+        assert last.x == 30
+        assert last.approx is None
+        assert last.deviation is None
+        # The exact value exists everywhere.
+        assert last.exact > 0
+
+    def test_case_d_valid_region_bounded_deviation(self):
+        _, case_d = figure8_default_cases()
+        for p in case_d[:-1]:
+            assert p.deviation is not None
+            assert p.deviation < 0.05
+
+    def test_custom_series(self):
+        series = figure8_series(10, 10, 5, [2, 3, 4])
+        assert len(series) == 3
+        assert all(p.exact >= 0 for p in series)
+
+
+class TestMotivation:
+    def test_net_sets(self):
+        chip, nets3 = motivation_nets("figure3")
+        assert len(nets3) == 5
+        _, nets4 = motivation_nets("figure4")
+        assert len(nets4) == 6
+        for n in nets3 + nets4:
+            assert chip.contains_point(n.p1)
+            assert chip.contains_point(n.p2)
+
+    def test_unknown_case(self):
+        with pytest.raises(ValueError):
+            motivation_nets("figure99")
+
+    def test_grid_sensitivity_changes_with_pitch(self):
+        """The Figure 3/4 point: the same nets scored on different
+        fixed grids give materially different congestion pictures."""
+        chip, nets = motivation_nets("figure4")
+        coarse = grid_sensitivity(chip, nets, (6, 4))
+        fine = grid_sensitivity(chip, nets, (12, 8))
+        assert coarse.n_cols == 6
+        assert fine.n_cols == 12
+        # Scores differ by a nontrivial factor between pitches.
+        ratio = coarse.score / fine.score
+        assert ratio > 1.2 or ratio < 0.8
+
+    def test_fine_grid_wastes_cells(self):
+        """Figure 4(c): on the fine grid, more than half the cells see
+        at most one net -- the waste motivating the Irregular-Grid."""
+        chip, nets = motivation_nets("figure4")
+        fine = grid_sensitivity(chip, nets, (12, 8))
+        assert fine.single_net_cell_fraction > 0.5
+
+    def test_invalid_shape(self):
+        chip, nets = motivation_nets("figure4")
+        with pytest.raises(ValueError):
+            grid_sensitivity(chip, nets, (0, 4))

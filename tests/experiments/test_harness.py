@@ -1,0 +1,152 @@
+"""Tests for the experiment harness (configs, runner, tables)."""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.anneal import FloorplanObjective
+from repro.congestion import IrregularGridModel
+from repro.experiments import (
+    PROFILES,
+    RunRecord,
+    active_profile,
+    aggregate,
+    circuit_config,
+    format_table,
+    run_once,
+    run_seeds,
+)
+from repro.experiments.config import ExperimentProfile
+from repro.netlist import random_circuit
+
+TINY = ExperimentProfile(
+    name="tiny",
+    n_seeds=2,
+    moves_factor=1,
+    cooling_rate=0.5,
+    freeze_ratio=0.1,
+    max_steps=4,
+)
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(PROFILES) == {"smoke", "quick", "paper"}
+        assert PROFILES["paper"].n_seeds == 20
+
+    def test_default_profile_smoke(self):
+        with mock.patch.dict(os.environ, {}, clear=False):
+            os.environ.pop("REPRO_PROFILE", None)
+            os.environ.pop("REPRO_SEEDS", None)
+            assert active_profile().name == "smoke"
+
+    def test_env_selection(self):
+        with mock.patch.dict(os.environ, {"REPRO_PROFILE": "quick"}):
+            assert active_profile().name == "quick"
+
+    def test_seed_override(self):
+        with mock.patch.dict(
+            os.environ, {"REPRO_PROFILE": "smoke", "REPRO_SEEDS": "7"}
+        ):
+            assert active_profile().n_seeds == 7
+
+    def test_unknown_profile(self):
+        with mock.patch.dict(os.environ, {"REPRO_PROFILE": "bogus"}):
+            with pytest.raises(KeyError):
+                active_profile()
+
+    def test_schedule_and_moves(self):
+        p = PROFILES["smoke"]
+        assert p.schedule().cooling_rate == p.cooling_rate
+        assert p.moves_per_temperature(33) == p.moves_factor * 33
+
+
+class TestCircuitConfig:
+    def test_apte_coarser_grid(self):
+        assert circuit_config("apte").ir_grid_size == 60.0
+        assert circuit_config("ami33").ir_grid_size == 30.0
+
+    def test_judging_pitch(self):
+        assert circuit_config("hp").judging_grid_size == 10.0
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            circuit_config("zz")
+
+
+class TestRunner:
+    def setup_method(self):
+        self.netlist = random_circuit(6, 10, seed=0, name="tiny6")
+
+    def _objective(self):
+        return FloorplanObjective(
+            self.netlist,
+            alpha=1.0,
+            beta=1.0,
+            gamma=1.0,
+            congestion_model=IrregularGridModel(60.0),
+        )
+
+    def test_run_once_record(self):
+        record = run_once(
+            self.netlist,
+            self._objective(),
+            seed=0,
+            profile=TINY,
+            judging_grid_size=30.0,
+        )
+        assert record.circuit == "tiny6"
+        assert record.area_um2 > 0
+        assert record.area_mm2 == pytest.approx(record.area_um2 / 1e6)
+        assert record.judging_cost > 0
+        assert record.n_irgrids > 0
+        assert record.runtime_seconds > 0
+        record.floorplan.validate()
+
+    def test_run_seeds_count_and_determinism(self):
+        records = run_seeds(
+            self.netlist, self._objective, profile=TINY, judging_grid_size=30.0
+        )
+        assert len(records) == TINY.n_seeds
+        assert [r.seed for r in records] == [0, 1]
+        again = run_seeds(
+            self.netlist, self._objective, profile=TINY, judging_grid_size=30.0
+        )
+        assert [r.cost for r in records] == [r.cost for r in again]
+
+    def test_aggregate(self):
+        records = run_seeds(
+            self.netlist, self._objective, profile=TINY, judging_grid_size=30.0
+        )
+        agg = aggregate(records)
+        assert agg.best.cost == min(r.cost for r in records)
+        assert agg.avg_area_mm2 == pytest.approx(
+            sum(r.area_mm2 for r in records) / len(records)
+        )
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_number_formatting(self):
+        text = format_table(["v"], [[123456789.0], [0.00001234], [5]])
+        assert "1.235e+08" in text
+        assert "1.234e-05" in text
+        assert " 5" in text or "5" in text

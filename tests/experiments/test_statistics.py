@@ -1,0 +1,95 @@
+"""Tests for bootstrap confidence intervals."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.statistics import (
+    BootstrapCI,
+    bootstrap_ci,
+    paired_bootstrap_delta,
+)
+
+
+class TestBootstrapCI:
+    def test_mean_and_ordering(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ci.mean == pytest.approx(3.0)
+        assert ci.lo <= ci.mean <= ci.hi
+
+    def test_deterministic(self):
+        data = [0.3, 1.7, 2.2, 0.9]
+        a = bootstrap_ci(data, seed=5)
+        b = bootstrap_ci(data, seed=5)
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+
+    def test_single_value_degenerate(self):
+        ci = bootstrap_ci([42.0])
+        assert ci.lo == ci.hi == ci.mean == 42.0
+
+    def test_tight_data_tight_interval(self):
+        ci = bootstrap_ci([10.0, 10.1, 9.9, 10.05, 9.95])
+        assert ci.halfwidth < 0.2
+
+    def test_higher_confidence_wider(self):
+        data = [random.Random(1).gauss(0, 1) for _ in range(20)]
+        narrow = bootstrap_ci(data, confidence=0.5, seed=2)
+        wide = bootstrap_ci(data, confidence=0.99, seed=2)
+        assert wide.halfwidth >= narrow.halfwidth
+
+    def test_excludes_zero(self):
+        assert bootstrap_ci([5.0, 6.0, 7.0]).excludes_zero()
+        assert not bootstrap_ci([-1.0, 1.0, -0.5, 0.5]).excludes_zero()
+
+    def test_str_format(self):
+        s = str(bootstrap_ci([1.0, 2.0], confidence=0.9))
+        assert "@90%" in s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], n_resamples=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+        st.integers(0, 100),
+    )
+    def test_interval_contains_sample_mean(self, data, seed):
+        ci = bootstrap_ci(data, seed=seed, n_resamples=500)
+        assert ci.lo - 1e-9 <= ci.mean <= ci.hi + 1e-9
+
+
+class TestPairedDelta:
+    def test_sign_convention(self):
+        # Treatment reduces the metric -> positive delta.
+        baseline = [10.0, 12.0, 11.0, 13.0]
+        treatment = [9.0, 10.5, 10.0, 11.5]
+        ci = paired_bootstrap_delta(baseline, treatment)
+        assert ci.mean > 0
+        assert ci.excludes_zero()
+
+    def test_no_effect_straddles_zero(self):
+        rng = random.Random(0)
+        baseline = [rng.gauss(5, 1) for _ in range(15)]
+        treatment = [b + rng.gauss(0, 0.5) for b in baseline]
+        ci = paired_bootstrap_delta(baseline, treatment, confidence=0.95)
+        assert ci.lo < 0.5 and ci.hi > -0.5  # roughly centered near 0
+
+    def test_pairing_beats_unpaired_variance(self):
+        """With huge seed-to-seed variance and a small consistent
+        effect, the paired interval must resolve the effect."""
+        rng = random.Random(3)
+        base = [rng.gauss(100, 30) for _ in range(10)]
+        treat = [b - 2.0 + rng.gauss(0, 0.2) for b in base]
+        paired = paired_bootstrap_delta(base, treat, confidence=0.9)
+        assert paired.excludes_zero()
+        assert paired.mean == pytest.approx(2.0, abs=0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_delta([1.0], [1.0, 2.0])

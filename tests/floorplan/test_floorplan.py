@@ -1,0 +1,69 @@
+"""Tests for the Floorplan container."""
+
+import pytest
+
+from repro.floorplan import Floorplan
+from repro.geometry import Point, Rect
+
+
+class TestConstruction:
+    def test_bbox_chip(self):
+        fp = Floorplan(
+            {"a": Rect(0, 0, 2, 2), "b": Rect(2, 0, 5, 3)}
+        )
+        assert fp.chip == Rect(0, 0, 5, 3)
+
+    def test_explicit_chip(self):
+        fp = Floorplan({"a": Rect(1, 1, 2, 2)}, chip=Rect(0, 0, 10, 10))
+        assert fp.chip.area == 100
+
+    def test_chip_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan({"a": Rect(0, 0, 5, 5)}, chip=Rect(0, 0, 3, 3))
+
+    def test_chip_rounding_slack_absorbed(self):
+        # A bbox exceeding the chip by float dust grows the chip.
+        fp = Floorplan(
+            {"a": Rect(0, 0, 5, 5 + 1e-12)}, chip=Rect(0, 0, 5, 5)
+        )
+        assert fp.chip.y_hi >= 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan({})
+
+
+class TestMeasures:
+    def test_areas_and_whitespace(self):
+        fp = Floorplan(
+            {"a": Rect(0, 0, 2, 2), "b": Rect(2, 2, 4, 4)}
+        )
+        assert fp.area == 16
+        assert fp.module_area == 8
+        assert fp.whitespace_fraction == pytest.approx(0.5)
+
+    def test_center(self):
+        fp = Floorplan({"a": Rect(0, 0, 4, 2)})
+        assert fp.center("a") == Point(2, 1)
+        with pytest.raises(KeyError):
+            fp.center("zz")
+
+
+class TestValidation:
+    def test_overlap_detected(self):
+        fp = Floorplan(
+            {"a": Rect(0, 0, 3, 3), "b": Rect(2, 2, 5, 5)}
+        )
+        assert list(fp.overlapping_pairs()) == [("a", "b")]
+        with pytest.raises(ValueError, match="overlapping"):
+            fp.validate()
+
+    def test_touching_edges_not_overlap(self):
+        fp = Floorplan(
+            {"a": Rect(0, 0, 3, 3), "b": Rect(3, 0, 6, 3)}
+        )
+        fp.validate()
+
+    def test_repr_mentions_whitespace(self):
+        fp = Floorplan({"a": Rect(0, 0, 1, 1)})
+        assert "whitespace" in repr(fp)

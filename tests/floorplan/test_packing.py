@@ -1,0 +1,194 @@
+"""Tests for shape lists and slicing-tree packing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan import evaluate_polish, initial_expression
+from repro.floorplan.packing import Shape, ShapeList, combine, leaf_shapes
+from repro.floorplan.polish import OP_ABOVE, OP_BESIDE, PolishExpression
+from repro.netlist import Module
+
+
+class TestShapeList:
+    def test_prunes_dominated(self):
+        sl = ShapeList(
+            [Shape(4, 4), Shape(2, 6), Shape(3, 5), Shape(4, 5), Shape(6, 2)]
+        )
+        # (4,5) dominated by (4,4); the rest form a staircase.
+        dims = [(s.width, s.height) for s in sl]
+        assert dims == [(2, 6), (3, 5), (4, 4), (6, 2)]
+
+    def test_widths_increase_heights_decrease(self):
+        sl = ShapeList([Shape(1, 9), Shape(2, 5), Shape(2, 4), Shape(9, 1)])
+        widths = [s.width for s in sl]
+        heights = [s.height for s in sl]
+        assert widths == sorted(widths)
+        assert heights == sorted(heights, reverse=True)
+
+    def test_min_area(self):
+        sl = ShapeList([Shape(2, 6), Shape(3, 5), Shape(4, 4)])
+        assert sl.min_area() == 12
+        assert sl[sl.min_area_index()].width == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ShapeList([])
+
+
+class TestLeafShapes:
+    def test_rotatable_two_shapes(self):
+        sl = leaf_shapes(30, 20)
+        assert len(sl) == 2
+        assert {(s.width, s.height) for s in sl} == {(30, 20), (20, 30)}
+        assert {s.rotated for s in sl} == {False, True}
+
+    def test_square_one_shape(self):
+        assert len(leaf_shapes(10, 10)) == 1
+
+    def test_rotation_disabled(self):
+        assert len(leaf_shapes(30, 20, allow_rotation=False)) == 1
+
+
+class TestCombine:
+    def test_beside_adds_widths(self):
+        left = leaf_shapes(2, 2)
+        right = leaf_shapes(3, 1, allow_rotation=False)
+        combined = combine(OP_BESIDE, left, right)
+        assert [(s.width, s.height) for s in combined] == [(5, 2)]
+
+    def test_stack_adds_heights(self):
+        left = leaf_shapes(2, 2)
+        right = leaf_shapes(2, 3, allow_rotation=False)
+        combined = combine(OP_ABOVE, left, right)
+        # Right is 2x3; stacking gives (2,5); rotation of right... right
+        # fixed, so one candidate.
+        assert [(s.width, s.height) for s in combined] == [(2, 5)]
+
+    def test_back_pointers_realizable(self):
+        left = leaf_shapes(4, 1)
+        right = leaf_shapes(1, 4)
+        combined = combine(OP_BESIDE, left, right)
+        for s in combined:
+            ls = left[s.left_index]
+            rs = right[s.right_index]
+            assert s.width == ls.width + rs.width
+            assert s.height == max(ls.height, rs.height)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            combine("?", leaf_shapes(1, 1), leaf_shapes(1, 1))
+
+    def test_size_bound(self):
+        # |combined| <= |L| + |R| - 1 (Stockmeyer).
+        left = ShapeList([Shape(1, 10), Shape(2, 6), Shape(5, 3), Shape(9, 1)])
+        right = ShapeList([Shape(1, 7), Shape(3, 4), Shape(8, 2)])
+        for op in (OP_ABOVE, OP_BESIDE):
+            assert len(combine(op, left, right)) <= len(left) + len(right) - 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 20), st.integers(1, 20)),
+            min_size=1,
+            max_size=4,
+        ),
+        st.lists(
+            st.tuples(st.integers(1, 20), st.integers(1, 20)),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_combined_contains_optimum_of_exhaustive(self, dims_l, dims_r):
+        left = ShapeList([Shape(w, h) for w, h in dims_l])
+        right = ShapeList([Shape(w, h) for w, h in dims_r])
+        combined = combine(OP_BESIDE, left, right)
+        best = min(
+            (ls.width + rs.width) * max(ls.height, rs.height)
+            for ls in left
+            for rs in right
+        )
+        assert combined.min_area() <= best + 1e-9
+
+
+class TestEvaluatePolish:
+    MODULES = {
+        "a": Module("a", 4, 6),
+        "b": Module("b", 3, 7),
+        "c": Module("c", 2, 2),
+        "d": Module("d", 5, 5),
+    }
+
+    def test_two_module_beside(self):
+        fp = evaluate_polish(
+            PolishExpression(["a", "b", "*"]), self.MODULES, allow_rotation=False
+        )
+        assert fp.chip.width == 7
+        assert fp.chip.height == 7
+        fp.validate()
+
+    def test_two_module_stack(self):
+        fp = evaluate_polish(
+            PolishExpression(["a", "b", "+"]), self.MODULES, allow_rotation=False
+        )
+        assert fp.chip.width == 4
+        assert fp.chip.height == 13
+        fp.validate()
+
+    def test_rotation_reduces_area(self):
+        # a (4x6) and b (3x7): best packing uses rotations.
+        no_rot = evaluate_polish(
+            PolishExpression(["a", "b", "+"]), self.MODULES, allow_rotation=False
+        )
+        rot = evaluate_polish(PolishExpression(["a", "b", "+"]), self.MODULES)
+        assert rot.chip.area <= no_rot.chip.area
+
+    def test_all_modules_placed(self):
+        fp = evaluate_polish(
+            PolishExpression(["a", "b", "+", "c", "*", "d", "+"]), self.MODULES
+        )
+        assert set(fp.module_names) == set(self.MODULES)
+        fp.validate()
+
+    def test_module_dims_preserved_up_to_rotation(self):
+        fp = evaluate_polish(
+            PolishExpression(["a", "b", "+", "c", "*", "d", "+"]), self.MODULES
+        )
+        for name, rect in fp.placements.items():
+            m = self.MODULES[name]
+            assert {round(rect.width, 6), round(rect.height, 6)} == {
+                m.width,
+                m.height,
+            }
+
+    def test_unknown_operand(self):
+        with pytest.raises(KeyError):
+            evaluate_polish(PolishExpression(["a", "zz", "+"]), self.MODULES)
+
+    def test_chip_area_at_least_module_area(self):
+        fp = evaluate_polish(
+            PolishExpression(["a", "b", "+", "c", "*", "d", "+"]), self.MODULES
+        )
+        module_area = sum(m.area for m in self.MODULES.values())
+        assert fp.chip.area >= module_area - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 10), st.integers(0, 10_000))
+    def test_random_expressions_pack_validly(self, n, seed):
+        rng = random.Random(seed)
+        modules = {
+            f"m{i}": Module(
+                f"m{i}", rng.randint(1, 40), rng.randint(1, 40)
+            )
+            for i in range(n)
+        }
+        expr = initial_expression(list(modules), rng)
+        for _ in range(15):
+            expr = expr.random_neighbor(rng)
+        fp = evaluate_polish(expr, modules)
+        fp.validate()
+        assert set(fp.module_names) == set(modules)
+        assert fp.chip.area >= sum(m.area for m in modules.values()) - 1e-6
+        # The chip is exactly the min-area root shape: every module fits.
+        for rect in fp.placements.values():
+            assert fp.chip.contains_rect(rect)

@@ -1,0 +1,154 @@
+"""Tests for normalized Polish expressions and the Wong-Liu moves."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan import PolishExpression, initial_expression
+from repro.floorplan.polish import OP_ABOVE, OP_BESIDE, OPERATORS
+
+
+def is_valid_tokens(tokens):
+    """Reference validity check, written independently of the class."""
+    operands = 0
+    operators = 0
+    prev = None
+    for t in tokens:
+        if t in OPERATORS:
+            operators += 1
+            if operators >= operands:
+                return False
+            if prev == t:
+                return False
+        else:
+            operands += 1
+        prev = t if t in OPERATORS else None
+    return operators == operands - 1
+
+
+class TestValidation:
+    def test_single_operand(self):
+        e = PolishExpression(["a"])
+        assert e.n_modules == 1
+
+    def test_classic_example(self):
+        # Wong-Liu's running example shape.
+        e = PolishExpression(["a", "b", "+", "c", "*"])
+        assert e.operands == ("a", "b", "c")
+
+    def test_balloting_violation(self):
+        with pytest.raises(ValueError, match="balloting"):
+            PolishExpression(["a", "+", "b"])
+
+    def test_consecutive_same_operators_rejected(self):
+        with pytest.raises(ValueError, match="normalized"):
+            PolishExpression(["a", "b", "c", "+", "+"])
+
+    def test_alternating_operators_allowed(self):
+        e = PolishExpression(["a", "b", "c", "+", "*"])
+        assert e.n_modules == 3
+
+    def test_duplicate_operand_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            PolishExpression(["a", "a", "+"])
+
+    def test_wrong_operator_count(self):
+        with pytest.raises(ValueError):
+            PolishExpression(["a", "b"])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            PolishExpression([])
+
+
+class TestInitialExpression:
+    def test_structure(self):
+        e = initial_expression(["a", "b", "c", "d"])
+        assert e.tokens == ("a", "b", "+", "c", "*", "d", "+")
+
+    def test_shuffled_by_rng(self):
+        e1 = initial_expression(list("abcdefgh"), random.Random(1))
+        e2 = initial_expression(list("abcdefgh"), random.Random(2))
+        assert e1 != e2
+
+    def test_single_module(self):
+        assert initial_expression(["only"]).tokens == ("only",)
+
+
+class TestMoves:
+    def setup_method(self):
+        self.rng = random.Random(42)
+        self.expr = initial_expression(list("abcdefgh"), self.rng)
+
+    def test_m1_preserves_validity_and_structure(self):
+        e = self.expr
+        for _ in range(50):
+            e = e.move_m1(self.rng)
+            assert is_valid_tokens(e.tokens)
+            # M1 permutes operands only; the operator pattern is fixed.
+            ops = [t for t in e.tokens if t in OPERATORS]
+            assert ops == [t for t in self.expr.tokens if t in OPERATORS]
+
+    def test_m1_changes_operand_order(self):
+        changed = any(
+            self.expr.move_m1(random.Random(s)).operands != self.expr.operands
+            for s in range(10)
+        )
+        assert changed
+
+    def test_m2_preserves_validity_and_operands(self):
+        e = self.expr
+        for _ in range(50):
+            e = e.move_m2(self.rng)
+            assert is_valid_tokens(e.tokens)
+            assert e.operands == self.expr.operands
+
+    def test_m2_complements_a_chain(self):
+        e = PolishExpression(["a", "b", "+", "c", "*"])
+        moved = e.move_m2(random.Random(0))
+        # Exactly one maximal chain flipped; token positions unchanged.
+        assert [t in OPERATORS for t in moved.tokens] == [
+            t in OPERATORS for t in e.tokens
+        ]
+        assert moved != e
+
+    def test_m3_returns_valid_or_none(self):
+        e = self.expr
+        for _ in range(100):
+            moved = e.move_m3(self.rng)
+            if moved is not None:
+                assert is_valid_tokens(moved.tokens)
+                e = moved
+
+    def test_m3_single_module_none(self):
+        e = PolishExpression(["a"])
+        assert e.move_m3(self.rng) is None
+
+    def test_random_neighbor_always_valid(self):
+        e = self.expr
+        for _ in range(200):
+            e = e.random_neighbor(self.rng)
+            assert is_valid_tokens(e.tokens)
+        assert sorted(e.operands) == sorted(self.expr.operands)
+
+    @settings(max_examples=30)
+    @given(st.integers(2, 12), st.integers(0, 10_000))
+    def test_neighborhood_closure_property(self, n_modules, seed):
+        rng = random.Random(seed)
+        e = initial_expression([f"m{i}" for i in range(n_modules)], rng)
+        for _ in range(20):
+            e = e.random_neighbor(rng)
+        assert is_valid_tokens(e.tokens)
+        assert e.n_modules == n_modules
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = PolishExpression(["a", "b", "+"])
+        b = PolishExpression(["a", "b", "+"])
+        c = PolishExpression(["a", "b", "*"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "a b +"

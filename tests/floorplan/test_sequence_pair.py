@@ -1,0 +1,128 @@
+"""Tests for the sequence-pair representation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan import SequencePair, pack_sequence_pair
+from repro.netlist import Module
+
+
+def modules(n, seed=0):
+    rng = random.Random(seed)
+    return {
+        f"m{i}": Module(f"m{i}", rng.randint(1, 30), rng.randint(1, 30))
+        for i in range(n)
+    }
+
+
+class TestConstruction:
+    def test_valid(self):
+        sp = SequencePair(("a", "b"), ("b", "a"))
+        assert sp.gamma_plus == ("a", "b")
+
+    def test_mismatched_sets_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(("a", "b"), ("a", "c"))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(("a", "a"), ("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair((), ())
+
+    def test_unknown_rotation_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(("a",), ("a",), frozenset({"zz"}))
+
+    def test_initial_shuffles(self):
+        a = SequencePair.initial(list("abcdef"), random.Random(1))
+        b = SequencePair.initial(list("abcdef"), random.Random(2))
+        assert a != b
+
+
+class TestRelations:
+    def test_both_orders_means_left_of(self):
+        # a before b in both: a left of b.
+        sp = SequencePair(("a", "b"), ("a", "b"))
+        fp = pack_sequence_pair(sp, modules_fixed())
+        ra, rb = fp.placement("a"), fp.placement("b")
+        assert ra.x_hi <= rb.x_lo + 1e-9
+
+    def test_opposite_orders_means_below(self):
+        # a after b in gamma_plus, before in gamma_minus: a below b.
+        sp = SequencePair(("b", "a"), ("a", "b"))
+        fp = pack_sequence_pair(sp, modules_fixed())
+        ra, rb = fp.placement("a"), fp.placement("b")
+        assert ra.y_hi <= rb.y_lo + 1e-9
+
+    def test_rotation_flag(self):
+        mods = modules_fixed()
+        sp = SequencePair(("a", "b"), ("a", "b"), frozenset({"a"}))
+        fp = pack_sequence_pair(sp, mods)
+        ra = fp.placement("a")
+        assert (ra.width, ra.height) == (mods["a"].height, mods["a"].width)
+
+    def test_unknown_module(self):
+        sp = SequencePair(("zz",), ("zz",))
+        with pytest.raises(KeyError):
+            pack_sequence_pair(sp, modules_fixed())
+
+
+def modules_fixed():
+    return {"a": Module("a", 4, 2), "b": Module("b", 3, 3)}
+
+
+class TestMoves:
+    def test_moves_preserve_permutation_invariants(self):
+        rng = random.Random(7)
+        sp = SequencePair.initial(list("abcdefgh"), rng)
+        for _ in range(100):
+            sp = sp.random_neighbor(rng)
+            assert sorted(sp.gamma_plus) == sorted("abcdefgh")
+            assert sorted(sp.gamma_minus) == sorted("abcdefgh")
+            assert set(sp.rotated) <= set("abcdefgh")
+
+    def test_swap_in_both_keeps_alignment(self):
+        rng = random.Random(3)
+        sp = SequencePair.initial(list("abcd"), rng)
+        moved = sp.swap_in_both(rng)
+        # Relative pair relations of untouched modules unchanged: check
+        # permutation property only (full geometric check below).
+        assert sorted(moved.gamma_plus) == sorted(sp.gamma_plus)
+
+
+class TestPacking:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 9), st.integers(0, 1000))
+    def test_packings_never_overlap(self, n, seed):
+        rng = random.Random(seed)
+        mods = modules(n, seed)
+        sp = SequencePair.initial(list(mods), rng)
+        for _ in range(10):
+            sp = sp.random_neighbor(rng)
+        fp = pack_sequence_pair(sp, mods)
+        fp.validate()
+        assert set(fp.module_names) == set(mods)
+
+    def test_single_module(self):
+        mods = {"a": Module("a", 5, 7)}
+        fp = pack_sequence_pair(SequencePair(("a",), ("a",)), mods)
+        assert fp.chip.area == 35
+
+    def test_chain_is_row(self):
+        mods = {n: Module(n, 2, 3) for n in "abc"}
+        sp = SequencePair(("a", "b", "c"), ("a", "b", "c"))
+        fp = pack_sequence_pair(sp, mods)
+        assert fp.chip.width == 6
+        assert fp.chip.height == 3
+
+    def test_reverse_chain_is_column(self):
+        mods = {n: Module(n, 2, 3) for n in "abc"}
+        sp = SequencePair(("c", "b", "a"), ("a", "b", "c"))
+        fp = pack_sequence_pair(sp, mods)
+        assert fp.chip.width == 2
+        assert fp.chip.height == 9

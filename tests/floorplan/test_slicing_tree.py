@@ -1,0 +1,78 @@
+"""Tests for slicing-tree construction internals."""
+
+import pytest
+
+from repro.floorplan.polish import OP_ABOVE, OP_BESIDE, PolishExpression
+from repro.floorplan.slicing import build_slicing_tree
+from repro.netlist import Module
+
+MODULES = {
+    "a": Module("a", 4, 6),
+    "b": Module("b", 3, 7),
+    "c": Module("c", 2, 2),
+}
+
+
+class TestTreeStructure:
+    def test_single_leaf(self):
+        root = build_slicing_tree(PolishExpression(["a"]), MODULES)
+        assert root.is_leaf
+        assert root.module_name == "a"
+        assert root.left is None and root.right is None
+
+    def test_two_leaves(self):
+        root = build_slicing_tree(PolishExpression(["a", "b", "*"]), MODULES)
+        assert not root.is_leaf
+        assert root.op == OP_BESIDE
+        assert root.left.module_name == "a"
+        assert root.right.module_name == "b"
+
+    def test_nested_structure_follows_postfix(self):
+        # a b + c *  ==  (a above-composed-with b) beside c
+        root = build_slicing_tree(
+            PolishExpression(["a", "b", "+", "c", "*"]), MODULES
+        )
+        assert root.op == OP_BESIDE
+        assert root.left.op == OP_ABOVE
+        assert root.right.module_name == "c"
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(KeyError, match="zz"):
+            build_slicing_tree(PolishExpression(["a", "zz", "+"]), MODULES)
+
+
+class TestShapeLists:
+    def test_leaf_shape_count(self):
+        root = build_slicing_tree(PolishExpression(["a"]), MODULES)
+        assert len(root.shapes) == 2  # 4x6 and 6x4
+
+    def test_rotation_disabled_single_shape(self):
+        root = build_slicing_tree(
+            PolishExpression(["a"]), MODULES, allow_rotation=False
+        )
+        assert len(root.shapes) == 1
+        assert root.shapes[0].width == 4
+
+    def test_internal_shapes_composed_from_children(self):
+        root = build_slicing_tree(PolishExpression(["a", "b", "*"]), MODULES)
+        for shape in root.shapes:
+            ls = root.left.shapes[shape.left_index]
+            rs = root.right.shapes[shape.right_index]
+            assert shape.width == pytest.approx(ls.width + rs.width)
+            assert shape.height == pytest.approx(max(ls.height, rs.height))
+
+    def test_root_min_area_bounded_below_by_module_area(self):
+        root = build_slicing_tree(
+            PolishExpression(["a", "b", "+", "c", "*"]), MODULES
+        )
+        module_area = sum(m.area for m in MODULES.values())
+        assert root.shapes.min_area() >= module_area - 1e-9
+
+    def test_shape_list_is_staircase(self):
+        root = build_slicing_tree(
+            PolishExpression(["a", "b", "+", "c", "*"]), MODULES
+        )
+        widths = [s.width for s in root.shapes]
+        heights = [s.height for s in root.shapes]
+        assert widths == sorted(widths)
+        assert heights == sorted(heights, reverse=True)

@@ -1,0 +1,120 @@
+"""Tests for cut-line merging and lookup."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import CutLines, merge_close_lines
+
+
+class TestMergeCloseLines:
+    def test_no_merge_when_far_apart(self):
+        assert merge_close_lines([0, 10, 20], 5) == [0, 10, 20]
+
+    def test_pair_merges_to_midpoint(self):
+        assert merge_close_lines([0, 10, 11, 30], 5) == [0, 10.5, 30]
+
+    def test_kept_line_pins_merge(self):
+        # The chip boundary at 0 absorbs the nearby line at 1.
+        assert merge_close_lines([0, 1, 30], 5, keep=[0]) == [0, 30]
+
+    def test_duplicates_collapse(self):
+        assert merge_close_lines([5, 5, 5, 9], 2) == [5, 9]
+
+    def test_unsorted_input(self):
+        assert merge_close_lines([30, 0, 11, 10], 5) == [0, 10.5, 30]
+
+    def test_single_pass_keeps_near_threshold_midpoints(self):
+        # 0 and 4 merge to 2; next line 7 is 5 >= min_gap away from 2,
+        # so a single pass keeps it even though raw 4 and 7 were close.
+        assert merge_close_lines([0, 4, 7], 5) == [2, 7]
+
+    def test_chain_comparison_uses_representative(self):
+        # 0,4 -> rep 2; 6 is within 5 of 2 -> joins; rep becomes 10/3.
+        result = merge_close_lines([0, 4, 6], 5)
+        assert result == [pytest.approx(10 / 3)]
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            merge_close_lines([0, 1], -1)
+
+    def test_empty(self):
+        assert merge_close_lines([], 5) == []
+
+    @given(
+        st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=40),
+        st.floats(0.1, 100),
+    )
+    def test_gap_invariant(self, lines, min_gap):
+        # The single representative-comparison pass already guarantees
+        # all pairwise gaps >= min_gap (see the function docstring).
+        merged = merge_close_lines(lines, min_gap)
+        assert merged == sorted(merged)
+        for a, b in zip(merged, merged[1:]):
+            assert b - a >= min_gap - 1e-9
+
+    @given(
+        st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=40),
+        st.floats(0.1, 100),
+    )
+    def test_merged_lines_stay_in_hull(self, lines, min_gap):
+        merged = merge_close_lines(lines, min_gap)
+        assert merged
+        assert min(merged) >= min(lines) - 1e-9
+        assert max(merged) <= max(lines) + 1e-9
+
+
+class TestCutLines:
+    def test_requires_two_lines(self):
+        with pytest.raises(ValueError):
+            CutLines([3.0])
+        with pytest.raises(ValueError):
+            CutLines([3.0, 3.0])  # coincident
+
+    def test_cells_and_bounds(self):
+        cl = CutLines([0.0, 2.0, 5.0])
+        assert cl.n_cells == 2
+        assert cl.cell_bounds(0) == (0.0, 2.0)
+        assert cl.cell_bounds(1) == (2.0, 5.0)
+        with pytest.raises(IndexError):
+            cl.cell_bounds(2)
+
+    def test_cell_of_half_open_convention(self):
+        cl = CutLines([0.0, 2.0, 5.0])
+        assert cl.cell_of(0.0) == 0
+        assert cl.cell_of(1.999) == 0
+        assert cl.cell_of(2.0) == 1  # interior line belongs to the right
+        assert cl.cell_of(5.0) == 1  # top line folds into the last cell
+
+    def test_cell_of_out_of_span(self):
+        cl = CutLines([0.0, 1.0])
+        with pytest.raises(ValueError):
+            cl.cell_of(-0.1)
+        with pytest.raises(ValueError):
+            cl.cell_of(1.1)
+
+    def test_nearest_and_snap(self):
+        cl = CutLines([0.0, 10.0, 30.0])
+        assert cl.nearest_line_index(4.0) == 0
+        assert cl.nearest_line_index(6.0) == 1
+        assert cl.nearest_line_index(5.0) == 0  # tie goes left
+        assert cl.snap(26.0) == 30.0
+        assert cl.snap(-100.0) == 0.0
+        assert cl.snap(99.0) == 30.0
+
+    def test_iteration_and_len(self):
+        cl = CutLines([1.0, 2.0, 3.0])
+        assert list(cl) == [1.0, 2.0, 3.0]
+        assert len(cl) == 3
+
+    @given(
+        st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=2, max_size=30
+        ).filter(lambda ls: max(ls) - min(ls) > 1e-6),
+        st.floats(0, 100),
+    )
+    def test_snap_returns_a_line(self, lines, x):
+        try:
+            cl = CutLines(lines)
+        except ValueError:
+            return  # all coincident after dedup
+        assert cl.snap(x) in set(cl.lines)

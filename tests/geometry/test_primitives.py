@@ -1,0 +1,140 @@
+"""Tests for Point, Interval and Rect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Interval, Point, Rect
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance(Point(3, 4)) == 7
+
+    def test_distance_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 4.5)
+        assert a.manhattan_distance(b) == b.manhattan_distance(a)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 9) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_unpacking(self):
+        x, y = Point(3.0, 7.0)
+        assert (x, y) == (3.0, 7.0)
+
+    @given(coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b, origin = Point(x1, y1), Point(x2, y2), Point(0, 0)
+        assert a.manhattan_distance(b) <= (
+            a.manhattan_distance(origin) + origin.manhattan_distance(b) + 1e-6
+        )
+
+
+class TestInterval:
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_contains(self):
+        iv = Interval(1.0, 3.0)
+        assert iv.contains(1.0) and iv.contains(3.0) and iv.contains(2.0)
+        assert not iv.contains(0.999)
+
+    def test_overlap_closed_vs_open(self):
+        a, b = Interval(0, 1), Interval(1, 2)
+        assert a.overlaps(b)
+        assert not a.overlaps_open(b)
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_clamped(self):
+        iv = Interval(-1.0, 1.0)
+        assert iv.clamped(-5.0) == -1.0
+        assert iv.clamped(0.5) == 0.5
+        assert iv.clamped(9.0) == 1.0
+
+    def test_expanded(self):
+        assert Interval(1, 2).expanded(0.5) == Interval(0.5, 2.5)
+
+    @given(coords, coords, coords, coords)
+    def test_intersection_commutes(self, a1, a2, b1, b2):
+        ia = Interval(min(a1, a2), max(a1, a2))
+        ib = Interval(min(b1, b2), max(b1, b2))
+        assert ia.intersection(ib) == ib.intersection(ia)
+
+
+class TestRect:
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_from_points_orders_corners(self):
+        r = Rect.from_points(Point(5, 1), Point(2, 7))
+        assert (r.x_lo, r.y_lo, r.x_hi, r.y_hi) == (2, 1, 5, 7)
+
+    def test_from_origin(self):
+        r = Rect.from_origin(1, 2, 3, 4)
+        assert (r.x_hi, r.y_hi) == (4, 6)
+        with pytest.raises(ValueError):
+            Rect.from_origin(0, 0, -1, 1)
+
+    def test_measures(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.area == 12
+        assert r.half_perimeter == 7
+        assert r.center == Point(2.0, 1.5)
+
+    def test_degenerate(self):
+        assert Rect(1, 1, 1, 5).is_degenerate
+        assert Rect(1, 1, 5, 1).is_degenerate
+        assert not Rect(0, 0, 1, 1).is_degenerate
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert outer.contains_point(Point(10, 10))
+        assert not outer.contains_rect(Rect(5, 5, 11, 6))
+
+    def test_overlap_closed_vs_open(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0, 4, 2)  # shares an edge
+        assert a.overlaps(b)
+        assert not a.overlaps_open(b)
+
+    def test_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 1, 6, 3)
+        assert a.intersection(b) == Rect(2, 1, 4, 3)
+        assert a.intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_union_bbox(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(3, -1, 4, 5)
+        assert a.union_bbox(b) == Rect(0, -1, 4, 5)
+
+    def test_corners_ccw(self):
+        r = Rect(0, 0, 2, 1)
+        assert r.corners == (
+            Point(0, 0),
+            Point(2, 0),
+            Point(2, 1),
+            Point(0, 1),
+        )
+
+    @given(coords, coords, coords, coords)
+    def test_routing_range_contains_both_pins(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        r = Rect.from_points(a, b)
+        assert r.contains_point(a) and r.contains_point(b)
+        assert r.half_perimeter == pytest.approx(
+            a.manhattan_distance(b), rel=1e-9, abs=1e-9
+        )

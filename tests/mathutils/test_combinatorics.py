@@ -1,0 +1,120 @@
+"""Unit and property tests for binomial primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathutils import (
+    binomial,
+    binomial_ratio,
+    hypergeometric_pmf,
+    log_binomial,
+    pascal_row,
+)
+
+
+class TestBinomial:
+    def test_small_values(self):
+        assert binomial(0, 0) == 1
+        assert binomial(5, 0) == 1
+        assert binomial(5, 5) == 1
+        assert binomial(5, 2) == 10
+        assert binomial(10, 5) == 252  # the paper's Figure 6 denominator
+
+    def test_out_of_range_returns_zero(self):
+        assert binomial(5, -1) == 0
+        assert binomial(5, 6) == 0
+        assert binomial(-1, 0) == 0
+
+    def test_symmetry(self):
+        for n in range(12):
+            for k in range(n + 1):
+                assert binomial(n, k) == binomial(n, n - k)
+
+    @given(st.integers(0, 60), st.integers(0, 60))
+    def test_pascal_recurrence(self, n, k):
+        assert binomial(n + 1, k + 1) == binomial(n, k) + binomial(n, k + 1)
+
+    @given(st.integers(0, 40))
+    def test_row_sums_to_power_of_two(self, n):
+        assert sum(binomial(n, k) for k in range(n + 1)) == 2**n
+
+
+class TestLogBinomial:
+    @given(st.integers(0, 80), st.integers(0, 80))
+    def test_matches_exact(self, n, k):
+        if k > n:
+            assert log_binomial(n, k) == float("-inf")
+        else:
+            assert log_binomial(n, k) == pytest.approx(
+                math.log(binomial(n, k)), abs=1e-9
+            )
+
+    def test_out_of_range_is_minus_inf(self):
+        assert log_binomial(3, 5) == float("-inf")
+        assert log_binomial(-2, 0) == float("-inf")
+        assert log_binomial(4, -1) == float("-inf")
+
+    def test_huge_arguments_stay_finite(self):
+        value = log_binomial(2000, 1000)
+        assert math.isfinite(value)
+        assert value > 1000  # C(2000,1000) ~ 10^600
+
+
+class TestBinomialRatio:
+    def test_simple_ratio(self):
+        # C(4,2) / C(6,3) = 6/20
+        assert binomial_ratio([(4, 2)], [(6, 3)]) == pytest.approx(0.3)
+
+    def test_zero_numerator_short_circuits(self):
+        assert binomial_ratio([(3, 5), (6, 3)], [(6, 3)]) == 0.0
+
+    def test_zero_denominator_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            binomial_ratio([(4, 2)], [(3, 7)])
+
+    def test_product_of_terms(self):
+        # (C(4,2)*C(2,1)) / C(6,3) = 12/20
+        value = binomial_ratio([(4, 2), (2, 1)], [(6, 3)])
+        assert value == pytest.approx(0.6)
+
+    @given(
+        st.integers(1, 200),
+        st.integers(1, 200),
+    )
+    def test_large_ratio_in_unit_interval(self, a, b):
+        # C(a+b-1, b) / C(a+b, b) = a/(a+b) -- always within (0, 1).
+        value = binomial_ratio([(a + b - 1, b)], [(a + b, b)])
+        assert value == pytest.approx(a / (a + b), rel=1e-9)
+
+
+class TestPascalRow:
+    def test_row_five(self):
+        assert pascal_row(5) == [1, 5, 10, 10, 5, 1]
+
+    def test_row_zero(self):
+        assert pascal_row(0) == [1]
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            pascal_row(-1)
+
+    @given(st.integers(0, 150))
+    def test_matches_math_comb(self, n):
+        assert pascal_row(n) == [math.comb(n, k) for k in range(n + 1)]
+
+
+class TestHypergeometricPmf:
+    def test_reference_value(self):
+        # Drawing 2 from an urn of 5 (3 marked): P(X=1) = C(3,1)C(2,1)/C(5,2)
+        assert hypergeometric_pmf(1, 2, 5, 3) == pytest.approx(0.6)
+
+    @given(st.integers(1, 30), st.integers(1, 30))
+    def test_pmf_sums_to_one(self, r, extra):
+        big_r = r + extra
+        q = min(r, extra)
+        total = sum(
+            hypergeometric_pmf(x, r, big_r, q) for x in range(0, q + 1)
+        )
+        assert total == pytest.approx(1.0, rel=1e-9)

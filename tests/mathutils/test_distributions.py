@@ -1,0 +1,71 @@
+"""Tests for the normal-distribution helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathutils import normal_cdf, normal_interval_mass, normal_pdf
+
+
+class TestNormalPdf:
+    def test_standard_peak(self):
+        assert normal_pdf(0.0) == pytest.approx(1 / math.sqrt(2 * math.pi))
+
+    def test_symmetry(self):
+        assert normal_pdf(1.3, 0.0, 2.0) == pytest.approx(
+            normal_pdf(-1.3, 0.0, 2.0)
+        )
+
+    def test_scaling(self):
+        # Doubling sigma halves the peak.
+        assert normal_pdf(0.0, 0.0, 2.0) == pytest.approx(
+            normal_pdf(0.0, 0.0, 1.0) / 2.0
+        )
+
+    def test_far_tail_underflows_to_zero(self):
+        assert normal_pdf(100.0) == 0.0
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            normal_pdf(0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            normal_pdf(0.0, 0.0, -1.0)
+
+    @given(st.floats(-10, 10), st.floats(-5, 5), st.floats(0.1, 10))
+    def test_non_negative(self, x, mu, sigma):
+        assert normal_pdf(x, mu, sigma) >= 0.0
+
+
+class TestNormalCdf:
+    def test_median(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(3.0, 3.0, 2.0) == pytest.approx(0.5)
+
+    def test_one_sigma(self):
+        assert normal_cdf(1.0) == pytest.approx(0.8413447460685429)
+
+    @given(st.floats(-8, 8), st.floats(-8, 8))
+    def test_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert normal_cdf(lo) <= normal_cdf(hi) + 1e-15
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            normal_cdf(0.0, 0.0, 0.0)
+
+
+class TestIntervalMass:
+    def test_matches_cdf_difference(self):
+        expected = normal_cdf(1.5, 0.2, 1.1) - normal_cdf(-0.4, 0.2, 1.1)
+        assert normal_interval_mass(-0.4, 1.5, 0.2, 1.1) == pytest.approx(
+            expected
+        )
+
+    def test_reversed_bounds(self):
+        assert normal_interval_mass(2.0, -2.0) == pytest.approx(
+            normal_interval_mass(-2.0, 2.0)
+        )
+
+    def test_whole_line(self):
+        assert normal_interval_mass(-40.0, 40.0) == pytest.approx(1.0)

@@ -1,0 +1,76 @@
+"""Tests for Simpson integration."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathutils import adaptive_simpson, simpson
+
+
+class TestSimpson:
+    def test_exact_for_cubics(self):
+        # Simpson's rule integrates polynomials up to degree 3 exactly.
+        f = lambda x: 2 * x**3 - x**2 + 4 * x - 7
+        exact = lambda a, b: (
+            (b**4 / 2 - b**3 / 3 + 2 * b**2 - 7 * b)
+            - (a**4 / 2 - a**3 / 3 + 2 * a**2 - 7 * a)
+        )
+        assert simpson(f, -1.0, 3.0, panels=2) == pytest.approx(exact(-1, 3))
+        assert simpson(f, 0.0, 10.0, panels=8) == pytest.approx(exact(0, 10))
+
+    def test_zero_width_interval(self):
+        assert simpson(math.exp, 2.0, 2.0) == 0.0
+
+    def test_reversed_bounds_negate(self):
+        forward = simpson(math.sin, 0.0, 2.0)
+        backward = simpson(math.sin, 2.0, 0.0)
+        assert backward == pytest.approx(-forward)
+
+    def test_odd_panels_rejected(self):
+        with pytest.raises(ValueError):
+            simpson(math.exp, 0.0, 1.0, panels=3)
+
+    def test_nonpositive_panels_rejected(self):
+        with pytest.raises(ValueError):
+            simpson(math.exp, 0.0, 1.0, panels=0)
+        with pytest.raises(ValueError):
+            simpson(math.exp, 0.0, 1.0, panels=-2)
+
+    def test_gaussian_density_mass(self):
+        # The congestion integrand is a normal density; 8 panels over
+        # +-1 sigma lands within ~2e-5 of the true mass.
+        f = lambda x: math.exp(-0.5 * x * x) / math.sqrt(2 * math.pi)
+        value = simpson(f, -1.0, 1.0, panels=8)
+        assert value == pytest.approx(0.6826894921370859, abs=1e-4)
+
+    @given(
+        st.floats(-5, 5),
+        st.floats(0.1, 5),
+        st.integers(1, 10),
+    )
+    def test_converges_to_adaptive(self, a, width, half_panels):
+        f = lambda x: math.exp(-0.3 * x) * math.cos(x)
+        b = a + width
+        coarse = simpson(f, a, b, panels=2 * half_panels)
+        truth = adaptive_simpson(f, a, b, tol=1e-12)
+        # Composite Simpson error scales as (width/panels)^4.
+        h = width / (2 * half_panels)
+        assert abs(coarse - truth) < 1.0 * h**4 + 1e-12
+
+
+class TestAdaptiveSimpson:
+    def test_known_integral(self):
+        assert adaptive_simpson(math.sin, 0.0, math.pi) == pytest.approx(
+            2.0, abs=1e-9
+        )
+
+    def test_zero_width(self):
+        assert adaptive_simpson(math.exp, 1.0, 1.0) == 0.0
+
+    def test_sharp_peak(self):
+        # A narrow Gaussian: adaptive subdivision must find the peak.
+        f = lambda x: math.exp(-((x - 0.5) ** 2) / (2 * 0.01**2))
+        value = adaptive_simpson(f, 0.0, 1.0, tol=1e-12)
+        expected = 0.01 * math.sqrt(2 * math.pi)
+        assert value == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,130 @@
+"""Tests for wirelength and order-statistic metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point
+from repro.metrics import (
+    area_weighted_top_fraction_mean,
+    hpwl,
+    top_fraction_mean,
+    total_hpwl,
+    total_two_pin_length,
+)
+from repro.netlist import Net, TwoPinNet
+
+
+class TestHpwl:
+    def test_two_pins(self):
+        assert hpwl([Point(0, 0), Point(3, 4)]) == 7
+
+    def test_multi_pin_bbox(self):
+        pts = [Point(0, 0), Point(10, 2), Point(4, 8)]
+        assert hpwl(pts) == 10 + 8
+
+    def test_weighted(self):
+        assert hpwl([Point(0, 0), Point(1, 1)], weight=2.5) == 5.0
+
+    def test_single_pin_zero(self):
+        assert hpwl([Point(5, 5)]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hpwl([])
+
+    def test_total_hpwl(self):
+        nets = [Net("a", ("m1", "m2")), Net("b", ("m1", "m3"), weight=2.0)]
+        locations = {
+            "a": {"m1": Point(0, 0), "m2": Point(2, 2)},
+            "b": {"m1": Point(0, 0), "m3": Point(1, 1)},
+        }
+        assert total_hpwl(nets, locations) == 4 + 2 * 2
+
+
+class TestTwoPinLength:
+    def test_sums_weighted_lengths(self):
+        nets = [
+            TwoPinNet("a", Point(0, 0), Point(3, 4)),
+            TwoPinNet("b", Point(0, 0), Point(1, 0), weight=10.0),
+        ]
+        assert total_two_pin_length(nets) == 7 + 10
+
+    def test_empty(self):
+        assert total_two_pin_length([]) == 0.0
+
+
+class TestTopFractionMean:
+    def test_basic(self):
+        values = [1.0, 5.0, 3.0, 9.0, 7.0, 2.0, 8.0, 4.0, 6.0, 0.0]
+        assert top_fraction_mean(values, 0.2) == pytest.approx((9 + 8) / 2)
+
+    def test_small_lists_take_one(self):
+        assert top_fraction_mean([3.0, 1.0], 0.1) == 3.0
+
+    def test_full_fraction_is_mean(self):
+        values = [1.0, 2.0, 3.0]
+        assert top_fraction_mean(values, 1.0) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert top_fraction_mean([], 0.1) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_fraction_mean([1.0], 0.0)
+        with pytest.raises(ValueError):
+            top_fraction_mean([1.0], 1.1)
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=50))
+    def test_bounded_by_max_and_mean(self, values):
+        score = top_fraction_mean(values, 0.1)
+        assert score <= max(values) + 1e-9
+        assert score >= sum(values) / len(values) - 1e-9
+
+
+class TestAreaWeightedTopFraction:
+    def test_uniform_areas_match_plain(self):
+        values = [1.0, 5.0, 3.0, 9.0, 7.0, 2.0, 8.0, 4.0, 6.0, 0.0]
+        pairs = [(v, 1.0) for v in values]
+        assert area_weighted_top_fraction_mean(pairs, 0.2) == pytest.approx(
+            top_fraction_mean(values, 0.2)
+        )
+
+    def test_large_dense_cell_dominates(self):
+        # One cell holds 30% of the area at density 10: the top-10%
+        # score is exactly 10.
+        pairs = [(10.0, 30.0), (1.0, 70.0)]
+        assert area_weighted_top_fraction_mean(pairs, 0.1) == pytest.approx(10.0)
+
+    def test_partial_cell_interpolation(self):
+        # Top cell holds 5% of area at 10, next at 2: top-10% mixes
+        # them half and half.
+        pairs = [(10.0, 5.0), (2.0, 95.0)]
+        expected = (10.0 * 5.0 + 2.0 * 5.0) / 10.0
+        assert area_weighted_top_fraction_mean(pairs, 0.1) == pytest.approx(
+            expected
+        )
+
+    def test_zero_area_cells_ignored(self):
+        pairs = [(99.0, 0.0), (1.0, 100.0)]
+        assert area_weighted_top_fraction_mean(pairs, 0.5) == pytest.approx(1.0)
+
+    def test_empty_zero(self):
+        assert area_weighted_top_fraction_mean([], 0.1) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            area_weighted_top_fraction_mean([(1.0, 1.0)], -0.1)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0.1, 50)),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(0.01, 1.0),
+    )
+    def test_monotone_in_fraction(self, pairs, fraction):
+        # Taking more area can only dilute the score.
+        wide = area_weighted_top_fraction_mean(pairs, min(1.0, fraction * 2))
+        narrow = area_weighted_top_fraction_mean(pairs, fraction)
+        assert narrow >= wide - 1e-9

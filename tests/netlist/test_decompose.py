@@ -1,0 +1,219 @@
+"""Tests for MST decomposition of multi-pin nets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point
+from repro.netlist import Net, decompose_to_two_pin, mst_edges
+
+
+def _total_length(points, edges):
+    return sum(points[i].manhattan_distance(points[j]) for i, j in edges)
+
+
+class TestMstEdges:
+    def test_empty_and_single(self):
+        assert mst_edges([]) == []
+        assert mst_edges([Point(0, 0)]) == []
+
+    def test_two_points(self):
+        assert mst_edges([Point(0, 0), Point(5, 5)]) == [(0, 1)]
+
+    def test_collinear_chain(self):
+        points = [Point(0, 0), Point(10, 0), Point(20, 0), Point(30, 0)]
+        edges = mst_edges(points)
+        assert sorted(edges) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_star_center(self):
+        center = Point(0, 0)
+        leaves = [Point(10, 0), Point(0, 10), Point(-10, 0), Point(0, -10)]
+        edges = mst_edges([center] + leaves)
+        assert sorted(edges) == [(0, 1), (0, 2), (0, 3), (0, 4)]
+
+    def test_edge_count(self):
+        points = [Point(i * 3.1, (i * 7) % 5) for i in range(9)]
+        assert len(mst_edges(points)) == 8
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 100)),
+            min_size=2,
+            max_size=10,
+            unique=True,
+        )
+    )
+    def test_spanning_and_optimal_vs_bruteforce_chain(self, coords):
+        points = [Point(x, y) for x, y in coords]
+        edges = mst_edges(points)
+        # Tree: n-1 edges, connects everything.
+        assert len(edges) == len(points) - 1
+        parent = list(range(len(points)))
+
+        def find(i):
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for i, j in edges:
+            ri, rj = find(i), find(j)
+            assert ri != rj, "MST contains a cycle"
+            parent[ri] = rj
+        assert len({find(i) for i in range(len(points))}) == 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            min_size=2,
+            max_size=7,
+            unique=True,
+        )
+    )
+    def test_no_single_swap_improves(self, coords):
+        # Local optimality: replacing any MST edge with any non-edge
+        # that reconnects the tree never shortens it (cut property
+        # spot-check; full optimality needs matroid machinery).
+        points = [Point(x, y) for x, y in coords]
+        edges = mst_edges(points)
+        base = _total_length(points, edges)
+        import itertools
+
+        all_pairs = list(itertools.combinations(range(len(points)), 2))
+        for removed in edges:
+            rest = [e for e in edges if e != removed]
+            for candidate in all_pairs:
+                if candidate in rest:
+                    continue
+                trial = rest + [candidate]
+                if _is_spanning_tree(trial, len(points)):
+                    assert _total_length(points, trial) >= base - 1e-9
+
+
+def _is_spanning_tree(edges, n):
+    if len(edges) != n - 1:
+        return False
+    parent = list(range(n))
+
+    def find(i):
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i, j in edges:
+        ri, rj = find(i), find(j)
+        if ri == rj:
+            return False
+        parent[ri] = rj
+    return True
+
+
+class TestDecompose:
+    def test_two_pin_passthrough(self):
+        net = Net("n", ("a", "b"), weight=3.0)
+        locations = {"a": Point(0, 0), "b": Point(5, 5)}
+        out = decompose_to_two_pin(net, locations)
+        assert len(out) == 1
+        assert out[0].weight == 3.0
+        assert out[0].source_net == "n"
+        assert out[0].name == "n#0"
+
+    def test_multi_pin_count(self):
+        net = Net("n", ("a", "b", "c", "d"))
+        locations = {
+            "a": Point(0, 0),
+            "b": Point(10, 0),
+            "c": Point(0, 10),
+            "d": Point(10, 10),
+        }
+        out = decompose_to_two_pin(net, locations)
+        assert len(out) == 3
+
+    def test_coincident_pins_yield_degenerate_edge(self):
+        net = Net("n", ("a", "b"))
+        locations = {"a": Point(3, 3), "b": Point(3, 3)}
+        out = decompose_to_two_pin(net, locations)
+        assert len(out) == 1
+        assert out[0].manhattan_length == 0.0
+
+    def test_missing_location_raises(self):
+        net = Net("n", ("a", "b"))
+        with pytest.raises(KeyError):
+            decompose_to_two_pin(net, {"a": Point(0, 0)})
+
+    def test_total_length_at_most_star(self):
+        # MST is never longer than the star through any chosen hub.
+        net = Net("n", ("a", "b", "c", "d", "e"))
+        locations = {
+            "a": Point(0, 0),
+            "b": Point(7, 2),
+            "c": Point(1, 9),
+            "d": Point(4, 4),
+            "e": Point(9, 9),
+        }
+        out = decompose_to_two_pin(net, locations)
+        mst_len = sum(e.manhattan_length for e in out)
+        for hub in net.terminals:
+            star_len = sum(
+                locations[hub].manhattan_distance(locations[t])
+                for t in net.terminals
+                if t != hub
+            )
+            assert mst_len <= star_len + 1e-9
+
+
+class TestStarDecomposition:
+    def test_edge_count(self):
+        from repro.netlist import star_decomposition
+
+        net = Net("n", ("a", "b", "c", "d"))
+        locations = {
+            "a": Point(0, 0),
+            "b": Point(10, 0),
+            "c": Point(0, 10),
+            "d": Point(10, 10),
+        }
+        out = star_decomposition(net, locations)
+        assert len(out) == 3
+        assert all(e.source_net == "n" for e in out)
+
+    def test_hub_is_one_median(self):
+        from repro.netlist import star_decomposition
+
+        # The central pin must be the hub: every edge touches it.
+        net = Net("n", ("hub", "l1", "l2", "l3"))
+        locations = {
+            "hub": Point(5, 5),
+            "l1": Point(0, 5),
+            "l2": Point(10, 5),
+            "l3": Point(5, 0),
+        }
+        out = star_decomposition(net, locations)
+        center = locations["hub"]
+        for edge in out:
+            assert center in (edge.p1, edge.p2)
+
+    def test_star_never_shorter_than_mst(self):
+        from repro.netlist import star_decomposition
+
+        net = Net("n", ("a", "b", "c", "d", "e"))
+        locations = {
+            "a": Point(0, 0),
+            "b": Point(9, 1),
+            "c": Point(2, 8),
+            "d": Point(7, 7),
+            "e": Point(4, 3),
+        }
+        star_len = sum(
+            e.manhattan_length for e in star_decomposition(net, locations)
+        )
+        mst_len = sum(
+            e.manhattan_length for e in decompose_to_two_pin(net, locations)
+        )
+        assert star_len >= mst_len - 1e-9
+
+    def test_missing_location_raises(self):
+        from repro.netlist import star_decomposition
+
+        with pytest.raises(KeyError):
+            star_decomposition(Net("n", ("a", "b")), {"a": Point(0, 0)})

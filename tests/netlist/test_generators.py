@@ -1,0 +1,93 @@
+"""Tests for synthetic circuit generators."""
+
+import pytest
+
+from repro.netlist import clustered_circuit, grid_circuit, random_circuit
+
+
+class TestRandomCircuit:
+    def test_counts(self):
+        nl = random_circuit(12, 30, seed=1)
+        assert nl.n_modules == 12
+        assert nl.n_nets == 30
+
+    def test_deterministic_by_seed(self):
+        a = random_circuit(10, 20, seed=7)
+        b = random_circuit(10, 20, seed=7)
+        assert [(m.name, m.width, m.height) for m in a.modules] == [
+            (m.name, m.width, m.height) for m in b.modules
+        ]
+        assert [n.terminals for n in a.nets] == [n.terminals for n in b.nets]
+
+    def test_different_seeds_differ(self):
+        a = random_circuit(10, 20, seed=1)
+        b = random_circuit(10, 20, seed=2)
+        assert [n.terminals for n in a.nets] != [n.terminals for n in b.nets]
+
+    def test_mean_area_respected(self):
+        nl = random_circuit(40, 10, seed=3, mean_area=10_000.0, area_spread=2.0)
+        mean = nl.total_module_area / nl.n_modules
+        assert 4_000 < mean < 25_000
+
+    def test_degree_bounds(self):
+        nl = random_circuit(10, 200, seed=5, max_degree=4)
+        assert all(2 <= n.degree <= 4 for n in nl.nets)
+
+    def test_too_few_modules_rejected(self):
+        with pytest.raises(ValueError):
+            random_circuit(1, 5)
+
+
+class TestClusteredCircuit:
+    def test_counts_and_determinism(self):
+        a = clustered_circuit(20, 50, n_clusters=4, seed=9)
+        b = clustered_circuit(20, 50, n_clusters=4, seed=9)
+        assert a.n_nets == 50
+        assert [n.terminals for n in a.nets] == [n.terminals for n in b.nets]
+
+    def test_locality_bias(self):
+        # With prob 1.0 every 2-pin net stays inside one cluster.
+        nl = clustered_circuit(
+            20, 200, n_clusters=4, intra_cluster_prob=1.0, seed=2, max_degree=2
+        )
+        cluster_of = {}
+        for i, name in enumerate(m.name for m in nl.modules):
+            cluster_of[name] = i % 4
+        intra = sum(
+            1
+            for n in nl.nets
+            if len({cluster_of[t] for t in n.terminals}) == 1
+        )
+        assert intra / nl.n_nets > 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            clustered_circuit(10, 5, n_clusters=0)
+        with pytest.raises(ValueError):
+            clustered_circuit(10, 5, n_clusters=20)
+        with pytest.raises(ValueError):
+            clustered_circuit(10, 5, intra_cluster_prob=1.5)
+
+
+class TestGridCircuit:
+    def test_mesh_edges(self):
+        nl = grid_circuit(3, 4)
+        assert nl.n_modules == 12
+        # Mesh: rows*(cols-1) + (rows-1)*cols edges.
+        assert nl.n_nets == 3 * 3 + 2 * 4
+
+    def test_all_two_pin(self):
+        nl = grid_circuit(2, 5)
+        assert all(n.is_two_pin for n in nl.nets)
+
+    def test_size_jitter_bounded(self):
+        nl = grid_circuit(3, 3, module_size=100.0, size_jitter=0.1, seed=0)
+        for m in nl.modules:
+            assert 89.9 < m.width < 110.1
+            assert 89.9 < m.height < 110.1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_circuit(0, 3)
+        with pytest.raises(ValueError):
+            grid_circuit(1, 1)

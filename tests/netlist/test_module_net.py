@@ -1,0 +1,114 @@
+"""Tests for Module, Net, TwoPinNet."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point
+from repro.netlist import Module, Net, NetType, TwoPinNet
+
+
+class TestModule:
+    def test_basic(self):
+        m = Module("cpu", 30.0, 20.0)
+        assert m.area == 600.0
+        assert m.aspect_ratio == pytest.approx(2 / 3)
+
+    def test_rotation(self):
+        m = Module("cpu", 30.0, 20.0).rotated()
+        assert (m.width, m.height) == (20.0, 30.0)
+        assert m.name == "cpu"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Module("", 1, 1)
+        with pytest.raises(ValueError):
+            Module("m", 0, 1)
+        with pytest.raises(ValueError):
+            Module("m", 1, -2)
+
+    def test_shapes_rotatable(self):
+        shapes = Module("m", 30, 20).shapes()
+        assert shapes == [(30, 20), (20, 30)]
+
+    def test_shapes_square_single(self):
+        assert Module("m", 10, 10).shapes() == [(10, 10)]
+
+    def test_shapes_rotation_disabled(self):
+        assert Module("m", 30, 20).shapes(allow_rotation=False) == [(30, 20)]
+
+
+class TestNet:
+    def test_basic(self):
+        n = Net("n1", ("a", "b", "c"), weight=2.0)
+        assert n.degree == 3
+        assert not n.is_two_pin
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Net("n", ("a",))  # too few terminals
+        with pytest.raises(ValueError):
+            Net("n", ("a", "a"))  # duplicate terminal
+        with pytest.raises(ValueError):
+            Net("", ("a", "b"))
+        with pytest.raises(ValueError):
+            Net("n", ("a", "b"), weight=0.0)
+
+    def test_terminals_tuple(self):
+        n = Net("n", ["a", "b"])
+        assert isinstance(n.terminals, tuple)
+
+
+class TestTwoPinNet:
+    def test_pin_ordering_canonical(self):
+        # p1 must come out as the left pin regardless of input order.
+        n = TwoPinNet("n", Point(5, 0), Point(1, 3))
+        assert n.p1 == Point(1, 3)
+        assert n.p2 == Point(5, 0)
+
+    def test_type_i(self):
+        n = TwoPinNet("n", Point(0, 0), Point(4, 5))
+        assert n.net_type is NetType.TYPE_I
+
+    def test_type_ii(self):
+        n = TwoPinNet("n", Point(0, 5), Point(4, 0))
+        assert n.net_type is NetType.TYPE_II
+
+    def test_degenerate_horizontal(self):
+        assert TwoPinNet("n", Point(0, 2), Point(4, 2)).net_type is (
+            NetType.DEGENERATE
+        )
+
+    def test_degenerate_vertical(self):
+        assert TwoPinNet("n", Point(3, 0), Point(3, 9)).net_type is (
+            NetType.DEGENERATE
+        )
+
+    def test_degenerate_point(self):
+        assert TwoPinNet("n", Point(1, 1), Point(1, 1)).net_type is (
+            NetType.DEGENERATE
+        )
+
+    def test_routing_range(self):
+        n = TwoPinNet("n", Point(4, 1), Point(1, 5))
+        rr = n.routing_range
+        assert (rr.x_lo, rr.y_lo, rr.x_hi, rr.y_hi) == (1, 1, 4, 5)
+
+    def test_manhattan_length(self):
+        assert TwoPinNet("n", Point(0, 0), Point(3, 4)).manhattan_length == 7
+
+    def test_translated_preserves_type(self):
+        n = TwoPinNet("n", Point(0, 5), Point(4, 0), weight=2.0)
+        t = n.translated(10, 20)
+        assert t.net_type is n.net_type
+        assert t.weight == 2.0
+        assert t.p1 == Point(10, 25)
+
+    @given(
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+    )
+    def test_p1_always_left(self, x1, y1, x2, y2):
+        n = TwoPinNet("n", Point(x1, y1), Point(x2, y2))
+        assert (n.p1.x, n.p1.y) <= (n.p2.x, n.p2.y)

@@ -1,0 +1,73 @@
+"""Tests for the Netlist container."""
+
+import pytest
+
+from repro.netlist import Module, Net, Netlist
+
+
+def small_netlist():
+    modules = [Module("a", 10, 10), Module("b", 20, 10), Module("c", 5, 5)]
+    nets = [Net("n0", ("a", "b")), Net("n1", ("a", "b", "c"), weight=2.0)]
+    return Netlist("small", modules, nets)
+
+
+class TestConstruction:
+    def test_basic(self):
+        nl = small_netlist()
+        assert nl.n_modules == 3
+        assert nl.n_nets == 2
+        assert nl.total_module_area == 100 + 200 + 25
+        assert nl.n_pins == 5
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("x", [Module("a", 1, 1), Module("a", 2, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("x", [])
+
+    def test_dangling_terminal_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("x", [Module("a", 1, 1), Module("b", 1, 1)], [Net("n", ("a", "z"))])
+
+    def test_duplicate_net_rejected(self):
+        nl = small_netlist()
+        with pytest.raises(ValueError):
+            nl.add_net(Net("n0", ("a", "c")))
+
+
+class TestAccess:
+    def test_module_lookup(self):
+        nl = small_netlist()
+        assert nl.module("b").width == 20
+        with pytest.raises(KeyError):
+            nl.module("nope")
+
+    def test_net_lookup(self):
+        nl = small_netlist()
+        assert nl.net("n1").weight == 2.0
+        with pytest.raises(KeyError):
+            nl.net("nope")
+
+    def test_nets_of_module(self):
+        nl = small_netlist()
+        assert [n.name for n in nl.nets_of_module("c")] == ["n1"]
+        assert [n.name for n in nl.nets_of_module("a")] == ["n0", "n1"]
+        with pytest.raises(KeyError):
+            nl.nets_of_module("zz")
+
+    def test_deterministic_order(self):
+        nl = small_netlist()
+        assert nl.module_names == ("a", "b", "c")
+        assert [n.name for n in nl.nets] == ["n0", "n1"]
+
+    def test_degree_histogram(self):
+        assert small_netlist().degree_histogram() == {2: 1, 3: 1}
+
+    def test_with_nets_replaces(self):
+        nl = small_netlist()
+        replaced = nl.with_nets([Net("only", ("a", "c"))])
+        assert replaced.n_nets == 1
+        assert replaced.n_modules == 3
+        assert nl.n_nets == 2  # original untouched

@@ -1,0 +1,175 @@
+"""Tests for intersection-to-intersection pin assignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan import Floorplan
+from repro.geometry import Point, Rect
+from repro.netlist import Module, Net, Netlist
+from repro.pins import assign_pins, perimeter_point, snap_to_lattice
+
+CHIP = Rect(0, 0, 100, 100)
+
+
+class TestSnapToLattice:
+    def test_rounds_to_nearest(self):
+        assert snap_to_lattice(Point(12, 18), CHIP, 10.0) == Point(10, 20)
+
+    def test_exact_points_unchanged(self):
+        assert snap_to_lattice(Point(30, 40), CHIP, 10.0) == Point(30, 40)
+
+    def test_clamped_into_chip(self):
+        assert snap_to_lattice(Point(104, -3), CHIP, 10.0) == Point(100, 0)
+
+    def test_anchored_at_chip_origin(self):
+        chip = Rect(5, 5, 95, 95)
+        snapped = snap_to_lattice(Point(17, 17), chip, 10.0)
+        assert snapped == Point(15, 15)
+
+    def test_invalid_pitch(self):
+        with pytest.raises(ValueError):
+            snap_to_lattice(Point(0, 0), CHIP, 0.0)
+
+    @given(
+        st.floats(0, 100),
+        st.floats(0, 100),
+        st.floats(1, 30),
+    )
+    def test_snap_moves_at_most_half_pitch(self, x, y, pitch):
+        snapped = snap_to_lattice(Point(x, y), CHIP, pitch)
+        # Clamping can add displacement only at the chip border.
+        if pitch / 2 < x < 100 - pitch / 2 and pitch / 2 < y < 100 - pitch / 2:
+            assert abs(snapped.x - x) <= pitch / 2 + 1e-9
+            assert abs(snapped.y - y) <= pitch / 2 + 1e-9
+        assert CHIP.contains_point(snapped)
+
+
+class TestPerimeterPoint:
+    RECT = Rect(10, 20, 50, 40)  # w=40, h=20, perimeter=120
+
+    def test_corners(self):
+        assert perimeter_point(self.RECT, 0.0) == Point(10, 20)
+        assert perimeter_point(self.RECT, 40 / 120) == Point(50, 20)
+        assert perimeter_point(self.RECT, 60 / 120) == Point(50, 40)
+        assert perimeter_point(self.RECT, 100 / 120) == Point(10, 40)
+
+    def test_wraps_modulo_one(self):
+        assert perimeter_point(self.RECT, 1.25) == perimeter_point(
+            self.RECT, 0.25
+        )
+
+    def test_degenerate_rect_center(self):
+        r = Rect(5, 5, 5, 5)
+        assert perimeter_point(r, 0.7) == r.center
+
+    @given(st.floats(0, 1))
+    def test_always_on_boundary(self, fraction):
+        p = perimeter_point(self.RECT, fraction)
+        on_x_edge = p.x in (self.RECT.x_lo, self.RECT.x_hi)
+        on_y_edge = p.y in (self.RECT.y_lo, self.RECT.y_hi)
+        assert self.RECT.contains_point(p)
+        assert on_x_edge or on_y_edge
+
+
+def instance():
+    modules = [Module("a", 40, 40), Module("b", 40, 40)]
+    nets = [Net("n0", ("a", "b")), Net("n1", ("a", "b")), Net("n2", ("a", "b"))]
+    netlist = Netlist("two", modules, nets)
+    floorplan = Floorplan(
+        {"a": Rect(0, 0, 40, 40), "b": Rect(60, 60, 100, 100)},
+        chip=CHIP,
+    )
+    return floorplan, netlist
+
+
+class TestAssignPins:
+    def test_all_nets_assigned(self):
+        floorplan, netlist = instance()
+        pa = assign_pins(floorplan, netlist, 10.0)
+        assert set(pa.pin_locations) == {"n0", "n1", "n2"}
+        assert pa.n_two_pin == 3
+
+    def test_pins_on_lattice(self):
+        floorplan, netlist = instance()
+        pa = assign_pins(floorplan, netlist, 10.0)
+        for locations in pa.pin_locations.values():
+            for p in locations.values():
+                assert (p.x - CHIP.x_lo) % 10.0 == pytest.approx(0.0, abs=1e-9)
+                assert (p.y - CHIP.y_lo) % 10.0 == pytest.approx(0.0, abs=1e-9)
+
+    def test_perimeter_spreads_pins(self):
+        floorplan, netlist = instance()
+        pa = assign_pins(floorplan, netlist, 10.0, pin_style="perimeter")
+        a_pins = {pa.pin_locations[n][("a")] for n in ("n0", "n1", "n2")}
+        assert len(a_pins) > 1  # distinct perimeter positions
+
+    def test_center_style_shares_one_point(self):
+        floorplan, netlist = instance()
+        pa = assign_pins(floorplan, netlist, 10.0, pin_style="center")
+        a_pins = {pa.pin_locations[n]["a"] for n in ("n0", "n1", "n2")}
+        assert len(a_pins) == 1
+        assert a_pins.pop() == Point(20, 20)
+
+    def test_pins_inside_chip(self):
+        floorplan, netlist = instance()
+        for style in ("perimeter", "center"):
+            pa = assign_pins(floorplan, netlist, 7.0, pin_style=style)
+            for locations in pa.pin_locations.values():
+                for p in locations.values():
+                    assert CHIP.contains_point(p)
+
+    def test_unknown_style(self):
+        floorplan, netlist = instance()
+        with pytest.raises(ValueError):
+            assign_pins(floorplan, netlist, 10.0, pin_style="bogus")
+
+    def test_deterministic(self):
+        floorplan, netlist = instance()
+        a = assign_pins(floorplan, netlist, 10.0)
+        b = assign_pins(floorplan, netlist, 10.0)
+        assert a.pin_locations == b.pin_locations
+
+    def test_unplaced_terminal_raises(self):
+        _, netlist = instance()
+        partial = Floorplan({"a": Rect(0, 0, 40, 40)}, chip=CHIP)
+        with pytest.raises(KeyError):
+            assign_pins(partial, netlist, 10.0)
+
+
+class TestFacingStyle:
+    def test_pin_on_boundary_toward_partner(self):
+        floorplan, netlist = instance()
+        pa = assign_pins(floorplan, netlist, 10.0, pin_style="facing")
+        # Module a at (0,0)-(40,40), b at (60,60)-(100,100): a's pins
+        # face up-right, b's face down-left.
+        for n in ("n0", "n1", "n2"):
+            ap = pa.pin_locations[n]["a"]
+            bp = pa.pin_locations[n]["b"]
+            assert ap.x >= 30 and ap.y >= 30
+            assert bp.x <= 70 and bp.y <= 70
+
+    def test_facing_reduces_wirelength_vs_perimeter(self):
+        from repro.metrics import total_two_pin_length
+
+        floorplan, netlist = instance()
+        facing = assign_pins(floorplan, netlist, 10.0, pin_style="facing")
+        perimeter = assign_pins(floorplan, netlist, 10.0, pin_style="perimeter")
+        assert total_two_pin_length(facing.two_pin_nets) <= (
+            total_two_pin_length(perimeter.two_pin_nets) + 1e-9
+        )
+
+    def test_boundary_point_toward_interior_target(self):
+        from repro.geometry import Rect
+        from repro.pins.assignment import _boundary_point_toward
+
+        rect = Rect(0, 0, 10, 10)
+        p = _boundary_point_toward(rect, 5.0, 9.0)  # inside, near top
+        assert p.y == 10.0 and p.x == 5.0
+
+    def test_boundary_point_toward_outside_target(self):
+        from repro.geometry import Rect
+        from repro.pins.assignment import _boundary_point_toward
+
+        rect = Rect(0, 0, 10, 10)
+        p = _boundary_point_toward(rect, 50.0, 5.0)
+        assert (p.x, p.y) == (10.0, 5.0)

@@ -1,0 +1,66 @@
+"""Tests for the capacitated routing grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.routing import RoutingGrid
+
+CHIP = Rect(0, 0, 100, 60)
+
+
+class TestConstruction:
+    def test_shape(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0, capacity=4)
+        assert grid.n_cols == 10
+        assert grid.n_rows == 6
+        assert grid.usage_h.shape == (9, 6)
+        assert grid.usage_v.shape == (10, 5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(CHIP, cell_size=0.0)
+        with pytest.raises(ValueError):
+            RoutingGrid(CHIP, cell_size=10.0, capacity=0)
+
+    def test_single_cell_chip(self):
+        grid = RoutingGrid(Rect(0, 0, 5, 5), cell_size=10.0)
+        assert grid.n_cols == grid.n_rows == 1
+
+
+class TestCells:
+    def test_cell_of(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        assert grid.cell_of(0, 0) == (0, 0)
+        assert grid.cell_of(15, 25) == (1, 2)
+        assert grid.cell_of(100, 60) == (9, 5)  # clamped boundary
+
+    def test_usage_accumulation(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0, capacity=2)
+        grid.add_h_edge(3, 2, 1.5)
+        grid.add_v_edge(0, 0)
+        assert grid.h_edge_usage(3, 2) == 1.5
+        assert grid.v_edge_usage(0, 0) == 1.0
+        grid.reset()
+        assert grid.usage_h.sum() == 0.0
+        assert grid.usage_v.sum() == 0.0
+
+
+class TestUtilization:
+    def test_cell_utilization_shape_and_range(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0, capacity=10)
+        grid.add_h_edge(0, 0, 5.0)
+        util = grid.cell_utilization()
+        assert util.shape == (10, 6)
+        assert util.max() <= 1.0
+        # The loaded edge contributes to both endpoint cells.
+        assert util[0, 0] > 0
+        assert util[1, 0] > 0
+        assert util[5, 5] == 0.0
+
+    def test_uniform_load_uniform_utilization(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0, capacity=1)
+        grid.usage_h[:] = 1.0
+        grid.usage_v[:] = 1.0
+        util = grid.cell_utilization()
+        assert np.allclose(util, 1.0)

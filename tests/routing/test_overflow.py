@@ -1,0 +1,91 @@
+"""Tests for overflow metrics and rank correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Rect
+from repro.routing import RoutingGrid, overflow_report
+from repro.routing.overflow import rank_correlation
+
+CHIP = Rect(0, 0, 100, 100)
+
+
+class TestOverflowReport:
+    def test_empty_grid(self):
+        report = overflow_report(RoutingGrid(CHIP, 10.0, capacity=5))
+        assert report.total_overflow == 0.0
+        assert report.n_overflowed_edges == 0
+        assert report.max_utilization == 0.0
+        assert report.overflow_fraction == 0.0
+
+    def test_overflow_counted(self):
+        grid = RoutingGrid(CHIP, 10.0, capacity=2)
+        grid.add_h_edge(0, 0, 5.0)  # 3 over capacity
+        grid.add_v_edge(1, 1, 2.0)  # exactly at capacity
+        report = overflow_report(grid)
+        assert report.total_overflow == pytest.approx(3.0)
+        assert report.n_overflowed_edges == 1
+        assert report.max_utilization == pytest.approx(2.5)
+
+    def test_edge_count(self):
+        grid = RoutingGrid(CHIP, 10.0)
+        report = overflow_report(grid)
+        assert report.n_edges == 9 * 10 + 10 * 9
+
+    def test_single_cell_grid_no_edges(self):
+        grid = RoutingGrid(Rect(0, 0, 5, 5), 10.0)
+        report = overflow_report(grid)
+        assert report.n_edges == 0
+
+
+class TestRankCorrelation:
+    def test_perfect_positive(self):
+        assert rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_perfect_negative(self):
+        assert rank_correlation([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_zero(self):
+        assert rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_ties_averaged(self):
+        # Monotone with a tie: still strongly positive.
+        value = rank_correlation([1, 2, 2, 3], [10, 20, 30, 40])
+        assert 0.9 < value <= 1.0
+
+    def test_invariant_to_monotone_transform(self):
+        a = [3.0, 1.0, 4.0, 1.5, 9.0]
+        b = [x**3 for x in a]
+        assert rank_correlation(a, b) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1], [2])
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+    )
+    def test_self_correlation_nonnegative(self, xs):
+        value = rank_correlation(xs, xs)
+        assert value == pytest.approx(1.0) or value == 0.0  # 0 iff constant
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_bounded_and_symmetric(self, pairs):
+        a = [p[0] for p in pairs]
+        b = [p[1] for p in pairs]
+        r = rank_correlation(a, b)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+        assert r == pytest.approx(rank_correlation(b, a))

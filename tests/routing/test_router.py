@@ -1,0 +1,121 @@
+"""Tests for the congestion-aware global router."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+from repro.routing import GlobalRouter, RoutingGrid, overflow_report
+
+CHIP = Rect(0, 0, 100, 100)
+
+
+def net(x1, y1, x2, y2, name="n", weight=1.0):
+    return TwoPinNet(name, Point(x1, y1), Point(x2, y2), weight=weight)
+
+
+def _is_monotone_path(cells):
+    dxs = {c2[0] - c1[0] for c1, c2 in zip(cells, cells[1:])}
+    dys = {c2[1] - c1[1] for c1, c2 in zip(cells, cells[1:])}
+    return dxs <= {0, 1} or dxs <= {0, -1}, dys <= {0, 1} or dys <= {0, -1}
+
+
+class TestRouteNet:
+    @pytest.mark.parametrize("strategy", ["monotone", "lz"])
+    def test_path_endpoints_and_length(self, strategy):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        router = GlobalRouter(grid, strategy=strategy)
+        routed = router.route_net(net(5, 5, 75, 45))
+        cells = routed.cells
+        assert cells[0] == (0, 0)
+        assert cells[-1] == (7, 4)
+        # Shortest monotone path: |dx| + |dy| + 1 cells.
+        assert len(cells) == 7 + 4 + 1
+
+    @pytest.mark.parametrize("strategy", ["monotone", "lz"])
+    def test_monotone_steps(self, strategy):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        router = GlobalRouter(grid, strategy=strategy)
+        routed = router.route_net(net(85, 15, 15, 95))  # leftward net
+        ok_x, ok_y = _is_monotone_path(routed.cells)
+        assert ok_x and ok_y
+
+    def test_same_cell_trivial(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        router = GlobalRouter(grid)
+        routed = router.route_net(net(3, 3, 7, 6))
+        assert routed.cells == ((0, 0),)
+        assert grid.usage_h.sum() == 0.0
+
+    def test_usage_committed(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        GlobalRouter(grid).route_net(net(5, 5, 45, 5))
+        # Horizontal run commits 4 h-edges on row 0.
+        assert grid.usage_h[:4, 0].sum() == pytest.approx(4.0)
+        assert grid.usage_v.sum() == 0.0
+
+    def test_weight_scales_usage(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        GlobalRouter(grid).route_net(net(5, 5, 45, 5, weight=2.5))
+        assert grid.usage_h[:4, 0].sum() == pytest.approx(10.0)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            GlobalRouter(RoutingGrid(CHIP, 10.0), strategy="astar")
+
+
+class TestCongestionAvoidance:
+    def test_monotone_router_spreads_parallel_nets(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0, capacity=1)
+        router = GlobalRouter(grid)
+        # Five identical nets: each should pick a different staircase
+        # to keep max edge utilization low.
+        for i in range(5):
+            router.route_net(net(5, 5, 95, 95, name=f"n{i}"))
+        report = overflow_report(grid)
+        # With 9x9 freedom, 5 nets can mostly avoid overlap.
+        assert report.max_utilization <= 3.0
+        assert grid.usage_h.max() < 5.0
+
+    def test_bends_count(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        routed = GlobalRouter(grid, strategy="lz").route_net(net(5, 5, 55, 55))
+        assert routed.n_bends >= 1
+
+
+class TestRouteAll:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 99), st.integers(0, 99),
+                st.integers(0, 99), st.integers(0, 99),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.sampled_from(["monotone", "lz"]),
+    )
+    def test_total_usage_equals_total_path_length(self, endpoints, strategy):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        router = GlobalRouter(grid, strategy=strategy)
+        nets = [
+            net(x1, y1, x2, y2, name=f"n{i}")
+            for i, (x1, y1, x2, y2) in enumerate(endpoints)
+        ]
+        routed = router.route(nets)
+        assert len(routed) == len(nets)
+        total_edges = sum(len(r.cells) - 1 for r in routed)
+        assert grid.usage_h.sum() + grid.usage_v.sum() == pytest.approx(
+            total_edges
+        )
+
+    def test_shortest_first_order(self):
+        grid = RoutingGrid(CHIP, cell_size=10.0)
+        router = GlobalRouter(grid)
+        long_net = net(5, 5, 95, 95, name="long")
+        short_net = net(5, 5, 15, 5, name="short")
+        routed = router.route([long_net, short_net])
+        assert routed[0].net.name == "short"

@@ -1,0 +1,74 @@
+"""Library-wide API hygiene: docstrings and ``__all__`` integrity.
+
+These meta-tests keep the public surface honest as the library grows:
+every module, public class and public function carries a docstring, and
+every name exported via ``__all__`` actually exists.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_all_names_resolve(module):
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), f"{module.__name__}.__all__ lists {name}"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            # Only enforce on objects defined in this package.
+            if getattr(obj, "__module__", "").startswith("repro"):
+                assert obj.__doc__ and obj.__doc__.strip(), (
+                    f"{module.__name__}.{name} lacks a docstring"
+                )
+
+
+def test_public_classes_have_documented_public_methods():
+    undocumented = []
+    seen = set()
+    for module in MODULES:
+        for name in getattr(module, "__all__", ()):
+            obj = getattr(module, name)
+            if not inspect.isclass(obj) or obj in seen:
+                continue
+            if not getattr(obj, "__module__", "").startswith("repro"):
+                continue
+            seen.add(obj)
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not (
+                    attr.__doc__ and attr.__doc__.strip()
+                ):
+                    undocumented.append(f"{obj.__name__}.{attr_name}")
+    # Simple accessors (properties) are exempt; methods are not.
+    assert not undocumented, f"undocumented public methods: {undocumented}"

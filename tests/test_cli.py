@@ -1,0 +1,127 @@
+"""CLI smoke tests (everything through main() with tiny workloads)."""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def smoke_profile():
+    with mock.patch.dict(os.environ, {"REPRO_PROFILE": "smoke", "REPRO_SEEDS": "1"}):
+        yield
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCircuits:
+    def test_lists_all(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        for name in ("apte", "xerox", "hp", "ami33", "ami49"):
+            assert name in out
+
+
+class TestGenerate:
+    def test_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "c.yal"
+        assert main(
+            ["generate", str(target), "--modules", "6", "--nets", "9"]
+        ) == 0
+        assert target.exists()
+        from repro.data import read_yal
+
+        nl = read_yal(target)
+        assert nl.n_modules == 6
+        assert nl.n_nets == 9
+
+    def test_clustered_flag(self, tmp_path):
+        target = tmp_path / "c.yal"
+        assert main(["generate", str(target), "--clustered"]) == 0
+        assert target.exists()
+
+
+class TestFloorplan:
+    def test_on_generated_circuit(self, tmp_path, capsys):
+        target = tmp_path / "c.yal"
+        main(["generate", str(target), "--modules", "5", "--nets", "6"])
+        assert main(["floorplan", str(target), "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "area" in out
+        assert "+---" in out or "+-" in out  # ASCII border
+
+    def test_svg_output(self, tmp_path):
+        circuit = tmp_path / "c.yal"
+        svg = tmp_path / "fp.svg"
+        main(["generate", str(circuit), "--modules", "4", "--nets", "4"])
+        assert main(["floorplan", str(circuit), "--svg", str(svg)]) == 0
+        assert svg.read_text().startswith("<svg")
+
+    def test_missing_circuit_exits(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["floorplan", "no_such_circuit"])
+
+
+class TestEstimate:
+    def test_irgrid_model(self, tmp_path, capsys):
+        circuit = tmp_path / "c.yal"
+        main(["generate", str(circuit), "--modules", "5", "--nets", "8"])
+        assert main(["estimate", str(circuit), "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "IR-grid model" in out
+        assert "judging model" in out
+
+    def test_fixed_model(self, tmp_path, capsys):
+        circuit = tmp_path / "c.yal"
+        main(["generate", str(circuit), "--modules", "5", "--nets", "8"])
+        assert main(["estimate", str(circuit), "--model", "fixed"]) == 0
+        assert "fixed-grid model" in capsys.readouterr().out
+
+
+class TestFigure8:
+    def test_prints_both_panels(self, capsys):
+        assert main(["figure8"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8 (b)" in out
+        assert "Figure 8 (d)" in out
+        assert "n/a" in out  # the error grid
+
+
+class TestPlacementRoundTripThroughCli:
+    def test_save_then_estimate(self, tmp_path, capsys):
+        circuit = tmp_path / "c.yal"
+        place = tmp_path / "fp.place"
+        main(["generate", str(circuit), "--modules", "5", "--nets", "8"])
+        assert main(
+            ["floorplan", str(circuit), "--save-placement", str(place)]
+        ) == 0
+        assert place.exists()
+        assert main(
+            ["estimate", str(circuit), "--placement", str(place)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "IR-grid model" in out
+
+
+class TestFloorplanWithCongestionTerm:
+    def test_gamma_enables_congestion(self, tmp_path, capsys):
+        circuit = tmp_path / "c.yal"
+        main(["generate", str(circuit), "--modules", "4", "--nets", "6"])
+        assert main(["floorplan", str(circuit), "--gamma", "1.0"]) == 0
+        out = capsys.readouterr().out
+        # The congestion figure appears and is nonzero.
+        assert "congestion" in out
+        import re
+
+        match = re.search(r"congestion ([0-9.e+-]+)", out)
+        assert match and float(match.group(1)) > 0.0

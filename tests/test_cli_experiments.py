@@ -1,0 +1,99 @@
+"""CLI experiment-command wiring tests (experiment runs are mocked --
+the real runs live in benchmarks/)."""
+
+from unittest import mock
+
+from repro.cli import main
+from repro.experiments.exp2 import Experiment2Result
+from repro.experiments.exp3 import Experiment3Row
+from repro.experiments.runner import Aggregate, RunRecord
+
+
+def _fake_record():
+    from repro.floorplan import Floorplan
+    from repro.geometry import Rect
+
+    floorplan = Floorplan({"m": Rect(0, 0, 10, 10)})
+    return RunRecord(
+        circuit="fake",
+        seed=0,
+        cost=1.0,
+        area_um2=100.0,
+        wirelength_um=50.0,
+        congestion_cost=0.5,
+        n_irgrids=9,
+        runtime_seconds=0.1,
+        judging_cost=0.2,
+        floorplan=floorplan,
+        result=None,
+    )
+
+
+def _fake_aggregate():
+    return Aggregate(
+        avg_area_mm2=1e-4,
+        avg_wirelength_um=50.0,
+        avg_congestion_cost=0.5,
+        avg_n_irgrids=9.0,
+        avg_runtime_seconds=0.1,
+        avg_judging_cost=0.2,
+        best=_fake_record(),
+    )
+
+
+class TestExperimentCommands:
+    def test_experiment1_wiring(self, capsys):
+        from repro.experiments.exp1 import Experiment1Row
+
+        row = Experiment1Row(
+            circuit="hp",
+            baseline=_fake_aggregate(),
+            congestion_aware=_fake_aggregate(),
+        )
+        with mock.patch(
+            "repro.cli.run_experiment1", return_value={"hp": row}
+        ) as run1:
+            assert main(["experiment", "1", "--circuits", "hp"]) == 0
+        run1.assert_called_once()
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+
+    def test_experiment2_wiring(self, capsys):
+        result = Experiment2Result(
+            circuit="ami33",
+            ir_costs=[3.0, 2.0, 1.0],
+            fine_judging_costs=[0.3, 0.2, 0.1],
+            coarse_judging_costs=[0.6, 0.5, 0.4],
+        )
+        with mock.patch(
+            "repro.cli.run_experiment2", return_value=result
+        ) as run2:
+            assert main(["experiment", "2"]) == 0
+        run2.assert_called_once()
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "rank corr" in out
+
+    def test_experiment3_wiring(self, capsys):
+        rows = [
+            Experiment3Row(
+                model_kind="irgrid",
+                grid_size=30.0,
+                n_grids_avg=100.0,
+                aggregate=_fake_aggregate(),
+            ),
+            Experiment3Row(
+                model_kind="fixed",
+                grid_size=50.0,
+                n_grids_avg=400.0,
+                aggregate=_fake_aggregate(),
+            ),
+        ]
+        with mock.patch(
+            "repro.cli.run_experiment3", return_value=rows
+        ) as run3:
+            assert main(["experiment", "3", "--circuit", "ami33"]) == 0
+        run3.assert_called_once()
+        out = capsys.readouterr().out
+        assert "Tables 4-5" in out
+        assert "faster" in out

@@ -1,0 +1,72 @@
+"""The examples must actually run (in-process, smallest circuit)."""
+
+import runpy
+import sys
+from unittest import mock
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(path, argv):
+    with mock.patch.object(sys, "argv", argv):
+        runpy.run_path(path, run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example(f"{EXAMPLES}/quickstart.py", ["quickstart.py", "hp"])
+        out = capsys.readouterr().out
+        assert "Irregular-Grid model" in out
+        assert "Judging model" in out
+
+    def test_model_accuracy_study(self, capsys):
+        run_example(
+            f"{EXAMPLES}/model_accuracy_study.py", ["model_accuracy_study.py"]
+        )
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "speedup" in out
+
+    def test_hotspot_analysis(self, capsys):
+        run_example(
+            f"{EXAMPLES}/hotspot_analysis.py", ["hotspot_analysis.py", "hp"]
+        )
+        out = capsys.readouterr().out
+        assert "Hotspot report" in out
+        assert "dominating" in out
+
+    @pytest.mark.slow
+    def test_congestion_aware_floorplanning(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_example(
+            str(
+                __import__("pathlib").Path(__file__).parent.parent
+                / EXAMPLES
+                / "congestion_aware_floorplanning.py"
+            ),
+            ["congestion_aware_floorplanning.py", "hp"],
+        )
+        out = capsys.readouterr().out
+        assert "Judged congestion change" in out
+        assert (tmp_path / "examples_output" / "hp_blind.svg").exists()
+
+    @pytest.mark.slow
+    def test_representation_comparison(self, capsys):
+        run_example(
+            f"{EXAMPLES}/representation_comparison.py",
+            ["representation_comparison.py", "hp"],
+        )
+        out = capsys.readouterr().out
+        assert "Three floorplanners" in out
+        assert "B*-tree" in out
+
+    @pytest.mark.slow
+    def test_routability_validation(self, capsys):
+        run_example(
+            f"{EXAMPLES}/routability_validation.py",
+            ["routability_validation.py", "hp"],
+        )
+        out = capsys.readouterr().out
+        assert "rank corr" in out

@@ -1,0 +1,79 @@
+"""Wiring tests for the scripts (experiment runs are mocked)."""
+
+import pickle
+import runpy
+import sys
+from unittest import mock
+
+import pytest
+
+
+def run_script(path, argv):
+    with mock.patch.object(sys, "argv", argv):
+        return runpy.run_path(path, run_name="__main__")
+
+
+class TestRunExperiments:
+    def _module(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "run_experiments", "scripts/run_experiments.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_exp1_writes_pickle_and_render_merges(self, tmp_path, capsys):
+        module = self._module()
+        from repro.experiments.exp1 import Experiment1Row
+        from tests.test_cli_experiments import _fake_aggregate
+
+        row = Experiment1Row(
+            circuit="hp",
+            baseline=_fake_aggregate(),
+            congestion_aware=_fake_aggregate(),
+        )
+        with mock.patch.object(module, "RESULTS", tmp_path), mock.patch.object(
+            module, "PARTS", tmp_path / "exp1_parts"
+        ), mock.patch.object(
+            module, "run_experiment1", return_value={"hp": row}
+        ):
+            with mock.patch.object(sys, "argv", ["x", "exp1", "hp"]):
+                assert module.main() == 0
+            pkl = tmp_path / "exp1_parts" / "hp.pkl"
+            assert pkl.exists()
+            with open(pkl, "rb") as fh:
+                assert "hp" in pickle.load(fh)
+            with mock.patch.object(sys, "argv", ["x", "render1"]):
+                assert module.main() == 0
+            rendered = list(tmp_path.glob("exp1_*.txt"))
+            assert rendered
+            assert "Table 3" in rendered[0].read_text()
+
+    def test_unknown_step_rejected(self, tmp_path):
+        module = self._module()
+        with mock.patch.object(module, "RESULTS", tmp_path):
+            with mock.patch.object(sys, "argv", ["x", "bogus"]):
+                with pytest.raises(SystemExit):
+                    module.main()
+
+
+class TestMakeFigures:
+    def test_figure8_and_motivation_outputs(self, tmp_path):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "make_figures", "scripts/make_figures.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.figure8(tmp_path)
+        module.motivation(tmp_path)
+        names = {p.name for p in tmp_path.glob("*.svg")}
+        assert "figure8b.svg" in names
+        assert "figure8d.svg" in names
+        assert "figure3_4cols.svg" in names
+        assert "figure4_12cols.svg" in names
+        svg = (tmp_path / "figure8b.svg").read_text()
+        assert svg.startswith("<svg")

@@ -1,0 +1,56 @@
+"""Tests for the SVG line charts."""
+
+import pytest
+
+from repro.viz import line_chart_svg
+
+
+class TestLineChart:
+    def test_basic_structure(self):
+        svg = line_chart_svg(
+            {"a": [1.0, 2.0, 3.0]},
+            title="T",
+            x_label="x",
+            y_label="y",
+        )
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "polyline" in svg
+        assert ">T<" in svg
+        assert ">x<" in svg
+
+    def test_multiple_series_get_distinct_colors(self):
+        svg = line_chart_svg({"a": [1, 2], "b": [2, 1], "c": [0, 3]})
+        assert svg.count("<polyline") == 3
+        # Each legend entry names its series.
+        for name in ("a", "b", "c"):
+            assert f">{name}<" in svg
+
+    def test_custom_x_values(self):
+        svg = line_chart_svg({"a": [5.0, 6.0]}, x_values=[10, 20])
+        assert "10" in svg and "20" in svg
+
+    def test_normalization_handles_mixed_scales(self):
+        svg = line_chart_svg(
+            {"small": [0.001, 0.002], "big": [1e6, 2e6]}, normalize=True
+        )
+        assert svg.count("<polyline") == 2
+
+    def test_constant_series_normalized_to_half(self):
+        svg = line_chart_svg({"flat": [5.0, 5.0, 5.0]}, normalize=True)
+        assert "<polyline" in svg
+
+    def test_escapes_markup(self):
+        svg = line_chart_svg({"<evil>": [1, 2]}, title="a<b>c")
+        assert "<evil>" not in svg.replace("&lt;evil&gt;", "")
+        assert "&lt;" in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({})
+        with pytest.raises(ValueError):
+            line_chart_svg({"a": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart_svg({"a": [1, 2], "b": [1, 2, 3]})
+        with pytest.raises(ValueError):
+            line_chart_svg({"a": [1, 2]}, x_values=[1, 2, 3])

@@ -1,0 +1,144 @@
+"""Tests for ASCII and SVG rendering."""
+
+import pytest
+
+from repro.congestion import FixedGridModel, IrregularGridModel
+from repro.floorplan import Floorplan
+from repro.geometry import Point, Rect
+from repro.netlist import TwoPinNet
+from repro.viz import (
+    congestion_svg,
+    floorplan_svg,
+    render_congestion_ascii,
+    render_floorplan_ascii,
+)
+
+
+def floorplan():
+    return Floorplan(
+        {
+            "alpha": Rect(0, 0, 50, 50),
+            "beta": Rect(50, 0, 100, 50),
+            "gamma": Rect(0, 50, 100, 100),
+        },
+        chip=Rect(0, 0, 100, 100),
+    )
+
+
+def congestion_map():
+    nets = [
+        TwoPinNet("a", Point(5, 5), Point(95, 95)),
+        TwoPinNet("b", Point(10, 90), Point(90, 10)),
+    ]
+    return FixedGridModel(10.0).evaluate(Rect(0, 0, 100, 100), nets)
+
+
+class TestAsciiFloorplan:
+    def test_renders_all_modules(self):
+        art = render_floorplan_ascii(floorplan(), width=40)
+        assert "a" in art  # fill character: last char of name
+        assert art.count("\n") >= 3
+        assert art.startswith("+")
+
+    def test_no_collision_marks_for_disjoint_modules(self):
+        art = render_floorplan_ascii(floorplan(), width=60)
+        assert "#" not in art
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_floorplan_ascii(floorplan(), width=1)
+
+    def test_aspect_ratio_tracks_chip(self):
+        tall = Floorplan({"a": Rect(0, 0, 10, 40)})
+        art = render_floorplan_ascii(tall, width=20)
+        rows = art.count("\n") - 1
+        assert rows > 20  # taller than wide (halved for cells)
+
+
+class TestAsciiCongestion:
+    def test_renders_heat(self):
+        art = render_congestion_ascii(congestion_map(), width=40)
+        assert "peak density" in art
+        assert "@" in art  # the hottest cell uses the top ramp char
+
+    def test_empty_map_all_cold(self):
+        cmap = FixedGridModel(10.0).evaluate(Rect(0, 0, 100, 100), [])
+        art = render_congestion_ascii(cmap, width=30)
+        raster = "\n".join(art.splitlines()[:-1])  # drop the legend line
+        assert "@" not in raster
+
+    def test_works_for_irregular_cells(self):
+        nets = [TwoPinNet("a", Point(10, 10), Point(80, 70))]
+        cmap = IrregularGridModel(10.0).evaluate(Rect(0, 0, 100, 100), nets)
+        art = render_congestion_ascii(cmap, width=30)
+        assert art.startswith("+")
+
+
+class TestSvg:
+    def test_floorplan_svg_well_formed(self):
+        svg = floorplan_svg(floorplan(), px_width=320)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") == 1 + 3  # chip + modules
+        assert "alpha" in svg  # tooltips
+
+    def test_congestion_svg_cells(self):
+        cmap = congestion_map()
+        svg = congestion_svg(cmap, px_width=320)
+        assert svg.count("<rect") == cmap.n_cells
+
+    def test_congestion_svg_with_overlay(self):
+        cmap = congestion_map()
+        svg = congestion_svg(cmap, px_width=320, floorplan=floorplan())
+        assert svg.count("<rect") == cmap.n_cells + 3
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            floorplan_svg(floorplan(), px_width=4)
+        with pytest.raises(ValueError):
+            congestion_svg(congestion_map(), px_width=4)
+
+    def test_heat_color_extremes(self):
+        from repro.viz.svg import _heat_color
+
+        assert _heat_color(0.0) == "rgb(255,255,255)"
+        assert _heat_color(1.0) == "rgb(255,0,0)"
+        assert _heat_color(2.0) == "rgb(255,0,0)"  # clamped
+
+
+class TestIrgridSvg:
+    def test_renders_cut_lines_and_overlays(self):
+        from repro.congestion import build_irgrid
+        from repro.netlist import TwoPinNet
+        from repro.viz import irgrid_svg
+
+        fp = floorplan()
+        nets = [
+            TwoPinNet("a", Point(5, 5), Point(95, 95)),
+            TwoPinNet("b", Point(10, 90), Point(90, 10)),
+        ]
+        ir = build_irgrid(fp.chip, nets, grid_size=5.0)
+        svg = irgrid_svg(ir, floorplan=fp, nets=nets)
+        assert svg.startswith("<svg")
+        # Cut lines from both axes plus module outlines and ranges.
+        assert svg.count("<line") == len(ir.x_lines) + len(ir.y_lines)
+        assert svg.count("<rect") >= 1 + 3 + 2
+
+    def test_without_overlays(self):
+        from repro.congestion import build_irgrid
+        from repro.viz import irgrid_svg
+
+        fp = floorplan()
+        ir = build_irgrid(fp.chip, [], grid_size=10.0)
+        svg = irgrid_svg(ir)
+        assert svg.count("<line") == 4  # chip boundaries only
+
+    def test_size_validation(self):
+        from repro.congestion import build_irgrid
+        from repro.viz import irgrid_svg
+
+        ir = build_irgrid(floorplan().chip, [], grid_size=10.0)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            irgrid_svg(ir, px_width=4)
