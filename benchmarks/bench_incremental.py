@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Benchmark the incremental annealing evaluator against the seed path.
+
+For each workload (ami33/ami49-scale synthetic circuits) the script runs
+the same seeded annealing schedule twice:
+
+* ``seed``: ``incremental=False`` objective over an uncached congestion
+  model -- the always-from-scratch evaluator the repository shipped
+  with;
+* ``fast``: the dirty-net delta path plus the per-net congestion /
+  placed-geometry memos (the defaults).
+
+Both runs traverse the identical move sequence (same RNG seed, and the
+accepted/rejected decisions agree because the evaluators agree
+numerically), so moves/sec is an apples-to-apples comparison.  The
+script then replays a shorter strict-mode run (``strict_incremental=
+True``) that re-runs the full pipeline after every delta evaluation and
+asserts agreement to 1e-12, and records the final best costs of both
+modes, which must match to 1e-9.
+
+Results go to ``BENCH_incremental.json`` (see ``--out``)::
+
+    {"workloads": [{"name": ..., "seed_moves_per_sec": ...,
+                    "fast_moves_per_sec": ..., "speedup": ...,
+                    "cache_hit_rates": {...}, ...}, ...],
+     "min_speedup": ..., "strict_ok": true}
+
+``--smoke`` runs a reduced schedule and exits non-zero when the cache
+accounting is inconsistent or the two evaluators disagree -- cheap
+enough for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.anneal import FloorplanAnnealer, FloorplanObjective  # noqa: E402
+from repro.anneal.schedule import GeometricSchedule  # noqa: E402
+from repro.congestion import (  # noqa: E402
+    IrregularGridModel,
+    cache_stats,
+    clear_all_caches,
+)
+from repro.netlist import random_circuit  # noqa: E402
+
+
+def _objective(netlist, grid_size: float, fast: bool, strict: bool = False):
+    return FloorplanObjective(
+        netlist,
+        alpha=1.0,
+        beta=1.0,
+        gamma=1.0,
+        congestion_model=IrregularGridModel(grid_size, use_cache=fast),
+        incremental=fast,
+        strict_incremental=strict,
+    )
+
+
+def _run(netlist, grid_size, fast, moves_per_temperature, schedule, seed,
+         strict=False):
+    clear_all_caches()
+    annealer = FloorplanAnnealer(
+        netlist,
+        objective=_objective(netlist, grid_size, fast, strict),
+        seed=seed,
+        moves_per_temperature=moves_per_temperature,
+        schedule=schedule,
+    )
+    t0 = time.perf_counter()
+    result = annealer.run()
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def bench_workload(name, n_modules, n_nets, smoke, seed=7):
+    netlist = random_circuit(n_modules, n_nets, seed=seed)
+    grid_size = max(math.sqrt(netlist.total_module_area) / 30.0, 1e-6)
+    moves = 3 * n_modules if smoke else 10 * n_modules
+    schedule = GeometricSchedule(
+        cooling_rate=0.85, freeze_ratio=(1e-2 if smoke else 1e-4)
+    )
+
+    seed_result, seed_wall = _run(
+        netlist, grid_size, fast=False,
+        moves_per_temperature=moves, schedule=schedule, seed=seed,
+    )
+    fast_result, fast_wall = _run(
+        netlist, grid_size, fast=True,
+        moves_per_temperature=moves, schedule=schedule, seed=seed,
+    )
+    stats = cache_stats()
+
+    # Same seed + numerically identical evaluators => identical walks.
+    evals_seed = seed_result.perf.counters.get("evaluations", 0)
+    evals_fast = fast_result.perf.counters.get("evaluations", 0)
+    agree = (
+        evals_seed == evals_fast
+        and seed_result.n_moves == fast_result.n_moves
+        and math.isclose(
+            seed_result.cost, fast_result.cost, rel_tol=1e-9, abs_tol=1e-9
+        )
+    )
+
+    # Short strict-mode replay: every delta evaluation re-checked
+    # against the full pipeline (raises AssertionError on divergence).
+    strict_schedule = GeometricSchedule(cooling_rate=0.5, freeze_ratio=0.1)
+    strict_ok = True
+    try:
+        _run(
+            netlist, grid_size, fast=True,
+            moves_per_temperature=min(moves, n_modules),
+            schedule=strict_schedule, seed=seed, strict=True,
+        )
+    except AssertionError as exc:
+        strict_ok = False
+        print(f"  STRICT-MODE FAILURE: {exc}", file=sys.stderr)
+
+    hit_rates = {
+        cname: round(s.hit_rate, 4) for cname, s in stats.items() if s.lookups
+    }
+    accounting_ok = all(
+        s.hits + s.misses == s.lookups and s.size <= s.maxsize
+        for s in stats.values()
+    )
+
+    row = {
+        "name": name,
+        "modules": n_modules,
+        "nets": n_nets,
+        "moves": fast_result.n_moves,
+        "evaluations": evals_fast,
+        "seed_wall_seconds": round(seed_wall, 3),
+        "fast_wall_seconds": round(fast_wall, 3),
+        "seed_moves_per_sec": round(seed_result.n_moves / seed_wall, 2),
+        "fast_moves_per_sec": round(fast_result.n_moves / fast_wall, 2),
+        "speedup": round(seed_wall / fast_wall, 3),
+        "seed_best_cost": seed_result.cost,
+        "fast_best_cost": fast_result.cost,
+        "results_agree": agree,
+        "strict_ok": strict_ok,
+        "accounting_ok": accounting_ok,
+        "cache_hit_rates": hit_rates,
+    }
+    print(
+        f"{name}: seed {row['seed_moves_per_sec']:.1f} moves/s, "
+        f"fast {row['fast_moves_per_sec']:.1f} moves/s, "
+        f"speedup {row['speedup']:.2f}x, "
+        f"net_mass hit rate {hit_rates.get('net_mass', 0.0):.1%}, "
+        f"agree={agree} strict={strict_ok}"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced schedule; exit non-zero on accounting or agreement "
+        "regressions (CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON path (default: BENCH_incremental.json in the "
+        "repository root; smoke mode defaults to not writing)",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = [("ami33-scale", 33, 120), ("ami49-scale", 49, 200)]
+    rows = [
+        bench_workload(name, m, n, smoke=args.smoke)
+        for name, m, n in workloads
+    ]
+
+    payload = {
+        "benchmark": "incremental annealing evaluation",
+        "smoke": args.smoke,
+        "workloads": rows,
+        "min_speedup": min(r["speedup"] for r in rows),
+        "strict_ok": all(r["strict_ok"] for r in rows),
+        "results_agree": all(r["results_agree"] for r in rows),
+        "accounting_ok": all(r["accounting_ok"] for r in rows),
+    }
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    failures = []
+    if not payload["accounting_ok"]:
+        failures.append("cache hit/miss accounting is inconsistent")
+    if not payload["results_agree"]:
+        failures.append("incremental and seed evaluators disagree")
+    if not payload["strict_ok"]:
+        failures.append("strict-mode delta/full agreement failed")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 from repro.anneal.cost import CostBreakdown, FloorplanObjective
 from repro.anneal.generic import anneal
 from repro.anneal.schedule import GeometricSchedule
+from repro.perf import PerfRecorder
 from repro.floorplan import (
     Floorplan,
     PolishExpression,
@@ -54,6 +55,11 @@ class AnnealResult:
     n_moves: int = 0
     n_accepted: int = 0
     runtime_seconds: float = 0.0
+    perf: Optional[PerfRecorder] = None
+
+    @property
+    def moves_per_second(self) -> float:
+        return self.n_moves / self.runtime_seconds if self.runtime_seconds else 0.0
 
     @property
     def cost(self) -> float:
@@ -141,6 +147,7 @@ class FloorplanAnnealer:
             n_moves=result.n_moves,
             n_accepted=result.n_accepted,
             runtime_seconds=result.runtime_seconds,
+            perf=result.perf,
         )
 
 

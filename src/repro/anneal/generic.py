@@ -25,6 +25,7 @@ from typing import Callable, Generic, List, Optional, TypeVar
 from repro.anneal.cost import CostBreakdown, FloorplanObjective
 from repro.anneal.schedule import GeometricSchedule, initial_temperature
 from repro.floorplan import Floorplan
+from repro.perf import PerfRecorder
 
 __all__ = ["Snapshot", "Result", "anneal"]
 
@@ -54,6 +55,7 @@ class Result(Generic[State]):
     n_moves: int = 0
     n_accepted: int = 0
     runtime_seconds: float = 0.0
+    perf: Optional[PerfRecorder] = None
 
     @property
     def cost(self) -> float:
@@ -75,21 +77,37 @@ def anneal(
     calibrate: bool = True,
     temperature_samples: int = 30,
     on_snapshot: Optional[Callable[[Snapshot], None]] = None,
+    perf: Optional[PerfRecorder] = None,
 ) -> Result:
-    """Run one full annealing schedule over an arbitrary representation."""
+    """Run one full annealing schedule over an arbitrary representation.
+
+    ``perf`` (created on demand) is wired into the objective and its
+    congestion model, collects the per-phase breakdown of the whole run
+    (packing / pin assignment / IR-grid build / mass evaluation /
+    scoring), and comes back on :attr:`Result.perf`.
+    """
     if moves_per_temperature < 1:
         raise ValueError("moves_per_temperature must be >= 1")
     schedule = schedule or GeometricSchedule()
     start_time = time.perf_counter()
     rng = random.Random(seed)
+    perf = perf or PerfRecorder()
+    objective.perf = perf
+    model = getattr(objective, "congestion_model", None)
+    if model is not None and hasattr(model, "perf"):
+        model.perf = perf
     if calibrate:
         objective.calibrate(seed=seed)
 
     def evaluate(state: State) -> CostBreakdown:
-        return objective.evaluate_floorplan(realize(state))
+        with perf.timeit("packing"):
+            floorplan = realize(state)
+        perf.count("evaluations")
+        return objective.evaluate_floorplan(floorplan)
 
     current = initial(rng)
     current_eval = evaluate(current)
+    objective.commit()
     best, best_eval = current, current_eval
 
     # Sample uphill deltas along a random walk to size T0.
@@ -98,6 +116,7 @@ def anneal(
     for _ in range(temperature_samples):
         step_state = neighbor(walk, rng)
         step_eval = evaluate(step_state)
+        objective.commit()
         deltas.append(step_eval.cost - walk_cost)
         walk, walk_cost = step_state, step_eval.cost
     t0 = initial_temperature(deltas)
@@ -114,9 +133,14 @@ def anneal(
             n_moves += 1
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
                 current, current_eval = candidate, candidate_eval
+                objective.commit()
                 n_accepted += 1
                 if current_eval.cost < best_eval.cost:
                     best, best_eval = current, current_eval
+            else:
+                # Roll the incremental evaluator back to the accepted
+                # state so the next delta carries one move's dirt.
+                objective.reject()
         snapshot = Snapshot(
             step=step,
             temperature=temperature,
@@ -137,4 +161,5 @@ def anneal(
         n_moves=n_moves,
         n_accepted=n_accepted,
         runtime_seconds=time.perf_counter() - start_time,
+        perf=perf,
     )

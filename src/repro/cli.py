@@ -69,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--seed", type=int, default=0)
     fp.add_argument("--gamma", type=float, default=0.0, help="congestion weight")
     fp.add_argument("--grid-size", type=float, default=None, help="IR unit pitch (um)")
+    fp.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the per-phase timing breakdown and cache statistics",
+    )
+    fp.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable the dirty-net delta path and per-net congestion "
+        "memoization (the always-from-scratch evaluator)",
+    )
     fp.add_argument("--render", action="store_true", help="print an ASCII floorplan")
     fp.add_argument("--svg", type=Path, default=None, help="write an SVG rendering")
     fp.add_argument(
@@ -177,17 +188,26 @@ def _cmd_generate(args) -> int:
 def _cmd_floorplan(args) -> int:
     netlist = _load_circuit(args.circuit)
     grid_size = _grid_size_for(netlist, args.grid_size)
+    incremental = not args.no_incremental
     if args.gamma > 0:
         objective = FloorplanObjective(
             netlist,
             alpha=1.0,
             beta=1.0,
             gamma=args.gamma,
-            congestion_model=IrregularGridModel(grid_size),
+            congestion_model=IrregularGridModel(
+                grid_size, use_cache=incremental
+            ),
+            incremental=incremental,
         )
     else:
         objective = FloorplanObjective(
-            netlist, alpha=1.0, beta=1.0, gamma=0.0, pin_grid_size=grid_size
+            netlist,
+            alpha=1.0,
+            beta=1.0,
+            gamma=0.0,
+            pin_grid_size=grid_size,
+            incremental=incremental,
         )
     record = run_once(netlist, objective, seed=args.seed)
     b = record.result.breakdown
@@ -196,6 +216,23 @@ def _cmd_floorplan(args) -> int:
         f"wirelength {b.wirelength:.0f} um, congestion {b.congestion:.4g}, "
         f"judge {record.judging_cost:.4g}, {record.runtime_seconds:.1f} s"
     )
+    if args.perf:
+        perf = record.result.perf
+        if perf is not None:
+            print(perf.report(title="-- perf breakdown --"))
+            print(
+                f"moves/sec: {record.result.moves_per_second:.1f} "
+                f"({record.result.n_moves} moves)"
+            )
+        from repro.congestion import cache_stats
+
+        for name, stats in cache_stats().items():
+            if stats.lookups:
+                print(
+                    f"cache {name}: {stats.hits}/{stats.lookups} hits "
+                    f"({stats.hit_rate:.1%}), size {stats.size}/{stats.maxsize}, "
+                    f"{stats.evictions} evictions"
+                )
     if args.render:
         print(render_floorplan_ascii(record.floorplan))
     if args.svg is not None:

@@ -22,6 +22,12 @@ Layers, bottom-up:
 """
 
 from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
+from repro.congestion.cache import (
+    BoundedCache,
+    CacheStats,
+    cache_stats,
+    clear_all_caches,
+)
 from repro.congestion.routes import (
     total_routes,
     route_count_from_p1,
@@ -30,7 +36,7 @@ from repro.congestion.routes import (
     probability_table,
 )
 from repro.congestion.fixed_grid import FixedGridModel
-from repro.congestion.irgrid import IRGrid, build_irgrid
+from repro.congestion.irgrid import IRGrid, build_irgrid, build_irgrid_arrays
 from repro.congestion.exact_ir import exact_ir_probability
 from repro.congestion.approx import (
     ApproximationDomainError,
@@ -53,6 +59,10 @@ __all__ = [
     "CongestionCell",
     "CongestionMap",
     "CongestionModel",
+    "BoundedCache",
+    "CacheStats",
+    "cache_stats",
+    "clear_all_caches",
     "total_routes",
     "route_count_from_p1",
     "route_count_to_p2",
@@ -61,6 +71,7 @@ __all__ = [
     "FixedGridModel",
     "IRGrid",
     "build_irgrid",
+    "build_irgrid_arrays",
     "exact_ir_probability",
     "ApproximationDomainError",
     "approx_ir_probability",

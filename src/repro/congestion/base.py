@@ -12,12 +12,12 @@ import abc
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.geometry import Rect
+from repro.geometry import Point, Rect
 from repro.metrics.stats import (
     area_weighted_top_fraction_mean,
     top_fraction_mean,
 )
-from repro.netlist import TwoPinNet
+from repro.netlist import TwoPinArrays, TwoPinNet
 
 __all__ = ["CongestionCell", "CongestionMap", "CongestionModel"]
 
@@ -114,3 +114,23 @@ class CongestionModel(abc.ABC):
     def estimate(self, chip: Rect, nets: Sequence[TwoPinNet]) -> float:
         """Convenience: ``score(evaluate(...))``."""
         return self.score(self.evaluate(chip, nets))
+
+    def estimate_arrays(self, chip: Rect, arr: TwoPinArrays) -> float:
+        """Scalar cost of placed 2-pin nets given as coordinate arrays.
+
+        The generic implementation materializes anonymous
+        :class:`TwoPinNet` objects and defers to :meth:`estimate`;
+        models with an array-native kernel override this to skip the
+        objects entirely (the annealing hot path calls it thousands of
+        times per run).
+        """
+        nets = [
+            TwoPinNet(
+                name=f"e{k}",
+                p1=Point(float(arr.p1x[k]), float(arr.p1y[k])),
+                p2=Point(float(arr.p2x[k]), float(arr.p2y[k])),
+                weight=float(arr.weights[k]),
+            )
+            for k in range(len(arr))
+        ]
+        return self.estimate(chip, nets)

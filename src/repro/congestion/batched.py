@@ -7,6 +7,16 @@ dominates the actual arithmetic.  This module flattens *every covered
 vectors and evaluates all Theorem-1 Simpson integrals in one broadcast
 -- a constant number of numpy operations per floorplan evaluation.
 
+On top of the batch kernel sits a per-net memo (see
+:mod:`repro.congestion.cache`): a net's probability block depends only
+on its *local signature* -- net type, unit-grid dimensions ``(g1, g2)``
+and the unit-grid offsets of the cut lines crossing its snapped routing
+range -- which is exactly the information Formula 3 / Theorem 1
+consume.  Inside an annealing run most nets keep that signature between
+consecutive states (one move perturbs a handful of modules), so most
+blocks come out of the cache and the Simpson broadcast runs only over
+the nets whose local geometry actually changed.
+
 The semantics are identical to the scalar Algorithm:
 
 * degenerate nets / ranges spread weight 1 over their covered cells;
@@ -15,29 +25,42 @@ The semantics are identical to the scalar Algorithm:
   approximation's domain fall back to the exact Formula 3 (Section 4.5);
 * everything else gets the Theorem-1 integral (step 3.2).
 
-Tests assert cell-level agreement with the scalar reference pipeline.
+Tests assert cell-level agreement with the scalar reference pipeline
+and cached-vs-uncached agreement on randomized netlists.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.congestion.cache import EXACT_PROB_CACHE, NET_MASS_CACHE, BoundedCache
 from repro.congestion.exact_ir import exact_ir_probability
 from repro.congestion.irgrid import IRGrid
-from repro.netlist import NetType, TwoPinNet
+from repro.netlist import (
+    NetType,
+    TwoPinArrays,
+    TwoPinNet,
+    classify_edges,
+    nets_to_arrays,
+)
 
-__all__ = ["batched_approx_mass"]
-
-from functools import lru_cache
+__all__ = ["batched_approx_mass", "batched_approx_mass_arrays"]
 
 
-@lru_cache(maxsize=262_144)
 def _exact_cached(
     g1: int, g2: int, net_type: NetType, x1: int, x2: int, y1: int, y2: int
 ) -> float:
-    return exact_ir_probability(g1, g2, net_type, x1, x2, y1, y2)
+    """Memoized Formula 3, backed by the bounded exact-probability store
+    (the same small (g1, g2, span) configurations recur constantly
+    across an annealing run)."""
+    key = (g1, g2, net_type, x1, x2, y1, y2)
+    value = EXACT_PROB_CACHE.get(key)
+    if value is None:
+        value = exact_ir_probability(g1, g2, net_type, x1, x2, y1, y2)
+        EXACT_PROB_CACHE.put(key, value)
+    return value
 
 
 def _nearest_indices(lines: np.ndarray, coords: np.ndarray) -> np.ndarray:
@@ -51,49 +74,143 @@ def _nearest_indices(lines: np.ndarray, coords: np.ndarray) -> np.ndarray:
     return np.where(use_before, before, pos)
 
 
+def _axis_offsets(
+    lines: np.ndarray,
+    cell_lo: np.ndarray,
+    cell_hi: np.ndarray,
+    origin: np.ndarray,
+    unit: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-net unit-grid offsets of one axis' covered boundary lines.
+
+    The offsets are the ``rint``-quantized positions the batch kernel
+    itself consumes, so two nets sharing these values (plus type and
+    ``(g1, g2)``) provably share their probability block.  Returns the
+    flat ``int32`` offset vector (all nets back to back) and the
+    per-net line counts -- built with a repeat/cumsum enumeration, no
+    per-line Python.
+    """
+    n_lines = cell_hi - cell_lo + 2  # cells + 1 boundary lines
+    offsets = np.concatenate([[0], np.cumsum(n_lines)[:-1]])
+    total = int(n_lines.sum())
+    e = np.arange(total) - np.repeat(offsets, n_lines)
+    line_idx = np.repeat(cell_lo, n_lines) + e
+    vals = (lines[line_idx] - np.repeat(origin, n_lines)) / np.repeat(
+        unit, n_lines
+    )
+    return np.rint(vals).astype(np.int32), n_lines
+
+
+def _signature_keys(
+    panels: int,
+    paper_bounds: bool,
+    type_two: np.ndarray,
+    g1: np.ndarray,
+    g2: np.ndarray,
+    x_vals: np.ndarray,
+    nx: np.ndarray,
+    y_vals: np.ndarray,
+    ny: np.ndarray,
+) -> List[bytes]:
+    """One ``bytes`` signature per net: a fixed header (panels,
+    paper_bounds, net type, ``g1``, ``g2``, ``nx`` -- the last making
+    the x/y split unambiguous) followed by both axes' quantized line
+    offsets.  A single flat ``int32`` buffer is assembled with a
+    handful of scatters and sliced per net, so key construction does
+    one hash-friendly allocation per net instead of a 7-tuple."""
+    n = len(nx)
+    header = 6
+    lens = header + nx + ny
+    offs = np.concatenate([[0], np.cumsum(lens)[:-1]])
+    out = np.empty(int(lens.sum()), dtype=np.int32)
+    out[offs] = panels
+    out[offs + 1] = paper_bounds
+    out[offs + 2] = type_two
+    out[offs + 3] = g1
+    out[offs + 4] = g2
+    out[offs + 5] = nx
+    cum_x = np.concatenate([[0], np.cumsum(nx)[:-1]])
+    e_x = np.arange(int(nx.sum())) - np.repeat(cum_x, nx)
+    out[np.repeat(offs + header, nx) + e_x] = x_vals
+    cum_y = np.concatenate([[0], np.cumsum(ny)[:-1]])
+    e_y = np.arange(int(ny.sum())) - np.repeat(cum_y, ny)
+    out[np.repeat(offs + header + nx, ny) + e_y] = y_vals
+    buf = out.tobytes()
+    starts = (4 * offs).tolist()
+    ends = (4 * (offs + lens)).tolist()
+    return [buf[starts[t] : ends[t]] for t in range(n)]
+
+
 def batched_approx_mass(
     irgrid: IRGrid,
     nets: Sequence[TwoPinNet],
     grid_size: float,
     panels: int = 8,
     paper_bounds: bool = False,
+    cache: Optional[BoundedCache] = NET_MASS_CACHE,
 ) -> np.ndarray:
-    """Congestion mass per IR-cell, shape ``(n_columns, n_rows)``."""
+    """Congestion mass per IR-cell, shape ``(n_columns, n_rows)``.
+
+    ``cache`` memoizes per-net probability blocks by local signature;
+    pass ``None`` to force the pure batch path (identical results --
+    cached blocks are bit-for-bit the kernel's output for the same
+    signature).
+    """
+    if not nets:
+        return np.zeros((irgrid.n_columns, irgrid.n_rows))
+    return batched_approx_mass_arrays(
+        irgrid,
+        nets_to_arrays(nets),
+        grid_size,
+        panels=panels,
+        paper_bounds=paper_bounds,
+        cache=cache,
+    )
+
+
+def batched_approx_mass_arrays(
+    irgrid: IRGrid,
+    arr: TwoPinArrays,
+    grid_size: float,
+    panels: int = 8,
+    paper_bounds: bool = False,
+    cache: Optional[BoundedCache] = NET_MASS_CACHE,
+) -> np.ndarray:
+    """:func:`batched_approx_mass` over a :class:`TwoPinArrays` batch.
+
+    The annealer's fast lane: endpoint arrays go straight into the
+    broadcast kernel with no per-net attribute reads.  Identical output
+    to the net-object entry point for the same edge geometry.
+    """
     n_cols_total = irgrid.n_columns
     n_rows_total = irgrid.n_rows
     mass = np.zeros((n_cols_total, n_rows_total))
-    if not nets:
+    if not len(arr):
         return mass
 
     x_lines = np.asarray(irgrid.x_lines.lines)
     y_lines = np.asarray(irgrid.y_lines.lines)
     chip = irgrid.chip
 
-    n = len(nets)
-    rx_lo = np.empty(n)
-    rx_hi = np.empty(n)
-    ry_lo = np.empty(n)
-    ry_hi = np.empty(n)
-    weights = np.empty(n)
-    type_two = np.zeros(n, dtype=bool)
-    degenerate_type = np.zeros(n, dtype=bool)
-    for k, net in enumerate(nets):
-        rng = net.routing_range
-        rx_lo[k] = min(max(rng.x_lo, chip.x_lo), chip.x_hi)
-        rx_hi[k] = min(max(rng.x_hi, chip.x_lo), chip.x_hi)
-        ry_lo[k] = min(max(rng.y_lo, chip.y_lo), chip.y_hi)
-        ry_hi[k] = min(max(rng.y_hi, chip.y_lo), chip.y_hi)
-        weights[k] = net.weight
-        nt = net.net_type
-        type_two[k] = nt is NetType.TYPE_II
-        degenerate_type[k] = nt is NetType.DEGENERATE
+    p1x, p1y, p2x, p2y, weights = arr
+    type_two, degenerate_type = classify_edges(arr)
+    # Routing ranges (the pins' bounding boxes) clipped into the chip,
+    # all in one broadcast -- no per-net Rect construction.
+    rx_lo = np.clip(np.minimum(p1x, p2x), chip.x_lo, chip.x_hi)
+    rx_hi = np.clip(np.maximum(p1x, p2x), chip.x_lo, chip.x_hi)
+    ry_lo = np.clip(np.minimum(p1y, p2y), chip.y_lo, chip.y_hi)
+    ry_hi = np.clip(np.maximum(p1y, p2y), chip.y_lo, chip.y_hi)
 
     # Snap routing ranges onto the merged cut lines (Algorithm step 2's
-    # "modify the corresponding routing ranges").
-    ix_lo = _nearest_indices(x_lines, rx_lo)
-    ix_hi = _nearest_indices(x_lines, rx_hi)
-    iy_lo = _nearest_indices(y_lines, ry_lo)
-    iy_hi = _nearest_indices(y_lines, ry_hi)
+    # "modify the corresponding routing ranges").  Both ends of an axis
+    # go through one fused searchsorted.
+    n = len(rx_lo)
+    ix_lo, ix_hi = np.split(
+        _nearest_indices(x_lines, np.concatenate([rx_lo, rx_hi])), [n]
+    )
+    iy_lo, iy_hi = np.split(
+        _nearest_indices(y_lines, np.concatenate([ry_lo, ry_hi])), [n]
+    )
     sx_lo = x_lines[ix_lo]
     sx_hi = x_lines[ix_hi]
     sy_lo = y_lines[iy_lo]
@@ -116,200 +233,280 @@ def batched_approx_mass(
     row_lo = np.minimum(iy_lo, n_rows_total - 1)
     row_hi = np.minimum(np.maximum(iy_hi - 1, row_lo), n_rows_total - 1)
 
+    idx = np.nonzero(~degenerate)[0]
+
+    def cell_enumeration(sub: np.ndarray):
+        """Flat enumeration of every cell covered by the nets in ``sub``
+        (column-fastest per net, nets in ``sub`` order).
+
+        Returns ``(counts, offsets, rep_nc, ci, ri, col, row)``: per-net
+        cell counts and flat offsets, plus per-cell within-net ordinals
+        and absolute cell indices -- all by integer arithmetic on
+        repeated per-net quantities, no per-cell Python.
+        """
+        n_c = col_hi[sub] - col_lo[sub] + 1
+        n_r = row_hi[sub] - row_lo[sub] + 1
+        counts = n_c * n_r
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        total_cells = int(counts.sum())
+        e = np.arange(total_cells) - np.repeat(offsets, counts)  # within-net
+        rep_nc = np.repeat(n_c, counts)
+        # Within-net row/column ordinals in one pass.
+        ri, ci = np.divmod(e, rep_nc)
+        col = np.repeat(col_lo[sub], counts) + ci
+        row = np.repeat(row_lo[sub], counts) + ri
+        return counts, offsets, rep_nc, ci, ri, col, row
+
+    def flat_probabilities(sub: np.ndarray):
+        """Crossing probabilities of every cell covered by the nets in
+        ``sub``, flattened column-fastest per net.
+
+        Returns ``(prob, col, row, counts, offsets)``: flat probability
+        / cell-index vectors plus per-net cell counts and flat offsets
+        (for carving the flat vector back into per-net slices).
+        """
+        counts, offsets, rep_nc, ci, ri, col, row = cell_enumeration(sub)
+
+        gg1 = np.repeat(g1[sub].astype(float), counts)
+        gg2 = np.repeat(g2[sub].astype(float), counts)
+        thin = np.repeat((g1[sub] < 3) | (g2[sub] < 3), counts)
+        net_of = np.repeat(sub, counts)
+        two = np.repeat(type_two[sub], counts)
+
+        base_x = np.repeat(sx_lo[sub], counts)
+        base_y = np.repeat(sy_lo[sub], counts)
+        x_unit = np.repeat((sx_hi[sub] - sx_lo[sub]) / g1[sub], counts)
+        y_unit = np.repeat((sy_hi[sub] - sy_lo[sub]) / g2[sub], counts)
+
+        # Unit-grid spans of each cell in its net's routing range.
+        x1 = np.rint((x_lines[col] - base_x) / x_unit)
+        x2 = np.rint((x_lines[col + 1] - base_x) / x_unit) - 1.0
+        x1 = np.clip(x1, 0.0, gg1 - 1.0)
+        x2 = np.clip(np.maximum(x2, x1), 0.0, gg1 - 1.0)
+        y1 = np.rint((y_lines[row] - base_y) / y_unit)
+        y2 = np.rint((y_lines[row + 1] - base_y) / y_unit) - 1.0
+        y1 = np.clip(y1, 0.0, gg2 - 1.0)
+        y2 = np.clip(np.maximum(y2, y1), 0.0, gg2 - 1.0)
+        # Vertical mirror: type II becomes type I with flipped rows.
+        y1_m = np.where(two, gg2 - 1.0 - y2, y1)
+        y2_m = np.where(two, gg2 - 1.0 - y1, y2)
+        y1, y2 = y1_m, y2_m
+
+        # Pin-covering cells: the snapped range's corners on the net's
+        # pin diagonal (step 3.1).
+        first_c = ci == 0
+        last_c = ci == rep_nc - 1
+        first_r = ri == 0
+        last_r = row == np.repeat(row_hi[sub], counts)
+        pin = np.where(
+            two,
+            (last_c & first_r) | (first_c & last_r),
+            (first_c & first_r) | (last_c & last_r),
+        )
+
+        prob = np.zeros(len(col))
+        invalid = thin.copy()
+
+        # ---- Simpson integrals, band-filtered --------------------------
+        # The integrand is (normal-like) exponentially small away from
+        # the route-mass band along the net's pin diagonal; on sprawling
+        # floorplans the overwhelming majority of covered cells sit far
+        # outside it.  A two-endpoint z test finds them (z has constant
+        # sign across a cell: x - mu(x) is linear in x with positive
+        # slope (g2-2)/R), and the full 9-node broadcast runs only on
+        # the surviving band cells.
+        compute = ~pin & ~thin
+        if compute.any():
+            big_r = gg1 + gg2 - 3.0
+            half = 0.0 if paper_bounds else 0.5
+            k_nodes = np.arange(panels + 1)
+            weights_s = np.ones(panels + 1)
+            weights_s[1:-1:2] = 4.0
+            weights_s[2:-1:2] = 2.0
+
+            def integrate(active, lo, hi, offset, count_par, spread_par):
+                """One boundary integral for every active cell.
+
+                ``lo``/``hi`` are the integration bounds per cell,
+                ``offset`` the fixed coordinate in Q = t + offset,
+                ``count_par`` the binomial count (g-1 of the integration
+                axis), ``spread_par`` the variance numerator (g-2 of the
+                other axis).  Adds into ``prob`` and ``invalid``.
+                """
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    # Endpoint pre-pass (2 nodes).
+                    ends = np.stack([lo, hi], axis=1)  # (cells, 2)
+                    p_e = (ends + offset[:, None]) / big_r[:, None]
+                    ok_e = (p_e > 0.0) & (p_e < 1.0)
+                    var_e = (
+                        (spread_par / (big_r - 1.0))[:, None]
+                        * count_par[:, None]
+                        * p_e
+                        * (1.0 - p_e)
+                    )
+                    good_e = ok_e & (var_e > 0.0)
+                    safe_e = np.where(good_e, var_e, 1.0)
+                    z_e = (ends - count_par[:, None] * p_e) / np.sqrt(safe_e)
+                    both_good = good_e.all(axis=1)
+                    negligible = (
+                        active
+                        & both_good
+                        & (
+                            ((z_e > 8.0).all(axis=1))
+                            | ((z_e < -8.0).all(axis=1))
+                        )
+                    )
+                    full = active & ~negligible
+                    live = np.nonzero(full)[0]
+                    if len(live) == 0:
+                        return
+                    lo_c = lo[live]
+                    hi_c = hi[live]
+                    off_c = offset[live]
+                    cnt_c = count_par[live]
+                    spr_c = spread_par[live]
+                    br_c = big_r[live]
+                    h = (hi_c - lo_c) / panels
+                    nodes = lo_c[:, None] + h[:, None] * k_nodes
+                    p_n = (nodes + off_c[:, None]) / br_c[:, None]
+                    ok = (p_n > 0.0) & (p_n < 1.0)
+                    var = (
+                        (spr_c / (br_c - 1.0))[:, None]
+                        * cnt_c[:, None]
+                        * p_n
+                        * (1.0 - p_n)
+                    )
+                    good = ok & (var > 0.0)
+                    safe = np.where(good, var, 1.0)
+                    z = (nodes - cnt_c[:, None] * p_n) / np.sqrt(safe)
+                    dens = np.where(
+                        good,
+                        np.exp(-0.5 * z * z) / np.sqrt(2 * np.pi * safe),
+                        0.0,
+                    )
+                    # count_par is g-1 along the integration axis; the
+                    # prefactor of the *other* axis is (g_other - 1):
+                    other = (gg1[live] + gg2[live] - 2.0) - cnt_c
+                    integral = (
+                        (other / (gg1[live] + gg2[live] - 2.0))
+                        * (dens * weights_s).sum(axis=1)
+                        * h
+                        / 3.0
+                    )
+                    # ``live`` comes from nonzero() -- unique indices,
+                    # so fancy += is the (much faster) equivalent of
+                    # np.add.at.
+                    prob[live] += integral
+                    bad = (~good).any(axis=1)
+                    if bad.any():
+                        invalid[live[bad]] = True
+
+            # Top-boundary exits: integrate over x; Q = x + y2; the
+            # binomial count along x is g1-1, variance numerator g2-2.
+            top_active = compute & (y2 + 1.0 < gg2)
+            integrate(
+                top_active, x1 - half, x2 + half, y2, gg1 - 1.0, gg2 - 2.0
+            )
+            # Right-boundary exits: integrate over y; Q = y + x2.
+            right_active = compute & (x2 + 1.0 < gg1)
+            integrate(
+                right_active, y1 - half, y2 + half, x2, gg2 - 1.0, gg1 - 2.0
+            )
+
+            # Cells flush with both far edges but not flagged as pins
+            # cannot be trusted to an empty integral.
+            invalid |= compute & (y2 + 1.0 >= gg2) & (x2 + 1.0 >= gg1)
+
+        prob = np.clip(prob, 0.0, 1.0)
+        prob[pin] = 1.0
+
+        # ---- scalar exact fallback (thin ranges + domain failures) ----
+        fallback = np.nonzero(invalid & ~pin)[0]
+        if len(fallback):
+            for i in fallback.tolist():
+                nt = NetType.TYPE_II if type_two[net_of[i]] else NetType.TYPE_I
+                # The spans were already mirrored into the type-I frame;
+                # mirror back for the scalar API when the net is type II.
+                g2i = int(gg2[i])
+                if nt is NetType.TYPE_II:
+                    fy1 = g2i - 1 - int(y2[i])
+                    fy2 = g2i - 1 - int(y1[i])
+                else:
+                    fy1, fy2 = int(y1[i]), int(y2[i])
+                prob[i] = _exact_cached(
+                    int(gg1[i]), g2i, nt, int(x1[i]), int(x2[i]), fy1, fy2
+                )
+        return prob, col, row, counts, offsets
+
+    def scatter_add(prob, col, row, counts):
+        """Accumulate weighted cell probabilities into ``mass``.
+
+        ``bincount`` over flattened indices is several times faster
+        than ``np.add.at`` for this scatter; both paths (cached and
+        not) use it, so their summation order -- hence every last bit
+        -- agrees.
+        """
+        w = np.repeat(weights[idx], counts)
+        flat = col * n_rows_total + row
+        mass.ravel()[:] += np.bincount(
+            flat, weights=w * prob, minlength=mass.size
+        )
+
     # ---- degenerate nets: rectangle adds of probability 1 ------------
-    for k in np.nonzero(degenerate)[0]:
-        mass[col_lo[k] : col_hi[k] + 1, row_lo[k] : row_hi[k] + 1] += weights[k]
+    # One bincount over the flat cell enumeration (nets in ascending
+    # order) accumulates each cell in the same order as the per-net
+    # rectangle adds it replaces, and ``mass`` is still all zeros here,
+    # so the result is bit-identical.
+    deg = np.nonzero(degenerate)[0]
+    if len(deg):
+        counts_d, _, _, _, _, col_d, row_d = cell_enumeration(deg)
+        flat_d = col_d * n_rows_total + row_d
+        mass.ravel()[:] += np.bincount(
+            flat_d,
+            weights=np.repeat(weights[deg], counts_d),
+            minlength=mass.size,
+        )
 
     # ---- regular nets: flatten all covered cells ----------------------
-    idx = np.nonzero(~degenerate)[0]
     if len(idx) == 0:
         return mass
 
-    # Per-cell parallel vectors, built without any per-cell Python:
-    # cells are enumerated row-major per net, and every field is
-    # recovered from the flat within-net cell index by integer
-    # arithmetic on repeated per-net quantities.
-    n_c = col_hi[idx] - col_lo[idx] + 1
-    n_r = row_hi[idx] - row_lo[idx] + 1
-    counts = n_c * n_r
-    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
-    total_cells = int(counts.sum())
+    if cache is None:
+        prob, col, row, counts, _ = flat_probabilities(idx)
+        scatter_add(prob, col, row, counts)
+        return mass
 
-    e = np.arange(total_cells) - np.repeat(offsets, counts)  # within-net
-    rep_nc = np.repeat(n_c, counts)
-    ci = e % rep_nc  # within-net column ordinal
-    ri = e // rep_nc  # within-net row ordinal
-    col = np.repeat(col_lo[idx], counts) + ci
-    row = np.repeat(row_lo[idx], counts) + ri
-
-    gg1 = np.repeat(g1[idx].astype(float), counts)
-    gg2 = np.repeat(g2[idx].astype(float), counts)
-    w = np.repeat(weights[idx], counts)
-    thin = np.repeat((g1[idx] < 3) | (g2[idx] < 3), counts)
-    net_of = np.repeat(idx, counts)
-    two = np.repeat(type_two[idx], counts)
-
-    base_x = np.repeat(sx_lo[idx], counts)
-    base_y = np.repeat(sy_lo[idx], counts)
-    x_unit = np.repeat((sx_hi[idx] - sx_lo[idx]) / g1[idx], counts)
-    y_unit = np.repeat((sy_hi[idx] - sy_lo[idx]) / g2[idx], counts)
-
-    # Unit-grid spans of each cell in its net's routing range.
-    x1 = np.rint((x_lines[col] - base_x) / x_unit)
-    x2 = np.rint((x_lines[col + 1] - base_x) / x_unit) - 1.0
-    x1 = np.clip(x1, 0.0, gg1 - 1.0)
-    x2 = np.clip(np.maximum(x2, x1), 0.0, gg1 - 1.0)
-    y1 = np.rint((y_lines[row] - base_y) / y_unit)
-    y2 = np.rint((y_lines[row + 1] - base_y) / y_unit) - 1.0
-    y1 = np.clip(y1, 0.0, gg2 - 1.0)
-    y2 = np.clip(np.maximum(y2, y1), 0.0, gg2 - 1.0)
-    # Vertical mirror: type II becomes type I with flipped rows.
-    y1_m = np.where(two, gg2 - 1.0 - y2, y1)
-    y2_m = np.where(two, gg2 - 1.0 - y1, y2)
-    y1, y2 = y1_m, y2_m
-
-    # Pin-covering cells: the snapped range's corners on the net's pin
-    # diagonal (step 3.1).
-    first_c = ci == 0
-    last_c = ci == rep_nc - 1
-    first_r = ri == 0
-    last_r = row == np.repeat(row_hi[idx], counts)
-    pin = np.where(
-        two,
-        (last_c & first_r) | (first_c & last_r),
-        (first_c & first_r) | (last_c & last_r),
+    # ---- memoized path: look up per-net flat vectors by signature ----
+    # Cached values are the nets' flat probability vectors exactly as
+    # ``flat_probabilities`` emits them (column-fastest); cell *indices*
+    # are recomputed per evaluation (pure integer arithmetic), so the
+    # final scatter-add is the very same ``bincount`` as the uncached
+    # path over the very same flat ordering -- bit-identical results.
+    x_unit_all = (sx_hi - sx_lo) / g1
+    y_unit_all = (sy_hi - sy_lo) / g2
+    x_vals, nx = _axis_offsets(
+        x_lines, col_lo[idx], col_hi[idx], sx_lo[idx], x_unit_all[idx]
     )
-
-    prob = np.zeros(len(col))
-    invalid = thin.copy()
-
-    # ---- Simpson integrals, band-filtered --------------------------
-    # The integrand is (normal-like) exponentially small away from the
-    # route-mass band along the net's pin diagonal; on sprawling
-    # floorplans the overwhelming majority of covered cells sit far
-    # outside it.  A two-endpoint z test finds them (z has constant
-    # sign across a cell: x - mu(x) is linear in x with positive slope
-    # (g2-2)/R), and the full 9-node broadcast runs only on the
-    # surviving band cells.
-    compute = ~pin & ~thin
-    if compute.any():
-        big_r = gg1 + gg2 - 3.0
-        half = 0.0 if paper_bounds else 0.5
-        k_nodes = np.arange(panels + 1)
-        weights_s = np.ones(panels + 1)
-        weights_s[1:-1:2] = 4.0
-        weights_s[2:-1:2] = 2.0
-
-        def integrate(active, lo, hi, offset, count_par, spread_par):
-            """One boundary integral for every active cell.
-
-            ``lo``/``hi`` are the integration bounds per cell,
-            ``offset`` the fixed coordinate in Q = t + offset,
-            ``count_par`` the binomial count (g-1 of the integration
-            axis), ``spread_par`` the variance numerator (g-2 of the
-            other axis).  Adds into ``prob`` and ``invalid``.
-            """
-            with np.errstate(invalid="ignore", divide="ignore"):
-                # Endpoint pre-pass (2 nodes).
-                ends = np.stack([lo, hi], axis=1)  # (cells, 2)
-                p_e = (ends + offset[:, None]) / big_r[:, None]
-                ok_e = (p_e > 0.0) & (p_e < 1.0)
-                var_e = (
-                    (spread_par / (big_r - 1.0))[:, None]
-                    * count_par[:, None]
-                    * p_e
-                    * (1.0 - p_e)
-                )
-                good_e = ok_e & (var_e > 0.0)
-                safe_e = np.where(good_e, var_e, 1.0)
-                z_e = (ends - count_par[:, None] * p_e) / np.sqrt(safe_e)
-                both_good = good_e.all(axis=1)
-                negligible = (
-                    active
-                    & both_good
-                    & (
-                        ((z_e > 8.0).all(axis=1))
-                        | ((z_e < -8.0).all(axis=1))
-                    )
-                )
-                full = active & ~negligible
-                idx = np.nonzero(full)[0]
-                if len(idx) == 0:
-                    return
-                lo_c = lo[idx]
-                hi_c = hi[idx]
-                off_c = offset[idx]
-                cnt_c = count_par[idx]
-                spr_c = spread_par[idx]
-                br_c = big_r[idx]
-                h = (hi_c - lo_c) / panels
-                nodes = lo_c[:, None] + h[:, None] * k_nodes
-                p_n = (nodes + off_c[:, None]) / br_c[:, None]
-                ok = (p_n > 0.0) & (p_n < 1.0)
-                var = (
-                    (spr_c / (br_c - 1.0))[:, None]
-                    * cnt_c[:, None]
-                    * p_n
-                    * (1.0 - p_n)
-                )
-                good = ok & (var > 0.0)
-                safe = np.where(good, var, 1.0)
-                z = (nodes - cnt_c[:, None] * p_n) / np.sqrt(safe)
-                dens = np.where(
-                    good, np.exp(-0.5 * z * z) / np.sqrt(2 * np.pi * safe), 0.0
-                )
-                factor = cnt_c / (gg1[idx] + gg2[idx] - 2.0)
-                # count_par is g-1 along the integration axis; the
-                # prefactor of the *other* axis is (g_other - 1):
-                other = (gg1[idx] + gg2[idx] - 2.0) - cnt_c
-                integral = (
-                    (other / (gg1[idx] + gg2[idx] - 2.0))
-                    * (dens * weights_s).sum(axis=1)
-                    * h
-                    / 3.0
-                )
-                np.add.at(prob, idx, integral)
-                bad = (~good).any(axis=1)
-                if bad.any():
-                    invalid[idx[bad]] = True
-
-        # Top-boundary exits: integrate over x; Q = x + y2; the
-        # binomial count along x is g1-1, variance numerator g2-2.
-        top_active = compute & (y2 + 1.0 < gg2)
-        integrate(
-            top_active, x1 - half, x2 + half, y2, gg1 - 1.0, gg2 - 2.0
-        )
-        # Right-boundary exits: integrate over y; Q = y + x2.
-        right_active = compute & (x2 + 1.0 < gg1)
-        integrate(
-            right_active, y1 - half, y2 + half, x2, gg2 - 1.0, gg1 - 2.0
-        )
-
-        # Cells flush with both far edges but not flagged as pins cannot
-        # be trusted to an empty integral.
-        invalid |= compute & (y2 + 1.0 >= gg2) & (x2 + 1.0 >= gg1)
-
-    prob = np.clip(prob, 0.0, 1.0)
-    prob[pin] = 1.0
-
-    # ---- scalar exact fallback (thin ranges + domain failures) -------
-    # Memoized: across an annealing run the same small (g1, g2, span)
-    # configurations recur constantly.
-    fallback = np.nonzero(invalid & ~pin)[0]
-    if len(fallback):
-        for i in fallback.tolist():
-            nt = NetType.TYPE_II if type_two[net_of[i]] else NetType.TYPE_I
-            # The spans were already mirrored into the type-I frame;
-            # mirror back for the scalar API when the net is type II.
-            g2i = int(gg2[i])
-            if nt is NetType.TYPE_II:
-                fy1 = g2i - 1 - int(y2[i])
-                fy2 = g2i - 1 - int(y1[i])
-            else:
-                fy1, fy2 = int(y1[i]), int(y2[i])
-            prob[i] = _exact_cached(
-                int(gg1[i]), g2i, nt, int(x1[i]), int(x2[i]), fy1, fy2
-            )
-
-    np.add.at(mass, (col, row), w * prob)
+    y_vals, ny = _axis_offsets(
+        y_lines, row_lo[idx], row_hi[idx], sy_lo[idx], y_unit_all[idx]
+    )
+    keys = _signature_keys(
+        panels, paper_bounds, type_two[idx], g1[idx], g2[idx],
+        x_vals, nx, y_vals, ny,
+    )
+    vectors: List[Optional[np.ndarray]] = cache.get_many(keys)
+    miss_pos = [t for t, v in enumerate(vectors) if v is None]
+    if miss_pos:
+        sub = idx[miss_pos]
+        prob_m, _, _, counts_m, offsets_m = flat_probabilities(sub)
+        fresh = []
+        for s, t in enumerate(miss_pos):
+            vec = prob_m[offsets_m[s] : offsets_m[s] + int(counts_m[s])].copy()
+            vec.setflags(write=False)
+            fresh.append((keys[t], vec))
+            vectors[t] = vec
+        cache.put_many(fresh)
+    prob = np.concatenate(vectors) if len(vectors) > 1 else vectors[0]
+    counts, _, _, _, _, col, row = cell_enumeration(idx)
+    scatter_add(prob, col, row, counts)
     return mass

@@ -1,0 +1,50 @@
+"""Bounded, instrumented memoization for the congestion hot path.
+
+Annealing evaluates thousands of floorplans whose nets mostly keep
+their *local* geometry between consecutive states: one M1/M2/M3 move
+perturbs a handful of modules, and even the nets it does touch often
+revisit configurations seen earlier in the run.  Formula 3 / Theorem 1
+depend only on a net's local signature -- its type, unit-grid
+dimensions ``(g1, g2)`` and the unit-grid offsets of the cut lines
+crossing its snapped routing range -- so per-net results are reusable
+across moves *and* across floorplans whenever that signature recurs.
+
+The store behind that reuse is :class:`~repro.perf.cache.BoundedCache`
+(re-exported here): a thread-safe LRU mapping with hit/miss accounting,
+bounded so day-long annealing runs cannot grow memory without limit
+(unlike the unbounded ``lru_cache`` it replaces in
+:mod:`repro.congestion.batched`).  Module-level default instances are
+registered by name so benchmarks and the CLI can report fleet-wide hit
+rates via :func:`cache_stats`.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import (
+    BoundedCache,
+    CacheStats,
+    cache_stats,
+    clear_all_caches,
+)
+
+__all__ = [
+    "CacheStats",
+    "BoundedCache",
+    "NET_MASS_CACHE",
+    "NET_MATRIX_CACHE",
+    "EXACT_PROB_CACHE",
+    "cache_stats",
+    "clear_all_caches",
+]
+
+
+# Default stores shared by all models unless a caller opts out.  Sizes:
+# a floorplan has O(100) regular nets and a full annealing run's
+# working set of per-net signatures measures in the low hundreds of
+# thousands (a 65k store thrashed with ~120k evictions on an ami33-
+# scale run); 256k entries of ~100-float vectors is ~200 MB worst
+# case but in practice vectors are short (tens of cells).  The scalar
+# exact-probability store keeps the previous lru_cache budget.
+NET_MASS_CACHE = BoundedCache(262_144, name="net_mass")
+NET_MATRIX_CACHE = BoundedCache(65_536, name="net_matrix")
+EXACT_PROB_CACHE = BoundedCache(262_144, name="exact_prob")

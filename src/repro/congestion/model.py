@@ -29,12 +29,17 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
-from repro.congestion.batched import batched_approx_mass
+from repro.congestion.batched import (
+    batched_approx_mass,
+    batched_approx_mass_arrays,
+)
+from repro.congestion.cache import NET_MASS_CACHE, NET_MATRIX_CACHE
 from repro.congestion.exact_ir import exact_ir_probability
-from repro.congestion.irgrid import IRGrid, build_irgrid
+from repro.congestion.irgrid import IRGrid, build_irgrid, build_irgrid_arrays
 from repro.congestion.vectorized import approx_ir_matrix, exact_ir_matrix
 from repro.geometry import Rect
 from repro.netlist import NetType, TwoPinNet
+from repro.perf import NULL_RECORDER
 
 __all__ = ["IrregularGridModel"]
 
@@ -63,6 +68,14 @@ class IrregularGridModel(CongestionModel):
         of the midpoint-corrected ``[x1-1/2, x2+1/2]``.
     top_fraction:
         Chip-area fraction whose densest cells form the score.
+    use_cache:
+        Memoize per-net probability results in the module-level bounded
+        caches (:mod:`repro.congestion.cache`).  Identical results
+        either way; disable for cache-free timing baselines.
+
+    The ``perf`` attribute may be set to a
+    :class:`~repro.perf.PerfRecorder` to time the evaluation phases
+    (``irgrid_build`` / ``mass_eval`` / ``scoring``).
     """
 
     def __init__(
@@ -73,6 +86,7 @@ class IrregularGridModel(CongestionModel):
         panels: int = 8,
         paper_bounds: bool = False,
         top_fraction: float = 0.1,
+        use_cache: bool = True,
     ):
         if grid_size <= 0:
             raise ValueError(f"grid_size must be positive, got {grid_size}")
@@ -86,6 +100,8 @@ class IrregularGridModel(CongestionModel):
         self.panels = int(panels)
         self.paper_bounds = bool(paper_bounds)
         self.top_fraction = float(top_fraction)
+        self.use_cache = bool(use_cache)
+        self.perf = NULL_RECORDER
 
     # -- public API ---------------------------------------------------
 
@@ -99,10 +115,12 @@ class IrregularGridModel(CongestionModel):
     ) -> Tuple[CongestionMap, IRGrid]:
         """Like :meth:`evaluate`, also returning the IR-grid (Experiment
         3 reports its cell count)."""
-        irgrid = build_irgrid(
-            chip, nets, self.grid_size, self.merge_factor
-        )
-        mass = self._mass_array(irgrid, nets)
+        with self.perf.timeit("irgrid_build"):
+            irgrid = build_irgrid(
+                chip, nets, self.grid_size, self.merge_factor
+            )
+        with self.perf.timeit("mass_eval"):
+            mass = self._mass_array(irgrid, nets)
         cells = [
             CongestionCell(rect, float(mass[i, j]))
             for i, j, rect in irgrid.cells()
@@ -117,34 +135,68 @@ class IrregularGridModel(CongestionModel):
     def estimate(self, chip: Rect, nets: Sequence[TwoPinNet]) -> float:
         """Scalar congestion cost without materializing cell objects.
 
-        The annealing hot path: computes the mass array and scores it
-        directly from the cut-line geometry (identical result to
-        ``score(evaluate(...))``, covered by tests).
+        Computes the mass array and scores it directly from the
+        cut-line geometry (identical result to ``score(evaluate(...))``,
+        covered by tests).
         """
-        irgrid = build_irgrid(
-            chip, nets, self.grid_size, self.merge_factor
-        )
-        mass = self._mass_array(irgrid, nets)
-        widths = np.diff(np.asarray(irgrid.x_lines.lines))
-        heights = np.diff(np.asarray(irgrid.y_lines.lines))
-        areas = np.outer(widths, heights).ravel()
-        flat = mass.ravel()
-        with np.errstate(invalid="ignore", divide="ignore"):
-            density = np.where(areas > 0, flat / areas, 0.0)
-        order = np.argsort(density)[::-1]
-        total_area = areas.sum()
-        if total_area <= 0:
-            return 0.0
-        target = self.top_fraction * total_area
-        covered = 0.0
-        mass_sum = 0.0
-        for i in order:
-            take = min(areas[i], target - covered)
-            mass_sum += density[i] * take
-            covered += take
-            if covered >= target:
-                break
-        return float(mass_sum / covered) if covered > 0 else 0.0
+        with self.perf.timeit("irgrid_build"):
+            irgrid = build_irgrid(
+                chip, nets, self.grid_size, self.merge_factor
+            )
+        with self.perf.timeit("mass_eval"):
+            mass = self._mass_array(irgrid, nets)
+        return self._score_mass(irgrid, mass)
+
+    def estimate_arrays(self, chip: Rect, arr) -> float:
+        """Scalar congestion cost straight from edge coordinate arrays.
+
+        The annealing hot path: no :class:`TwoPinNet` objects are read
+        or built anywhere downstream -- the IR-grid and the batched
+        probability kernel consume the arrays directly.  Identical
+        result to :meth:`estimate` over the same edge geometry; the
+        ``"exact"`` method has no array kernel and falls back to the
+        generic object-materializing implementation.
+        """
+        if self.method != "approx":
+            return super().estimate_arrays(chip, arr)
+        with self.perf.timeit("irgrid_build"):
+            irgrid = build_irgrid_arrays(
+                chip, arr, self.grid_size, self.merge_factor
+            )
+        with self.perf.timeit("mass_eval"):
+            mass = batched_approx_mass_arrays(
+                irgrid,
+                arr,
+                self.grid_size,
+                panels=self.panels,
+                paper_bounds=self.paper_bounds,
+                cache=NET_MASS_CACHE if self.use_cache else None,
+            )
+        return self._score_mass(irgrid, mass)
+
+    def _score_mass(self, irgrid: IRGrid, mass: np.ndarray) -> float:
+        """Step 5 scoring of a computed mass array (shared hot path)."""
+        with self.perf.timeit("scoring"):
+            widths = np.diff(np.asarray(irgrid.x_lines.lines))
+            heights = np.diff(np.asarray(irgrid.y_lines.lines))
+            areas = np.outer(widths, heights).ravel()
+            flat = mass.ravel()
+            with np.errstate(invalid="ignore", divide="ignore"):
+                density = np.where(areas > 0, flat / areas, 0.0)
+            order = np.argsort(density)[::-1]
+            total_area = areas.sum()
+            if total_area <= 0:
+                return 0.0
+            target = self.top_fraction * total_area
+            covered = 0.0
+            mass_sum = 0.0
+            for i in order:
+                take = min(areas[i], target - covered)
+                mass_sum += density[i] * take
+                covered += take
+                if covered >= target:
+                    break
+            return float(mass_sum / covered) if covered > 0 else 0.0
 
     # -- internals -----------------------------------------------------
 
@@ -157,6 +209,7 @@ class IrregularGridModel(CongestionModel):
                 self.grid_size,
                 panels=self.panels,
                 paper_bounds=self.paper_bounds,
+                cache=NET_MASS_CACHE if self.use_cache else None,
             )
         mass = np.zeros((irgrid.n_columns, irgrid.n_rows))
         for net in nets:
@@ -192,6 +245,28 @@ class IrregularGridModel(CongestionModel):
             irgrid.y_lines, row_lo, row_hi, snapped.y_lo, snapped.height, g2
         )
 
+        # The probability matrix depends only on this local signature
+        # (the spans are already unit-grid integers), so it is reusable
+        # across moves and floorplans whenever the geometry recurs.
+        key = None
+        if self.use_cache:
+            key = (
+                self.method,
+                self.panels,
+                self.paper_bounds,
+                net_type,
+                g1,
+                g2,
+                tuple(col_spans),
+                tuple(row_spans),
+            )
+            cached = NET_MATRIX_CACHE.get(key)
+            if cached is not None:
+                mass[col_lo : col_hi + 1, row_lo : row_hi + 1] += (
+                    net.weight * cached
+                )
+                return
+
         if self.method == "exact" or g1 < 3 or g2 < 3:
             probs = exact_ir_matrix(g1, g2, net_type, col_spans, row_spans)
         else:
@@ -222,7 +297,11 @@ class IrregularGridModel(CongestionModel):
             probs[-1, 0] = 1.0
             probs[0, -1] = 1.0
 
-        mass[col_lo : col_hi + 1, row_lo : row_hi + 1] += net.weight * probs.T
+        block = np.ascontiguousarray(probs.T)
+        if key is not None:
+            block.setflags(write=False)
+            NET_MATRIX_CACHE.put(key, block)
+        mass[col_lo : col_hi + 1, row_lo : row_hi + 1] += net.weight * block
 
     def _unit_spans(
         self,

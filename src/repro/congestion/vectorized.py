@@ -21,6 +21,7 @@ they become type I with flipped row spans.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -31,16 +32,28 @@ __all__ = ["exact_ir_matrix", "approx_ir_matrix"]
 
 _NEG_INF = float("-inf")
 
+# The table is grown by *replacement*, never mutated in place, so
+# readers that grabbed a reference before a grow stay consistent;
+# the lock serializes growers (parallel annealing chains share this
+# module), and geometric doubling bounds the number of rebuilds.
 _log_factorial_cache = np.zeros(1)
+_log_factorial_lock = threading.Lock()
 
 
 def _log_factorials(n: int) -> np.ndarray:
     global _log_factorial_cache
-    if len(_log_factorial_cache) <= n:
-        grown = np.zeros(n + 1)
-        grown[1:] = np.cumsum(np.log(np.arange(1.0, n + 1)))
-        _log_factorial_cache = grown
-    return _log_factorial_cache[: n + 1]
+    table = _log_factorial_cache
+    if len(table) <= n:
+        with _log_factorial_lock:
+            table = _log_factorial_cache
+            if len(table) <= n:
+                size = max(n + 1, 2 * len(table), 64)
+                grown = np.zeros(size)
+                grown[1:] = np.cumsum(np.log(np.arange(1.0, size)))
+                grown.setflags(write=False)
+                _log_factorial_cache = grown
+                table = grown
+    return table[: n + 1]
 
 
 def _lg(table: np.ndarray, idx: np.ndarray) -> np.ndarray:

@@ -13,6 +13,7 @@ choices assigning coordinates:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
@@ -25,8 +26,31 @@ from repro.floorplan.packing import (
 from repro.floorplan.polish import OP_ABOVE, OPERATORS, PolishExpression
 from repro.geometry import Rect
 from repro.netlist import Module
+from repro.perf.cache import BoundedCache
 
-__all__ = ["SlicingNode", "build_slicing_tree", "evaluate_polish"]
+__all__ = [
+    "SlicingNode",
+    "SUBTREE_SHAPE_CACHE",
+    "build_slicing_tree",
+    "evaluate_polish",
+]
+
+# Shape lists are pure functions of a subtree: ``combine`` over the same
+# operator and child lists always yields the same (immutable) result.
+# Annealing moves perturb a couple of tokens, so almost every subtree of
+# a candidate expression was already evaluated in a recent state -- the
+# memo turns the bottom-up Stockmeyer pass into mostly lookups.  Leaf
+# keys are grounded in the module objects themselves (frozen
+# dataclasses), so identically named modules with different dimensions
+# -- or rotation settings -- never collide.  Interior keys are
+# ``(op, left_id, right_id)`` over *interned* child ids (each cache
+# entry carries a unique id from ``_SUBTREE_IDS``) rather than nested
+# child keys: hashing a nested key would walk the whole subtree at
+# every level, turning the pass quadratic.  Ids are never reused, so
+# distinct subtrees can't collide; an evicted-and-reinterned subtree
+# merely strands its parents' old entries until they age out.
+SUBTREE_SHAPE_CACHE = BoundedCache(131_072, name="subtree_shapes")
+_SUBTREE_IDS = itertools.count()
 
 
 @dataclass
@@ -48,20 +72,64 @@ def build_slicing_tree(
     expression: PolishExpression,
     modules: Mapping[str, Module],
     allow_rotation: bool = True,
+    cache: Optional[BoundedCache] = SUBTREE_SHAPE_CACHE,
 ) -> SlicingNode:
-    """Build the tree and compute every node's shape list bottom-up."""
-    stack: list[SlicingNode] = []
+    """Build the tree and compute every node's shape list bottom-up.
+
+    ``cache`` memoizes per-subtree shape lists (pass ``None`` to force
+    recomputation); cached or not, the lists are identical objects'
+    worth of identical values, so packing results do not depend on the
+    cache state.
+    """
+    if cache is None:
+        stack: list[SlicingNode] = []
+        for token in expression.tokens:
+            if token in OPERATORS:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(
+                    SlicingNode(
+                        shapes=combine(token, left.shapes, right.shapes),
+                        op=token,
+                        left=left,
+                        right=right,
+                    )
+                )
+            else:
+                try:
+                    module = modules[token]
+                except KeyError:
+                    raise KeyError(
+                        f"expression operand {token!r} has no module definition"
+                    )
+                stack.append(
+                    SlicingNode(
+                        shapes=leaf_shapes_for_module(module, allow_rotation),
+                        module_name=token,
+                    )
+                )
+        # PolishExpression validity guarantees exactly one tree remains.
+        return stack[0]
+
+    # Memoized pass: stack entries are (node, interned subtree id).
+    mstack: list[tuple[SlicingNode, int]] = []
     for token in expression.tokens:
         if token in OPERATORS:
-            right = stack.pop()
-            left = stack.pop()
+            right, right_id = mstack.pop()
+            left, left_id = mstack.pop()
+            key = (token, left_id, right_id)
+            entry = cache.get(key)
+            if entry is None:
+                shapes = combine(token, left.shapes, right.shapes)
+                entry = (next(_SUBTREE_IDS), shapes)
+                cache.put(key, entry)
             node = SlicingNode(
-                shapes=combine(token, left.shapes, right.shapes),
+                shapes=entry[1],
                 op=token,
                 left=left,
                 right=right,
             )
-            stack.append(node)
+            mstack.append((node, entry[0]))
         else:
             try:
                 module = modules[token]
@@ -69,14 +137,18 @@ def build_slicing_tree(
                 raise KeyError(
                     f"expression operand {token!r} has no module definition"
                 )
-            stack.append(
-                SlicingNode(
-                    shapes=leaf_shapes_for_module(module, allow_rotation),
-                    module_name=token,
+            key = (module, allow_rotation)
+            entry = cache.get(key)
+            if entry is None:
+                entry = (
+                    next(_SUBTREE_IDS),
+                    leaf_shapes_for_module(module, allow_rotation),
                 )
+                cache.put(key, entry)
+            mstack.append(
+                (SlicingNode(shapes=entry[1], module_name=token), entry[0])
             )
-    # PolishExpression validity guarantees exactly one tree remains.
-    return stack[0]
+    return mstack[0][0]
 
 
 def _place(
@@ -102,13 +174,16 @@ def evaluate_polish(
     expression: PolishExpression,
     modules: Mapping[str, Module],
     allow_rotation: bool = True,
+    cache: Optional[BoundedCache] = SUBTREE_SHAPE_CACHE,
 ) -> Floorplan:
     """Pack a Polish expression into the minimum-area floorplan.
 
     The chip outline is the chosen root shape (modules may leave
     whitespace inside it wherever a cut's two sides differ in extent).
+    ``cache`` is the subtree shape memo (``None`` disables it; the
+    packing is identical either way).
     """
-    root = build_slicing_tree(expression, modules, allow_rotation)
+    root = build_slicing_tree(expression, modules, allow_rotation, cache=cache)
     best = root.shapes.min_area_index()
     placements: Dict[str, Rect] = {}
     _place(root, best, 0.0, 0.0, placements)

@@ -13,6 +13,8 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["CutLines", "merge_close_lines"]
 
 # Coordinates closer than this are considered the same physical line.
@@ -45,20 +47,31 @@ def merge_close_lines(
     """
     if min_gap < 0:
         raise ValueError(f"min_gap must be non-negative, got {min_gap}")
-    uniq = _dedup(sorted(lines))
+    # ``np.unique`` sorts and collapses *exact* duplicates in C; the
+    # eps-dedup would drop those duplicates anyway (their gap is 0), so
+    # the surviving sequence is identical to ``_dedup(sorted(lines))``
+    # and the Python pass only walks the distinct coordinates.
+    uniq = _dedup(np.unique(np.asarray(lines, dtype=float)).tolist())
     if not uniq:
         return []
     keep_sorted = _dedup(sorted(keep))
     merged: List[float] = []
-    cluster: List[float] = [uniq[0]]
+    # Running cluster accumulators: ``csum`` adds members in join order,
+    # so ``csum / n`` reproduces ``sum(cluster) / len(cluster)`` bit for
+    # bit without re-summing the cluster at every join.
+    first = last = csum = uniq[0]
+    n = 1
     rep = uniq[0]
     for x in uniq[1:]:
         if x - rep < min_gap:
-            cluster.append(x)
-            rep = _collapse(cluster, keep_sorted)
+            last = x
+            csum += x
+            n += 1
+            rep = _collapse_running(first, last, csum, n, keep_sorted)
         else:
             merged.append(rep)
-            cluster = [x]
+            first = last = csum = x
+            n = 1
             rep = x
     merged.append(rep)
     return _dedup(merged)
@@ -72,11 +85,17 @@ def _dedup(sorted_lines: Sequence[float]) -> List[float]:
     return out
 
 
-def _collapse(cluster: Sequence[float], keep_sorted: Sequence[float]) -> float:
+def _collapse_running(
+    first: float,
+    last: float,
+    csum: float,
+    n: int,
+    keep_sorted: Sequence[float],
+) -> float:
     for pinned in keep_sorted:
-        if cluster[0] - _COINCIDENT_EPS <= pinned <= cluster[-1] + _COINCIDENT_EPS:
+        if first - _COINCIDENT_EPS <= pinned <= last + _COINCIDENT_EPS:
             return pinned
-    return sum(cluster) / len(cluster)
+    return csum / n
 
 
 class CutLines:

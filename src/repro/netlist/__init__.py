@@ -19,9 +19,15 @@ from repro.netlist.module import Module
 from repro.netlist.net import Net, NetType, TwoPinNet
 from repro.netlist.netlist import Netlist
 from repro.netlist.decompose import (
+    batched_mst_edges,
     decompose_to_two_pin,
     mst_edges,
     star_decomposition,
+)
+from repro.netlist.edge_arrays import (
+    TwoPinArrays,
+    classify_edges,
+    nets_to_arrays,
 )
 from repro.netlist.soft import SoftModule, soften
 from repro.netlist.generators import (
@@ -38,6 +44,10 @@ __all__ = [
     "Netlist",
     "SoftModule",
     "soften",
+    "TwoPinArrays",
+    "nets_to_arrays",
+    "classify_edges",
+    "batched_mst_edges",
     "decompose_to_two_pin",
     "mst_edges",
     "star_decomposition",

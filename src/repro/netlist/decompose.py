@@ -11,10 +11,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.geometry import Point
 from repro.netlist.net import Net, TwoPinNet
 
-__all__ = ["mst_edges", "decompose_to_two_pin", "star_decomposition"]
+__all__ = [
+    "mst_edges",
+    "batched_mst_edges",
+    "decompose_to_two_pin",
+    "star_decomposition",
+]
 
 
 def mst_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
@@ -27,6 +34,10 @@ def mst_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
     k = len(points)
     if k < 2:
         return []
+    if k == 2:
+        # The overwhelmingly common case in floorplan netlists; the
+        # single edge needs no Prim bookkeeping.
+        return [(0, 1)]
     in_tree = [False] * k
     best_dist = [float("inf")] * k
     best_from = [0] * k
@@ -50,6 +61,50 @@ def mst_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
                     best_dist[j] = d
                     best_from[j] = nxt
     return edges
+
+
+def batched_mst_edges(
+    xs: np.ndarray, ys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Prim MSTs of many same-size point sets at once.
+
+    ``xs`` / ``ys`` have shape ``(m, k)``: row ``r`` holds the ``k``
+    pin coordinates of one net.  Returns ``(i, j)`` index arrays of
+    shape ``(m, k - 1)`` with ``i < j`` columnwise, emitting edges in
+    the same order -- and breaking distance ties the same way -- as
+    :func:`mst_edges` run on each row (``argmin`` picks the first
+    minimum exactly like the scalar scan; updates use the same strict
+    ``<``).  The annealer's delta path uses this to re-decompose every
+    dirty multi-pin net without per-net Python.
+    """
+    m, k = xs.shape
+    if k < 2:
+        return (
+            np.empty((m, 0), dtype=np.intp),
+            np.empty((m, 0), dtype=np.intp),
+        )
+    dist = np.abs(xs[:, :, None] - xs[:, None, :]) + np.abs(
+        ys[:, :, None] - ys[:, None, :]
+    )
+    rows = np.arange(m)
+    in_tree = np.zeros((m, k), dtype=bool)
+    in_tree[:, 0] = True
+    best_dist = dist[:, 0, :].copy()
+    best_from = np.zeros((m, k), dtype=np.intp)
+    out_i = np.empty((m, k - 1), dtype=np.intp)
+    out_j = np.empty((m, k - 1), dtype=np.intp)
+    for t in range(k - 1):
+        masked = np.where(in_tree, np.inf, best_dist)
+        nxt = masked.argmin(axis=1)
+        a = best_from[rows, nxt]
+        out_i[:, t] = np.minimum(a, nxt)
+        out_j[:, t] = np.maximum(a, nxt)
+        in_tree[rows, nxt] = True
+        d = dist[rows, nxt, :]
+        update = ~in_tree & (d < best_dist)
+        best_dist = np.where(update, d, best_dist)
+        best_from = np.where(update, nxt[:, None], best_from)
+    return out_i, out_j
 
 
 def decompose_to_two_pin(

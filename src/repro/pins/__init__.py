@@ -12,8 +12,17 @@ center-pin ablation variant.
 from repro.pins.assignment import (
     PinAssignment,
     assign_pins,
+    net_pin_locations,
+    perimeter_fractions,
     perimeter_point,
     snap_to_lattice,
 )
 
-__all__ = ["PinAssignment", "assign_pins", "perimeter_point", "snap_to_lattice"]
+__all__ = [
+    "PinAssignment",
+    "assign_pins",
+    "net_pin_locations",
+    "perimeter_fractions",
+    "perimeter_point",
+    "snap_to_lattice",
+]

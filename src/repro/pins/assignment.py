@@ -26,13 +26,20 @@ the wirelength metric consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.floorplan import Floorplan
 from repro.geometry import Point, Rect
-from repro.netlist import Netlist, TwoPinNet, decompose_to_two_pin
+from repro.netlist import Net, Netlist, TwoPinNet, decompose_to_two_pin
 
-__all__ = ["PinAssignment", "assign_pins", "snap_to_lattice", "perimeter_point"]
+__all__ = [
+    "PinAssignment",
+    "assign_pins",
+    "snap_to_lattice",
+    "perimeter_point",
+    "perimeter_fractions",
+    "net_pin_locations",
+]
 
 _PIN_STYLES = ("perimeter", "center", "facing")
 
@@ -48,7 +55,17 @@ def snap_to_lattice(p: Point, chip: Rect, grid_size: float) -> Point:
         raise ValueError(f"grid_size must be positive, got {grid_size}")
     x = chip.x_lo + round((p.x - chip.x_lo) / grid_size) * grid_size
     y = chip.y_lo + round((p.y - chip.y_lo) / grid_size) * grid_size
-    return Point(chip.x_interval.clamped(x), chip.y_interval.clamped(y))
+    # Clamp inline -- this is the annealer's hottest scalar helper, and
+    # building Interval objects per call doubles its cost.
+    if x > chip.x_hi:
+        x = chip.x_hi
+    elif x < chip.x_lo:
+        x = chip.x_lo
+    if y > chip.y_hi:
+        y = chip.y_hi
+    elif y < chip.y_lo:
+        y = chip.y_lo
+    return Point(x, y)
 
 
 def perimeter_point(rect: Rect, fraction: float) -> Point:
@@ -94,6 +111,85 @@ class PinAssignment:
         return len(self.two_pin_nets)
 
 
+def perimeter_fractions(
+    netlist: Netlist, module_names
+) -> Dict[Tuple[str, str], float]:
+    """Perimeter-walk fractions of every (net, terminal) pin.
+
+    Purely topological -- module ``m``'s k-th net (in netlist order)
+    gets fraction ``k / degree(m)`` -- so the mapping is computable once
+    per circuit and shared across every floorplan evaluated during
+    annealing (the incremental evaluator relies on this stability to
+    recompute only the nets whose modules moved).
+    """
+    degree: Dict[str, int] = {name: 0 for name in module_names}
+    for net in netlist.nets:
+        for t in net.terminals:
+            if t in degree:
+                degree[t] += 1
+    seen: Dict[str, int] = {name: 0 for name in module_names}
+    fractions: Dict[Tuple[str, str], float] = {}
+    for net in netlist.nets:
+        for t in net.terminals:
+            k = seen[t]
+            seen[t] += 1
+            fractions[(net.name, t)] = k / max(degree[t], 1)
+    return fractions
+
+
+def net_pin_locations(
+    net: Net,
+    floorplan: Floorplan,
+    grid_size: float,
+    pin_style: str = "perimeter",
+    fractions: Optional[Mapping[Tuple[str, str], float]] = None,
+    center_cache: Optional[Dict[str, Point]] = None,
+) -> Dict[str, Point]:
+    """Pin locations of one net's terminals on ``floorplan``.
+
+    The single-net building block of :func:`assign_pins`: given the
+    circuit-wide ``fractions`` (required for the ``"perimeter"`` style),
+    it depends only on the net's own terminals' placements (plus, for
+    ``"facing"``, the net's other terminals), so callers tracking dirty
+    modules can re-pin exactly the affected nets.
+    """
+    if pin_style not in _PIN_STYLES:
+        raise ValueError(
+            f"pin_style must be one of {_PIN_STYLES}, got {pin_style!r}"
+        )
+    if pin_style == "perimeter" and fractions is None:
+        raise ValueError(
+            "perimeter pin style needs the circuit-wide perimeter_fractions"
+        )
+    chip = floorplan.chip
+    locations: Dict[str, Point] = {}
+    for t in net.terminals:
+        try:
+            rect = floorplan.placement(t)
+        except KeyError:
+            raise KeyError(
+                f"net {net.name!r} terminal {t!r} is not placed"
+            )
+        if pin_style == "center":
+            if center_cache is not None and t in center_cache:
+                locations[t] = center_cache[t]
+                continue
+            point = snap_to_lattice(rect.center, chip, grid_size)
+            if center_cache is not None:
+                center_cache[t] = point
+            locations[t] = point
+        elif pin_style == "facing":
+            others = [u for u in net.terminals if u != t]
+            cx = sum(floorplan.center(u).x for u in others) / len(others)
+            cy = sum(floorplan.center(u).y for u in others) / len(others)
+            raw = _boundary_point_toward(rect, cx, cy)
+            locations[t] = snap_to_lattice(raw, chip, grid_size)
+        else:
+            raw = perimeter_point(rect, fractions[(net.name, t)])
+            locations[t] = snap_to_lattice(raw, chip, grid_size)
+    return locations
+
+
 def assign_pins(
     floorplan: Floorplan,
     netlist: Netlist,
@@ -113,49 +209,27 @@ def assign_pins(
         raise ValueError(
             f"pin_style must be one of {_PIN_STYLES}, got {pin_style!r}"
         )
-    chip = floorplan.chip
-    # Per-module net counters (perimeter spacing denominator).
-    degree: Dict[str, int] = {name: 0 for name in floorplan.module_names}
-    if pin_style == "perimeter":
-        for net in netlist.nets:
-            for t in net.terminals:
-                if t in degree:
-                    degree[t] += 1
-    seen: Dict[str, int] = {name: 0 for name in floorplan.module_names}
+    fractions = (
+        perimeter_fractions(netlist, floorplan.module_names)
+        if pin_style == "perimeter"
+        else None
+    )
     center_cache: Dict[str, Point] = {}
-
     pin_locations: Dict[str, Dict[str, Point]] = {}
     two_pin: List[TwoPinNet] = []
     for net in netlist.nets:
-        locations: Dict[str, Point] = {}
-        for t in net.terminals:
-            try:
-                rect = floorplan.placement(t)
-            except KeyError:
-                raise KeyError(
-                    f"net {net.name!r} terminal {t!r} is not placed"
-                )
-            if pin_style == "center":
-                if t not in center_cache:
-                    center_cache[t] = snap_to_lattice(
-                        rect.center, chip, grid_size
-                    )
-                locations[t] = center_cache[t]
-            elif pin_style == "facing":
-                others = [u for u in net.terminals if u != t]
-                cx = sum(floorplan.center(u).x for u in others) / len(others)
-                cy = sum(floorplan.center(u).y for u in others) / len(others)
-                raw = _boundary_point_toward(rect, cx, cy)
-                locations[t] = snap_to_lattice(raw, chip, grid_size)
-            else:
-                k = seen[t]
-                seen[t] += 1
-                raw = perimeter_point(rect, k / max(degree[t], 1))
-                locations[t] = snap_to_lattice(raw, chip, grid_size)
+        locations = net_pin_locations(
+            net,
+            floorplan,
+            grid_size,
+            pin_style=pin_style,
+            fractions=fractions,
+            center_cache=center_cache,
+        )
         pin_locations[net.name] = locations
         two_pin.extend(decompose_to_two_pin(net, locations))
     return PinAssignment(
-        chip=chip,
+        chip=floorplan.chip,
         grid_size=grid_size,
         pin_locations=pin_locations,
         two_pin_nets=tuple(two_pin),

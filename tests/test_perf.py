@@ -1,0 +1,85 @@
+"""Tests for the :mod:`repro.perf` instrumentation."""
+
+import time
+
+from repro.perf import NULL_RECORDER, PerfRecorder, PhaseStat
+
+
+class TestPhaseStat:
+    def test_ms_per_call(self):
+        stat = PhaseStat(seconds=0.5, calls=250)
+        assert stat.ms_per_call == 2.0
+
+    def test_ms_per_call_zero_calls(self):
+        assert PhaseStat().ms_per_call == 0.0
+
+
+class TestPerfRecorder:
+    def test_timeit_accumulates(self):
+        perf = PerfRecorder()
+        for _ in range(3):
+            with perf.timeit("phase"):
+                time.sleep(0.001)
+        stat = perf.timers["phase"]
+        assert stat.calls == 3
+        assert stat.seconds >= 0.003
+
+    def test_add_time_direct(self):
+        perf = PerfRecorder()
+        perf.add_time("x", 1.0)
+        perf.add_time("x", 2.0)
+        assert perf.timers["x"].seconds == 3.0
+        assert perf.timers["x"].calls == 2
+
+    def test_counters(self):
+        perf = PerfRecorder()
+        perf.count("evals")
+        perf.count("evals", 4)
+        assert perf.counters["evals"] == 5
+
+    def test_merge(self):
+        a = PerfRecorder()
+        b = PerfRecorder()
+        a.add_time("shared", 1.0)
+        b.add_time("shared", 2.0)
+        b.add_time("only_b", 0.5)
+        a.count("n", 1)
+        b.count("n", 2)
+        a.merge(b)
+        assert a.timers["shared"].seconds == 3.0
+        assert a.timers["shared"].calls == 2
+        assert a.timers["only_b"].calls == 1
+        assert a.counters["n"] == 3
+
+    def test_snapshot_round_trip(self):
+        perf = PerfRecorder()
+        perf.add_time("t", 0.25)
+        perf.count("c", 7)
+        snap = perf.snapshot()
+        assert snap["timers"]["t"] == {"seconds": 0.25, "calls": 1}
+        assert snap["counters"]["c"] == 7
+        # The snapshot is a copy, not a view.
+        snap["counters"]["c"] = 0
+        assert perf.counters["c"] == 7
+
+    def test_report_mentions_phases_and_counters(self):
+        perf = PerfRecorder()
+        perf.add_time("packing", 0.1)
+        perf.count("evaluations", 42)
+        text = perf.report(title="run")
+        assert "run" in text
+        assert "packing" in text
+        assert "evaluations=42" in text
+
+    def test_empty_report(self):
+        assert isinstance(PerfRecorder().report(), str)
+
+
+class TestNullRecorder:
+    def test_accepts_everything_records_nothing(self):
+        with NULL_RECORDER.timeit("phase"):
+            pass
+        NULL_RECORDER.count("c", 3)
+        NULL_RECORDER.add_time("t", 1.0)
+        assert NULL_RECORDER.timers == {}
+        assert NULL_RECORDER.counters == {}
