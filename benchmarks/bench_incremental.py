@@ -41,13 +41,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.anneal import FloorplanAnnealer, FloorplanObjective  # noqa: E402
+from repro.anneal import FloorplanObjective  # noqa: E402
 from repro.anneal.schedule import GeometricSchedule  # noqa: E402
-from repro.congestion import (  # noqa: E402
-    IrregularGridModel,
-    cache_stats,
-    clear_all_caches,
-)
+from repro.congestion import IrregularGridModel  # noqa: E402
+from repro.engine import AnnealEngine  # noqa: E402
 from repro.netlist import random_circuit  # noqa: E402
 
 
@@ -65,8 +62,9 @@ def _objective(netlist, grid_size: float, fast: bool, strict: bool = False):
 
 def _run(netlist, grid_size, fast, moves_per_temperature, schedule, seed,
          strict=False):
-    clear_all_caches()
-    annealer = FloorplanAnnealer(
+    # Each run builds a fresh objective, whose engine-scoped CacheContext
+    # starts empty -- no global cache state survives between runs.
+    engine = AnnealEngine(
         netlist,
         objective=_objective(netlist, grid_size, fast, strict),
         seed=seed,
@@ -74,7 +72,7 @@ def _run(netlist, grid_size, fast, moves_per_temperature, schedule, seed,
         schedule=schedule,
     )
     t0 = time.perf_counter()
-    result = annealer.run()
+    result = engine.run()
     wall = time.perf_counter() - t0
     return result, wall
 
@@ -95,7 +93,7 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7):
         netlist, grid_size, fast=True,
         moves_per_temperature=moves, schedule=schedule, seed=seed,
     )
-    stats = cache_stats()
+    stats = fast_result.cache_stats
 
     # Same seed + numerically identical evaluators => identical walks.
     evals_seed = seed_result.perf.counters.get("evaluations", 0)

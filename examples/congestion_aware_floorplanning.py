@@ -12,7 +12,7 @@ import sys
 from pathlib import Path
 
 from repro import (
-    FloorplanAnnealer,
+    AnnealEngine,
     FloorplanObjective,
     IrregularGridModel,
     JudgingModel,
@@ -38,14 +38,14 @@ def anneal(circuit, gamma: float, grid_size: float, seed: int = 1):
         objective = FloorplanObjective(
             circuit, alpha=1.0, beta=1.0, pin_grid_size=grid_size
         )
-    annealer = FloorplanAnnealer(
+    engine = AnnealEngine(
         circuit,
         objective=objective,
         seed=seed,
         schedule=SCHEDULE,
         moves_per_temperature=5 * circuit.n_modules,
     )
-    return annealer.run()
+    return engine.run()
 
 
 def main() -> None:

@@ -12,7 +12,7 @@ attribution -- the nets worth rerouting, replicating, or re-clustering.
 import sys
 
 from repro import (
-    FloorplanAnnealer,
+    AnnealEngine,
     FloorplanObjective,
     IrregularGridModel,
     analyze_hotspots,
@@ -28,14 +28,14 @@ def main() -> None:
     circuit = load_mcnc(circuit_name)
     grid_size = 60.0 if circuit_name == "apte" else 30.0
 
-    annealer = FloorplanAnnealer(
+    engine = AnnealEngine(
         circuit,
         objective=FloorplanObjective(circuit, alpha=1.0, beta=1.0),
         seed=2,
         schedule=GeometricSchedule(cooling_rate=0.85, freeze_ratio=1e-2, max_steps=25),
         moves_per_temperature=4 * circuit.n_modules,
     )
-    floorplan = annealer.run().floorplan
+    floorplan = engine.run().floorplan
     assignment = assign_pins(floorplan, circuit, grid_size)
 
     model = IrregularGridModel(grid_size)

@@ -11,7 +11,7 @@ heat map, and the headline numbers.
 import sys
 
 from repro import (
-    FloorplanAnnealer,
+    AnnealEngine,
     FloorplanObjective,
     IrregularGridModel,
     JudgingModel,
@@ -29,14 +29,15 @@ def main() -> None:
 
     # A short schedule keeps the example snappy; bump max_steps and
     # moves_per_temperature for production-quality floorplans.
-    annealer = FloorplanAnnealer(
+    engine = AnnealEngine(
         circuit,
+        representation="polish",
         objective=FloorplanObjective(circuit, alpha=1.0, beta=1.0),
         seed=1,
         schedule=GeometricSchedule(cooling_rate=0.85, freeze_ratio=1e-3, max_steps=30),
         moves_per_temperature=5 * circuit.n_modules,
     )
-    result = annealer.run()
+    result = engine.run()
     floorplan = result.floorplan
     print(
         f"Annealed in {result.runtime_seconds:.1f}s over {result.n_moves} "

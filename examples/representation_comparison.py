@@ -11,14 +11,8 @@ and B*-trees -- and compares what each hands back.
 
 import sys
 
-from repro import JudgingModel, load_mcnc
-from repro.anneal import (
-    BStarTreeAnnealer,
-    FloorplanAnnealer,
-    FloorplanObjective,
-    GeometricSchedule,
-    SequencePairAnnealer,
-)
+from repro import AnnealEngine, JudgingModel, load_mcnc
+from repro.anneal import FloorplanObjective, GeometricSchedule
 from repro.congestion import IrregularGridModel
 from repro.experiments.tables import format_table
 
@@ -41,15 +35,16 @@ def main() -> None:
             congestion_model=IrregularGridModel(grid_size),
         )
 
-    annealers = (
-        ("slicing (Wong-Liu)", FloorplanAnnealer),
-        ("sequence pair", SequencePairAnnealer),
-        ("B*-tree", BStarTreeAnnealer),
+    representations = (
+        ("slicing (Wong-Liu)", "polish"),
+        ("sequence pair", "sp"),
+        ("B*-tree", "btree"),
     )
     rows = []
-    for label, cls in annealers:
-        result = cls(
+    for label, name in representations:
+        result = AnnealEngine(
             circuit,
+            representation=name,
             objective=objective(),
             seed=3,
             schedule=SCHEDULE,

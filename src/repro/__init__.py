@@ -7,11 +7,18 @@ Wong-Liu simulated-annealing floorplanner both are embedded in.
 
 Quickstart::
 
-    from repro import load_mcnc, FloorplanAnnealer, IrregularGridModel
+    from repro import load_mcnc, AnnealEngine
 
     circuit = load_mcnc("ami33")
-    annealer = FloorplanAnnealer(circuit, seed=1)
-    result = annealer.run()
+    engine = AnnealEngine(circuit, representation="polish", seed=1)
+    result = engine.run()
+
+Best-of-N over seeds, optionally on a process pool::
+
+    from repro import MultiStartEngine
+
+    multi = MultiStartEngine(circuit, restarts=4, workers=4)
+    best = multi.run().best
 
 See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
@@ -57,6 +64,18 @@ from repro.anneal import (
     FloorplanAnnealer,
     FloorplanObjective,
     GeometricSchedule,
+)
+from repro.engine import (
+    AnnealEngine,
+    CacheContext,
+    EngineResult,
+    MultiStartEngine,
+    MultiStartResult,
+    ObjectiveSpec,
+    Representation,
+    available_representations,
+    make_representation,
+    register_representation,
 )
 
 __version__ = "1.0.0"
@@ -107,4 +126,15 @@ __all__ = [
     "FloorplanAnnealer",
     "FloorplanObjective",
     "GeometricSchedule",
+    # engine
+    "AnnealEngine",
+    "CacheContext",
+    "EngineResult",
+    "MultiStartEngine",
+    "MultiStartResult",
+    "ObjectiveSpec",
+    "Representation",
+    "available_representations",
+    "make_representation",
+    "register_representation",
 ]

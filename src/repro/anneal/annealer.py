@@ -1,32 +1,24 @@
-"""The simulated-annealing floorplanner (Wong & Liu [7], Section 5).
+"""Deprecated Polish-expression annealer wrapper.
 
-State is a normalized Polish expression; neighbours come from the
-M1/M2/M3 moves; acceptance is Metropolis; cooling is geometric with the
-initial temperature set from sampled uphill moves.  After every
-temperature step the annealer records a :class:`TemperatureSnapshot` of
-the current (locally optimized) solution -- Experiment 2 plots exactly
-those snapshots.
-
-The loop itself lives in :mod:`repro.anneal.generic`; this module binds
-it to the Polish-expression representation and keeps the historical
-result types the experiments consume.
+.. deprecated::
+    :class:`FloorplanAnnealer` is a thin shim over
+    :class:`repro.engine.AnnealEngine` with
+    ``representation="polish"``; new code should use the engine
+    directly (it adds representation selection, engine-scoped caches
+    and multi-start).  The shim keeps the historical constructor,
+    result and snapshot types the experiments consume.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.anneal.cost import CostBreakdown, FloorplanObjective
-from repro.anneal.generic import anneal
 from repro.anneal.schedule import GeometricSchedule
 from repro.perf import PerfRecorder
-from repro.floorplan import (
-    Floorplan,
-    PolishExpression,
-    evaluate_polish,
-    initial_expression,
-)
+from repro.floorplan import Floorplan, PolishExpression
 from repro.netlist import Netlist
 
 __all__ = ["TemperatureSnapshot", "AnnealResult", "FloorplanAnnealer"]
@@ -59,39 +51,29 @@ class AnnealResult:
 
     @property
     def moves_per_second(self) -> float:
+        """Attempted moves per wall-clock second."""
         return self.n_moves / self.runtime_seconds if self.runtime_seconds else 0.0
 
     @property
     def cost(self) -> float:
+        """The best floorplan's combined objective cost."""
         return self.breakdown.cost
 
     @property
     def acceptance_ratio(self) -> float:
+        """Accepted moves over attempted moves."""
         return self.n_accepted / self.n_moves if self.n_moves else 0.0
 
 
 class FloorplanAnnealer:
-    """Anneal a circuit into a low-cost slicing floorplan.
+    """Deprecated: use ``AnnealEngine(representation="polish")``.
 
-    Parameters
-    ----------
-    netlist:
-        The circuit.
-    objective:
-        A calibrated-or-not :class:`FloorplanObjective`; by default an
-        area+wirelength objective (Experiment 1's baseline
-        floorplanner).  ``calibrate`` below controls auto-calibration.
-    seed:
-        Seed for every stochastic choice (start expression, moves,
-        acceptance); identical seeds give identical runs.
-    moves_per_temperature:
-        Move attempts per temperature step; defaults to ``10 * m``
-        (Wong-Liu's recommendation).
-    schedule:
-        Cooling schedule.
-    calibrate:
-        Run objective normalization before annealing (skip when the
-        caller already calibrated a shared objective).
+    Anneals a circuit into a low-cost slicing floorplan; identical
+    seeds give runs identical to the engine's.  Constructor parameters
+    are unchanged from the historical class: ``netlist``,
+    ``objective`` (default area+wirelength), ``seed``,
+    ``moves_per_temperature`` (default ``10 * m``), ``schedule``,
+    ``calibrate``.
     """
 
     def __init__(
@@ -103,6 +85,12 @@ class FloorplanAnnealer:
         schedule: Optional[GeometricSchedule] = None,
         calibrate: bool = True,
     ):
+        warnings.warn(
+            "FloorplanAnnealer is deprecated; use "
+            "repro.engine.AnnealEngine(representation='polish')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.netlist = netlist
         self.objective = objective or FloorplanObjective(netlist)
         self.seed = int(seed)
@@ -120,24 +108,26 @@ class FloorplanAnnealer:
         on_snapshot: Optional[Callable[[TemperatureSnapshot], None]] = None,
     ) -> AnnealResult:
         """Run one full annealing schedule and return the best solution."""
-        names = [m.name for m in self.netlist.modules]
-        modules = {m.name: m for m in self.netlist.modules}
-        allow_rotation = self.objective.allow_rotation
+        # Imported here, not at module level: repro.engine sits above
+        # repro.anneal in the layering, and the shim is the one place
+        # the lower layer calls back up.
+        from repro.engine import AnnealEngine
 
         def forward_snapshot(snap) -> None:
             if on_snapshot is not None:
                 on_snapshot(_to_temperature_snapshot(snap))
 
-        result = anneal(
+        engine = AnnealEngine(
+            self.netlist,
+            representation="polish",
             objective=self.objective,
-            initial=lambda rng: initial_expression(names, rng),
-            neighbor=lambda expr, rng: expr.random_neighbor(rng),
-            realize=lambda expr: evaluate_polish(expr, modules, allow_rotation),
             seed=self.seed,
             moves_per_temperature=self.moves_per_temperature,
             schedule=self.schedule,
             calibrate=self._calibrate,
-            on_snapshot=forward_snapshot if on_snapshot else None,
+        )
+        result = engine.run(
+            on_snapshot=forward_snapshot if on_snapshot else None
         )
         return AnnealResult(
             floorplan=result.floorplan,

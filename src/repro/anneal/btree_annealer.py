@@ -1,19 +1,21 @@
-"""Simulated annealing over B*-trees (extension).
+"""Deprecated B*-tree annealer wrapper.
 
-The third floorplanner host for the congestion model, binding the
-shared loop in :mod:`repro.anneal.generic` to B*-tree states, contour
-packing and the rotate/swap/move perturbations.
+.. deprecated::
+    :class:`BStarTreeAnnealer` is a thin shim over
+    :class:`repro.engine.AnnealEngine` with ``representation="btree"``;
+    new code should use the engine directly.  The shim keeps the
+    historical constructor, result and snapshot types.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.anneal.cost import CostBreakdown, FloorplanObjective
-from repro.anneal.generic import anneal
 from repro.anneal.schedule import GeometricSchedule
-from repro.floorplan import BStarTree, Floorplan, pack_btree
+from repro.floorplan import BStarTree, Floorplan
 from repro.netlist import Netlist
 
 __all__ = ["BStarTreeSnapshot", "BStarTreeResult", "BStarTreeAnnealer"]
@@ -45,15 +47,21 @@ class BStarTreeResult:
 
     @property
     def cost(self) -> float:
+        """The best floorplan's combined objective cost."""
         return self.breakdown.cost
 
     @property
     def acceptance_ratio(self) -> float:
+        """Accepted moves over attempted moves."""
         return self.n_accepted / self.n_moves if self.n_moves else 0.0
 
 
 class BStarTreeAnnealer:
-    """Anneal a circuit via B*-trees and contour packing."""
+    """Deprecated: use ``AnnealEngine(representation="btree")``.
+
+    Anneals a circuit via B*-trees and contour packing; identical
+    seeds give runs identical to the engine's.
+    """
 
     def __init__(
         self,
@@ -64,6 +72,12 @@ class BStarTreeAnnealer:
         schedule: Optional[GeometricSchedule] = None,
         calibrate: bool = True,
     ):
+        warnings.warn(
+            "BStarTreeAnnealer is deprecated; use "
+            "repro.engine.AnnealEngine(representation='btree')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.netlist = netlist
         self.objective = objective or FloorplanObjective(netlist)
         self.seed = int(seed)
@@ -75,27 +89,29 @@ class BStarTreeAnnealer:
             raise ValueError("moves_per_temperature must be >= 1")
         self.schedule = schedule or GeometricSchedule()
         self._calibrate = bool(calibrate)
-        self._modules = {m.name: m for m in netlist.modules}
 
     def run(
         self,
         on_snapshot: Optional[Callable[[BStarTreeSnapshot], None]] = None,
     ) -> BStarTreeResult:
         """Run one full annealing schedule and return the best solution."""
+        from repro.engine import AnnealEngine
+
         def forward_snapshot(snap) -> None:
             if on_snapshot is not None:
                 on_snapshot(_to_bt_snapshot(snap))
 
-        result = anneal(
+        engine = AnnealEngine(
+            self.netlist,
+            representation="btree",
             objective=self.objective,
-            initial=lambda rng: BStarTree.initial(list(self._modules), rng),
-            neighbor=lambda tree, rng: tree.random_neighbor(rng),
-            realize=lambda tree: pack_btree(tree, self._modules),
             seed=self.seed,
             moves_per_temperature=self.moves_per_temperature,
             schedule=self.schedule,
             calibrate=self._calibrate,
-            on_snapshot=forward_snapshot if on_snapshot else None,
+        )
+        result = engine.run(
+            on_snapshot=forward_snapshot if on_snapshot else None
         )
         return BStarTreeResult(
             floorplan=result.floorplan,

@@ -7,207 +7,53 @@ unit conversions (areas are in mm^2-scale um^2, wirelengths in um,
 congestion costs in probability mass per um^2 -- raw magnitudes differ
 by orders of magnitude).
 
-Annealing evaluates this objective thousands of times on floorplans
-that differ by a single move, so the evaluator keeps a *dirty-net delta
-path*: it diffs module rectangles against the previously evaluated
-state, re-pins and re-decomposes only the nets touching moved modules
-(plus, when the chip outline changed, the nets of modules within one
-lattice pitch of its hi edges, whose snapped pins the into-chip clamp
-may shift), and skips congestion re-evaluation entirely when neither
-the chip outline nor any net's placed 2-pin geometry changed.  Only a
-different module set falls back to the full path.  ``strict_incremental``
-re-runs the
-full pipeline after every delta evaluation and asserts agreement to
-1e-12 -- the debugging net for the invariants above.
+:class:`FloorplanObjective` is a facade over the staged evaluation
+pipeline in :mod:`repro.anneal.pipeline` (pin assignment -> MST
+decomposition -> congestion -> cost aggregation, sharing one columnar
+:class:`~repro.anneal.pipeline.EvalState`).  Annealing evaluates the
+objective thousands of times on floorplans that differ by a single
+move, so the pipeline keeps a *dirty-net delta path*: it diffs module
+rectangles against the previously evaluated state, re-pins and
+re-decomposes only the nets touching moved modules (plus, when the chip
+outline changed, the nets of modules within one lattice pitch of its hi
+edges, whose snapped pins the into-chip clamp may shift), and skips
+congestion re-evaluation entirely when neither the chip outline nor any
+net's placed 2-pin geometry changed.  Only a different module set falls
+back to the full path.  ``strict_incremental`` re-runs the full
+pipeline after every delta evaluation and asserts agreement to 1e-12 --
+the debugging net for the invariants above.
+
+All memoization is scoped to the objective's
+:class:`~repro.perf.context.CacheContext` (engine-supplied, or private
+to the objective): the subtree-shape memo behind expression packing and
+-- when the congestion model has no context of its own yet -- the
+model's per-net caches.  Two objectives in one process never share
+cache state.
 """
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
-import numpy as np
-
+from repro.anneal.pipeline import (
+    CongestionStage,
+    CostAggregator,
+    CostBreakdown,
+    EvalState,
+    EvaluationPipeline,
+    MstStage,
+    PinStage,
+)
 from repro.congestion.base import CongestionModel
 from repro.floorplan import Floorplan, evaluate_polish, initial_expression
-from repro.floorplan.slicing import SUBTREE_SHAPE_CACHE
-from repro.metrics import total_two_pin_length
-from repro.netlist import Netlist, TwoPinArrays, batched_mst_edges
-from repro.perf import NULL_RECORDER, PerfRecorder
-from repro.pins import assign_pins, perimeter_fractions
+from repro.netlist import Netlist
+from repro.perf import PerfRecorder
+from repro.perf.context import CacheContext
 
 __all__ = ["CostBreakdown", "FloorplanObjective"]
 
 _DEFAULT_PIN_GRID = 30.0
-
-
-@dataclass(frozen=True)
-class CostBreakdown:
-    """One floorplan's objective terms and the combined scalar cost."""
-
-    area: float
-    wirelength: float
-    congestion: float
-    cost: float
-
-
-class _PinTable:
-    """Per-circuit pin and edge topology, flattened for vectorization.
-
-    Pins: one row per (net, terminal) pair, in netlist order -- the
-    terminal's module index and its perimeter-walk fraction, with
-    ``starts`` delimiting each net's rows.  Edges: a net of ``k`` pins
-    always decomposes into exactly ``k - 1`` MST edges, so the flat
-    edge layout (``edge_starts``, ``edge_weights``) is fixed too, and
-    a dirty net rewrites its slots in place.  2-pin nets (``simple_*``)
-    fill their single edge by pure array gather; only nets of 3+ pins
-    (``multi``) need a per-net MST.  Everything here is
-    floorplan-invariant.
-    """
-
-    __slots__ = (
-        "module_names",
-        "key_set",
-        "term_idx",
-        "frac",
-        "starts",
-        "n_edges_total",
-        "edge_weights",
-        "simple_pin_a",
-        "simple_slot",
-        "simple_mask",
-        "multi_groups",
-    )
-
-    def __init__(self, netlist: Netlist, module_names):
-        self.module_names = list(module_names)
-        self.key_set = set(self.module_names)
-        fractions = perimeter_fractions(netlist, self.module_names)
-        index = {name: i for i, name in enumerate(self.module_names)}
-        term_idx: List[int] = []
-        frac: List[float] = []
-        starts = [0]
-        edge_weights: List[float] = []
-        simple_pin_a: List[int] = []
-        simple_slot: List[int] = []
-        simple_mask: List[bool] = []
-        # (net index, first pin row, first edge slot) of each 3+-pin
-        # net, bucketed by pin count so all same-size MSTs batch.
-        by_k: dict = {}
-        for i, net in enumerate(netlist.nets):
-            pin_s = len(term_idx)
-            for t in net.terminals:
-                term_idx.append(index[t])
-                frac.append(fractions[(net.name, t)] % 1.0)
-            starts.append(len(term_idx))
-            k = len(net.terminals)
-            slot = len(edge_weights)
-            edge_weights.extend([net.weight] * max(k - 1, 0))
-            if k == 2:
-                simple_pin_a.append(pin_s)
-                simple_slot.append(slot)
-                simple_mask.append(True)
-            else:
-                by_k.setdefault(k, []).append((i, pin_s, slot))
-                simple_mask.append(False)
-        self.term_idx = np.asarray(term_idx, dtype=np.intp)
-        self.frac = np.asarray(frac)
-        self.starts = np.asarray(starts, dtype=np.intp)
-        self.n_edges_total = len(edge_weights)
-        self.edge_weights = np.asarray(edge_weights)
-        self.simple_pin_a = np.asarray(simple_pin_a, dtype=np.intp)
-        self.simple_slot = np.asarray(simple_slot, dtype=np.intp)
-        self.simple_mask = np.asarray(simple_mask, dtype=bool)
-        self.multi_groups = [
-            (
-                k,
-                np.asarray([g[0] for g in group], dtype=np.intp),
-                np.asarray([g[1] for g in group], dtype=np.intp),
-                np.asarray([g[2] for g in group], dtype=np.intp),
-            )
-            for k, group in sorted(by_k.items())
-        ]
-
-
-class _NetState:
-    """The previously evaluated floorplan, decomposed for delta reuse.
-
-    Holds the snapped pin coordinate arrays (for dirty detection) and
-    the flat placed-edge arrays the congestion / wirelength kernels
-    consume directly -- no :class:`TwoPinNet` objects anywhere in the
-    hot loop.
-    """
-
-    __slots__ = (
-        "placements",
-        "chip",
-        "pins_x",
-        "pins_y",
-        "edges",
-        "wirelength",
-        "congestion",
-    )
-
-    def __init__(
-        self,
-        placements,
-        chip,
-        pins_x: np.ndarray,
-        pins_y: np.ndarray,
-        edges: TwoPinArrays,
-        wirelength: float,
-        congestion: float,
-    ):
-        self.placements = placements
-        self.chip = chip
-        self.pins_x = pins_x
-        self.pins_y = pins_y
-        self.edges = edges
-        self.wirelength = wirelength
-        self.congestion = congestion
-
-    def clone_arrays(self) -> "_NetState":
-        """A state whose pin/edge arrays are private copies.
-
-        The delta path mutates edge slots in place; cloning first keeps
-        the committed state intact so a rejected move can roll back.
-        """
-        e = self.edges
-        return _NetState(
-            placements=self.placements,
-            chip=self.chip,
-            pins_x=self.pins_x.copy(),
-            pins_y=self.pins_y.copy(),
-            edges=TwoPinArrays(
-                e.p1x.copy(), e.p1y.copy(), e.p2x.copy(), e.p2y.copy(),
-                e.weights,
-            ),
-            wirelength=self.wirelength,
-            congestion=self.congestion,
-        )
-
-
-def _fill_multi_group(
-    edges: TwoPinArrays, sx, sy, k: int, pin_s: np.ndarray, slot: np.ndarray
-) -> None:
-    """Write a batch of k-pin nets' MST edges into their flat slots.
-
-    :func:`batched_mst_edges` reproduces ``mst_edges``' arithmetic and
-    tie-breaking bit-for-bit, so the edge set is identical to the
-    object pipeline's ``decompose_to_two_pin``.
-    """
-    rows = pin_s[:, None] + np.arange(k)
-    xs = sx[rows]
-    ys = sy[rows]
-    i, j = batched_mst_edges(xs, ys)
-    m = np.arange(len(pin_s))[:, None]
-    slots = slot[:, None] + np.arange(k - 1)
-    edges.p1x[slots] = xs[m, i]
-    edges.p1y[slots] = ys[m, i]
-    edges.p2x[slots] = xs[m, j]
-    edges.p2y[slots] = ys[m, j]
 
 
 class FloorplanObjective:
@@ -239,12 +85,19 @@ class FloorplanObjective:
         Debug mode: after every delta evaluation, re-run the full
         pipeline and raise :class:`AssertionError` unless both agree to
         1e-12.
+    cache_context:
+        The :class:`~repro.perf.context.CacheContext` scoping every
+        memo this objective uses.  The engine passes its own so all
+        restarts' caches report in one place; standalone objectives get
+        a private context.  If the congestion model has a
+        ``cache_context`` slot that is still unset, the objective's
+        context is injected into it.
 
     The ``perf`` attribute accepts a :class:`~repro.perf.PerfRecorder`;
-    phases ``pin_assignment`` / ``wirelength`` / ``congestion`` and the
-    ``eval_full`` / ``eval_delta`` / ``eval_unchanged`` /
-    ``congestion_skipped`` / ``nets_redone`` counters feed the annealing
-    perf report.
+    phases ``packing`` / ``pin_assignment`` / ``wirelength`` /
+    ``congestion`` and the ``eval_full`` / ``eval_delta`` /
+    ``eval_unchanged`` / ``congestion_skipped`` / ``nets_redone``
+    counters feed the annealing perf report.
     """
 
     def __init__(
@@ -258,6 +111,7 @@ class FloorplanObjective:
         allow_rotation: bool = True,
         incremental: bool = True,
         strict_incremental: bool = False,
+        cache_context: Optional[CacheContext] = None,
     ):
         if min(alpha, beta, gamma) < 0:
             raise ValueError("objective weights must be non-negative")
@@ -267,31 +121,95 @@ class FloorplanObjective:
             raise ValueError("gamma > 0 requires a congestion model")
         self.netlist = netlist
         self._modules = {m.name: m for m in netlist.modules}
-        self.alpha = float(alpha)
-        self.beta = float(beta)
-        self.gamma = float(gamma)
         self.congestion_model = congestion_model
         if pin_grid_size is None:
             pin_grid_size = getattr(congestion_model, "grid_size", _DEFAULT_PIN_GRID)
         if pin_grid_size <= 0:
             raise ValueError(f"pin_grid_size must be positive, got {pin_grid_size}")
-        self.pin_grid_size = float(pin_grid_size)
         self.allow_rotation = bool(allow_rotation)
-        self.incremental = bool(incremental)
-        self.strict_incremental = bool(strict_incremental)
-        self.perf: PerfRecorder = NULL_RECORDER
-        # Normalization constants; 1.0 until calibrate() runs.
-        self._area_norm = 1.0
-        self._wl_norm = 1.0
-        self._cgt_norm = 1.0
-        # Delta-path state: the last evaluated floorplan plus the
-        # circuit-invariant flattened pin topology.  ``_committed`` is
-        # the annealer's accepted state (see :meth:`commit`); the delta
-        # path never mutates its arrays, so :meth:`reject` can restore
-        # it after a refused move.
-        self._state: Optional[_NetState] = None
-        self._committed: Optional[_NetState] = None
-        self._table: Optional[_PinTable] = None
+        self.cache_context = (
+            cache_context if cache_context is not None else CacheContext()
+        )
+        # Inject the objective's context into a context-less congestion
+        # model so its per-net memos are scoped with everything else;
+        # a model arriving with its own context keeps it.
+        if (
+            congestion_model is not None
+            and getattr(congestion_model, "cache_context", False) is None
+        ):
+            congestion_model.cache_context = self.cache_context
+        self._pipeline = EvaluationPipeline(
+            netlist,
+            pins=PinStage(float(pin_grid_size)),
+            mst=MstStage(),
+            congestion=CongestionStage(congestion_model if gamma > 0 else None),
+            aggregator=CostAggregator(alpha, beta, gamma),
+            incremental=incremental,
+            strict_incremental=strict_incremental,
+        )
+
+    # -- facade plumbing ------------------------------------------------
+
+    @property
+    def pipeline(self) -> EvaluationPipeline:
+        """The staged evaluation pipeline doing the actual work."""
+        return self._pipeline
+
+    @property
+    def alpha(self) -> float:
+        """Area weight."""
+        return self._pipeline.aggregator.alpha
+
+    @property
+    def beta(self) -> float:
+        """Wirelength weight."""
+        return self._pipeline.aggregator.beta
+
+    @property
+    def gamma(self) -> float:
+        """Congestion weight."""
+        return self._pipeline.aggregator.gamma
+
+    @property
+    def pin_grid_size(self) -> float:
+        """Lattice pitch of the pin snap."""
+        return self._pipeline.pins.pin_grid_size
+
+    @property
+    def incremental(self) -> bool:
+        """Whether the dirty-net delta path is enabled."""
+        return self._pipeline.incremental
+
+    @property
+    def strict_incremental(self) -> bool:
+        """Whether every delta evaluation is checked against the full
+        path."""
+        return self._pipeline.strict_incremental
+
+    @property
+    def perf(self) -> PerfRecorder:
+        """The perf recorder receiving phase timings and counters."""
+        return self._pipeline.perf
+
+    @perf.setter
+    def perf(self, recorder: PerfRecorder) -> None:
+        self._pipeline.perf = recorder
+
+    @property
+    def _state(self) -> Optional[EvalState]:
+        return self._pipeline.state
+
+    @_state.setter
+    def _state(self, value: Optional[EvalState]) -> None:
+        self._pipeline.state = value
+
+    @property
+    def _committed(self) -> Optional[EvalState]:
+        return self._pipeline.committed
+
+    @_committed.setter
+    def _committed(self, value: Optional[EvalState]) -> None:
+        self._pipeline.committed = value
 
     # -- calibration ----------------------------------------------------
 
@@ -315,27 +233,28 @@ class FloorplanObjective:
             areas.append(b[0])
             wls.append(b[1])
             cgts.append(b[2])
-        self._area_norm = max(sum(areas) / len(areas), 1e-12)
-        self._wl_norm = max(sum(wls) / len(wls), 1e-12)
-        self._cgt_norm = max(sum(cgts) / len(cgts), 1e-12)
+        self._pipeline.aggregator.set_norms(
+            sum(areas) / len(areas),
+            sum(wls) / len(wls),
+            sum(cgts) / len(cgts),
+        )
 
     # -- evaluation -----------------------------------------------------
 
     def evaluate_expression(self, expression) -> CostBreakdown:
         """Pack, measure and combine: the annealer's hot path."""
         area, wl, cgt = self._raw_terms(expression)
-        return self._combine(area, wl, cgt)
+        return self._pipeline.aggregator.combine(area, wl, cgt)
 
     def evaluate_floorplan(self, floorplan: Floorplan) -> CostBreakdown:
         """Cost of an already-packed floorplan (used by the
         sequence-pair annealer and the experiment reports)."""
-        area, wl, cgt = self._floorplan_terms(floorplan)
-        return self._combine(area, wl, cgt)
+        area, wl, cgt = self._pipeline.floorplan_terms(floorplan)
+        return self._pipeline.aggregator.combine(area, wl, cgt)
 
     def invalidate(self) -> None:
         """Drop the delta-path state (force the next evaluation full)."""
-        self._state = None
-        self._committed = None
+        self._pipeline.invalidate()
 
     # -- annealer transaction protocol ---------------------------------
 
@@ -343,293 +262,20 @@ class FloorplanObjective:
         """Mark the last evaluated floorplan as the annealer's accepted
         state.  Subsequent delta evaluations diff against it without
         mutating its arrays, so :meth:`reject` can roll back."""
-        self._committed = self._state
+        self._pipeline.commit()
 
     def reject(self) -> None:
         """The last evaluated floorplan was refused: restore the
         accepted state so the next delta diffs against it (one move's
         worth of dirty nets, not two)."""
-        self._state = self._committed
+        self._pipeline.reject()
 
     def _raw_terms(self, expression):
         # The seed (non-incremental) evaluator stays memo-free so that
         # benchmarks against it measure the genuinely from-scratch path.
-        cache = SUBTREE_SHAPE_CACHE if self.incremental else None
+        cache = self.cache_context.subtree_shapes if self.incremental else None
         with self.perf.timeit("packing"):
             floorplan = evaluate_polish(
                 expression, self._modules, self.allow_rotation, cache=cache
             )
-        return self._floorplan_terms(floorplan)
-
-    def _floorplan_terms(self, floorplan: Floorplan):
-        area = floorplan.area
-        if self.beta == 0 and self.gamma == 0:
-            return area, 0.0, 0.0
-        if not self.incremental:
-            return (area,) + self._full_terms(floorplan)
-        wl, cgt = self._delta_terms(floorplan)
-        if self.strict_incremental:
-            self._assert_delta_matches_full(floorplan, wl, cgt)
-        # The delta path maintains wirelength partials regardless of
-        # beta (they cost nothing extra); the reported term honours the
-        # seed behaviour of beta == 0 -> 0.0.
-        return area, (wl if self.beta > 0 else 0.0), cgt
-
-    # -- full path ------------------------------------------------------
-
-    def _full_terms(self, floorplan: Floorplan) -> Tuple[float, float]:
-        """Wirelength and congestion from scratch (seed behaviour)."""
-        with self.perf.timeit("pin_assignment"):
-            assignment = assign_pins(floorplan, self.netlist, self.pin_grid_size)
-        wl = 0.0
-        cgt = 0.0
-        if self.beta > 0:
-            with self.perf.timeit("wirelength"):
-                wl = total_two_pin_length(assignment.two_pin_nets)
-        if self.gamma > 0:
-            with self.perf.timeit("congestion"):
-                cgt = self.congestion_model.estimate(
-                    floorplan.chip, assignment.two_pin_nets
-                )
-        return wl, cgt
-
-    # -- delta path -----------------------------------------------------
-
-    def _table_for(self, floorplan: Floorplan) -> _PinTable:
-        table = self._table
-        if table is None or floorplan.placements.keys() != table.key_set:
-            table = _PinTable(self.netlist, floorplan.module_names)
-            self._table = table
-            self._state = None
-            self._committed = None
-        return table
-
-    def _all_pins(self, floorplan: Floorplan, table: _PinTable):
-        """Every (net, terminal) pin of ``floorplan``, as flat arrays.
-
-        Vectorized replica of ``perimeter_point`` + ``snap_to_lattice``
-        over all pins at once -- each arithmetic step mirrors the scalar
-        helpers operation-for-operation, so the coordinates are
-        bit-identical to the seed pipeline's (``strict_incremental``
-        checks this every evaluation).
-        """
-        placements = floorplan.placements
-        chip = floorplan.chip
-        n = len(table.module_names)
-        mx_lo = np.empty(n)
-        my_lo = np.empty(n)
-        mx_hi = np.empty(n)
-        my_hi = np.empty(n)
-        for i, name in enumerate(table.module_names):
-            r = placements[name]
-            mx_lo[i] = r.x_lo
-            my_lo[i] = r.y_lo
-            mx_hi[i] = r.x_hi
-            my_hi[i] = r.y_hi
-        w = mx_hi - mx_lo
-        h = my_hi - my_lo
-        per = 2.0 * (w + h)
-
-        idx = table.term_idx
-        x_lo = mx_lo[idx]
-        x_hi = mx_hi[idx]
-        y_lo = my_lo[idx]
-        y_hi = my_hi[idx]
-        w_g = w[idx]
-        h_g = h[idx]
-
-        # Walk the perimeter: the scalar code subtracts each traversed
-        # side in sequence, branching on <=; np.where chains replicate
-        # the branch outcomes exactly.  A zero-perimeter module lands in
-        # the first branch at its lower-left corner, which equals its
-        # center.
-        d1 = table.frac * per[idx]
-        c1 = d1 <= w_g
-        d2 = d1 - w_g
-        c2 = d2 <= h_g
-        d3 = d2 - h_g
-        c3 = d3 <= w_g
-        d4 = d3 - w_g
-        px = np.where(
-            c1, x_lo + d1, np.where(c2, x_hi, np.where(c3, x_hi - d3, x_lo))
-        )
-        py = np.where(
-            c1, y_lo, np.where(c2, y_lo + d2, np.where(c3, y_hi, y_hi - d4))
-        )
-
-        # Snap to the chip-anchored lattice, then clamp on-chip.
-        # np.rint rounds half-to-even exactly like Python's round().
-        gs = self.pin_grid_size
-        sx = chip.x_lo + np.rint((px - chip.x_lo) / gs) * gs
-        sy = chip.y_lo + np.rint((py - chip.y_lo) / gs) * gs
-        np.clip(sx, chip.x_lo, chip.x_hi, out=sx)
-        np.clip(sy, chip.y_lo, chip.y_hi, out=sy)
-        return sx, sy
-
-    def _fill_simple(self, table, edges, sx, sy, which=None) -> None:
-        """Write 2-pin nets' edges straight from the pin arrays.
-
-        ``which`` selects a subset of the simple nets (positions into
-        ``table.simple_pin_a``); ``None`` fills them all.  Pure array
-        gather/scatter -- no per-net Python.
-        """
-        pa = table.simple_pin_a
-        slot = table.simple_slot
-        if which is not None:
-            pa = pa[which]
-            slot = slot[which]
-        edges.p1x[slot] = sx[pa]
-        edges.p1y[slot] = sy[pa]
-        edges.p2x[slot] = sx[pa + 1]
-        edges.p2y[slot] = sy[pa + 1]
-
-    def _wirelength_of(self, table, edges: TwoPinArrays) -> float:
-        """Weighted Manhattan length of every placed edge."""
-        return float(
-            (
-                table.edge_weights
-                * (
-                    np.abs(edges.p2x - edges.p1x)
-                    + np.abs(edges.p2y - edges.p1y)
-                )
-            ).sum()
-        )
-
-    def _full_state(self, floorplan: Floorplan) -> Tuple[float, float]:
-        """Full evaluation that also (re)builds the delta-path state."""
-        table = self._table_for(floorplan)
-        n_edges = table.n_edges_total
-        edges = TwoPinArrays(
-            np.empty(n_edges),
-            np.empty(n_edges),
-            np.empty(n_edges),
-            np.empty(n_edges),
-            table.edge_weights,
-        )
-        with self.perf.timeit("pin_assignment"):
-            sx, sy = self._all_pins(floorplan, table)
-            self._fill_simple(table, edges, sx, sy)
-            for k, _, pin_s, slot in table.multi_groups:
-                _fill_multi_group(edges, sx, sy, k, pin_s, slot)
-        with self.perf.timeit("wirelength"):
-            wl = self._wirelength_of(table, edges)
-        cgt = 0.0
-        if self.gamma > 0:
-            with self.perf.timeit("congestion"):
-                cgt = self.congestion_model.estimate_arrays(
-                    floorplan.chip, edges
-                )
-        self._state = _NetState(
-            placements=floorplan.placements,
-            chip=floorplan.chip,
-            pins_x=sx,
-            pins_y=sy,
-            edges=edges,
-            wirelength=wl,
-            congestion=cgt,
-        )
-        self.perf.count("eval_full")
-        return wl, cgt
-
-    def _delta_terms(self, floorplan: Floorplan) -> Tuple[float, float]:
-        prev = self._state
-        table = self._table
-        placements = floorplan.placements
-        if prev is None or table is None or placements.keys() != table.key_set:
-            # Different module set: the flattened pin topology no longer
-            # lines up -- restart.
-            return self._full_state(floorplan)
-
-        chip = floorplan.chip
-        chip_changed = chip != prev.chip
-        with self.perf.timeit("pin_assignment"):
-            sx, sy = self._all_pins(floorplan, table)
-            changed = (sx != prev.pins_x) | (sy != prev.pins_y)
-            pins_changed = bool(changed.any())
-            if not pins_changed and not chip_changed:
-                # Every snapped pin and the outline held still (modules
-                # may have shifted by less than the snap resolution):
-                # wirelength and congestion are untouched.
-                self.perf.count("eval_unchanged")
-                if self.gamma > 0:
-                    self.perf.count("congestion_skipped")
-                return prev.wirelength, prev.congestion
-            if prev is self._committed:
-                # Never mutate the accepted state's arrays: evaluate the
-                # candidate into a private copy so reject() rolls back
-                # by reference swap.
-                state = prev.clone_arrays()
-            else:
-                state = prev
-            edges = state.edges
-            if pins_changed:
-                # Rewrite exactly the edge slots of nets owning a moved
-                # pin; a net none of whose pins moved keeps its placed
-                # edge coordinates verbatim.
-                dirty = np.logical_or.reduceat(changed, table.starts[:-1])
-                simple_dirty = np.nonzero(dirty[table.simple_mask])[0]
-                if simple_dirty.size:
-                    self._fill_simple(table, edges, sx, sy, simple_dirty)
-                n_multi = 0
-                for k, net_idx, pin_s, slot in table.multi_groups:
-                    sel = np.nonzero(dirty[net_idx])[0]
-                    if sel.size:
-                        _fill_multi_group(
-                            edges, sx, sy, k, pin_s[sel], slot[sel]
-                        )
-                        n_multi += int(sel.size)
-                self.perf.count(
-                    "nets_redone", int(simple_dirty.size) + n_multi
-                )
-        self.perf.count("eval_delta")
-
-        with self.perf.timeit("wirelength"):
-            wl = (
-                self._wirelength_of(table, edges)
-                if pins_changed
-                else prev.wirelength
-            )
-
-        if self.gamma == 0:
-            cgt = 0.0
-        else:
-            # A changed pin always changes its net's edge geometry, and
-            # a changed outline moves the routing-range clamp, so any
-            # fall-through here must re-estimate.
-            with self.perf.timeit("congestion"):
-                cgt = self.congestion_model.estimate_arrays(chip, edges)
-
-        state.placements = placements
-        state.chip = chip
-        state.pins_x = sx
-        state.pins_y = sy
-        state.wirelength = wl
-        state.congestion = cgt
-        self._state = state
-        return wl, cgt
-
-    def _assert_delta_matches_full(
-        self, floorplan: Floorplan, wl: float, cgt: float
-    ) -> None:
-        assignment = assign_pins(floorplan, self.netlist, self.pin_grid_size)
-        full_wl = total_two_pin_length(assignment.two_pin_nets)
-        if not math.isclose(wl, full_wl, rel_tol=1e-12, abs_tol=1e-12):
-            raise AssertionError(
-                f"incremental wirelength {wl!r} != full {full_wl!r}"
-            )
-        if self.gamma > 0:
-            full_cgt = self.congestion_model.estimate(
-                floorplan.chip, assignment.two_pin_nets
-            )
-            if not math.isclose(cgt, full_cgt, rel_tol=1e-12, abs_tol=1e-12):
-                raise AssertionError(
-                    f"incremental congestion {cgt!r} != full {full_cgt!r}"
-                )
-
-    def _combine(self, area: float, wl: float, cgt: float) -> CostBreakdown:
-        cost = (
-            self.alpha * area / self._area_norm
-            + self.beta * wl / self._wl_norm
-            + self.gamma * cgt / self._cgt_norm
-        )
-        return CostBreakdown(area=area, wirelength=wl, congestion=cgt, cost=cost)
+        return self._pipeline.floorplan_terms(floorplan)

@@ -1,21 +1,21 @@
-"""Simulated annealing over sequence pairs (extension).
+"""Deprecated sequence-pair annealer wrapper.
 
-Section 4.6 claims the Irregular-Grid model embeds into "any general
-floorplanners".  The slicing annealer demonstrates it for Wong-Liu;
-this annealer demonstrates it for the sequence-pair representation,
-which reaches general non-slicing packings.  It binds the shared loop
-in :mod:`repro.anneal.generic` to sequence-pair states and moves.
+.. deprecated::
+    :class:`SequencePairAnnealer` is a thin shim over
+    :class:`repro.engine.AnnealEngine` with ``representation="sp"``;
+    new code should use the engine directly.  The shim keeps the
+    historical constructor, result and snapshot types.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.anneal.cost import CostBreakdown, FloorplanObjective
-from repro.anneal.generic import anneal
 from repro.anneal.schedule import GeometricSchedule
-from repro.floorplan import Floorplan, SequencePair, pack_sequence_pair
+from repro.floorplan import Floorplan, SequencePair
 from repro.netlist import Netlist
 
 __all__ = ["SequencePairSnapshot", "SequencePairResult", "SequencePairAnnealer"]
@@ -47,19 +47,20 @@ class SequencePairResult:
 
     @property
     def cost(self) -> float:
+        """The best floorplan's combined objective cost."""
         return self.breakdown.cost
 
     @property
     def acceptance_ratio(self) -> float:
+        """Accepted moves over attempted moves."""
         return self.n_accepted / self.n_moves if self.n_moves else 0.0
 
 
 class SequencePairAnnealer:
-    """Anneal a circuit into a (possibly non-slicing) packed floorplan.
+    """Deprecated: use ``AnnealEngine(representation="sp")``.
 
-    Takes the same :class:`FloorplanObjective` as the slicing annealer;
-    a sequence pair packs directly to coordinates, so the objective's
-    floorplan-level evaluation path is used.
+    Anneals a circuit into a (possibly non-slicing) packed floorplan;
+    identical seeds give runs identical to the engine's.
     """
 
     def __init__(
@@ -71,6 +72,12 @@ class SequencePairAnnealer:
         schedule: Optional[GeometricSchedule] = None,
         calibrate: bool = True,
     ):
+        warnings.warn(
+            "SequencePairAnnealer is deprecated; use "
+            "repro.engine.AnnealEngine(representation='sp')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.netlist = netlist
         self.objective = objective or FloorplanObjective(netlist)
         self.seed = int(seed)
@@ -82,29 +89,29 @@ class SequencePairAnnealer:
             raise ValueError("moves_per_temperature must be >= 1")
         self.schedule = schedule or GeometricSchedule()
         self._calibrate = bool(calibrate)
-        self._modules = {m.name: m for m in netlist.modules}
 
     def run(
         self,
         on_snapshot: Optional[Callable[[SequencePairSnapshot], None]] = None,
     ) -> SequencePairResult:
         """Run one full annealing schedule and return the best solution."""
+        from repro.engine import AnnealEngine
+
         def forward_snapshot(snap) -> None:
             if on_snapshot is not None:
                 on_snapshot(_to_sp_snapshot(snap))
 
-        result = anneal(
+        engine = AnnealEngine(
+            self.netlist,
+            representation="sp",
             objective=self.objective,
-            initial=lambda rng: SequencePair.initial(
-                list(self._modules), rng
-            ),
-            neighbor=lambda pair, rng: pair.random_neighbor(rng),
-            realize=lambda pair: pack_sequence_pair(pair, self._modules),
             seed=self.seed,
             moves_per_temperature=self.moves_per_temperature,
             schedule=self.schedule,
             calibrate=self._calibrate,
-            on_snapshot=forward_snapshot if on_snapshot else None,
+        )
+        result = engine.run(
+            on_snapshot=forward_snapshot if on_snapshot else None
         )
         return SequencePairResult(
             floorplan=result.floorplan,

@@ -67,6 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
     fp = sub.add_parser("floorplan", help="anneal a circuit and report")
     fp.add_argument("circuit", help="MCNC name or .yal path")
     fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument(
+        "--repr",
+        dest="representation",
+        choices=("polish", "sp", "btree"),
+        default="polish",
+        help="floorplan representation to anneal over",
+    )
+    fp.add_argument(
+        "--restarts",
+        type=int,
+        default=1,
+        help="independent seeded runs; the best result is reported",
+    )
+    fp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for --restarts > 1 (1 = sequential; "
+        "results are identical either way)",
+    )
     fp.add_argument("--gamma", type=float, default=0.0, help="congestion weight")
     fp.add_argument("--grid-size", type=float, default=None, help="IR unit pitch (um)")
     fp.add_argument(
@@ -189,8 +209,67 @@ def _cmd_floorplan(args) -> int:
     netlist = _load_circuit(args.circuit)
     grid_size = _grid_size_for(netlist, args.grid_size)
     incremental = not args.no_incremental
+    if args.restarts < 1:
+        raise SystemExit("error: --restarts must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    if args.restarts > 1:
+        result, judging_cost = _run_multistart(args, netlist, grid_size, incremental)
+        floorplan = result.floorplan
+        b = result.breakdown
+        print(
+            f"{netlist.name} [{args.representation}, best of "
+            f"{args.restarts}, seed {result.seed}]: "
+            f"area {b.area / 1e6:.4g} mm^2, "
+            f"wirelength {b.wirelength:.0f} um, congestion {b.congestion:.4g}, "
+            f"judge {judging_cost:.4g}, {result.runtime_seconds:.1f} s"
+        )
+        perf = result.perf
+        moves_per_second = result.moves_per_second
+        n_moves = result.n_moves
+        cache_stats = result.cache_stats
+    else:
+        objective = _build_objective(args, netlist, grid_size, incremental)
+        record = run_once(
+            netlist,
+            objective,
+            seed=args.seed,
+            representation=args.representation,
+        )
+        floorplan = record.floorplan
+        b = record.result.breakdown
+        print(
+            f"{netlist.name}: area {record.area_mm2:.4g} mm^2, "
+            f"wirelength {b.wirelength:.0f} um, congestion {b.congestion:.4g}, "
+            f"judge {record.judging_cost:.4g}, {record.runtime_seconds:.1f} s"
+        )
+        perf = record.result.perf
+        moves_per_second = record.result.moves_per_second
+        n_moves = record.result.n_moves
+        cache_stats = record.result.cache_stats
+    if args.perf:
+        if perf is not None:
+            print(perf.report(title="-- perf breakdown --"))
+            print(f"moves/sec: {moves_per_second:.1f} ({n_moves} moves)")
+        from repro.perf import format_cache_stats
+
+        print(format_cache_stats(cache_stats, title="-- cache statistics --"))
+    if args.render:
+        print(render_floorplan_ascii(floorplan))
+    if args.svg is not None:
+        args.svg.write_text(floorplan_svg(floorplan))
+        print(f"wrote {args.svg}")
+    if args.save_placement is not None:
+        from repro.data import write_placement
+
+        write_placement(floorplan, args.save_placement, netlist.name)
+        print(f"wrote {args.save_placement}")
+    return 0
+
+
+def _build_objective(args, netlist, grid_size, incremental) -> FloorplanObjective:
     if args.gamma > 0:
-        objective = FloorplanObjective(
+        return FloorplanObjective(
             netlist,
             alpha=1.0,
             beta=1.0,
@@ -200,50 +279,44 @@ def _cmd_floorplan(args) -> int:
             ),
             incremental=incremental,
         )
-    else:
-        objective = FloorplanObjective(
-            netlist,
-            alpha=1.0,
-            beta=1.0,
-            gamma=0.0,
-            pin_grid_size=grid_size,
-            incremental=incremental,
-        )
-    record = run_once(netlist, objective, seed=args.seed)
-    b = record.result.breakdown
-    print(
-        f"{netlist.name}: area {record.area_mm2:.4g} mm^2, "
-        f"wirelength {b.wirelength:.0f} um, congestion {b.congestion:.4g}, "
-        f"judge {record.judging_cost:.4g}, {record.runtime_seconds:.1f} s"
+    return FloorplanObjective(
+        netlist,
+        alpha=1.0,
+        beta=1.0,
+        gamma=0.0,
+        pin_grid_size=grid_size,
+        incremental=incremental,
     )
-    if args.perf:
-        perf = record.result.perf
-        if perf is not None:
-            print(perf.report(title="-- perf breakdown --"))
-            print(
-                f"moves/sec: {record.result.moves_per_second:.1f} "
-                f"({record.result.n_moves} moves)"
-            )
-        from repro.congestion import cache_stats
 
-        for name, stats in cache_stats().items():
-            if stats.lookups:
-                print(
-                    f"cache {name}: {stats.hits}/{stats.lookups} hits "
-                    f"({stats.hit_rate:.1%}), size {stats.size}/{stats.maxsize}, "
-                    f"{stats.evictions} evictions"
-                )
-    if args.render:
-        print(render_floorplan_ascii(record.floorplan))
-    if args.svg is not None:
-        args.svg.write_text(floorplan_svg(record.floorplan))
-        print(f"wrote {args.svg}")
-    if args.save_placement is not None:
-        from repro.data import write_placement
 
-        write_placement(record.floorplan, args.save_placement, netlist.name)
-        print(f"wrote {args.save_placement}")
-    return 0
+def _run_multistart(args, netlist, grid_size, incremental):
+    from repro.engine import MultiStartEngine, ObjectiveSpec
+    from repro.experiments.runner import judge_floorplan
+
+    profile = active_profile()
+    spec = ObjectiveSpec(
+        alpha=1.0,
+        beta=1.0,
+        gamma=args.gamma,
+        congestion_grid_size=grid_size,
+        pin_grid_size=grid_size if args.gamma <= 0 else None,
+        incremental=incremental,
+    )
+    multi = MultiStartEngine(
+        netlist,
+        representation=args.representation,
+        restarts=args.restarts,
+        seed=args.seed,
+        objective_spec=spec,
+        moves_per_temperature=profile.moves_per_temperature(netlist.n_modules),
+        schedule=profile.schedule(),
+        workers=args.workers,
+    )
+    outcome = multi.run()
+    costs = ", ".join(f"{r.seed}: {r.cost:.4g}" for r in outcome.results)
+    print(f"restart costs ({outcome.workers} worker(s)): {costs}")
+    judging_cost = judge_floorplan(outcome.best.floorplan, netlist, 10.0)
+    return outcome.best, judging_cost
 
 
 def _cmd_estimate(args) -> int:

@@ -22,12 +22,7 @@ Layers, bottom-up:
 """
 
 from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
-from repro.congestion.cache import (
-    BoundedCache,
-    CacheStats,
-    cache_stats,
-    clear_all_caches,
-)
+from repro.congestion.cache import BoundedCache, CacheContext, CacheStats
 from repro.congestion.routes import (
     total_routes,
     route_count_from_p1,
@@ -60,9 +55,8 @@ __all__ = [
     "CongestionMap",
     "CongestionModel",
     "BoundedCache",
+    "CacheContext",
     "CacheStats",
-    "cache_stats",
-    "clear_all_caches",
     "total_routes",
     "route_count_from_p1",
     "route_count_to_p2",

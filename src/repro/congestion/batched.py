@@ -35,7 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.congestion.cache import EXACT_PROB_CACHE, NET_MASS_CACHE, BoundedCache
+from repro.congestion.cache import BoundedCache
 from repro.congestion.exact_ir import exact_ir_probability
 from repro.congestion.irgrid import IRGrid
 from repro.netlist import (
@@ -50,16 +50,25 @@ __all__ = ["batched_approx_mass", "batched_approx_mass_arrays"]
 
 
 def _exact_cached(
-    g1: int, g2: int, net_type: NetType, x1: int, x2: int, y1: int, y2: int
+    cache: Optional[BoundedCache],
+    g1: int,
+    g2: int,
+    net_type: NetType,
+    x1: int,
+    x2: int,
+    y1: int,
+    y2: int,
 ) -> float:
-    """Memoized Formula 3, backed by the bounded exact-probability store
-    (the same small (g1, g2, span) configurations recur constantly
-    across an annealing run)."""
+    """Formula 3, memoized in the caller's exact-probability store (the
+    same small (g1, g2, span) configurations recur constantly across an
+    annealing run).  ``cache=None`` computes directly."""
+    if cache is None:
+        return exact_ir_probability(g1, g2, net_type, x1, x2, y1, y2)
     key = (g1, g2, net_type, x1, x2, y1, y2)
-    value = EXACT_PROB_CACHE.get(key)
+    value = cache.get(key)
     if value is None:
         value = exact_ir_probability(g1, g2, net_type, x1, x2, y1, y2)
-        EXACT_PROB_CACHE.put(key, value)
+        cache.put(key, value)
     return value
 
 
@@ -147,14 +156,16 @@ def batched_approx_mass(
     grid_size: float,
     panels: int = 8,
     paper_bounds: bool = False,
-    cache: Optional[BoundedCache] = NET_MASS_CACHE,
+    cache: Optional[BoundedCache] = None,
+    exact_cache: Optional[BoundedCache] = None,
 ) -> np.ndarray:
     """Congestion mass per IR-cell, shape ``(n_columns, n_rows)``.
 
-    ``cache`` memoizes per-net probability blocks by local signature;
-    pass ``None`` to force the pure batch path (identical results --
-    cached blocks are bit-for-bit the kernel's output for the same
-    signature).
+    ``cache`` memoizes per-net probability blocks by local signature
+    and ``exact_cache`` the scalar Formula-3 fallback cells; both come
+    from the caller's :class:`~repro.perf.context.CacheContext`.
+    ``None`` forces the pure batch path (identical results -- cached
+    blocks are bit-for-bit the kernel's output for the same signature).
     """
     if not nets:
         return np.zeros((irgrid.n_columns, irgrid.n_rows))
@@ -165,6 +176,7 @@ def batched_approx_mass(
         panels=panels,
         paper_bounds=paper_bounds,
         cache=cache,
+        exact_cache=exact_cache,
     )
 
 
@@ -174,7 +186,8 @@ def batched_approx_mass_arrays(
     grid_size: float,
     panels: int = 8,
     paper_bounds: bool = False,
-    cache: Optional[BoundedCache] = NET_MASS_CACHE,
+    cache: Optional[BoundedCache] = None,
+    exact_cache: Optional[BoundedCache] = None,
 ) -> np.ndarray:
     """:func:`batched_approx_mass` over a :class:`TwoPinArrays` batch.
 
@@ -434,7 +447,8 @@ def batched_approx_mass_arrays(
                 else:
                     fy1, fy2 = int(y1[i]), int(y2[i])
                 prob[i] = _exact_cached(
-                    int(gg1[i]), g2i, nt, int(x1[i]), int(x2[i]), fy1, fy2
+                    exact_cache,
+                    int(gg1[i]), g2i, nt, int(x1[i]), int(x2[i]), fy1, fy2,
                 )
         return prob, col, row, counts, offsets
 

@@ -11,40 +11,24 @@ across moves *and* across floorplans whenever that signature recurs.
 
 The store behind that reuse is :class:`~repro.perf.cache.BoundedCache`
 (re-exported here): a thread-safe LRU mapping with hit/miss accounting,
-bounded so day-long annealing runs cannot grow memory without limit
-(unlike the unbounded ``lru_cache`` it replaces in
-:mod:`repro.congestion.batched`).  Module-level default instances are
-registered by name so benchmarks and the CLI can report fleet-wide hit
-rates via :func:`cache_stats`.
+bounded so day-long annealing runs cannot grow memory without limit.
+
+There are no module-level cache instances: every store belongs to a
+:class:`~repro.perf.context.CacheContext` (re-exported here), owned by
+the annealing engine -- or created privately by a standalone
+:class:`~repro.congestion.model.IrregularGridModel` -- and injected
+down the stack.  Two engines running in one process therefore never
+share cache state, eviction pressure, or accounting; per-engine stats
+come from ``context.stats()`` / ``context.report()``.
 """
 
 from __future__ import annotations
 
-from repro.perf.cache import (
-    BoundedCache,
-    CacheStats,
-    cache_stats,
-    clear_all_caches,
-)
+from repro.perf.cache import BoundedCache, CacheStats
+from repro.perf.context import CacheContext
 
 __all__ = [
     "CacheStats",
     "BoundedCache",
-    "NET_MASS_CACHE",
-    "NET_MATRIX_CACHE",
-    "EXACT_PROB_CACHE",
-    "cache_stats",
-    "clear_all_caches",
+    "CacheContext",
 ]
-
-
-# Default stores shared by all models unless a caller opts out.  Sizes:
-# a floorplan has O(100) regular nets and a full annealing run's
-# working set of per-net signatures measures in the low hundreds of
-# thousands (a 65k store thrashed with ~120k evictions on an ami33-
-# scale run); 256k entries of ~100-float vectors is ~200 MB worst
-# case but in practice vectors are short (tens of cells).  The scalar
-# exact-probability store keeps the previous lru_cache budget.
-NET_MASS_CACHE = BoundedCache(262_144, name="net_mass")
-NET_MATRIX_CACHE = BoundedCache(65_536, name="net_matrix")
-EXACT_PROB_CACHE = BoundedCache(262_144, name="exact_prob")

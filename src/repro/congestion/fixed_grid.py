@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
+from repro.congestion.vectorized import _log_factorials
 from repro.geometry import Rect
 from repro.netlist import NetType, TwoPinNet
 
@@ -166,14 +167,3 @@ def _probability_block(g1: int, g2: int, type_two: bool) -> np.ndarray:
     return table
 
 
-_LOG_FACTORIAL_CACHE = np.zeros(1)
-
-
-def _log_factorials(n: int) -> np.ndarray:
-    """``[log(0!), ..., log(n!)]`` with a grow-only module cache."""
-    global _LOG_FACTORIAL_CACHE
-    if len(_LOG_FACTORIAL_CACHE) <= n:
-        grown = np.zeros(n + 1)
-        grown[1:] = np.cumsum(np.log(np.arange(1, n + 1)))
-        _LOG_FACTORIAL_CACHE = grown
-    return _LOG_FACTORIAL_CACHE[: n + 1]

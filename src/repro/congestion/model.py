@@ -24,7 +24,7 @@ the ground truth the kernels are tested against.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.congestion.batched import (
     batched_approx_mass,
     batched_approx_mass_arrays,
 )
-from repro.congestion.cache import NET_MASS_CACHE, NET_MATRIX_CACHE
+from repro.congestion.cache import CacheContext
 from repro.congestion.exact_ir import exact_ir_probability
 from repro.congestion.irgrid import IRGrid, build_irgrid, build_irgrid_arrays
 from repro.congestion.vectorized import approx_ir_matrix, exact_ir_matrix
@@ -69,9 +69,15 @@ class IrregularGridModel(CongestionModel):
     top_fraction:
         Chip-area fraction whose densest cells form the score.
     use_cache:
-        Memoize per-net probability results in the module-level bounded
-        caches (:mod:`repro.congestion.cache`).  Identical results
+        Memoize per-net probability results in the model's
+        :class:`~repro.perf.context.CacheContext`.  Identical results
         either way; disable for cache-free timing baselines.
+    cache_context:
+        The cache fleet to memoize into.  Normally injected by the
+        owning engine/objective so all of a run's caches share one
+        accountable context; when ``None`` and ``use_cache`` is true, a
+        private context is created on first use, so standalone models
+        still never share state with one another.
 
     The ``perf`` attribute may be set to a
     :class:`~repro.perf.PerfRecorder` to time the evaluation phases
@@ -87,6 +93,7 @@ class IrregularGridModel(CongestionModel):
         paper_bounds: bool = False,
         top_fraction: float = 0.1,
         use_cache: bool = True,
+        cache_context: Optional[CacheContext] = None,
     ):
         if grid_size <= 0:
             raise ValueError(f"grid_size must be positive, got {grid_size}")
@@ -101,7 +108,21 @@ class IrregularGridModel(CongestionModel):
         self.paper_bounds = bool(paper_bounds)
         self.top_fraction = float(top_fraction)
         self.use_cache = bool(use_cache)
+        self.cache_context = cache_context
         self.perf = NULL_RECORDER
+
+    def _context(self) -> Optional[CacheContext]:
+        """The cache fleet to memoize into, or ``None`` when disabled.
+
+        Lazily creates a private context for standalone models so two
+        models never share mutable state unless a caller injected the
+        same context into both.
+        """
+        if not self.use_cache:
+            return None
+        if self.cache_context is None:
+            self.cache_context = CacheContext()
+        return self.cache_context
 
     # -- public API ---------------------------------------------------
 
@@ -163,6 +184,7 @@ class IrregularGridModel(CongestionModel):
             irgrid = build_irgrid_arrays(
                 chip, arr, self.grid_size, self.merge_factor
             )
+        ctx = self._context()
         with self.perf.timeit("mass_eval"):
             mass = batched_approx_mass_arrays(
                 irgrid,
@@ -170,7 +192,8 @@ class IrregularGridModel(CongestionModel):
                 self.grid_size,
                 panels=self.panels,
                 paper_bounds=self.paper_bounds,
-                cache=NET_MASS_CACHE if self.use_cache else None,
+                cache=ctx.net_mass if ctx else None,
+                exact_cache=ctx.exact_prob if ctx else None,
             )
         return self._score_mass(irgrid, mass)
 
@@ -203,13 +226,15 @@ class IrregularGridModel(CongestionModel):
     def _mass_array(self, irgrid: IRGrid, nets: Sequence[TwoPinNet]) -> np.ndarray:
         """Congestion mass per IR-cell, shape ``(n_columns, n_rows)``."""
         if self.method == "approx":
+            ctx = self._context()
             return batched_approx_mass(
                 irgrid,
                 nets,
                 self.grid_size,
                 panels=self.panels,
                 paper_bounds=self.paper_bounds,
-                cache=NET_MASS_CACHE if self.use_cache else None,
+                cache=ctx.net_mass if ctx else None,
+                exact_cache=ctx.exact_prob if ctx else None,
             )
         mass = np.zeros((irgrid.n_columns, irgrid.n_rows))
         for net in nets:
@@ -248,8 +273,9 @@ class IrregularGridModel(CongestionModel):
         # The probability matrix depends only on this local signature
         # (the spans are already unit-grid integers), so it is reusable
         # across moves and floorplans whenever the geometry recurs.
+        ctx = self._context()
         key = None
-        if self.use_cache:
+        if ctx is not None:
             key = (
                 self.method,
                 self.panels,
@@ -260,7 +286,7 @@ class IrregularGridModel(CongestionModel):
                 tuple(col_spans),
                 tuple(row_spans),
             )
-            cached = NET_MATRIX_CACHE.get(key)
+            cached = ctx.net_matrix.get(key)
             if cached is not None:
                 mass[col_lo : col_hi + 1, row_lo : row_hi + 1] += (
                     net.weight * cached
@@ -300,7 +326,7 @@ class IrregularGridModel(CongestionModel):
         block = np.ascontiguousarray(probs.T)
         if key is not None:
             block.setflags(write=False)
-            NET_MATRIX_CACHE.put(key, block)
+            ctx.net_matrix.put(key, block)
         mass[col_lo : col_hi + 1, row_lo : row_hi + 1] += net.weight * block
 
     def _unit_spans(

@@ -21,7 +21,6 @@ they become type I with flipped row spans.
 
 from __future__ import annotations
 
-import threading
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -32,28 +31,29 @@ __all__ = ["exact_ir_matrix", "approx_ir_matrix"]
 
 _NEG_INF = float("-inf")
 
-# The table is grown by *replacement*, never mutated in place, so
-# readers that grabbed a reference before a grow stay consistent;
-# the lock serializes growers (parallel annealing chains share this
-# module), and geometric doubling bounds the number of rebuilds.
-_log_factorial_cache = np.zeros(1)
-_log_factorial_lock = threading.Lock()
+
+def _build_log_factorials(size: int) -> np.ndarray:
+    table = np.zeros(size)
+    table[1:] = np.cumsum(np.log(np.arange(1.0, size)))
+    table.setflags(write=False)
+    return table
+
+
+# log(i!) for i < 4096, precomputed once at import and frozen -- an
+# immutable constant, not a mutable module cache, so parallel engines
+# can share it without any state or locking.  4096 covers every
+# unit-grid routing range the merged cut lines produce on realistic
+# pitches (R = g1 + g2 - 2 stays in the low hundreds); larger requests
+# fall back to a fresh stateless computation below.
+_LOG_FACTORIALS = _build_log_factorials(4096)
 
 
 def _log_factorials(n: int) -> np.ndarray:
-    global _log_factorial_cache
-    table = _log_factorial_cache
-    if len(table) <= n:
-        with _log_factorial_lock:
-            table = _log_factorial_cache
-            if len(table) <= n:
-                size = max(n + 1, 2 * len(table), 64)
-                grown = np.zeros(size)
-                grown[1:] = np.cumsum(np.log(np.arange(1.0, size)))
-                grown.setflags(write=False)
-                _log_factorial_cache = grown
-                table = grown
-    return table[: n + 1]
+    if n < len(_LOG_FACTORIALS):
+        return _LOG_FACTORIALS[: n + 1]
+    # Pathologically large routing range: compute without caching (pure
+    # and stateless; the congestion math upstream is O(n) anyway).
+    return _build_log_factorials(n + 1)
 
 
 def _lg(table: np.ndarray, idx: np.ndarray) -> np.ndarray:

@@ -1,0 +1,52 @@
+"""The unified floorplan engine.
+
+One engine, four layers:
+
+1. **Representation** (:mod:`repro.engine.representation`) -- Polish
+   expressions, sequence pairs and B*-trees behind one string-keyed
+   registry of ``initial`` / ``neighbor`` / ``realize`` triples;
+2. **Evaluation pipeline** (:mod:`repro.anneal.pipeline`) -- pin
+   assignment -> MST decomposition -> congestion -> cost aggregation
+   over one columnar state, with the dirty-net delta path;
+3. **Engine-scoped caches** (:class:`~repro.perf.context.CacheContext`,
+   re-exported here) -- every memo a run touches belongs to the
+   engine's context; no module-global mutable cache anywhere, so
+   concurrent engines never cross-pollute;
+4. **Multi-start** (:mod:`repro.engine.multistart`) -- best-of-N
+   seeded restarts, sequential or process-pool, bit-identical either
+   way.
+
+The historical per-representation annealer classes in
+:mod:`repro.anneal` remain as deprecated shims over
+:class:`AnnealEngine`.
+"""
+
+from repro.engine.engine import AnnealEngine, EngineResult, ObjectiveFactory
+from repro.engine.multistart import (
+    MultiStartEngine,
+    MultiStartResult,
+    ObjectiveSpec,
+)
+from repro.engine.representation import (
+    Representation,
+    RepresentationFactory,
+    available_representations,
+    make_representation,
+    register_representation,
+)
+from repro.perf.context import CacheContext
+
+__all__ = [
+    "AnnealEngine",
+    "EngineResult",
+    "ObjectiveFactory",
+    "MultiStartEngine",
+    "MultiStartResult",
+    "ObjectiveSpec",
+    "Representation",
+    "RepresentationFactory",
+    "available_representations",
+    "make_representation",
+    "register_representation",
+    "CacheContext",
+]

@@ -1,0 +1,192 @@
+"""The unified annealing engine: one loop, any representation.
+
+:class:`AnnealEngine` replaces the three per-representation annealer
+wrappers with a single engine parameterized by a representation name
+(or a ready :class:`~repro.engine.representation.Representation`).  It
+owns the run's :class:`~repro.perf.context.CacheContext`, builds (or
+adopts) the objective against it, and returns an
+:class:`EngineResult` carrying -- besides the usual annealing outputs
+-- the representation name, the seed, and a picklable snapshot of
+per-cache hit/miss/eviction statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.anneal.cost import CostBreakdown, FloorplanObjective
+from repro.anneal.generic import Snapshot, anneal
+from repro.anneal.schedule import GeometricSchedule
+from repro.engine.representation import Representation, make_representation
+from repro.floorplan import Floorplan
+from repro.netlist import Netlist
+from repro.perf import CacheStats, PerfRecorder
+from repro.perf.context import CacheContext
+
+__all__ = ["EngineResult", "ObjectiveFactory", "AnnealEngine"]
+
+
+ObjectiveFactory = Callable[[Netlist, CacheContext], FloorplanObjective]
+"""Builds one run's objective against the engine's cache context."""
+
+
+@dataclass
+class EngineResult:
+    """A finished engine run.
+
+    Mirrors the generic annealing result, labelled with the
+    representation and seed that produced it, plus ``cache_stats``: a
+    plain ``name -> CacheStats`` snapshot of the run's cache context
+    (picklable, unlike the live context with its locks, so process-pool
+    restarts can ship results home intact).
+    """
+
+    representation: str
+    seed: int
+    floorplan: Floorplan
+    state: object
+    breakdown: CostBreakdown
+    snapshots: List[Snapshot] = field(default_factory=list)
+    n_moves: int = 0
+    n_accepted: int = 0
+    runtime_seconds: float = 0.0
+    perf: Optional[PerfRecorder] = None
+    cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> float:
+        """The best floorplan's combined objective cost."""
+        return self.breakdown.cost
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Accepted moves over attempted moves."""
+        return self.n_accepted / self.n_moves if self.n_moves else 0.0
+
+    @property
+    def moves_per_second(self) -> float:
+        """Attempted moves per wall-clock second."""
+        return self.n_moves / self.runtime_seconds if self.runtime_seconds else 0.0
+
+
+class AnnealEngine:
+    """Anneal a circuit under any registered representation.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit.
+    representation:
+        A registered name (``"polish"`` / ``"sp"`` / ``"btree"``) or a
+        prebuilt :class:`~repro.engine.representation.Representation`.
+    objective:
+        A ready :class:`FloorplanObjective`; the engine adopts its
+        cache context so representation-level and congestion caches
+        report in one place.  Mutually exclusive with
+        ``objective_factory`` and ``cache_context``.
+    objective_factory:
+        ``(netlist, cache_context) -> FloorplanObjective``; called with
+        the engine's context.  Defaults to an area+wirelength
+        objective.
+    seed:
+        Seed for every stochastic choice; identical seeds give
+        identical runs.
+    moves_per_temperature:
+        Move attempts per temperature step; defaults to ``10 * m``
+        (Wong-Liu's recommendation).
+    schedule:
+        Cooling schedule.
+    calibrate:
+        Run objective normalization before annealing (skip when the
+        caller already calibrated a shared objective).
+    cache_context:
+        The cache fleet for this engine; a private one is created when
+        omitted.  Every engine owns exactly one context -- two engines
+        never share cache state unless explicitly given one context.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        representation: Union[str, Representation] = "polish",
+        objective: Optional[FloorplanObjective] = None,
+        objective_factory: Optional[ObjectiveFactory] = None,
+        seed: int = 0,
+        moves_per_temperature: Optional[int] = None,
+        schedule: Optional[GeometricSchedule] = None,
+        calibrate: bool = True,
+        cache_context: Optional[CacheContext] = None,
+    ):
+        if objective is not None and objective_factory is not None:
+            raise ValueError(
+                "pass either objective or objective_factory, not both"
+            )
+        self.netlist = netlist
+        if objective is not None:
+            if cache_context is not None:
+                raise ValueError(
+                    "a ready objective brings its own cache context; "
+                    "pass cache_context to the objective instead"
+                )
+            self.cache_context = objective.cache_context
+        else:
+            self.cache_context = (
+                cache_context if cache_context is not None else CacheContext()
+            )
+            if objective_factory is not None:
+                objective = objective_factory(netlist, self.cache_context)
+            else:
+                objective = FloorplanObjective(
+                    netlist, cache_context=self.cache_context
+                )
+        self.objective = objective
+        if isinstance(representation, Representation):
+            self.representation = representation
+        else:
+            self.representation = make_representation(
+                representation,
+                netlist,
+                allow_rotation=objective.allow_rotation,
+                cache_context=self.cache_context,
+            )
+        self.seed = int(seed)
+        m = netlist.n_modules
+        self.moves_per_temperature = (
+            moves_per_temperature if moves_per_temperature is not None else 10 * m
+        )
+        if self.moves_per_temperature < 1:
+            raise ValueError("moves_per_temperature must be >= 1")
+        self.schedule = schedule or GeometricSchedule()
+        self._calibrate = bool(calibrate)
+
+    def run(
+        self,
+        on_snapshot: Optional[Callable[[Snapshot], None]] = None,
+    ) -> EngineResult:
+        """Run one full annealing schedule and return the best solution."""
+        rep = self.representation
+        result = anneal(
+            objective=self.objective,
+            initial=rep.initial,
+            neighbor=rep.neighbor,
+            realize=rep.realize,
+            seed=self.seed,
+            moves_per_temperature=self.moves_per_temperature,
+            schedule=self.schedule,
+            calibrate=self._calibrate,
+            on_snapshot=on_snapshot,
+        )
+        return EngineResult(
+            representation=rep.name,
+            seed=self.seed,
+            floorplan=result.floorplan,
+            state=result.state,
+            breakdown=result.breakdown,
+            snapshots=list(result.snapshots),
+            n_moves=result.n_moves,
+            n_accepted=result.n_accepted,
+            runtime_seconds=result.runtime_seconds,
+            perf=result.perf,
+            cache_stats=self.cache_context.stats(),
+        )

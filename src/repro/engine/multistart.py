@@ -1,0 +1,208 @@
+"""Multi-start annealing: N seeded restarts, sequential or parallel.
+
+Annealing is stochastic; the standard variance-reduction move is
+best-of-N over distinct seeds.  :class:`MultiStartEngine` runs N
+:class:`~repro.engine.engine.AnnealEngine` restarts -- sequentially or
+on a process pool -- and returns the best result plus every restart's
+:class:`~repro.engine.engine.EngineResult`.
+
+Determinism: every restart builds a *fresh* objective and a *fresh*
+:class:`~repro.perf.context.CacheContext` from a picklable
+:class:`ObjectiveSpec`, and caches are value-transparent (memo hits
+return exactly what recomputation would), so restart ``i`` computes
+bit-identical results whether it runs in-process, on a pool, or alone.
+Parallel best-of-N therefore equals sequential best-of-N for the same
+seeds, and the winner is the lowest cost with ties broken by lowest
+seed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.anneal.cost import FloorplanObjective
+from repro.anneal.schedule import GeometricSchedule
+from repro.congestion.model import IrregularGridModel
+from repro.engine.engine import AnnealEngine, EngineResult
+from repro.netlist import Netlist
+from repro.perf.context import CacheContext
+
+__all__ = ["ObjectiveSpec", "MultiStartResult", "MultiStartEngine"]
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """Picklable recipe for one restart's objective.
+
+    Process-pool restarts cannot ship a live objective (its cache
+    context holds locks) or a closure; they ship this value object and
+    :meth:`build` it inside the worker against the restart's own
+    context.  ``gamma > 0`` builds an
+    :class:`~repro.congestion.model.IrregularGridModel` at
+    ``congestion_grid_size``.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 0.0
+    congestion_grid_size: float = 30.0
+    pin_grid_size: Optional[float] = None
+    allow_rotation: bool = True
+    incremental: bool = True
+    strict_incremental: bool = False
+
+    def build(
+        self, netlist: Netlist, cache_context: CacheContext
+    ) -> FloorplanObjective:
+        """Construct the objective (and congestion model, if any)
+        against ``cache_context``."""
+        model = None
+        if self.gamma > 0:
+            model = IrregularGridModel(
+                self.congestion_grid_size,
+                use_cache=self.incremental,
+                cache_context=cache_context if self.incremental else None,
+            )
+        return FloorplanObjective(
+            netlist,
+            alpha=self.alpha,
+            beta=self.beta,
+            gamma=self.gamma,
+            congestion_model=model,
+            pin_grid_size=self.pin_grid_size,
+            allow_rotation=self.allow_rotation,
+            incremental=self.incremental,
+            strict_incremental=self.strict_incremental,
+            cache_context=cache_context,
+        )
+
+
+def _run_restart(
+    netlist: Netlist,
+    representation: str,
+    spec: ObjectiveSpec,
+    seed: int,
+    moves_per_temperature: Optional[int],
+    schedule: Optional[GeometricSchedule],
+    calibrate: bool,
+) -> EngineResult:
+    """One restart, self-contained: fresh context, fresh objective.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; also
+    the sequential path, so both execution modes run literally the same
+    code.
+    """
+    context = CacheContext()
+    engine = AnnealEngine(
+        netlist,
+        representation=representation,
+        objective=spec.build(netlist, context),
+        seed=seed,
+        moves_per_temperature=moves_per_temperature,
+        schedule=schedule,
+        calibrate=calibrate,
+    )
+    return engine.run()
+
+
+@dataclass
+class MultiStartResult:
+    """Every restart's result plus the chosen winner."""
+
+    best: EngineResult
+    results: List[EngineResult] = field(default_factory=list)
+    workers: int = 1
+
+    @property
+    def best_cost(self) -> float:
+        """The winning restart's combined objective cost."""
+        return self.best.cost
+
+    @property
+    def costs(self) -> List[float]:
+        """Every restart's best cost, in seed order."""
+        return [r.cost for r in self.results]
+
+
+class MultiStartEngine:
+    """Best-of-N annealing over seeds ``seed .. seed + restarts - 1``.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit.
+    representation:
+        Registered representation name (process-pool restarts rebuild
+        the representation in the worker, so a prebuilt
+        :class:`Representation` is not accepted here).
+    restarts:
+        Number of independent seeded runs.
+    seed:
+        First seed; restart ``i`` uses ``seed + i``.
+    objective_spec:
+        The :class:`ObjectiveSpec` every restart builds its objective
+        from; defaults to area+wirelength.
+    moves_per_temperature, schedule, calibrate:
+        Forwarded to every restart's engine.
+    workers:
+        1 runs restarts sequentially in-process; ``> 1`` uses a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with that many
+        workers.  Results are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        representation: str = "polish",
+        restarts: int = 4,
+        seed: int = 0,
+        objective_spec: Optional[ObjectiveSpec] = None,
+        moves_per_temperature: Optional[int] = None,
+        schedule: Optional[GeometricSchedule] = None,
+        calibrate: bool = True,
+        workers: int = 1,
+    ):
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.netlist = netlist
+        self.representation = representation
+        self.restarts = int(restarts)
+        self.seed = int(seed)
+        self.objective_spec = objective_spec or ObjectiveSpec()
+        self.moves_per_temperature = moves_per_temperature
+        self.schedule = schedule
+        self.calibrate = bool(calibrate)
+        self.workers = int(workers)
+
+    @property
+    def seeds(self) -> List[int]:
+        """The restart seeds, in run order."""
+        return [self.seed + i for i in range(self.restarts)]
+
+    def run(self) -> MultiStartResult:
+        """Run every restart and return best-of-N."""
+        jobs = [
+            (
+                self.netlist,
+                self.representation,
+                self.objective_spec,
+                s,
+                self.moves_per_temperature,
+                self.schedule,
+                self.calibrate,
+            )
+            for s in self.seeds
+        ]
+        workers = min(self.workers, self.restarts)
+        if workers <= 1:
+            results = [_run_restart(*job) for job in jobs]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_run_restart, *job) for job in jobs]
+                results = [f.result() for f in futures]
+        best = min(results, key=lambda r: (r.cost, r.seed))
+        return MultiStartResult(best=best, results=results, workers=workers)

@@ -1,0 +1,167 @@
+"""Floorplan representations behind one string-keyed registry.
+
+The three representations the repo anneals over -- normalized Polish
+expressions (Wong-Liu slicing), sequence pairs, and B*-trees -- differ
+only in three functions:
+
+* ``initial(rng) -> state``
+* ``neighbor(state, rng) -> state``
+* ``realize(state) -> Floorplan``
+
+:class:`Representation` packages that triple, bound to one circuit;
+the registry maps short names (``"polish"`` / ``"sp"`` / ``"btree"``)
+to factories so the engine and the CLI select representations by
+string.  Factories receive the engine's
+:class:`~repro.perf.context.CacheContext` and thread the relevant
+cache into ``realize`` (only Polish packing memoizes today), keeping
+all memoization engine-scoped.
+
+The registry itself is write-once configuration (names -> factories
+registered at import or by extensions), not a result cache; it holds
+no per-run mutable state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.floorplan import (
+    BStarTree,
+    Floorplan,
+    SequencePair,
+    evaluate_polish,
+    initial_expression,
+    pack_btree,
+    pack_sequence_pair,
+)
+from repro.netlist import Netlist
+from repro.perf.context import CacheContext
+
+__all__ = [
+    "Representation",
+    "RepresentationFactory",
+    "register_representation",
+    "make_representation",
+    "available_representations",
+]
+
+
+@dataclass(frozen=True)
+class Representation:
+    """One floorplan representation bound to one circuit.
+
+    The generic annealing loop consumes exactly this triple; the
+    ``name`` rides along for result labelling.
+    """
+
+    name: str
+    initial: Callable[[random.Random], Any]
+    neighbor: Callable[[Any, random.Random], Any]
+    realize: Callable[[Any], Floorplan]
+
+
+RepresentationFactory = Callable[
+    [Netlist, bool, Optional[CacheContext]], Representation
+]
+"""Signature of a registry entry:
+``factory(netlist, allow_rotation, cache_context) -> Representation``."""
+
+_FACTORIES: Dict[str, RepresentationFactory] = {}
+
+
+def register_representation(name: str, factory: RepresentationFactory) -> None:
+    """Register a representation factory under ``name``.
+
+    Raises :class:`ValueError` on a duplicate name -- silently
+    replacing a representation would change what every engine built
+    from that name means.
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"representation {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_representations() -> Tuple[str, ...]:
+    """The registered representation names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_representation(
+    name: str,
+    netlist: Netlist,
+    allow_rotation: bool = True,
+    cache_context: Optional[CacheContext] = None,
+) -> Representation:
+    """Build the named representation for ``netlist``.
+
+    ``cache_context`` is the owning engine's cache fleet; factories
+    thread the caches they need into their closures (``None`` disables
+    representation-level memoization).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_representations())
+        raise ValueError(
+            f"unknown representation {name!r}; available: {known}"
+        ) from None
+    return factory(netlist, allow_rotation, cache_context)
+
+
+def _polish_factory(
+    netlist: Netlist,
+    allow_rotation: bool,
+    cache_context: Optional[CacheContext],
+) -> Representation:
+    names = [m.name for m in netlist.modules]
+    modules = {m.name: m for m in netlist.modules}
+    cache = cache_context.subtree_shapes if cache_context is not None else None
+    return Representation(
+        name="polish",
+        initial=lambda rng: initial_expression(names, rng),
+        neighbor=lambda expr, rng: expr.random_neighbor(rng),
+        realize=lambda expr: evaluate_polish(
+            expr, modules, allow_rotation, cache=cache
+        ),
+    )
+
+
+def _sp_factory(
+    netlist: Netlist,
+    allow_rotation: bool,
+    cache_context: Optional[CacheContext],
+) -> Representation:
+    # Sequence-pair packing places modules at their given dimensions;
+    # rotation is a representation-level move it does not take, so
+    # ``allow_rotation`` and the cache context are unused.
+    modules = {m.name: m for m in netlist.modules}
+    return Representation(
+        name="sp",
+        initial=lambda rng: SequencePair.initial(list(modules), rng),
+        neighbor=lambda pair, rng: pair.random_neighbor(rng),
+        realize=lambda pair: pack_sequence_pair(pair, modules),
+    )
+
+
+def _btree_factory(
+    netlist: Netlist,
+    allow_rotation: bool,
+    cache_context: Optional[CacheContext],
+) -> Representation:
+    # B*-tree contour packing; rotation happens through the tree's own
+    # rotate move, so ``allow_rotation`` and the cache context are
+    # unused here too.
+    modules = {m.name: m for m in netlist.modules}
+    return Representation(
+        name="btree",
+        initial=lambda rng: BStarTree.initial(list(modules), rng),
+        neighbor=lambda tree, rng: tree.random_neighbor(rng),
+        realize=lambda tree: pack_btree(tree, modules),
+    )
+
+
+register_representation("polish", _polish_factory)
+register_representation("sp", _sp_factory)
+register_representation("btree", _btree_factory)

@@ -118,7 +118,7 @@ def run_experiment2(
     fine_costs: List[float] = []
     coarse_costs: List[float] = []
     for snap in snapshots:
-        floorplan = evaluate_polish(snap.expression, modules)
+        floorplan = evaluate_polish(snap.state, modules)
         ir_costs.append(snap.breakdown.congestion)
         fine_costs.append(fine.judge(floorplan, netlist))
         coarse_costs.append(coarse.judge(floorplan, netlist))

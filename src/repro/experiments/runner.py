@@ -13,13 +13,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.anneal import (
-    AnnealResult,
-    FloorplanAnnealer,
-    FloorplanObjective,
-)
+from repro.anneal import FloorplanObjective
 from repro.congestion import IrregularGridModel, JudgingModel
 from repro.congestion.base import CongestionModel
+from repro.engine import AnnealEngine, EngineResult
 from repro.experiments.config import ExperimentProfile, active_profile
 from repro.floorplan import Floorplan
 from repro.netlist import Netlist
@@ -42,7 +39,7 @@ class RunRecord:
     runtime_seconds: float
     judging_cost: float
     floorplan: Floorplan
-    result: AnnealResult
+    result: EngineResult
 
     @property
     def area_mm2(self) -> float:
@@ -64,22 +61,26 @@ def run_once(
     judging_grid_size: float = 10.0,
     congestion_model: Optional[CongestionModel] = None,
     on_snapshot: Optional[Callable] = None,
+    representation: str = "polish",
 ) -> RunRecord:
     """Anneal once and judge the result.
 
     ``congestion_model`` defaults to the objective's model; it is used
     only to (re)count IR-grids on the final floorplan for Table 4.
+    ``representation`` selects the engine's floorplan representation
+    (the paper's experiments use the default Polish expressions).
     """
     profile = profile or active_profile()
-    annealer = FloorplanAnnealer(
+    engine = AnnealEngine(
         netlist,
+        representation=representation,
         objective=objective,
         seed=seed,
         moves_per_temperature=profile.moves_per_temperature(netlist.n_modules),
         schedule=profile.schedule(),
     )
     start = time.perf_counter()
-    result = annealer.run(on_snapshot=on_snapshot)
+    result = engine.run(on_snapshot=on_snapshot)
     runtime = time.perf_counter() - start
     model = congestion_model or objective.congestion_model
     n_irgrids = 0

@@ -30,7 +30,6 @@ from repro.perf.cache import BoundedCache
 
 __all__ = [
     "SlicingNode",
-    "SUBTREE_SHAPE_CACHE",
     "build_slicing_tree",
     "evaluate_polish",
 ]
@@ -39,17 +38,19 @@ __all__ = [
 # operator and child lists always yields the same (immutable) result.
 # Annealing moves perturb a couple of tokens, so almost every subtree of
 # a candidate expression was already evaluated in a recent state -- the
-# memo turns the bottom-up Stockmeyer pass into mostly lookups.  Leaf
-# keys are grounded in the module objects themselves (frozen
-# dataclasses), so identically named modules with different dimensions
-# -- or rotation settings -- never collide.  Interior keys are
-# ``(op, left_id, right_id)`` over *interned* child ids (each cache
-# entry carries a unique id from ``_SUBTREE_IDS``) rather than nested
-# child keys: hashing a nested key would walk the whole subtree at
-# every level, turning the pass quadratic.  Ids are never reused, so
-# distinct subtrees can't collide; an evicted-and-reinterned subtree
-# merely strands its parents' old entries until they age out.
-SUBTREE_SHAPE_CACHE = BoundedCache(131_072, name="subtree_shapes")
+# ``cache`` argument (an engine-owned ``BoundedCache``, typically
+# ``CacheContext.subtree_shapes``) turns the bottom-up Stockmeyer pass
+# into mostly lookups.  Leaf keys are grounded in the module objects
+# themselves (frozen dataclasses), so identically named modules with
+# different dimensions -- or rotation settings -- never collide.
+# Interior keys are ``(op, left_id, right_id)`` over *interned* child
+# ids (each cache entry carries a unique id from ``_SUBTREE_IDS``)
+# rather than nested child keys: hashing a nested key would walk the
+# whole subtree at every level, turning the pass quadratic.  Ids come
+# from a process-wide counter and are never reused, so distinct
+# subtrees can't collide even across separate caches; an
+# evicted-and-reinterned subtree merely strands its parents' old
+# entries until they age out.
 _SUBTREE_IDS = itertools.count()
 
 
@@ -72,14 +73,14 @@ def build_slicing_tree(
     expression: PolishExpression,
     modules: Mapping[str, Module],
     allow_rotation: bool = True,
-    cache: Optional[BoundedCache] = SUBTREE_SHAPE_CACHE,
+    cache: Optional[BoundedCache] = None,
 ) -> SlicingNode:
     """Build the tree and compute every node's shape list bottom-up.
 
-    ``cache`` memoizes per-subtree shape lists (pass ``None`` to force
-    recomputation); cached or not, the lists are identical objects'
-    worth of identical values, so packing results do not depend on the
-    cache state.
+    ``cache`` memoizes per-subtree shape lists (the default ``None``
+    recomputes everything); cached or not, the lists are identical
+    objects' worth of identical values, so packing results do not
+    depend on the cache state.
     """
     if cache is None:
         stack: list[SlicingNode] = []
@@ -174,14 +175,14 @@ def evaluate_polish(
     expression: PolishExpression,
     modules: Mapping[str, Module],
     allow_rotation: bool = True,
-    cache: Optional[BoundedCache] = SUBTREE_SHAPE_CACHE,
+    cache: Optional[BoundedCache] = None,
 ) -> Floorplan:
     """Pack a Polish expression into the minimum-area floorplan.
 
     The chip outline is the chosen root shape (modules may leave
     whitespace inside it wherever a cut's two sides differ in extent).
-    ``cache`` is the subtree shape memo (``None`` disables it; the
-    packing is identical either way).
+    ``cache`` is the subtree shape memo (the default ``None`` disables
+    it; the packing is identical either way).
     """
     root = build_slicing_tree(expression, modules, allow_rotation, cache=cache)
     best = root.shapes.min_area_index()

@@ -40,7 +40,10 @@ def binomial(n: int, k: int) -> int:
     return _binomial_cached(n, min(k, n - k))
 
 
-@lru_cache(maxsize=None)
+# Bounded: (n, k) pairs with n <= _EXACT_CACHE_LIMIT number a few
+# thousand, so 65536 entries never evict in practice while still
+# capping worst-case memory for long-lived processes.
+@lru_cache(maxsize=65536)
 def _binomial_cached(n: int, k: int) -> int:
     return math.comb(n, k)
 

@@ -18,12 +18,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
-from repro.perf.cache import (
-    BoundedCache,
-    CacheStats,
-    cache_stats,
-    clear_all_caches,
-)
+from repro.perf.cache import BoundedCache, CacheStats
+from repro.perf.context import CacheContext, format_cache_stats
 
 __all__ = [
     "PhaseStat",
@@ -31,8 +27,8 @@ __all__ = [
     "NULL_RECORDER",
     "BoundedCache",
     "CacheStats",
-    "cache_stats",
-    "clear_all_caches",
+    "CacheContext",
+    "format_cache_stats",
 ]
 
 

@@ -5,21 +5,23 @@ accounting, bounded so day-long annealing runs cannot grow memory
 without limit.  It lives in :mod:`repro.perf` (the instrumentation
 layer, which imports nothing above it) so both the congestion stores
 and the floorplan packing memo can use it without import cycles.
-Instances registered with a ``name`` are reported fleet-wide by
-:func:`cache_stats` and emptied by :func:`clear_all_caches`.
+
+Instances are *not* registered anywhere global: every cache belongs to
+a :class:`~repro.perf.context.CacheContext` (or to whoever constructed
+it), so two annealing engines in one process never share cache state
+or accounting.  The ``name`` parameter is a pure label used by the
+owning context's report.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, NamedTuple, Optional
+from typing import Any, Hashable, NamedTuple, Optional
 
 __all__ = [
     "CacheStats",
     "BoundedCache",
-    "cache_stats",
-    "clear_all_caches",
 ]
 
 
@@ -42,15 +44,13 @@ class CacheStats(NamedTuple):
         return self.hits / total if total else 0.0
 
 
-_REGISTRY: Dict[str, "BoundedCache"] = {}
-
-
 class BoundedCache:
     """A thread-safe bounded LRU map with hit/miss accounting.
 
     ``get`` refreshes recency; inserting beyond ``maxsize`` evicts the
-    least-recently-used entry.  Passing ``name`` registers the instance
-    in the module registry consumed by :func:`cache_stats`.
+    least-recently-used entry.  ``name`` is a display label for the
+    owning :class:`~repro.perf.context.CacheContext`'s report; it
+    carries no registration side effect.
     """
 
     def __init__(self, maxsize: int, name: Optional[str] = None):
@@ -63,10 +63,6 @@ class BoundedCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
-        if name is not None:
-            if name in _REGISTRY:
-                raise ValueError(f"cache name {name!r} already registered")
-            _REGISTRY[name] = self
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (refreshing its recency) or ``default``.
@@ -178,14 +174,3 @@ class BoundedCache:
             f"BoundedCache{label}({s.size}/{s.maxsize}, hits={s.hits}, "
             f"misses={s.misses})"
         )
-
-
-def cache_stats() -> Dict[str, CacheStats]:
-    """Stats of every named cache, keyed by registry name."""
-    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
-
-
-def clear_all_caches() -> None:
-    """Empty every registered cache and reset its accounting."""
-    for cache in _REGISTRY.values():
-        cache.clear()

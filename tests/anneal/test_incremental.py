@@ -12,9 +12,10 @@ import random
 
 import pytest
 
-from repro.anneal import FloorplanAnnealer, FloorplanObjective
+from repro.anneal import FloorplanObjective
 from repro.anneal.schedule import GeometricSchedule
-from repro.congestion import IrregularGridModel, clear_all_caches
+from repro.congestion import IrregularGridModel
+from repro.engine import AnnealEngine
 from repro.floorplan import initial_expression
 from repro.netlist import random_circuit
 from repro.perf import PerfRecorder
@@ -53,13 +54,6 @@ def _pair(netlist, grid, gamma=1.0, strict=False):
         incremental=False,
     )
     return fast, full
-
-
-@pytest.fixture(autouse=True)
-def _fresh_caches():
-    clear_all_caches()
-    yield
-    clear_all_caches()
 
 
 class TestDeltaAgreement:
@@ -154,14 +148,14 @@ class TestStrictMode:
             incremental=True,
             strict_incremental=True,
         )
-        annealer = FloorplanAnnealer(
+        engine = AnnealEngine(
             netlist,
             objective=objective,
             seed=9,
             moves_per_temperature=8,
             schedule=GeometricSchedule(cooling_rate=0.5, freeze_ratio=0.1),
         )
-        result = annealer.run()
+        result = engine.run()
         assert result.n_moves > 0
 
 
@@ -185,7 +179,7 @@ class TestPerfCounters:
         assert "pin_assignment" in perf.timers
         assert "congestion" in perf.timers
 
-    def test_annealer_reports_incremental_counters(self):
+    def test_engine_reports_incremental_counters(self):
         netlist = random_circuit(8, 20, seed=11)
         grid = max(math.sqrt(netlist.total_module_area) / 20.0, 1e-6)
         objective = FloorplanObjective(
@@ -196,14 +190,14 @@ class TestPerfCounters:
             congestion_model=IrregularGridModel(grid),
             incremental=True,
         )
-        annealer = FloorplanAnnealer(
+        engine = AnnealEngine(
             netlist,
             objective=objective,
             seed=11,
             moves_per_temperature=8,
             schedule=GeometricSchedule(cooling_rate=0.5, freeze_ratio=0.1),
         )
-        result = annealer.run()
+        result = engine.run()
         assert result.perf.counters.get("eval_delta", 0) > 0
         assert result.perf.counters.get("evaluations", 0) > 0
         assert result.moves_per_second > 0

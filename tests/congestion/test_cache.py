@@ -6,16 +6,12 @@ import threading
 import numpy as np
 import pytest
 
-from repro.congestion import (
-    IrregularGridModel,
-    cache_stats,
-    clear_all_caches,
-)
+from repro.congestion import IrregularGridModel
 from repro.congestion.batched import (
     batched_approx_mass,
     batched_approx_mass_arrays,
 )
-from repro.congestion.cache import NET_MASS_CACHE, BoundedCache
+from repro.congestion.cache import BoundedCache, CacheContext
 from repro.congestion.irgrid import build_irgrid, build_irgrid_arrays
 from repro.floorplan import evaluate_polish, initial_expression
 from repro.netlist import nets_to_arrays, random_circuit
@@ -86,14 +82,26 @@ class TestBoundedCache:
         with pytest.raises(ValueError):
             BoundedCache(0)
 
-    def test_duplicate_registry_name_rejected(self):
-        with pytest.raises(ValueError):
-            BoundedCache(4, name="net_mass")
-
-    def test_registry_exposes_default_caches(self):
-        stats = cache_stats()
+    def test_context_exposes_default_caches(self):
+        stats = CacheContext().stats()
         assert "net_mass" in stats
         assert "exact_prob" in stats
+        assert "net_matrix" in stats
+        assert "subtree_shapes" in stats
+
+    def test_context_rejects_duplicate_register(self):
+        ctx = CacheContext()
+        with pytest.raises(ValueError):
+            ctx.register("net_mass", BoundedCache(4))
+
+    def test_contexts_are_independent(self):
+        a = CacheContext()
+        b = CacheContext()
+        a.net_mass.put("k", 1)
+        assert b.net_mass.get("k") is None
+        assert a.stats()["net_mass"].size == 1
+        assert b.stats()["net_mass"].size == 0
+        assert b.stats()["net_mass"].misses == 1
 
     def test_thread_smoke(self):
         cache = BoundedCache(128)
@@ -165,7 +173,7 @@ class TestCachedPathParity:
         chip, nets, grid = _placed_nets(5)
         arr = nets_to_arrays(nets)
         for use_cache in (False, True):
-            clear_all_caches()
+            # A fresh model owns a fresh (empty) private CacheContext.
             model = IrregularGridModel(grid, use_cache=use_cache)
             assert model.estimate(chip, nets) == model.estimate_arrays(
                 chip, arr
@@ -173,7 +181,6 @@ class TestCachedPathParity:
 
     def test_model_cached_equals_uncached(self):
         chip, nets, grid = _placed_nets(7)
-        clear_all_caches()
         cached = IrregularGridModel(grid, use_cache=True)
         uncached = IrregularGridModel(grid, use_cache=False)
         a = cached.estimate(chip, nets)
@@ -181,6 +188,19 @@ class TestCachedPathParity:
         again = cached.estimate(chip, nets)
         assert a == b
         assert again == b
-        s = NET_MASS_CACHE.stats()
+        s = cached.cache_context.net_mass.stats()
         assert s.hits > 0
-        clear_all_caches()
+        assert uncached.cache_context is None
+
+    def test_two_models_never_share_cache_state(self):
+        chip, nets, grid = _placed_nets(9)
+        first = IrregularGridModel(grid, use_cache=True)
+        second = IrregularGridModel(grid, use_cache=True)
+        first.estimate(chip, nets)
+        assert first.cache_context is not None
+        assert second.cache_context is None  # lazily created on first use
+        second.estimate(chip, nets)
+        assert second.cache_context is not first.cache_context
+        # The second model's warm-up saw only misses: nothing leaked over.
+        assert second.cache_context.net_mass.stats().hits == 0
+        assert first.cache_context.net_mass.stats().size > 0
