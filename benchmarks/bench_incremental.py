@@ -33,7 +33,6 @@ enough for CI.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 import time
@@ -45,6 +44,7 @@ from repro.anneal import FloorplanObjective  # noqa: E402
 from repro.anneal.schedule import GeometricSchedule  # noqa: E402
 from repro.congestion import IrregularGridModel  # noqa: E402
 from repro.engine import AnnealEngine  # noqa: E402
+from repro.ioutil import atomic_write_json  # noqa: E402
 from repro.netlist import random_circuit  # noqa: E402
 
 
@@ -193,7 +193,7 @@ def main(argv=None) -> int:
     if out is None and not args.smoke:
         out = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
     if out is not None:
-        out.write_text(json.dumps(payload, indent=2) + "\n")
+        atomic_write_json(out, payload)
         print(f"wrote {out}")
 
     failures = []

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Multi-start determinism smoke test (CI).
+"""Multi-start determinism + supervision smoke test (CI).
 
 Runs a small synthetic circuit through :class:`MultiStartEngine` twice
 with the same seeds -- once sequentially (``workers=1``) and once over a
@@ -9,7 +9,15 @@ fresh :class:`CacheContext` and caches are value-transparent, the pool
 must not change any result; a divergence means shared mutable state
 leaked between restarts.
 
-Exits non-zero on any mismatch.  Cheap enough for CI (a few seconds).
+With ``--inject-crash``, the pooled run's first restart is killed with
+``os._exit`` on its first attempt (via the deterministic fault harness
+in :mod:`repro.testing.faults`); the supervisor must retry it, every
+restart must still deliver the sequential run's exact costs, and the
+crash must appear in the restart's :class:`RunReport`.
+
+Exits non-zero on any mismatch.  ``--out`` writes a JSON summary
+(atomically -- a killed run never leaves a truncated file).  Cheap
+enough for CI (a few seconds).
 """
 
 from __future__ import annotations
@@ -21,22 +29,38 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine import MultiStartEngine, ObjectiveSpec  # noqa: E402
+from repro.ioutil import atomic_write_json  # noqa: E402
 from repro.netlist import random_circuit  # noqa: E402
+from repro.testing import FaultSpec  # noqa: E402
 
 
-def run_smoke(representation: str, restarts: int, workers: int) -> int:
+def run_smoke(
+    representation: str,
+    restarts: int,
+    workers: int,
+    inject_crash: bool = False,
+    out: Path | None = None,
+) -> int:
     netlist = random_circuit(10, 24, seed=3)
     spec = ObjectiveSpec(alpha=1.0, beta=1.0, gamma=0.0, pin_grid_size=30.0)
+    first_seed = 11
+    fault = (
+        FaultSpec(kind="crash", seed=first_seed, attempt=0, mode="pool")
+        if inject_crash
+        else None
+    )
 
     def engine(n_workers: int) -> MultiStartEngine:
         return MultiStartEngine(
             netlist,
             representation=representation,
             restarts=restarts,
-            seed=11,
+            seed=first_seed,
             objective_spec=spec,
             moves_per_temperature=30,
             workers=n_workers,
+            inject_fault=fault if n_workers > 1 else None,
+            retry_backoff=0.0,
         )
 
     sequential = engine(1).run()
@@ -59,6 +83,45 @@ def run_smoke(representation: str, restarts: int, workers: int) -> int:
         failures.append("best cost differs between workers=1 and pool")
     if len({r.seed for r in sequential.results}) != restarts:
         failures.append("restart seeds are not distinct")
+    if inject_crash:
+        crashed = [
+            rep
+            for rep in pooled.reports
+            if any(f.kind == "crash" for f in rep.failures)
+        ]
+        if not crashed:
+            failures.append(
+                "injected crash left no crash entry in any RunReport"
+            )
+        else:
+            for rep in crashed:
+                print(f"supervised: {rep.summary()}")
+        if any(rep.status != "ok" for rep in pooled.reports):
+            failures.append(
+                "a restart did not recover from the injected crash: "
+                + "; ".join(r.summary() for r in pooled.reports)
+            )
+
+    if out is not None:
+        atomic_write_json(
+            out,
+            {
+                "representation": representation,
+                "restarts": restarts,
+                "workers": workers,
+                "inject_crash": inject_crash,
+                "sequential_costs": seq_costs,
+                "pooled_costs": pool_costs,
+                "best_seed": sequential.best.seed,
+                "best_cost": sequential.best.cost,
+                "pool_rebuilds": pooled.pool_rebuilds,
+                "degraded": pooled.degraded,
+                "reports": [r.summary() for r in pooled.reports],
+                "ok": not failures,
+                "failures": failures,
+            },
+        )
+        print(f"wrote {out}")
 
     if failures:
         for f in failures:
@@ -68,6 +131,7 @@ def run_smoke(representation: str, restarts: int, workers: int) -> int:
         f"OK: {restarts} restarts x {representation!r} deterministic across "
         f"{workers} workers; best seed {sequential.best.seed} "
         f"cost {sequential.best.cost:.12g}"
+        + (" (injected crash supervised)" if inject_crash else "")
     )
     return 0
 
@@ -78,8 +142,26 @@ def main(argv=None) -> int:
                         choices=("polish", "sp", "btree"))
     parser.add_argument("--restarts", type=int, default=2)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--inject-crash",
+        action="store_true",
+        help="kill the pooled run's first restart on attempt 0 and "
+        "require supervised recovery with identical results",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write a JSON summary here (atomic write-temp-then-rename)",
+    )
     args = parser.parse_args(argv)
-    return run_smoke(args.representation, args.restarts, args.workers)
+    return run_smoke(
+        args.representation,
+        args.restarts,
+        args.workers,
+        inject_crash=args.inject_crash,
+        out=args.out,
+    )
 
 
 if __name__ == "__main__":

@@ -68,14 +68,26 @@ from repro.anneal import (
 from repro.engine import (
     AnnealEngine,
     CacheContext,
+    Checkpoint,
     EngineResult,
     MultiStartEngine,
     MultiStartResult,
     ObjectiveSpec,
     Representation,
+    RunControl,
+    RunReport,
     available_representations,
+    install_signal_handlers,
+    load_checkpoint,
     make_representation,
     register_representation,
+    save_checkpoint,
+)
+from repro.errors import (
+    CheckpointError,
+    NetlistValidationError,
+    ReproError,
+    WorkerFailure,
 )
 
 __version__ = "1.0.0"
@@ -137,4 +149,16 @@ __all__ = [
     "available_representations",
     "make_representation",
     "register_representation",
+    # fault tolerance
+    "Checkpoint",
+    "RunControl",
+    "RunReport",
+    "install_signal_handlers",
+    "load_checkpoint",
+    "save_checkpoint",
+    # errors
+    "ReproError",
+    "NetlistValidationError",
+    "CheckpointError",
+    "WorkerFailure",
 ]

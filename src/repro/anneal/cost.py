@@ -213,6 +213,22 @@ class FloorplanObjective:
 
     # -- calibration ----------------------------------------------------
 
+    @property
+    def norms(self) -> tuple:
+        """The ``(area, wirelength, congestion)`` normalization
+        constants currently in force (1.0 each before calibration)."""
+        agg = self._pipeline.aggregator
+        return (agg.area_norm, agg.wl_norm, agg.cgt_norm)
+
+    def set_norms(self, area: float, wl: float, cgt: float) -> None:
+        """Reinstate previously calibrated normalization constants.
+
+        Checkpoint resume uses this instead of :meth:`calibrate`: cost
+        continuity across the resume boundary requires the *same* norms
+        the interrupted run used, not a fresh sample.
+        """
+        self._pipeline.aggregator.set_norms(area, wl, cgt)
+
     def calibrate(self, seed: int = 0, samples: int = 10) -> None:
         """Set normalization constants from random floorplans.
 

@@ -12,6 +12,19 @@ functions:
 
 and gets back the same result/snapshot protocol the experiments
 consume.
+
+Fault tolerance: the loop optionally runs under a
+:class:`~repro.engine.control.RunControl`, which it polls once per
+move.  A requested stop (signal, deadline, supervisor) exits at the
+next move boundary with the best-so-far result and ``stop_reason``
+set; configured checkpoints are written at temperature-step boundaries
+and on stop.  Passing a
+:class:`~repro.engine.checkpoint.LoopState` as ``resume`` continues a
+checkpointed run bit-identically: the RNG stream is restored verbatim,
+the objective's calibration constants are reinstated, and the current
+state is re-evaluated once (full evaluation reproduces the delta
+path's numbers exactly -- see :mod:`repro.engine.checkpoint`) to warm
+the incremental pipeline before the loop picks up where it left off.
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ from typing import Callable, Generic, List, Optional, TypeVar
 
 from repro.anneal.cost import CostBreakdown, FloorplanObjective
 from repro.anneal.schedule import GeometricSchedule, initial_temperature
+from repro.errors import CheckpointError
 from repro.floorplan import Floorplan
 from repro.perf import PerfRecorder
 
@@ -46,7 +60,15 @@ class Snapshot(Generic[State]):
 
 @dataclass
 class Result(Generic[State]):
-    """A finished annealing run over any representation."""
+    """A finished annealing run over any representation.
+
+    ``completed`` is False when the run wound down early on a
+    cooperative stop; ``stop_reason`` then names the cause
+    (``"signal"`` / ``"deadline"`` / ``"stop"``).  ``rng_state`` is the
+    RNG's final state -- two runs that consumed identical random
+    streams (e.g. an uninterrupted run and its crash+resume twin)
+    finish with equal states.
+    """
 
     floorplan: Floorplan
     state: State
@@ -56,6 +78,9 @@ class Result(Generic[State]):
     n_accepted: int = 0
     runtime_seconds: float = 0.0
     perf: Optional[PerfRecorder] = None
+    completed: bool = True
+    stop_reason: Optional[str] = None
+    rng_state: Optional[object] = None
 
     @property
     def cost(self) -> float:
@@ -78,6 +103,8 @@ def anneal(
     temperature_samples: int = 30,
     on_snapshot: Optional[Callable[[Snapshot], None]] = None,
     perf: Optional[PerfRecorder] = None,
+    control=None,
+    resume=None,
 ) -> Result:
     """Run one full annealing schedule over an arbitrary representation.
 
@@ -85,19 +112,23 @@ def anneal(
     congestion model, collects the per-phase breakdown of the whole run
     (packing / pin assignment / IR-grid build / mass evaluation /
     scoring), and comes back on :attr:`Result.perf`.
+
+    ``control`` (a :class:`~repro.engine.control.RunControl`) enables
+    cooperative stop, deadlines, and checkpointing; ``resume`` (a
+    :class:`~repro.engine.checkpoint.LoopState`) continues a
+    checkpointed run instead of starting fresh (``seed`` and
+    ``calibrate`` are then ignored -- the restored RNG state and norms
+    take over).
     """
     if moves_per_temperature < 1:
         raise ValueError("moves_per_temperature must be >= 1")
     schedule = schedule or GeometricSchedule()
     start_time = time.perf_counter()
-    rng = random.Random(seed)
     perf = perf or PerfRecorder()
     objective.perf = perf
     model = getattr(objective, "congestion_model", None)
     if model is not None and hasattr(model, "perf"):
         model.perf = perf
-    if calibrate:
-        objective.calibrate(seed=seed)
 
     def evaluate(state: State) -> CostBreakdown:
         with perf.timeit("packing"):
@@ -105,26 +136,89 @@ def anneal(
         perf.count("evaluations")
         return objective.evaluate_floorplan(floorplan)
 
-    current = initial(rng)
-    current_eval = evaluate(current)
-    objective.commit()
-    best, best_eval = current, current_eval
-
-    # Sample uphill deltas along a random walk to size T0.
-    deltas = []
-    walk, walk_cost = current, current_eval.cost
-    for _ in range(temperature_samples):
-        step_state = neighbor(walk, rng)
-        step_eval = evaluate(step_state)
+    if resume is not None:
+        rng = random.Random()
+        rng.setstate(resume.rng_state)
+        objective.set_norms(*resume.norms)
+        t0 = resume.t0
+        current = resume.current
+        # One full evaluation rebuilds the incremental pipeline's
+        # committed state; it reproduces the checkpointed numbers
+        # exactly (full and delta paths agree -- see module docstring),
+        # so the continuation is bit-identical.
+        check = evaluate(current)
         objective.commit()
-        deltas.append(step_eval.cost - walk_cost)
-        walk, walk_cost = step_state, step_eval.cost
-    t0 = initial_temperature(deltas)
+        if not math.isclose(
+            check.cost, resume.current_eval.cost, rel_tol=1e-9, abs_tol=1e-9
+        ):
+            raise CheckpointError(
+                f"checkpoint does not match this objective/netlist: "
+                f"re-evaluated cost {check.cost!r} vs checkpointed "
+                f"{resume.current_eval.cost!r}"
+            )
+        current_eval = resume.current_eval
+        best, best_eval = resume.best, resume.best_eval
+        snapshots: List[Snapshot] = list(resume.snapshots)
+        n_moves, n_accepted = resume.n_moves, resume.n_accepted
+        start_step, start_move = resume.step, resume.move
+        prior_elapsed = resume.elapsed_seconds
+    else:
+        rng = random.Random(seed)
+        if calibrate:
+            objective.calibrate(seed=seed)
+        current = initial(rng)
+        current_eval = evaluate(current)
+        objective.commit()
+        best, best_eval = current, current_eval
 
-    snapshots: List[Snapshot] = []
-    n_moves = n_accepted = 0
+        # Sample uphill deltas along a random walk to size T0.
+        deltas = []
+        walk, walk_cost = current, current_eval.cost
+        for _ in range(temperature_samples):
+            step_state = neighbor(walk, rng)
+            step_eval = evaluate(step_state)
+            objective.commit()
+            deltas.append(step_eval.cost - walk_cost)
+            walk, walk_cost = step_state, step_eval.cost
+        t0 = initial_temperature(deltas)
+
+        snapshots = []
+        n_moves = n_accepted = 0
+        start_step = start_move = 0
+        prior_elapsed = 0.0
+
+    def capture(next_step: int, next_move: int):
+        """Freeze the loop for a checkpoint (lazy import: the engine
+        layer sits above this module)."""
+        from repro.engine.checkpoint import LoopState
+
+        return LoopState(
+            step=next_step,
+            move=next_move,
+            t0=t0,
+            rng_state=rng.getstate(),
+            current=current,
+            current_eval=current_eval,
+            best=best,
+            best_eval=best_eval,
+            n_moves=n_moves,
+            n_accepted=n_accepted,
+            snapshots=list(snapshots),
+            elapsed_seconds=prior_elapsed
+            + (time.perf_counter() - start_time),
+            norms=objective.norms,
+        )
+
+    stop_reason: Optional[str] = None
     for step, temperature in enumerate(schedule.temperatures(t0)):
-        for _ in range(moves_per_temperature):
+        if step < start_step:
+            continue
+        move_start = start_move if step == start_step else 0
+        for move_i in range(move_start, moves_per_temperature):
+            if control is not None:
+                stop_reason = control.should_stop()
+                if stop_reason is not None:
+                    break
             candidate = neighbor(current, rng)
             if candidate == current:
                 continue
@@ -141,6 +235,12 @@ def anneal(
                 # Roll the incremental evaluator back to the accepted
                 # state so the next delta carries one move's dirt.
                 objective.reject()
+        if stop_reason is not None:
+            # Graceful wind-down: persist the exact mid-step position
+            # (move_i never ran) so resume continues seamlessly.
+            if control is not None:
+                control.write_checkpoint(capture(step, move_i))
+            break
         snapshot = Snapshot(
             step=step,
             temperature=temperature,
@@ -152,6 +252,13 @@ def anneal(
         snapshots.append(snapshot)
         if on_snapshot is not None:
             on_snapshot(snapshot)
+        if control is not None and control.checkpoint_due(step + 1):
+            control.write_checkpoint(capture(step + 1, 0))
+
+    if stop_reason is None and control is not None:
+        # Completion checkpoint: a post-run death loses nothing, and
+        # resuming a finished run returns its result immediately.
+        control.write_checkpoint(capture(schedule.max_steps + 1, 0))
 
     return Result(
         floorplan=realize(best),
@@ -160,6 +267,9 @@ def anneal(
         snapshots=snapshots,
         n_moves=n_moves,
         n_accepted=n_accepted,
-        runtime_seconds=time.perf_counter() - start_time,
+        runtime_seconds=prior_elapsed + (time.perf_counter() - start_time),
         perf=perf,
+        completed=stop_reason is None,
+        stop_reason=stop_reason,
+        rng_state=rng.getstate(),
     )

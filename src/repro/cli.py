@@ -100,6 +100,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the dirty-net delta path and per-net congestion "
         "memoization (the always-from-scratch evaluator)",
     )
+    fp.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="write atomic checkpoints to this file during annealing "
+        "(single-run only); resume later with --resume",
+    )
+    fp.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="STEPS",
+        help="temperature steps between checkpoints (default 1)",
+    )
+    fp.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        help="continue an interrupted run from its checkpoint file "
+        "(bit-identical to the uninterrupted run; the checkpoint's "
+        "circuit and configuration are used)",
+    )
+    fp.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; the run stops gracefully with "
+        "best-so-far (and a final checkpoint, if configured) when it "
+        "expires",
+    )
     fp.add_argument("--render", action="store_true", help="print an ASCII floorplan")
     fp.add_argument("--svg", type=Path, default=None, help="write an SVG rendering")
     fp.add_argument(
@@ -213,7 +244,19 @@ def _cmd_floorplan(args) -> int:
         raise SystemExit("error: --restarts must be >= 1")
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
+    if args.checkpoint_every < 1:
+        raise SystemExit("error: --checkpoint-every must be >= 1")
+    fault_tolerant = (
+        args.checkpoint is not None
+        or args.resume is not None
+        or args.deadline is not None
+    )
     if args.restarts > 1:
+        if args.checkpoint is not None or args.resume is not None:
+            raise SystemExit(
+                "error: --checkpoint/--resume support single runs only "
+                "(--restarts 1)"
+            )
         result, judging_cost = _run_multistart(args, netlist, grid_size, incremental)
         floorplan = result.floorplan
         b = result.breakdown
@@ -223,6 +266,25 @@ def _cmd_floorplan(args) -> int:
             f"area {b.area / 1e6:.4g} mm^2, "
             f"wirelength {b.wirelength:.0f} um, congestion {b.congestion:.4g}, "
             f"judge {judging_cost:.4g}, {result.runtime_seconds:.1f} s"
+        )
+        perf = result.perf
+        moves_per_second = result.moves_per_second
+        n_moves = result.n_moves
+        cache_stats = result.cache_stats
+    elif fault_tolerant:
+        result, judging_cost, netlist = _run_single_controlled(
+            args, netlist, grid_size, incremental
+        )
+        floorplan = result.floorplan
+        b = result.breakdown
+        status = (
+            "" if result.completed else f", stopped early ({result.stop_reason})"
+        )
+        print(
+            f"{netlist.name} [{result.representation}, seed {result.seed}]: "
+            f"area {b.area / 1e6:.4g} mm^2, "
+            f"wirelength {b.wirelength:.0f} um, congestion {b.congestion:.4g}, "
+            f"judge {judging_cost:.4g}, {result.runtime_seconds:.1f} s{status}"
         )
         perf = result.perf
         moves_per_second = result.moves_per_second
@@ -289,12 +351,10 @@ def _build_objective(args, netlist, grid_size, incremental) -> FloorplanObjectiv
     )
 
 
-def _run_multistart(args, netlist, grid_size, incremental):
-    from repro.engine import MultiStartEngine, ObjectiveSpec
-    from repro.experiments.runner import judge_floorplan
+def _objective_spec(args, grid_size, incremental):
+    from repro.engine import ObjectiveSpec
 
-    profile = active_profile()
-    spec = ObjectiveSpec(
+    return ObjectiveSpec(
         alpha=1.0,
         beta=1.0,
         gamma=args.gamma,
@@ -302,19 +362,83 @@ def _run_multistart(args, netlist, grid_size, incremental):
         pin_grid_size=grid_size if args.gamma <= 0 else None,
         incremental=incremental,
     )
+
+
+def _run_single_controlled(args, netlist, grid_size, incremental):
+    """One annealing run under a RunControl: checkpointing, resume,
+    deadline, and graceful Ctrl-C."""
+    from repro.engine import AnnealEngine, RunControl, install_signal_handlers
+    from repro.experiments.runner import judge_floorplan
+
+    checkpoint_path = args.checkpoint
+    if args.resume is not None and checkpoint_path is None:
+        # Resuming without an explicit --checkpoint keeps checkpointing
+        # into the same file, so a resumed run is itself resumable.
+        checkpoint_path = args.resume
+    control = RunControl(
+        deadline_seconds=args.deadline,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if args.resume is not None:
+        engine = AnnealEngine.resume(args.resume)
+        netlist = engine.netlist
+        print(f"resuming from {args.resume}")
+    else:
+        profile = active_profile()
+        engine = AnnealEngine(
+            netlist,
+            representation=args.representation,
+            objective_spec=_objective_spec(args, grid_size, incremental),
+            seed=args.seed,
+            moves_per_temperature=profile.moves_per_temperature(
+                netlist.n_modules
+            ),
+            schedule=profile.schedule(),
+        )
+    with install_signal_handlers(control):
+        result = engine.run(control=control)
+    if control.checkpoints_written:
+        print(
+            f"wrote {control.checkpoints_written} checkpoint(s) to "
+            f"{control.checkpoint_path}"
+        )
+    judging_cost = judge_floorplan(result.floorplan, netlist, 10.0)
+    return result, judging_cost, netlist
+
+
+def _run_multistart(args, netlist, grid_size, incremental):
+    from repro.engine import (
+        MultiStartEngine,
+        RunControl,
+        install_signal_handlers,
+    )
+    from repro.experiments.runner import judge_floorplan
+
+    profile = active_profile()
     multi = MultiStartEngine(
         netlist,
         representation=args.representation,
         restarts=args.restarts,
         seed=args.seed,
-        objective_spec=spec,
+        objective_spec=_objective_spec(args, grid_size, incremental),
         moves_per_temperature=profile.moves_per_temperature(netlist.n_modules),
         schedule=profile.schedule(),
         workers=args.workers,
     )
-    outcome = multi.run()
+    control = RunControl(deadline_seconds=args.deadline)
+    with install_signal_handlers(control):
+        outcome = multi.run(control=control)
     costs = ", ".join(f"{r.seed}: {r.cost:.4g}" for r in outcome.results)
     print(f"restart costs ({outcome.workers} worker(s)): {costs}")
+    for report in outcome.reports:
+        if report.failures or report.status != "ok":
+            print(f"  {report.summary()}")
+    if outcome.degraded:
+        print(
+            f"  (pool unhealthy after {outcome.pool_rebuilds} rebuild(s); "
+            f"remaining restarts ran sequentially)"
+        )
     judging_cost = judge_floorplan(outcome.best.floorplan, netlist, 10.0)
     return outcome.best, judging_cost
 

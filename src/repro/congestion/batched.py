@@ -430,6 +430,15 @@ def batched_approx_mass_arrays(
             # cannot be trusted to an empty integral.
             invalid |= compute & (y2 + 1.0 >= gg2) & (x2 + 1.0 >= gg1)
 
+        # Theorem 1's normal approximation is not trusted to stay
+        # finite for every input (degenerate variance, overflow in the
+        # density): a NaN/inf cell is rerouted to the exact Formula 3
+        # fallback instead of being clipped into plausible garbage.
+        non_finite = ~np.isfinite(prob)
+        if non_finite.any():
+            prob[non_finite] = 0.0
+            invalid |= non_finite
+
         prob = np.clip(prob, 0.0, 1.0)
         prob[pin] = 1.0
 

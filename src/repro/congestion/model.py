@@ -37,13 +37,28 @@ from repro.congestion.cache import CacheContext
 from repro.congestion.exact_ir import exact_ir_probability
 from repro.congestion.irgrid import IRGrid, build_irgrid, build_irgrid_arrays
 from repro.congestion.vectorized import approx_ir_matrix, exact_ir_matrix
-from repro.geometry import Rect
+from repro.geometry import Point, Rect
 from repro.netlist import NetType, TwoPinNet
 from repro.perf import NULL_RECORDER
 
 __all__ = ["IrregularGridModel"]
 
 _METHODS = ("approx", "exact")
+
+
+def _nets_from_arrays(arr) -> List[TwoPinNet]:
+    """Materialize :class:`TwoPinNet` objects from edge arrays (the
+    exact-rescue path only -- the hot path never builds objects)."""
+    p1x, p1y, p2x, p2y, weights = arr
+    return [
+        TwoPinNet(
+            name=f"edge{k}",
+            p1=Point(float(p1x[k]), float(p1y[k])),
+            p2=Point(float(p2x[k]), float(p2y[k])),
+            weight=float(weights[k]),
+        )
+        for k in range(len(p1x))
+    ]
 
 
 class IrregularGridModel(CongestionModel):
@@ -110,6 +125,7 @@ class IrregularGridModel(CongestionModel):
         self.use_cache = bool(use_cache)
         self.cache_context = cache_context
         self.perf = NULL_RECORDER
+        self._exact_twin_model: Optional["IrregularGridModel"] = None
 
     def _context(self) -> Optional[CacheContext]:
         """The cache fleet to memoize into, or ``None`` when disabled.
@@ -195,6 +211,8 @@ class IrregularGridModel(CongestionModel):
                 cache=ctx.net_mass if ctx else None,
                 exact_cache=ctx.exact_prob if ctx else None,
             )
+            if not np.isfinite(mass).all():
+                mass = self._exact_rescue(irgrid, _nets_from_arrays(arr))
         return self._score_mass(irgrid, mass)
 
     def _score_mass(self, irgrid: IRGrid, mass: np.ndarray) -> float:
@@ -227,7 +245,7 @@ class IrregularGridModel(CongestionModel):
         """Congestion mass per IR-cell, shape ``(n_columns, n_rows)``."""
         if self.method == "approx":
             ctx = self._context()
-            return batched_approx_mass(
+            mass = batched_approx_mass(
                 irgrid,
                 nets,
                 self.grid_size,
@@ -236,10 +254,38 @@ class IrregularGridModel(CongestionModel):
                 cache=ctx.net_mass if ctx else None,
                 exact_cache=ctx.exact_prob if ctx else None,
             )
+            if not np.isfinite(mass).all():
+                mass = self._exact_rescue(irgrid, nets)
+            return mass
         mass = np.zeros((irgrid.n_columns, irgrid.n_rows))
         for net in nets:
             self._add_net(irgrid, net, mass)
         return mass
+
+    def _exact_rescue(
+        self, irgrid: IRGrid, nets: Sequence[TwoPinNet]
+    ) -> np.ndarray:
+        """Recompute a non-finite mass array with the exact model.
+
+        The last line of NaN/inf defense: the cell-level guards already
+        reroute individual failed approximations to Formula 3, so a
+        non-finite *mass* means something upstream is feeding the
+        kernel garbage the guards cannot see.  The whole floorplan is
+        re-evaluated exactly (cache-free -- the twin must not launder
+        poisoned entries back in), which is slow but always finite, and
+        the rescue is counted so tests and perf reports can see it
+        fired.
+        """
+        self.perf.count("congestion_exact_rescue")
+        if self._exact_twin_model is None:
+            self._exact_twin_model = IrregularGridModel(
+                self.grid_size,
+                merge_factor=self.merge_factor,
+                method="exact",
+                top_fraction=self.top_fraction,
+                use_cache=False,
+            )
+        return self._exact_twin_model._mass_array(irgrid, nets)
 
     def _add_net(
         self,
@@ -305,6 +351,9 @@ class IrregularGridModel(CongestionModel):
                 panels=self.panels,
                 paper_bounds=self.paper_bounds,
             )
+            # A non-finite probability is a failed approximation the
+            # domain guards missed; send it to the exact fallback too.
+            invalid = invalid | ~np.isfinite(probs)
             if invalid.any():
                 # Section 4.5: the approximation fails only next to the
                 # pins; the exact boundary sum there is short and valid.

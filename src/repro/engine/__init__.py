@@ -19,13 +19,29 @@ One engine, four layers:
 The historical per-representation annealer classes in
 :mod:`repro.anneal` remain as deprecated shims over
 :class:`AnnealEngine`.
+
+Fault tolerance rides on top of all four layers:
+:class:`~repro.engine.control.RunControl` (cooperative stop, deadline,
+checkpoint policy) with :func:`~repro.engine.control.install_signal_handlers`
+for SIGINT/SIGTERM, atomic checkpoints and bit-identical
+:meth:`AnnealEngine.resume` (:mod:`repro.engine.checkpoint`), and the
+multistart supervisor's per-restart :class:`RunReport` ledger.
 """
 
+from repro.engine.checkpoint import (
+    Checkpoint,
+    LoopState,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.engine.control import RunControl, install_signal_handlers
 from repro.engine.engine import AnnealEngine, EngineResult, ObjectiveFactory
 from repro.engine.multistart import (
     MultiStartEngine,
     MultiStartResult,
     ObjectiveSpec,
+    RestartFailure,
+    RunReport,
 )
 from repro.engine.representation import (
     Representation,
@@ -43,10 +59,18 @@ __all__ = [
     "MultiStartEngine",
     "MultiStartResult",
     "ObjectiveSpec",
+    "RestartFailure",
+    "RunReport",
     "Representation",
     "RepresentationFactory",
     "available_representations",
     "make_representation",
     "register_representation",
     "CacheContext",
+    "RunControl",
+    "install_signal_handlers",
+    "Checkpoint",
+    "LoopState",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

@@ -1,0 +1,165 @@
+"""Atomic annealing checkpoints and bit-identical resume.
+
+A checkpoint is everything needed to continue an annealing run as if it
+had never stopped:
+
+* the **loop position** -- temperature-step index and the next move
+  index within the step;
+* the **RNG state** -- ``random.Random.getstate()``, so the resumed
+  run consumes the exact same random stream the uninterrupted run
+  would have;
+* the **search state** -- current and best representation states with
+  their cost breakdowns, plus ``t0`` and the objective's calibrated
+  normalization constants (cost continuity requires the same norms);
+* the **run configuration** -- netlist, representation name, seed,
+  schedule, moves-per-temperature, and (when the engine was built from
+  one) the picklable :class:`~repro.engine.multistart.ObjectiveSpec`,
+  so ``AnnealEngine.resume(path)`` can reconstruct the whole engine
+  from the file alone;
+* **accounting** -- move/acceptance counters, per-step snapshots,
+  elapsed wall-clock, and the cache statistics at checkpoint time (so
+  a resumed run's report can cover the whole logical run; see
+  :func:`~repro.perf.context.merge_cache_stats`).
+
+Why resume is bit-identical: the evaluation pipeline recomputes
+wirelength and congestion over the *full* edge arrays every evaluation
+(the delta path only avoids rebuilding clean nets' edges), and every
+cache is value-transparent, so re-evaluating the checkpointed current
+state from scratch reproduces the incremental path's numbers exactly.
+With the RNG stream restored verbatim, every subsequent
+neighbor/accept decision is the one the uninterrupted run would have
+made.
+
+Files are written with write-temp-then-rename
+(:mod:`repro.ioutil`), so a crash mid-checkpoint never corrupts the
+previous good checkpoint.  Loading validates a magic header and format
+version and raises :class:`~repro.errors.CheckpointError` on any
+missing, foreign, truncated, or incompatible file.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import CheckpointError
+from repro.ioutil import atomic_write_bytes
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "LoopState",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+_MAGIC = b"repro-checkpoint"
+
+
+@dataclass
+class LoopState:
+    """The annealing loop's complete position and search state.
+
+    ``step`` / ``move`` address the *next* move to execute: a state
+    captured at a temperature-step boundary has ``move == 0`` and
+    ``step`` pointing at the upcoming step; a graceful mid-step stop
+    records the move that had not yet run.
+    """
+
+    step: int
+    move: int
+    t0: float
+    rng_state: Any
+    current: Any
+    current_eval: Any
+    best: Any
+    best_eval: Any
+    n_moves: int
+    n_accepted: int
+    snapshots: List[Any] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    norms: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+
+@dataclass
+class Checkpoint:
+    """One annealing run frozen mid-flight, self-contained on disk."""
+
+    representation: str
+    seed: int
+    netlist: Any
+    moves_per_temperature: int
+    schedule: Any
+    loop: LoopState
+    objective_spec: Any = None
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+    @property
+    def completed_steps(self) -> int:
+        """Temperature steps fully behind the checkpoint."""
+        return self.loop.step if self.loop.move == 0 else self.loop.step + 1
+
+
+def save_checkpoint(path: Union[str, Path], checkpoint: Checkpoint) -> Path:
+    """Atomically write ``checkpoint`` to ``path``.
+
+    The destination always holds either the previous complete
+    checkpoint or the new one -- a crash mid-write loses only the
+    in-flight checkpoint, never the file.
+    """
+    try:
+        payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # unpicklable state is a caller bug
+        raise CheckpointError(
+            f"checkpoint state is not picklable: {exc}"
+        ) from exc
+    blob = _MAGIC + CHECKPOINT_VERSION.to_bytes(4, "big") + payload
+    try:
+        return atomic_write_bytes(path, blob)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint to {path}: {exc}"
+        ) from exc
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Read and validate a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`~repro.errors.CheckpointError` for a missing file,
+    a file that is not a repro checkpoint, a truncated/corrupt payload,
+    or a format version this code does not understand.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}"
+        ) from exc
+    header = len(_MAGIC) + 4
+    if len(blob) < header or not blob.startswith(_MAGIC):
+        raise CheckpointError(
+            f"{path} is not a repro annealing checkpoint"
+        )
+    version = int.from_bytes(blob[len(_MAGIC) : header], "big")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path} has checkpoint format version {version}; this build "
+            f"reads version {CHECKPOINT_VERSION}"
+        )
+    try:
+        checkpoint = pickle.loads(blob[header:])
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt or truncated: {exc}"
+        ) from exc
+    if not isinstance(checkpoint, Checkpoint):
+        raise CheckpointError(
+            f"checkpoint {path} does not contain a Checkpoint "
+            f"(got {type(checkpoint).__name__})"
+        )
+    return checkpoint

@@ -1,0 +1,193 @@
+"""Cooperative run control: stop flags, deadlines, signal handling.
+
+A :class:`RunControl` is the channel through which the outside world
+asks a running engine to wind down without losing work.  The annealing
+loop polls :meth:`RunControl.should_stop` once per move (an
+``Event.is_set`` plus at most one clock read -- nanoseconds against an
+evaluation's microseconds); when a stop is requested the loop exits at
+the next move boundary, writes a final checkpoint if one is configured,
+and returns the best-so-far result with ``stop_reason`` set, instead of
+dying with work on the floor.
+
+Stop requests come from three places:
+
+* :func:`install_signal_handlers` -- SIGINT/SIGTERM set the flag
+  cooperatively; a *second* SIGINT falls back to the previous handler
+  (normally ``KeyboardInterrupt``) so a wedged run can still be killed;
+* a ``deadline_seconds`` budget measured from :meth:`RunControl.begin`;
+* any thread calling :meth:`RunControl.request_stop` directly.
+
+The same control also carries the run's checkpoint policy (where to
+write, how many temperature steps between checkpoints); the engine
+binds the actual writer, keeping this module free of checkpoint-format
+knowledge.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = ["RunControl", "install_signal_handlers"]
+
+
+class RunControl:
+    """Cooperative stop flag + deadline + checkpoint policy for one run.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Wall-clock budget measured from :meth:`begin`; when exceeded the
+        run stops with reason ``"deadline"``.  ``None`` means no budget.
+    checkpoint_path:
+        Where periodic checkpoints go (atomically replaced in place).
+        ``None`` disables checkpointing; stop handling still works.
+    checkpoint_every:
+        Temperature steps between periodic checkpoints (>= 1).
+
+    A control is single-run state: share one between an engine and a
+    signal handler, not between two concurrent runs.  The stop flag is
+    a :class:`threading.Event`, so any thread (a signal handler runs in
+    the main thread, a supervisor may run elsewhere) can request a stop.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+    ):
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.deadline_seconds = deadline_seconds
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = int(checkpoint_every)
+        self._stop = threading.Event()
+        self._reason: Optional[str] = None
+        self._started: Optional[float] = None
+        self._writer: Optional[Callable[[object], None]] = None
+        self.checkpoints_written = 0
+        self.last_checkpoint_path: Optional[Path] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def begin(self) -> None:
+        """Start (or restart) the deadline clock.  Engines call this at
+        run entry; resumed runs get a fresh budget for their segment."""
+        self._started = time.monotonic()
+
+    def elapsed_seconds(self) -> float:
+        """Seconds since :meth:`begin` (0.0 before it)."""
+        return 0.0 if self._started is None else time.monotonic() - self._started
+
+    # -- stopping ------------------------------------------------------
+
+    def request_stop(self, reason: str = "stop") -> None:
+        """Ask the run to wind down; the first reason recorded wins."""
+        if not self._stop.is_set():
+            self._reason = reason
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    def should_stop(self) -> Optional[str]:
+        """The stop reason if the run should wind down, else ``None``.
+
+        Checks the flag first (cheap), then the deadline; crossing the
+        deadline latches the flag so every later call agrees.
+        """
+        if self._stop.is_set():
+            return self._reason or "stop"
+        if (
+            self.deadline_seconds is not None
+            and self._started is not None
+            and time.monotonic() - self._started >= self.deadline_seconds
+        ):
+            self.request_stop("deadline")
+            return "deadline"
+        return None
+
+    # -- checkpointing -------------------------------------------------
+
+    def bind_writer(self, writer: Callable[[object], None]) -> None:
+        """Install the engine's checkpoint writer (called with a loop
+        state; the engine wraps it in its full checkpoint format)."""
+        self._writer = writer
+
+    @property
+    def checkpoint_enabled(self) -> bool:
+        return self.checkpoint_path is not None and self._writer is not None
+
+    def checkpoint_due(self, completed_steps: int) -> bool:
+        """Whether a periodic checkpoint is due after ``completed_steps``
+        temperature steps."""
+        return (
+            self.checkpoint_enabled
+            and completed_steps % self.checkpoint_every == 0
+        )
+
+    def write_checkpoint(self, loop_state: object) -> None:
+        """Write one checkpoint now (no-op when checkpointing is off)."""
+        if not self.checkpoint_enabled:
+            return
+        self._writer(loop_state)
+        self.checkpoints_written += 1
+        self.last_checkpoint_path = self.checkpoint_path
+
+
+@contextmanager
+def install_signal_handlers(
+    control: RunControl,
+    signals: tuple = (signal.SIGINT, signal.SIGTERM),
+):
+    """Route SIGINT/SIGTERM into ``control.request_stop`` while active.
+
+    The first signal requests a cooperative stop (the run checkpoints
+    and returns best-so-far); a second delivery of the same signal is
+    handed to the previously installed handler, so a double Ctrl-C
+    still raises :class:`KeyboardInterrupt` if the loop is wedged.
+    Previous handlers are always restored on exit.  Outside the main
+    thread (where CPython forbids ``signal.signal``) this is a no-op
+    context, so library callers never crash merely by asking.
+    """
+    previous = {}
+    installed = []
+
+    def handler(signum, frame):
+        if control.stop_requested:
+            prior = previous.get(signum)
+            if callable(prior):
+                prior(signum, frame)
+                return
+            if prior == signal.SIG_DFL and signum == signal.SIGINT:
+                raise KeyboardInterrupt
+            return
+        control.request_stop("signal")
+
+    try:
+        for sig in signals:
+            try:
+                previous[sig] = signal.signal(sig, handler)
+                installed.append(sig)
+            except ValueError:
+                # Not the main thread: cooperative stop still works via
+                # request_stop; signals just are not ours to hook.
+                break
+        yield control
+    finally:
+        for sig in installed:
+            signal.signal(sig, previous[sig])

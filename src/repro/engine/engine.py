@@ -8,21 +8,34 @@ adopts) the objective against it, and returns an
 :class:`EngineResult` carrying -- besides the usual annealing outputs
 -- the representation name, the seed, and a picklable snapshot of
 per-cache hit/miss/eviction statistics.
+
+Fault tolerance: :meth:`AnnealEngine.run` accepts a
+:class:`~repro.engine.control.RunControl`; the engine binds the
+control's checkpoint writer to its own
+:class:`~repro.engine.checkpoint.Checkpoint` envelope (netlist,
+representation, seed, schedule, objective recipe, cache statistics),
+so the annealing loop can persist its position without knowing the
+format.  :meth:`AnnealEngine.resume` rebuilds the whole engine from a
+checkpoint file alone and continues the run bit-identically (see
+:mod:`repro.engine.checkpoint` for why).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.anneal.cost import CostBreakdown, FloorplanObjective
 from repro.anneal.generic import Snapshot, anneal
 from repro.anneal.schedule import GeometricSchedule
+from repro.engine.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.engine.control import RunControl
 from repro.engine.representation import Representation, make_representation
 from repro.floorplan import Floorplan
 from repro.netlist import Netlist
 from repro.perf import CacheStats, PerfRecorder
-from repro.perf.context import CacheContext
+from repro.perf.context import CacheContext, merge_cache_stats
 
 __all__ = ["EngineResult", "ObjectiveFactory", "AnnealEngine"]
 
@@ -39,7 +52,13 @@ class EngineResult:
     representation and seed that produced it, plus ``cache_stats``: a
     plain ``name -> CacheStats`` snapshot of the run's cache context
     (picklable, unlike the live context with its locks, so process-pool
-    restarts can ship results home intact).
+    restarts can ship results home intact).  For a resumed run the
+    snapshot covers the whole logical run (pre-crash segment's stats
+    merged in).
+
+    ``completed`` is False when the run stopped early on a cooperative
+    stop (signal, deadline, supervisor); ``stop_reason`` then names the
+    cause, and the result still carries the best solution found so far.
     """
 
     representation: str
@@ -53,6 +72,10 @@ class EngineResult:
     runtime_seconds: float = 0.0
     perf: Optional[PerfRecorder] = None
     cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
+    completed: bool = True
+    stop_reason: Optional[str] = None
+    checkpoints_written: int = 0
+    rng_state: Optional[object] = None
 
     @property
     def cost(self) -> float:
@@ -89,6 +112,14 @@ class AnnealEngine:
         ``(netlist, cache_context) -> FloorplanObjective``; called with
         the engine's context.  Defaults to an area+wirelength
         objective.
+    objective_spec:
+        A picklable objective recipe with a
+        ``build(netlist, cache_context)`` method (duck-typed; normally
+        an :class:`~repro.engine.multistart.ObjectiveSpec`).  When
+        neither ``objective`` nor ``objective_factory`` is given, the
+        engine builds its objective from the spec -- and, crucially,
+        embeds the spec in every checkpoint, making checkpoint files
+        self-contained (:meth:`resume` needs no other arguments).
     seed:
         Seed for every stochastic choice; identical seeds give
         identical runs.
@@ -112,6 +143,7 @@ class AnnealEngine:
         representation: Union[str, Representation] = "polish",
         objective: Optional[FloorplanObjective] = None,
         objective_factory: Optional[ObjectiveFactory] = None,
+        objective_spec: Optional[object] = None,
         seed: int = 0,
         moves_per_temperature: Optional[int] = None,
         schedule: Optional[GeometricSchedule] = None,
@@ -123,6 +155,7 @@ class AnnealEngine:
                 "pass either objective or objective_factory, not both"
             )
         self.netlist = netlist
+        self.objective_spec = objective_spec
         if objective is not None:
             if cache_context is not None:
                 raise ValueError(
@@ -136,6 +169,8 @@ class AnnealEngine:
             )
             if objective_factory is not None:
                 objective = objective_factory(netlist, self.cache_context)
+            elif objective_spec is not None:
+                objective = objective_spec.build(netlist, self.cache_context)
             else:
                 objective = FloorplanObjective(
                     netlist, cache_context=self.cache_context
@@ -159,13 +194,68 @@ class AnnealEngine:
             raise ValueError("moves_per_temperature must be >= 1")
         self.schedule = schedule or GeometricSchedule()
         self._calibrate = bool(calibrate)
+        self._resume_state = None
+        self._prior_cache_stats: Dict[str, CacheStats] = {}
+
+    @classmethod
+    def resume(
+        cls,
+        path: Union[str, Path],
+        objective_factory: Optional[ObjectiveFactory] = None,
+        cache_context: Optional[CacheContext] = None,
+    ) -> "AnnealEngine":
+        """Rebuild an engine from a checkpoint file and arm it to
+        continue where the file left off.
+
+        A checkpoint written by an engine built from an objective
+        *spec* is self-contained: ``AnnealEngine.resume(path).run()``
+        continues the interrupted run bit-identically.  When the
+        original engine used a non-picklable objective (a live
+        ``objective`` or ``objective_factory``), pass an equivalent
+        ``objective_factory`` here -- the resumed run sanity-checks the
+        checkpointed cost against a re-evaluation and raises
+        :class:`~repro.errors.CheckpointError` on mismatch, so a wrong
+        objective cannot silently continue with different physics.
+        """
+        checkpoint = load_checkpoint(path)
+        engine = cls(
+            checkpoint.netlist,
+            representation=checkpoint.representation,
+            objective_factory=objective_factory,
+            objective_spec=checkpoint.objective_spec,
+            seed=checkpoint.seed,
+            moves_per_temperature=checkpoint.moves_per_temperature,
+            schedule=checkpoint.schedule,
+            calibrate=False,  # checkpointed norms are restored instead
+            cache_context=cache_context,
+        )
+        engine._resume_state = checkpoint.loop
+        engine._prior_cache_stats = dict(checkpoint.cache_stats)
+        return engine
+
+    @property
+    def resuming(self) -> bool:
+        """Whether the next :meth:`run` continues a checkpoint."""
+        return self._resume_state is not None
 
     def run(
         self,
         on_snapshot: Optional[Callable[[Snapshot], None]] = None,
+        control: Optional[RunControl] = None,
     ) -> EngineResult:
-        """Run one full annealing schedule and return the best solution."""
+        """Run one full annealing schedule and return the best solution.
+
+        With a ``control``, the run polls for cooperative stops
+        (signals, deadline, supervisor) and writes atomic checkpoints
+        per the control's policy; an early stop still returns the
+        best-so-far result, with ``completed=False`` and
+        ``stop_reason`` set.
+        """
         rep = self.representation
+        if control is not None:
+            if control.checkpoint_path is not None:
+                control.bind_writer(self._make_checkpoint_writer(control))
+            control.begin()
         result = anneal(
             objective=self.objective,
             initial=rep.initial,
@@ -176,7 +266,10 @@ class AnnealEngine:
             schedule=self.schedule,
             calibrate=self._calibrate,
             on_snapshot=on_snapshot,
+            control=control,
+            resume=self._resume_state,
         )
+        self._resume_state = None  # a second run() starts fresh
         return EngineResult(
             representation=rep.name,
             seed=self.seed,
@@ -188,5 +281,36 @@ class AnnealEngine:
             n_accepted=result.n_accepted,
             runtime_seconds=result.runtime_seconds,
             perf=result.perf,
-            cache_stats=self.cache_context.stats(),
+            cache_stats=merge_cache_stats(
+                self._prior_cache_stats, self.cache_context.stats()
+            ),
+            completed=result.completed,
+            stop_reason=result.stop_reason,
+            checkpoints_written=(
+                control.checkpoints_written if control is not None else 0
+            ),
+            rng_state=result.rng_state,
         )
+
+    def _make_checkpoint_writer(self, control: RunControl):
+        """The closure the annealing loop calls with a bare loop state;
+        wraps it in the engine's full checkpoint envelope."""
+
+        def write(loop_state) -> None:
+            save_checkpoint(
+                control.checkpoint_path,
+                Checkpoint(
+                    representation=self.representation.name,
+                    seed=self.seed,
+                    netlist=self.netlist,
+                    moves_per_temperature=self.moves_per_temperature,
+                    schedule=self.schedule,
+                    loop=loop_state,
+                    objective_spec=self.objective_spec,
+                    cache_stats=merge_cache_stats(
+                        self._prior_cache_stats, self.cache_context.stats()
+                    ),
+                ),
+            )
+
+        return write

@@ -1,4 +1,4 @@
-"""Multi-start annealing: N seeded restarts, sequential or parallel.
+"""Multi-start annealing: N supervised restarts, sequential or parallel.
 
 Annealing is stochastic; the standard variance-reduction move is
 best-of-N over distinct seeds.  :class:`MultiStartEngine` runs N
@@ -14,22 +14,43 @@ bit-identical results whether it runs in-process, on a pool, or alone.
 Parallel best-of-N therefore equals sequential best-of-N for the same
 seeds, and the winner is the lowest cost with ties broken by lowest
 seed.
+
+Supervision: pool workers are not trusted to come home.  Each restart
+gets a wall-clock budget (``restart_timeout``) and a bounded retry
+allowance (``max_retries``) with exponential backoff; a crashed worker
+(:class:`~concurrent.futures.process.BrokenProcessPool`) or a hung one
+(timeout) costs the pool, which is torn down -- hung processes are
+terminated, not waited on -- and rebuilt at most ``max_pool_rebuilds``
+times before the engine *degrades to sequential execution* for the
+remaining seeds.  Every attempt, failure, and recovery is recorded in
+a per-seed :class:`RunReport`; :class:`~repro.errors.WorkerFailure` is
+raised only when not a single restart succeeds.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.anneal.cost import FloorplanObjective
 from repro.anneal.schedule import GeometricSchedule
 from repro.congestion.model import IrregularGridModel
 from repro.engine.engine import AnnealEngine, EngineResult
+from repro.errors import WorkerFailure
 from repro.netlist import Netlist
 from repro.perf.context import CacheContext
 
-__all__ = ["ObjectiveSpec", "MultiStartResult", "MultiStartEngine"]
+__all__ = [
+    "ObjectiveSpec",
+    "RestartFailure",
+    "RunReport",
+    "MultiStartResult",
+    "MultiStartEngine",
+]
 
 
 @dataclass(frozen=True)
@@ -87,24 +108,84 @@ def _run_restart(
     moves_per_temperature: Optional[int],
     schedule: Optional[GeometricSchedule],
     calibrate: bool,
+    attempt: int = 0,
+    mode: str = "sequential",
+    fault=None,
+    control=None,
 ) -> EngineResult:
     """One restart, self-contained: fresh context, fresh objective.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; also
     the sequential path, so both execution modes run literally the same
-    code.
+    code.  ``fault`` is the test-only injection hook
+    (:class:`~repro.testing.faults.FaultSpec`); it fires only when its
+    (seed, attempt, mode) target matches, so a supervised retry of an
+    injected failure deterministically succeeds.  ``control`` rides
+    along only in sequential mode (it holds a lock and cannot cross a
+    process boundary) and never touches the RNG stream.
     """
+    if fault is not None:
+        fault.maybe_fire(seed=seed, attempt=attempt, mode=mode)
     context = CacheContext()
     engine = AnnealEngine(
         netlist,
         representation=representation,
         objective=spec.build(netlist, context),
+        objective_spec=spec,
         seed=seed,
         moves_per_temperature=moves_per_temperature,
         schedule=schedule,
         calibrate=calibrate,
     )
-    return engine.run()
+    return engine.run(control=control)
+
+
+@dataclass
+class RestartFailure:
+    """One failed attempt of one restart."""
+
+    attempt: int
+    kind: str  # "crash" / "timeout" / "error"
+    message: str
+
+
+@dataclass
+class RunReport:
+    """Supervision ledger of one seeded restart.
+
+    ``status`` ends as ``"ok"`` (result delivered -- possibly stopped
+    early by a cooperative stop, see the result's own ``completed``),
+    ``"failed"`` (retries exhausted), or ``"skipped"`` (a stop request
+    arrived before the restart ran).  ``attempts`` counts every try,
+    including the successful one; ``failures`` names each failed try.
+    """
+
+    seed: int
+    status: str = "pending"
+    attempts: int = 0
+    mode: Optional[str] = None
+    failures: List[RestartFailure] = field(default_factory=list)
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+    def record_failure(self, kind: str, message: str) -> None:
+        """Log one failed attempt and advance the attempt counter."""
+        self.failures.append(
+            RestartFailure(attempt=self.attempts, kind=kind, message=message)
+        )
+        self.attempts += 1
+
+    def summary(self) -> str:
+        """One-line human-readable account of this restart's attempts."""
+        parts = [f"seed {self.seed}: {self.status}"]
+        if self.mode:
+            parts.append(self.mode)
+        parts.append(f"{self.attempts} attempt(s)")
+        for f in self.failures:
+            parts.append(f"[attempt {f.attempt}: {f.kind}: {f.message}]")
+        return " ".join(parts)
 
 
 @dataclass
@@ -114,6 +195,9 @@ class MultiStartResult:
     best: EngineResult
     results: List[EngineResult] = field(default_factory=list)
     workers: int = 1
+    reports: List[RunReport] = field(default_factory=list)
+    degraded: bool = False
+    pool_rebuilds: int = 0
 
     @property
     def best_cost(self) -> float:
@@ -122,8 +206,13 @@ class MultiStartResult:
 
     @property
     def costs(self) -> List[float]:
-        """Every restart's best cost, in seed order."""
+        """Every completed restart's best cost, in seed order."""
         return [r.cost for r in self.results]
+
+    @property
+    def n_failed(self) -> int:
+        """Restarts that exhausted their retries without a result."""
+        return sum(1 for r in self.reports if r.status == "failed")
 
 
 class MultiStartEngine:
@@ -150,6 +239,23 @@ class MultiStartEngine:
         1 runs restarts sequentially in-process; ``> 1`` uses a
         :class:`~concurrent.futures.ProcessPoolExecutor` with that many
         workers.  Results are bit-identical either way.
+    restart_timeout:
+        Wall-clock seconds a pool restart may take before it is deemed
+        hung; the pool is killed (hung workers terminated) and the
+        restart retried.  ``None`` disables the watchdog.  Sequential
+        restarts cannot be preempted and ignore it.
+    max_retries:
+        Extra attempts a failed restart gets (crash, timeout, or
+        exception) before its report goes ``"failed"``.
+    retry_backoff:
+        Base of the exponential backoff slept before retry ``k``
+        (``retry_backoff * 2**(k-1)`` seconds); 0 disables sleeping.
+    max_pool_rebuilds:
+        Pool teardowns tolerated before degrading to sequential
+        execution for the remaining seeds.
+    inject_fault:
+        Test-only :class:`~repro.testing.faults.FaultSpec` shipped to
+        every restart; fires only on its (seed, attempt, mode) target.
     """
 
     def __init__(
@@ -163,11 +269,30 @@ class MultiStartEngine:
         schedule: Optional[GeometricSchedule] = None,
         calibrate: bool = True,
         workers: int = 1,
+        restart_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        max_pool_rebuilds: int = 2,
+        inject_fault=None,
     ):
         if restarts < 1:
             raise ValueError(f"restarts must be >= 1, got {restarts}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if restart_timeout is not None and restart_timeout <= 0:
+            raise ValueError(
+                f"restart_timeout must be positive, got {restart_timeout}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
         self.netlist = netlist
         self.representation = representation
         self.restarts = int(restarts)
@@ -177,32 +302,227 @@ class MultiStartEngine:
         self.schedule = schedule
         self.calibrate = bool(calibrate)
         self.workers = int(workers)
+        self.restart_timeout = restart_timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
+        self.inject_fault = inject_fault
 
     @property
     def seeds(self) -> List[int]:
         """The restart seeds, in run order."""
         return [self.seed + i for i in range(self.restarts)]
 
-    def run(self) -> MultiStartResult:
-        """Run every restart and return best-of-N."""
-        jobs = [
-            (
-                self.netlist,
-                self.representation,
-                self.objective_spec,
-                s,
-                self.moves_per_temperature,
-                self.schedule,
-                self.calibrate,
-            )
-            for s in self.seeds
-        ]
+    def _job(self, seed: int, attempt: int, mode: str) -> tuple:
+        return (
+            self.netlist,
+            self.representation,
+            self.objective_spec,
+            seed,
+            self.moves_per_temperature,
+            self.schedule,
+            self.calibrate,
+            attempt,
+            mode,
+            self.inject_fault,
+        )
+
+    def _max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def _backoff(self, failed_attempts: int) -> None:
+        if self.retry_backoff > 0 and failed_attempts > 0:
+            time.sleep(self.retry_backoff * (2.0 ** (failed_attempts - 1)))
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on wedged workers."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes:
+            proc.join(timeout=5.0)
+
+    def _run_pool(
+        self,
+        workers: int,
+        reports: Dict[int, RunReport],
+        results: Dict[int, EngineResult],
+        control,
+    ) -> tuple:
+        """Supervised pool execution.  Returns (rebuilds, degraded)."""
+        rebuilds = 0
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while True:
+                if control is not None and control.should_stop():
+                    break
+                todo = [
+                    s
+                    for s in self.seeds
+                    if s not in results
+                    and reports[s].attempts < self._max_attempts()
+                ]
+                if not todo:
+                    break
+                if rebuilds > self.max_pool_rebuilds:
+                    return rebuilds, True  # degrade to sequential
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                futures = {
+                    s: pool.submit(
+                        _run_restart, *self._job(s, reports[s].attempts, "pool")
+                    )
+                    for s in todo
+                }
+                pool_died = False
+                for s in todo:
+                    if s in results:
+                        continue
+                    try:
+                        result = futures[s].result(timeout=self.restart_timeout)
+                    except _FuturesTimeout:
+                        reports[s].record_failure(
+                            "timeout",
+                            f"no result within {self.restart_timeout}s; "
+                            f"pool killed",
+                        )
+                        pool_died = True
+                        break
+                    except BrokenProcessPool as exc:
+                        # The dying worker takes the whole pool down and
+                        # the executor cannot say which worker it was:
+                        # harvest whatever did finish, then charge one
+                        # attempt to every in-flight seed.  The culprit
+                        # among them advances past its faulting attempt;
+                        # the innocents just retry.
+                        for t in todo:
+                            if t in results:
+                                continue
+                            fut = futures[t]
+                            harvested = False
+                            if fut.done() and not fut.cancelled():
+                                try:
+                                    results[t] = fut.result(timeout=0)
+                                except Exception:
+                                    pass
+                                else:
+                                    reports[t].status = "ok"
+                                    reports[t].mode = "pool"
+                                    reports[t].attempts += 1
+                                    harvested = True
+                            if not harvested:
+                                reports[t].record_failure(
+                                    "crash",
+                                    f"worker process died with the pool: "
+                                    f"{exc}",
+                                )
+                        pool_died = True
+                        break
+                    except Exception as exc:
+                        # The worker survived and reported a real
+                        # exception; the pool is still healthy.
+                        reports[s].record_failure(
+                            "error", f"{type(exc).__name__}: {exc}"
+                        )
+                        continue
+                    else:
+                        results[s] = result
+                        reports[s].status = "ok"
+                        reports[s].mode = "pool"
+                        reports[s].attempts += 1
+                if pool_died:
+                    self._kill_pool(pool)
+                    pool = None
+                    rebuilds += 1
+                failed = max(
+                    (r.attempts for r in reports.values() if r.failures),
+                    default=0,
+                )
+                if any(
+                    s not in results
+                    and reports[s].attempts < self._max_attempts()
+                    for s in todo
+                ):
+                    self._backoff(failed)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        return rebuilds, False
+
+    def _run_sequential(
+        self,
+        reports: Dict[int, RunReport],
+        results: Dict[int, EngineResult],
+        control,
+    ) -> None:
+        """In-process execution with the same retry accounting."""
+        for s in self.seeds:
+            if s in results:
+                continue
+            while (
+                s not in results
+                and reports[s].attempts < self._max_attempts()
+            ):
+                if control is not None and control.should_stop():
+                    if reports[s].status == "pending":
+                        reports[s].status = "skipped"
+                    return
+                self._backoff(len(reports[s].failures))
+                try:
+                    results[s] = _run_restart(
+                        *self._job(s, reports[s].attempts, "sequential"),
+                        control=control,
+                    )
+                except Exception as exc:
+                    reports[s].record_failure(
+                        "error", f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    reports[s].status = "ok"
+                    reports[s].mode = "sequential"
+                    reports[s].attempts += 1
+
+    def run(self, control=None) -> MultiStartResult:
+        """Run every restart under supervision and return best-of-N.
+
+        ``control`` (a :class:`~repro.engine.control.RunControl`)
+        enables cooperative stop: pending restarts are skipped, the
+        in-flight sequential restart winds down with best-so-far, and
+        whatever finished is still ranked and returned.
+
+        Raises :class:`~repro.errors.WorkerFailure` only when *no*
+        restart delivers a result.
+        """
+        reports = {s: RunReport(seed=s) for s in self.seeds}
+        results: Dict[int, EngineResult] = {}
         workers = min(self.workers, self.restarts)
-        if workers <= 1:
-            results = [_run_restart(*job) for job in jobs]
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_restart, *job) for job in jobs]
-                results = [f.result() for f in futures]
-        best = min(results, key=lambda r: (r.cost, r.seed))
-        return MultiStartResult(best=best, results=results, workers=workers)
+        rebuilds = 0
+        degraded = False
+        if workers > 1:
+            rebuilds, degraded = self._run_pool(
+                workers, reports, results, control
+            )
+        if workers <= 1 or degraded:
+            self._run_sequential(reports, results, control)
+        for s in self.seeds:
+            if s not in results and reports[s].status == "pending":
+                stopped = control is not None and control.stop_requested
+                reports[s].status = "skipped" if stopped else "failed"
+        if not results:
+            raise WorkerFailure(
+                "every restart failed: "
+                + "; ".join(reports[s].summary() for s in self.seeds)
+            )
+        ordered = [results[s] for s in self.seeds if s in results]
+        best = min(ordered, key=lambda r: (r.cost, r.seed))
+        return MultiStartResult(
+            best=best,
+            results=ordered,
+            workers=workers,
+            reports=[reports[s] for s in self.seeds],
+            degraded=degraded,
+            pool_rebuilds=rebuilds,
+        )

@@ -1,0 +1,60 @@
+"""The package-wide exception taxonomy.
+
+Long annealing runs fail for reasons a caller wants to distinguish and
+handle: bad input (fix the netlist), a corrupt or mismatched checkpoint
+(pick another file), a worker that died under supervision (inspect the
+run report).  Each failure class gets a dedicated exception here, all
+rooted at :class:`ReproError` so ``except ReproError`` catches every
+library-originated failure without swallowing genuine bugs.
+
+The module imports nothing from the rest of the package, so any layer
+-- :mod:`repro.netlist` at the bottom, :mod:`repro.engine` at the top
+-- can raise these without import cycles.
+
+Compatibility: the classes double-inherit from the builtin exceptions
+historically raised at the same sites (``ValueError`` for validation,
+``RuntimeError`` for operational failures), so pre-existing
+``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetlistValidationError",
+    "CheckpointError",
+    "WorkerFailure",
+]
+
+
+class ReproError(Exception):
+    """Base class of every failure the library raises on purpose."""
+
+
+class NetlistValidationError(ReproError, ValueError):
+    """A circuit failed construction-time validation.
+
+    Raised by :class:`~repro.netlist.netlist.Netlist` and its parts for
+    duplicate module/net names, non-positive module dimensions, nets
+    referencing unknown modules, and nets with fewer than two pins.
+    The message always names the offending module or net.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be written, read, or applied.
+
+    Covers missing/corrupt/truncated checkpoint files, format-version
+    mismatches, and resuming against a netlist or objective that does
+    not reproduce the checkpointed cost.
+    """
+
+
+class WorkerFailure(ReproError, RuntimeError):
+    """A supervised restart (or the whole multi-start run) failed.
+
+    Raised by :class:`~repro.engine.multistart.MultiStartEngine` only
+    when *no* restart produced a result; individual restart failures
+    are recorded in the run's
+    :class:`~repro.engine.multistart.RunReport` list instead.
+    """

@@ -1,0 +1,70 @@
+"""Atomic file output.
+
+Benchmark results, run reports and annealing checkpoints are written by
+long-running processes that may die (crash, OOM-kill, SIGKILL, a CI
+timeout) at any instant.  A plain ``open(path, "w").write(...)``
+truncates the destination *before* the new bytes land, so an
+interrupted run can destroy the previous good file and leave a
+half-written one behind.
+
+Every writer here follows write-temp-then-rename: the payload goes to
+a temporary file in the *same directory* (same filesystem, so the
+rename cannot degrade to a copy), is flushed and fsynced, and only
+then atomically renamed over the destination with :func:`os.replace`.
+Readers therefore observe either the complete old file or the complete
+new one -- never a truncation.  On any failure the temporary file is
+removed and the destination is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: Union[str, Path], payload: Any, indent: int = 2
+) -> Path:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON.
+
+    Serialization happens *before* any file is touched, so an
+    unserializable payload leaves both the destination and the
+    directory exactly as they were.
+    """
+    text = json.dumps(payload, indent=indent) + "\n"
+    return atomic_write_text(path, text)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import NetlistValidationError
+
 __all__ = ["Module"]
 
 
@@ -23,11 +25,11 @@ class Module:
 
     def __post_init__(self) -> None:
         if not self.name:
-            raise ValueError("module name must be non-empty")
+            raise NetlistValidationError("module name must be non-empty")
         if self.width <= 0 or self.height <= 0:
-            raise ValueError(
-                f"module {self.name!r} needs positive dimensions, got "
-                f"{self.width} x {self.height}"
+            raise NetlistValidationError(
+                f"module {self.name!r} needs positive dimensions "
+                f"(zero/negative area), got {self.width} x {self.height}"
             )
 
     @property

@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Tuple
 
+from repro.errors import NetlistValidationError
 from repro.geometry import Point, Rect
 
 __all__ = ["Net", "NetType", "TwoPinNet"]
@@ -36,16 +37,20 @@ class Net:
         object.__setattr__(self, "terminals", tuple(terminals))
         object.__setattr__(self, "weight", float(weight))
         if not self.name:
-            raise ValueError("net name must be non-empty")
+            raise NetlistValidationError("net name must be non-empty")
         if len(self.terminals) < 2:
-            raise ValueError(
-                f"net {self.name!r} needs at least 2 terminals, got "
+            raise NetlistValidationError(
+                f"net {self.name!r} needs at least 2 terminals (pins), got "
                 f"{len(self.terminals)}"
             )
         if len(set(self.terminals)) != len(self.terminals):
-            raise ValueError(f"net {self.name!r} lists a terminal twice")
+            raise NetlistValidationError(
+                f"net {self.name!r} lists a terminal twice"
+            )
         if self.weight <= 0:
-            raise ValueError(f"net {self.name!r} weight must be positive")
+            raise NetlistValidationError(
+                f"net {self.name!r} weight must be positive"
+            )
 
     @property
     def degree(self) -> int:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.errors import NetlistValidationError
 from repro.netlist.module import Module
 from repro.netlist.net import Net
 
@@ -13,10 +14,16 @@ __all__ = ["Netlist"]
 class Netlist:
     """A named circuit: modules plus the nets that connect them.
 
-    The container validates referential integrity eagerly (every net
-    terminal must name a module) so downstream layers can index without
-    checking.  Iteration orders are deterministic (insertion order),
-    which keeps every experiment reproducible for a fixed seed.
+    The container validates eagerly on construction -- duplicate module
+    names, non-positive module dimensions (enforced by
+    :class:`~repro.netlist.module.Module` itself), nets referencing
+    unknown modules, and nets with fewer than two pins (enforced by
+    :class:`~repro.netlist.net.Net`) all raise
+    :class:`~repro.errors.NetlistValidationError` naming the offending
+    entity -- so downstream layers can index without checking and a
+    malformed input file fails with an actionable message instead of a
+    deep ``KeyError``.  Iteration orders are deterministic (insertion
+    order), which keeps every experiment reproducible for a fixed seed.
     """
 
     def __init__(
@@ -29,24 +36,41 @@ class Netlist:
         self._modules: Dict[str, Module] = {}
         for m in modules:
             if m.name in self._modules:
-                raise ValueError(f"duplicate module name {m.name!r}")
+                raise NetlistValidationError(
+                    f"duplicate module name {m.name!r} in netlist {name!r}"
+                )
+            if m.width <= 0 or m.height <= 0:
+                # Unreachable through Module's own validation; guards
+                # hand-built Module-likes arriving via duck typing.
+                raise NetlistValidationError(
+                    f"module {m.name!r} has zero/negative area "
+                    f"({m.width} x {m.height}) in netlist {name!r}"
+                )
             self._modules[m.name] = m
         self._nets: Dict[str, Net] = {}
         for net in nets:
             self.add_net(net)
         if not self._modules:
-            raise ValueError(f"netlist {name!r} has no modules")
+            raise NetlistValidationError(f"netlist {name!r} has no modules")
 
     # -- construction ----------------------------------------------------
 
     def add_net(self, net: Net) -> None:
         """Add a net, validating its terminals."""
         if net.name in self._nets:
-            raise ValueError(f"duplicate net name {net.name!r}")
+            raise NetlistValidationError(
+                f"duplicate net name {net.name!r} in netlist {self.name!r}"
+            )
+        if len(net.terminals) < 2:
+            raise NetlistValidationError(
+                f"net {net.name!r} has fewer than 2 pins "
+                f"({len(net.terminals)}) in netlist {self.name!r}"
+            )
         missing = [t for t in net.terminals if t not in self._modules]
         if missing:
-            raise ValueError(
-                f"net {net.name!r} references unknown modules {missing}"
+            raise NetlistValidationError(
+                f"net {net.name!r} references unknown modules {missing} "
+                f"in netlist {self.name!r}"
             )
         self._nets[net.name] = net
 

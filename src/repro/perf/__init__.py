@@ -19,7 +19,11 @@ import time
 from typing import Dict, Optional
 
 from repro.perf.cache import BoundedCache, CacheStats
-from repro.perf.context import CacheContext, format_cache_stats
+from repro.perf.context import (
+    CacheContext,
+    format_cache_stats,
+    merge_cache_stats,
+)
 
 __all__ = [
     "PhaseStat",
@@ -29,6 +33,7 @@ __all__ = [
     "CacheStats",
     "CacheContext",
     "format_cache_stats",
+    "merge_cache_stats",
 ]
 
 

@@ -43,6 +43,22 @@ class CacheStats(NamedTuple):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def merged(self, later: "CacheStats") -> "CacheStats":
+        """Combine with a *later* snapshot of a different cache epoch.
+
+        Used when a resumed run stitches its stats onto the checkpoint's:
+        cumulative counters (hits, misses, evictions) add; point-in-time
+        values (size, maxsize) come from the later epoch, since that is
+        the cache actually live at report time.
+        """
+        return CacheStats(
+            hits=self.hits + later.hits,
+            misses=self.misses + later.misses,
+            size=later.size,
+            maxsize=later.maxsize,
+            evictions=self.evictions + later.evictions,
+        )
+
 
 class BoundedCache:
     """A thread-safe bounded LRU map with hit/miss accounting.

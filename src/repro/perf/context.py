@@ -23,7 +23,26 @@ from typing import Dict, Mapping, Optional
 
 from repro.perf.cache import BoundedCache, CacheStats
 
-__all__ = ["CacheContext", "format_cache_stats"]
+__all__ = ["CacheContext", "format_cache_stats", "merge_cache_stats"]
+
+
+def merge_cache_stats(
+    earlier: Mapping[str, CacheStats], later: Mapping[str, CacheStats]
+) -> Dict[str, CacheStats]:
+    """Stitch two cache-stats snapshots from different epochs into one.
+
+    A resumed run starts with fresh (empty) caches, so its context's
+    stats cover only the post-resume segment; the checkpoint carries the
+    pre-crash segment's stats.  Merging the two keeps the reported
+    hit/miss accounting covering the whole *logical* run: cumulative
+    counters add, point-in-time size/maxsize come from the later epoch.
+    Caches present in only one snapshot pass through unchanged.
+    """
+    merged: Dict[str, CacheStats] = dict(earlier)
+    for name, stats in later.items():
+        prior = merged.get(name)
+        merged[name] = stats if prior is None else prior.merged(stats)
+    return merged
 
 
 def format_cache_stats(

@@ -1,0 +1,22 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness behind ``tests/robustness/`` and the CI robustness smoke job.
+It lives in the package (not under ``tests/``) so the multistart
+supervisor can ship fault specs into pool workers and the smoke
+scripts can inject crashes from the command line.
+"""
+
+from repro.testing.faults import (
+    FaultSpec,
+    FaultyObjective,
+    InjectedFault,
+    poison_approx_mass,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultyObjective",
+    "InjectedFault",
+    "poison_approx_mass",
+]

@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the robustness test suite.
+
+Faults that only fire "sometimes" make for unreproducible tests, so
+every injector here is *targeted*: it names the exact (seed, attempt,
+execution mode) -- or the exact evaluation ordinal, or the exact kernel
+call -- at which it fires, and is inert everywhere else.  An injected
+worker crash on attempt 0 therefore deterministically succeeds on the
+supervised retry, and a poisoned congestion kernel poisons exactly one
+evaluation.
+
+Three injection points cover the failure classes the engine defends
+against:
+
+* :class:`FaultSpec` -- process-level faults inside a multistart
+  restart (``os._exit`` crash, hang, raised exception), shipped
+  picklable into pool workers via
+  :class:`~repro.engine.multistart.MultiStartEngine`'s
+  ``inject_fault`` hook;
+* :class:`FaultyObjective` -- an objective wrapper that raises
+  :class:`InjectedFault` at evaluation N, simulating a mid-anneal
+  crash between two checkpoints;
+* :func:`poison_approx_mass` -- patches the congestion model's batched
+  kernel reference to emit one NaN/inf cell at call N, proving the
+  NaN guards detect it and fall back to the exact Formula 3 path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "InjectedFault",
+    "FaultSpec",
+    "FaultyObjective",
+    "poison_approx_mass",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or simulated) by an injector that was asked to fire."""
+
+
+_KINDS = ("crash", "hang", "raise")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A picklable, targeted process-level fault.
+
+    Fires inside :func:`~repro.engine.multistart._run_restart` only
+    when the restart's ``(seed, attempt, mode)`` matches; ``mode`` of
+    ``None`` matches both pool and sequential execution.  ``"crash"``
+    hard-kills the process with ``os._exit`` (no cleanup, like a
+    segfault -- never target it at sequential mode, that is the test
+    process); ``"hang"`` sleeps ``hang_seconds`` to trip the
+    supervisor's watchdog; ``"raise"`` raises :class:`InjectedFault`.
+    """
+
+    kind: str
+    seed: int
+    attempt: int = 0
+    mode: Optional[str] = None
+    hang_seconds: float = 3600.0
+    exit_code: int = 13
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+
+    def matches(self, seed: int, attempt: int, mode: str) -> bool:
+        """Whether this fault targets the given restart attempt."""
+        return (
+            seed == self.seed
+            and attempt == self.attempt
+            and (self.mode is None or mode == self.mode)
+        )
+
+    def maybe_fire(self, seed: int, attempt: int, mode: str) -> None:
+        """Fire if targeted at this restart; otherwise do nothing."""
+        if not self.matches(seed, attempt, mode):
+            return
+        if self.kind == "crash":
+            os._exit(self.exit_code)
+        if self.kind == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        raise InjectedFault(
+            f"injected fault: seed={seed} attempt={attempt} mode={mode}"
+        )
+
+
+class FaultyObjective:
+    """An objective that dies at evaluation ``fail_at_evaluation``.
+
+    Wraps a real :class:`~repro.anneal.cost.FloorplanObjective` and
+    counts :meth:`evaluate_floorplan` calls; the fatal call raises
+    :class:`InjectedFault` *before* touching the inner objective, so
+    the wrapped pipeline is left exactly as the last committed state --
+    the same situation a process crash leaves a checkpoint file in.
+    Everything else (calibration, norms, commit/reject, perf wiring)
+    delegates to the inner objective.
+    """
+
+    def __init__(self, inner, fail_at_evaluation: int):
+        if fail_at_evaluation < 1:
+            raise ValueError(
+                f"fail_at_evaluation must be >= 1, got {fail_at_evaluation}"
+            )
+        self.inner = inner
+        self.fail_at_evaluation = int(fail_at_evaluation)
+        self.evaluations = 0
+
+    def evaluate_floorplan(self, floorplan):
+        """Count the call and either inject the fault or delegate."""
+        self.evaluations += 1
+        if self.evaluations >= self.fail_at_evaluation:
+            raise InjectedFault(
+                f"injected objective fault at evaluation {self.evaluations}"
+            )
+        return self.inner.evaluate_floorplan(floorplan)
+
+    def disarm(self) -> None:
+        """Stop injecting (lets a resumed run finish with this wrapper)."""
+        self.fail_at_evaluation = 2**63
+
+    @property
+    def perf(self):
+        return self.inner.perf
+
+    @perf.setter
+    def perf(self, recorder) -> None:
+        self.inner.perf = recorder
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+@contextmanager
+def poison_approx_mass(at_call: int = 1, value: float = float("nan")):
+    """Poison one cell of the batched congestion kernel's output.
+
+    Patches the ``batched_approx_mass_arrays`` reference *inside*
+    :mod:`repro.congestion.model` (plus the net-object entry point) so
+    call number ``at_call`` returns a mass array with one cell set to
+    ``value`` -- the shape of damage a broken Theorem-1 approximation
+    would do.  Yields a dict whose ``"calls"`` entry counts kernel
+    invocations and ``"poisoned"`` whether the poison fired; always
+    unpatches on exit.
+    """
+    import repro.congestion.model as model_mod
+
+    real_arrays = model_mod.batched_approx_mass_arrays
+    real_nets = model_mod.batched_approx_mass
+    state = {"calls": 0, "poisoned": False}
+
+    def _poison(mass):
+        state["calls"] += 1
+        if state["calls"] == at_call and mass.size:
+            mass = mass.copy()
+            mass.ravel()[mass.size // 2] = value
+            state["poisoned"] = True
+        return mass
+
+    def poisoned_arrays(*args, **kwargs):
+        return _poison(real_arrays(*args, **kwargs))
+
+    def poisoned_nets(*args, **kwargs):
+        return _poison(real_nets(*args, **kwargs))
+
+    model_mod.batched_approx_mass_arrays = poisoned_arrays
+    model_mod.batched_approx_mass = poisoned_nets
+    try:
+        yield state
+    finally:
+        model_mod.batched_approx_mass_arrays = real_arrays
+        model_mod.batched_approx_mass = real_nets

@@ -1,0 +1,111 @@
+"""Input validation and atomic output: malformed circuits fail loudly
+at construction with the offending entity named, and JSON/checkpoint
+writers never leave a truncated file behind.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import NetlistValidationError, ReproError
+from repro.ioutil import atomic_write_bytes, atomic_write_json
+from repro.netlist import Module, Net, Netlist
+
+
+def _modules():
+    return [Module("a", 10, 10), Module("b", 20, 10)]
+
+
+class TestNetlistValidation:
+    def test_duplicate_module_named(self):
+        with pytest.raises(NetlistValidationError, match="'a'"):
+            Netlist("c", [Module("a", 10, 10), Module("a", 5, 5)])
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(NetlistValidationError, match="no modules"):
+            Netlist("empty", [])
+
+    def test_non_positive_module_dimensions_named(self):
+        with pytest.raises(NetlistValidationError, match="'bad'"):
+            Module("bad", 0, 10)
+        with pytest.raises(NetlistValidationError, match="'bad'"):
+            Module("bad", 10, -1)
+
+    def test_net_with_unknown_terminal_named(self):
+        with pytest.raises(NetlistValidationError, match="'n1'.*'ghost'"):
+            Netlist("c", _modules(), [Net("n1", ("a", "ghost"))])
+
+    def test_net_with_one_pin_rejected(self):
+        with pytest.raises(NetlistValidationError, match="at least 2"):
+            Net("n1", ("a",))
+
+    def test_duplicate_net_name_named(self):
+        with pytest.raises(NetlistValidationError, match="'n1'"):
+            Netlist(
+                "c",
+                _modules(),
+                [Net("n1", ("a", "b")), Net("n1", ("b", "a"))],
+            )
+
+    def test_duplicate_terminal_rejected(self):
+        with pytest.raises(NetlistValidationError, match="twice"):
+            Net("n1", ("a", "a"))
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(NetlistValidationError, match="weight"):
+            Net("n1", ("a", "b"), weight=0.0)
+
+    def test_taxonomy_is_catchable_both_ways(self):
+        """Double inheritance keeps pre-taxonomy except clauses working."""
+        with pytest.raises(ValueError):
+            Netlist("empty", [])
+        with pytest.raises(ReproError):
+            Netlist("empty", [])
+
+
+class TestAtomicWrites:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "report.json"
+        payload = {"costs": [1.5, 2.0], "ok": True}
+        returned = atomic_write_json(path, payload)
+        assert returned == path
+        assert json.loads(path.read_text()) == payload
+        assert path.read_text().endswith("\n")
+
+    def test_no_temp_residue_on_success(self, tmp_path):
+        path = tmp_path / "report.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["report.json"]
+        assert json.loads(path.read_text()) == {"v": 2}
+
+    def test_unserializable_payload_leaves_destination_untouched(
+        self, tmp_path
+    ):
+        path = tmp_path / "report.json"
+        atomic_write_json(path, {"v": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["report.json"]
+
+    def test_failed_write_cleans_temp_and_keeps_old(self, tmp_path, monkeypatch):
+        import repro.ioutil as ioutil
+
+        path = tmp_path / "data.bin"
+        atomic_write_bytes(path, b"old")
+
+        def explode(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(ioutil.os, "replace", explode)
+        with pytest.raises(OSError, match="simulated"):
+            atomic_write_bytes(path, b"new")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"old"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["data.bin"]
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "report.json"
+        atomic_write_json(path, {"v": 1})
+        assert json.loads(path.read_text()) == {"v": 1}
