@@ -42,13 +42,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.anneal import FloorplanObjective  # noqa: E402
 from repro.anneal.schedule import GeometricSchedule  # noqa: E402
+from repro.backend import make_backend  # noqa: E402
 from repro.congestion import IrregularGridModel  # noqa: E402
 from repro.engine import AnnealEngine  # noqa: E402
 from repro.ioutil import atomic_write_json  # noqa: E402
 from repro.netlist import random_circuit  # noqa: E402
 
 
-def _objective(netlist, grid_size: float, fast: bool, strict: bool = False):
+def _objective(netlist, grid_size: float, fast: bool, strict: bool = False,
+               backend=None):
     return FloorplanObjective(
         netlist,
         alpha=1.0,
@@ -57,16 +59,17 @@ def _objective(netlist, grid_size: float, fast: bool, strict: bool = False):
         congestion_model=IrregularGridModel(grid_size, use_cache=fast),
         incremental=fast,
         strict_incremental=strict,
+        backend=backend,
     )
 
 
 def _run(netlist, grid_size, fast, moves_per_temperature, schedule, seed,
-         strict=False):
+         strict=False, backend=None):
     # Each run builds a fresh objective, whose engine-scoped CacheContext
     # starts empty -- no global cache state survives between runs.
     engine = AnnealEngine(
         netlist,
-        objective=_objective(netlist, grid_size, fast, strict),
+        objective=_objective(netlist, grid_size, fast, strict, backend),
         seed=seed,
         moves_per_temperature=moves_per_temperature,
         schedule=schedule,
@@ -77,13 +80,18 @@ def _run(netlist, grid_size, fast, moves_per_temperature, schedule, seed,
     return result, wall
 
 
-def bench_workload(name, n_modules, n_nets, smoke, seed=7):
+def bench_workload(name, n_modules, n_nets, smoke, seed=7, backend=None):
     netlist = random_circuit(n_modules, n_nets, seed=seed)
     grid_size = max(math.sqrt(netlist.total_module_area) / 30.0, 1e-6)
     moves = 3 * n_modules if smoke else 10 * n_modules
     schedule = GeometricSchedule(
         cooling_rate=0.85, freeze_ratio=(1e-2 if smoke else 1e-4)
     )
+
+    # Resolve the fast-side backend once (JIT warm-up and, when numba
+    # is requested but missing, the fallback warning happen here); the
+    # seed side always runs the reference numpy path.
+    resolved = make_backend(backend)
 
     seed_result, seed_wall = _run(
         netlist, grid_size, fast=False,
@@ -92,6 +100,7 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7):
     fast_result, fast_wall = _run(
         netlist, grid_size, fast=True,
         moves_per_temperature=moves, schedule=schedule, seed=seed,
+        backend=resolved,
     )
     stats = fast_result.cache_stats
 
@@ -132,6 +141,8 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7):
         "name": name,
         "modules": n_modules,
         "nets": n_nets,
+        "backend_requested": resolved.requested,
+        "backend_used": resolved.name,
         "moves": fast_result.n_moves,
         "evaluations": evals_fast,
         "seed_wall_seconds": round(seed_wall, 3),
@@ -147,10 +158,12 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7):
         "cache_hit_rates": hit_rates,
     }
     print(
-        f"{name}: seed {row['seed_moves_per_sec']:.1f} moves/s, "
+        f"{name} [{row['backend_used']}]: "
+        f"seed {row['seed_moves_per_sec']:.1f} moves/s, "
         f"fast {row['fast_moves_per_sec']:.1f} moves/s, "
         f"speedup {row['speedup']:.2f}x, "
         f"net_mass hit rate {hit_rates.get('net_mass', 0.0):.1%}, "
+        f"exact_prob hit rate {hit_rates.get('exact_prob', 0.0):.1%}, "
         f"agree={agree} strict={strict_ok}"
     )
     return row
@@ -171,17 +184,27 @@ def main(argv=None) -> int:
         help="output JSON path (default: BENCH_incremental.json in the "
         "repository root; smoke mode defaults to not writing)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba", "python"),
+        default="numpy",
+        help="kernel backend for the fast-side runs (the seed side always "
+        "uses the reference numpy path); 'numba' falls back to numpy "
+        "with a warning when numba is not installed",
+    )
     args = parser.parse_args(argv)
 
     workloads = [("ami33-scale", 33, 120), ("ami49-scale", 49, 200)]
     rows = [
-        bench_workload(name, m, n, smoke=args.smoke)
+        bench_workload(name, m, n, smoke=args.smoke, backend=args.backend)
         for name, m, n in workloads
     ]
 
     payload = {
         "benchmark": "incremental annealing evaluation",
         "smoke": args.smoke,
+        "backend_requested": rows[0]["backend_requested"],
+        "backend_used": rows[0]["backend_used"],
         "workloads": rows,
         "min_speedup": min(r["speedup"] for r in rows),
         "strict_ok": all(r["strict_ok"] for r in rows),

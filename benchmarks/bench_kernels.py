@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Microbenchmark the compiled kernels against their numpy references.
+
+Four hot-path kernels, each timed standalone on synthetic inputs sized
+like a real annealing move's dirty-net batch:
+
+* ``batched_mass``: Theorem-1/Formula-3 congestion mass over a net
+  batch -- :func:`repro.congestion.batched.batched_approx_mass` with
+  the numpy path versus one flat-CSR kernel call;
+* ``mst``: per-net Prim MST edge extraction --
+  :func:`repro.netlist.batched_mst_edges` versus
+  :func:`repro.backend.kernels.mst_fill` (edge lists must be
+  bit-identical, tie-breaking included);
+* ``wirelength``: weighted Manhattan edge-length reduction;
+* ``pin_scatter``: perimeter pin placement + lattice snap
+  (:class:`repro.anneal.pipeline.PinStage`) -- numpy-only today,
+  timed for the record (``speedup`` is null).
+
+The kernel side runs through the ``"python"`` backend: the same
+functions numba compiles where it is installed, interpreted otherwise.
+``BENCH_kernels.json`` therefore records honest numbers either way --
+``compiled`` says which flavour ran.  Every kernel result is checked
+against the reference (<= 1e-9, MST bitwise) and the script exits
+non-zero on disagreement.
+
+``--smoke`` shrinks sizes and repetitions for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.anneal.pipeline import PinStage, PinTopology  # noqa: E402
+from repro.backend import make_backend  # noqa: E402
+from repro.backend.kernels import HAVE_NUMBA  # noqa: E402
+from repro.congestion.batched import batched_approx_mass  # noqa: E402
+from repro.congestion.irgrid import build_irgrid  # noqa: E402
+from repro.floorplan import Floorplan  # noqa: E402
+from repro.geometry import Point, Rect  # noqa: E402
+from repro.ioutil import atomic_write_json  # noqa: E402
+from repro.netlist import (  # noqa: E402
+    TwoPinNet,
+    batched_mst_edges,
+    random_circuit,
+)
+
+CHIP = Rect(0.0, 0.0, 600.0, 600.0)
+
+
+def _best_of(fn, reps):
+    """Best wall time over ``reps`` calls (first call pays any JIT)."""
+    fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _row(kernel, n, reps, ref_seconds, kernel_seconds, agree):
+    speedup = (
+        None
+        if kernel_seconds is None
+        else round(ref_seconds / kernel_seconds, 3)
+    )
+    row = {
+        "kernel": kernel,
+        "n": n,
+        "reps": reps,
+        "numpy_seconds": round(ref_seconds, 6),
+        "kernel_seconds": (
+            None if kernel_seconds is None else round(kernel_seconds, 6)
+        ),
+        "speedup": speedup,
+        "agree": agree,
+    }
+    shown = "n/a" if speedup is None else f"{speedup:.2f}x"
+    print(
+        f"{kernel}: numpy {ref_seconds * 1e3:.3f} ms, kernel "
+        + (
+            "n/a"
+            if kernel_seconds is None
+            else f"{kernel_seconds * 1e3:.3f} ms"
+        )
+        + f", speedup {shown}, agree={agree}"
+    )
+    return row
+
+
+def bench_batched_mass(backend, n_nets, reps, rng):
+    nets = []
+    for i in range(n_nets):
+        x1, y1, x2, y2 = rng.uniform(0.0, 600.0, 4)
+        nets.append(TwoPinNet(f"n{i}", Point(x1, y1), Point(x2, y2)))
+    irgrid = build_irgrid(CHIP, nets, 30.0, 2.0)
+    ref = batched_approx_mass(irgrid, nets, 30.0)
+    got = batched_approx_mass(irgrid, nets, 30.0, backend=backend)
+    agree = bool(np.allclose(got, ref, rtol=1e-9, atol=1e-9))
+    ref_s = _best_of(lambda: batched_approx_mass(irgrid, nets, 30.0), reps)
+    ker_s = _best_of(
+        lambda: batched_approx_mass(irgrid, nets, 30.0, backend=backend),
+        reps,
+    )
+    return _row("batched_mass", n_nets, reps, ref_s, ker_s, agree)
+
+
+def bench_mst(backend, n_groups, reps, rng):
+    k = 6
+    # Snapped coordinates produce frequent distance ties; the kernel
+    # must replicate the numpy path's first-minimum tie-breaking.
+    xs = rng.integers(0, 12, size=(n_groups, k)).astype(float) * 30.0
+    ys = rng.integers(0, 12, size=(n_groups, k)).astype(float) * 30.0
+    ref_i, ref_j = batched_mst_edges(xs, ys)
+    out_i = np.empty((n_groups, k - 1), dtype=np.int64)
+    out_j = np.empty((n_groups, k - 1), dtype=np.int64)
+    backend.mst_kernel(xs, ys, out_i, out_j)
+    agree = bool((out_i == ref_i).all() and (out_j == ref_j).all())
+    ref_s = _best_of(lambda: batched_mst_edges(xs, ys), reps)
+    ker_s = _best_of(
+        lambda: backend.mst_kernel(xs, ys, out_i, out_j), reps
+    )
+    return _row("mst", n_groups, reps, ref_s, ker_s, agree)
+
+
+def bench_wirelength(backend, n_edges, reps, rng):
+    w = rng.uniform(0.5, 2.0, n_edges)
+    p1x, p1y, p2x, p2y = rng.uniform(0.0, 600.0, (4, n_edges))
+
+    def ref_fn():
+        return float(
+            (w * (np.abs(p2x - p1x) + np.abs(p2y - p1y))).sum()
+        )
+
+    ref = ref_fn()
+    got = backend.wirelength_kernel(w, p1x, p1y, p2x, p2y)
+    agree = bool(abs(got - ref) <= 1e-9 * max(abs(ref), 1.0))
+    ref_s = _best_of(ref_fn, reps)
+    ker_s = _best_of(
+        lambda: backend.wirelength_kernel(w, p1x, p1y, p2x, p2y), reps
+    )
+    return _row("wirelength", n_edges, reps, ref_s, ker_s, agree)
+
+
+def bench_pin_scatter(n_modules, reps, rng):
+    netlist = random_circuit(n_modules, 4 * n_modules, seed=int(rng.integers(1 << 30)))
+    # Non-overlapping row-major placement of every module.
+    cols = int(np.ceil(np.sqrt(n_modules)))
+    side = 40.0
+    placements = {}
+    for i, module in enumerate(netlist.modules):
+        x = (i % cols) * side
+        y = (i // cols) * side
+        w = min(module.area**0.5, side * 0.9)
+        placements[module.name] = Rect(x, y, x + w, y + w)
+    floorplan = Floorplan(placements)
+    topology = PinTopology(netlist, floorplan.module_names)
+    stage = PinStage(pin_grid_size=15.0)
+    n_pins = len(topology.term_idx)
+    ref_s = _best_of(lambda: stage.compute(floorplan, topology), reps)
+    return _row("pin_scatter", n_pins, reps, ref_s, None, True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes / few reps; exit non-zero on any kernel "
+        "disagreement (CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON path (default: BENCH_kernels.json in the "
+        "repository root; smoke mode defaults to not writing)",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(7)
+    backend = make_backend("python")
+    reps = 3 if args.smoke else 20
+    scale = 1 if args.smoke else 8
+
+    rows = [
+        bench_batched_mass(backend, 25 * scale, reps, rng),
+        bench_mst(backend, 50 * scale, reps, rng),
+        bench_wirelength(backend, 500 * scale, reps, rng),
+        bench_pin_scatter(12 * scale, reps, rng),
+    ]
+
+    payload = {
+        "benchmark": "per-kernel microbenchmarks",
+        "smoke": args.smoke,
+        "backend": backend.name,
+        "compiled": backend.compiled,
+        "have_numba": HAVE_NUMBA,
+        "jit_compile_seconds": round(backend.jit_seconds, 6),
+        "kernels": rows,
+        "all_agree": all(r["agree"] for r in rows),
+    }
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    if out is not None:
+        atomic_write_json(out, payload)
+        print(f"wrote {out}")
+
+    if not payload["all_agree"]:
+        print("FAIL: kernel and numpy paths disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

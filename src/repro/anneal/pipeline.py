@@ -284,9 +284,18 @@ class MstStage:
     Also owns the weighted Manhattan wirelength over those arrays --
     wirelength is a pure reduction of the stage's output, not a stage
     of its own.
+
+    ``backend`` is an optional :class:`repro.backend.KernelBackend`;
+    when it carries MST / wirelength kernels, the per-group Prim
+    decomposition and the wirelength reduction go through them (the MST
+    edge lists are bit-identical either way -- both implementations
+    share first-minimum tie-breaking).
     """
 
-    __slots__ = ()
+    __slots__ = ("backend",)
+
+    def __init__(self, backend=None):
+        self.backend = backend
 
     def fill_simple(
         self, topology: PinTopology, edges: TwoPinArrays, sx, sy, which=None
@@ -319,7 +328,13 @@ class MstStage:
         rows = pin_s[:, None] + np.arange(k)
         xs = sx[rows]
         ys = sy[rows]
-        i, j = batched_mst_edges(xs, ys)
+        kern = None if self.backend is None else self.backend.mst_kernel
+        if kern is not None:
+            i = np.empty((len(pin_s), k - 1), dtype=np.int64)
+            j = np.empty((len(pin_s), k - 1), dtype=np.int64)
+            kern(xs, ys, i, j)
+        else:
+            i, j = batched_mst_edges(xs, ys)
         m = np.arange(len(pin_s))[:, None]
         slots = slot[:, None] + np.arange(k - 1)
         edges.p1x[slots] = xs[m, i]
@@ -357,6 +372,16 @@ class MstStage:
 
     def wirelength(self, topology: PinTopology, edges: TwoPinArrays) -> float:
         """Weighted Manhattan length of every placed edge."""
+        kern = (
+            None if self.backend is None else self.backend.wirelength_kernel
+        )
+        if kern is not None:
+            return float(
+                kern(
+                    topology.edge_weights,
+                    edges.p1x, edges.p1y, edges.p2x, edges.p2y,
+                )
+            )
         return float(
             (
                 topology.edge_weights
@@ -471,6 +496,10 @@ class EvaluationPipeline:
         self.state: Optional[EvalState] = None
         self.committed: Optional[EvalState] = None
         self.topology: Optional[PinTopology] = None
+        # Retired EvalState recycled as the next candidate's scratch
+        # buffers: the annealing loop then allocates zero edge arrays
+        # per move in steady state (the pair just alternates roles).
+        self._spare: Optional[EvalState] = None
 
     # -- annealer transaction protocol ---------------------------------
 
@@ -478,17 +507,23 @@ class EvaluationPipeline:
         """Drop the delta-path state (force the next evaluation full)."""
         self.state = None
         self.committed = None
+        self._spare = None
 
     def commit(self) -> None:
         """Mark the last evaluated floorplan as the annealer's accepted
         state.  Subsequent delta evaluations diff against it without
         mutating its arrays, so :meth:`reject` can roll back."""
+        old = self.committed
+        if old is not None and old is not self.state:
+            self._spare = old
         self.committed = self.state
 
     def reject(self) -> None:
         """The last evaluated floorplan was refused: restore the
         accepted state so the next delta diffs against it (one move's
         worth of dirty nets, not two)."""
+        if self.state is not None and self.state is not self.committed:
+            self._spare = self.state
         self.state = self.committed
 
     # -- evaluation -----------------------------------------------------
@@ -541,7 +576,40 @@ class EvaluationPipeline:
             self.topology = topology
             self.state = None
             self.committed = None
+            self._spare = None
         return topology
+
+    def _acquire_candidate(self, prev: EvalState) -> EvalState:
+        """A candidate state whose edge arrays are private copies of
+        ``prev``'s -- recycled from the spare when one fits.
+
+        Only the four edge-coordinate arrays are copied (``np.copyto``
+        into the spare's buffers): the pin arrays are replaced wholesale
+        by the freshly computed snap results before ``_delta_terms``
+        returns, so copying them -- as :meth:`EvalState.clone_arrays`
+        must for the general case -- would be pure churn.
+        """
+        spare = self._spare
+        if (
+            spare is None
+            or spare is prev
+            or len(spare.edges.p1x) != len(prev.edges.p1x)
+        ):
+            return prev.clone_arrays()
+        self._spare = None
+        src = prev.edges
+        dst = spare.edges
+        np.copyto(dst.p1x, src.p1x)
+        np.copyto(dst.p1y, src.p1y)
+        np.copyto(dst.p2x, src.p2x)
+        np.copyto(dst.p2y, src.p2y)
+        spare.placements = prev.placements
+        spare.chip = prev.chip
+        spare.pins_x = prev.pins_x
+        spare.pins_y = prev.pins_y
+        spare.wirelength = prev.wirelength
+        spare.congestion = prev.congestion
+        return spare
 
     def _full_state(self, floorplan: Floorplan) -> Tuple[float, float]:
         """Full evaluation that also (re)builds the delta-path state."""
@@ -604,9 +672,10 @@ class EvaluationPipeline:
                 return prev.wirelength, prev.congestion
             if prev is self.committed:
                 # Never mutate the accepted state's arrays: evaluate the
-                # candidate into a private copy so reject() rolls back
-                # by reference swap.
-                state = prev.clone_arrays()
+                # candidate into a private copy (recycled from the spare
+                # buffers when possible) so reject() rolls back by
+                # reference swap.
+                state = self._acquire_candidate(prev)
             else:
                 state = prev
             edges = state.edges

@@ -1,0 +1,47 @@
+"""Compute backends for the annealing hot path.
+
+The congestion evaluator and the evaluation pipeline's MST/wirelength
+stage each have two implementations: the vectorized numpy reference and
+loop-form kernels (:mod:`repro.backend.kernels`) that numba compiles to
+native code when installed.  A :class:`KernelBackend` selects between
+them per engine; see :mod:`repro.backend.registry` for the registry and
+the parity contract, and DESIGN.md §11 for the full design.
+
+Built-in backends:
+
+``numpy``
+    The default.  Pure vectorized numpy; no extra dependencies.
+``numba``
+    Compiled kernels (``@njit(cache=True, nogil=True)``).  Requires the
+    ``[fast]`` extra; falls back to numpy with a ``RuntimeWarning``
+    when numba is missing.
+``python``
+    The same kernel functions without requiring numba (interpreted when
+    numba is absent).  Slow, but exercises the exact compiled-path
+    arithmetic anywhere -- the parity suite runs on it.
+"""
+
+from __future__ import annotations
+
+from repro.backend.registry import (
+    KernelBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.backend.numpy_backend import make_numpy_backend
+from repro.backend.numba_backend import (
+    make_numba_backend,
+    make_python_backend,
+)
+
+__all__ = [
+    "KernelBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+]
+
+register_backend("numpy", make_numpy_backend)
+register_backend("numba", make_numba_backend)
+register_backend("python", make_python_backend)

@@ -1,0 +1,369 @@
+"""Loop-form compute kernels behind the compiled backend.
+
+Every function here is written as plain scalar-loop Python over numpy
+arrays -- exactly the shape numba's ``@njit`` compiles to native code.
+When numba is importable the decorators below compile each kernel
+(``cache=True`` so the machine code persists across processes,
+``nogil=True`` so parallel annealing chains can run kernels
+concurrently); when it is not, the same functions run interpreted, so
+the kernel *semantics* are testable on any machine.  The ``"python"``
+backend registers the functions in whichever form this module loaded
+them -- that is the whole point: one source of truth for the compiled
+path's arithmetic.
+
+Parity contract: each kernel replicates its numpy twin
+operation-for-operation --
+
+* :func:`mass_probabilities` mirrors the batched Theorem-1 evaluation
+  in :mod:`repro.congestion.batched` (``flat_probabilities``): the same
+  ``rint`` span snapping, type-II vertical mirror, pin rule, Simpson
+  node weights and accumulation order, the same two-endpoint ``|z| > 8``
+  band filter, and the same exact Formula-3 fallback (evaluated in the
+  canonical frame, see :func:`exact_cell_probability`);
+* :func:`mst_fill` mirrors
+  :func:`repro.netlist.decompose.batched_mst_edges` including its
+  first-minimum tie-breaking, so the edge lists are bit-identical;
+* :func:`weighted_wirelength` is the plain sequential reduction of the
+  vectorized wirelength.
+
+Scalar ``math.exp`` / vectorized ``np.exp`` may disagree in the last
+ulp, so cross-backend values agree to ~1e-15 relative, well inside the
+backend registry's <= 1e-12 parity contract (the within-backend
+delta-vs-full strict check is unaffected: each backend is internally
+deterministic).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "mass_probabilities",
+    "exact_cell_probability",
+    "mst_fill",
+    "weighted_wirelength",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+
+    def _jit(fn):
+        return _njit(cache=True, nogil=True)(fn)
+
+except ImportError:  # pragma: no cover - the interpreted fallback
+
+    HAVE_NUMBA = False
+
+    def _jit(fn):
+        return fn
+
+
+@_jit
+def _log_binomial(n: int, k: int) -> float:
+    """``log C(n, k)`` exactly as :func:`repro.mathutils.log_binomial`:
+    ``-inf`` for zero coefficients, ``lgamma`` otherwise."""
+    if n < 0 or k < 0 or k > n:
+        return -math.inf
+    if k == 0 or k == n:
+        return 0.0
+    return math.lgamma(n + 1.0) - math.lgamma(k + 1.0) - math.lgamma(n - k + 1.0)
+
+
+@_jit
+def exact_cell_probability(
+    g1: int, g2: int, x1: int, x2: int, y1: int, y2: int
+) -> float:
+    """Formula 3 in the canonical frame (scalar fallback cells).
+
+    Inputs are *type-I-frame* spans (type II nets are mirrored before
+    calling, exactly like the batched numpy path); the transpose
+    symmetry ``P(g1, g2, x, y) == P(g2, g1, y, x)`` is then applied to
+    put the arguments in canonical order -- the same canonicalization
+    the numpy path's memoized fallback uses, so both paths evaluate
+    the identical boundary sums.
+    """
+    if g2 < g1 or (g2 == g1 and (y1 < x1 or (y1 == x1 and y2 < x2))):
+        g1, g2 = g2, g1
+        x1, x2, y1, y2 = y1, y2, x1, x2
+    log_total = _log_binomial(g1 + g2 - 2, g2 - 1)
+    acc = 0.0
+    if y2 + 1 < g2:
+        # Routes leaving through the top boundary: (x, y2) -> (x, y2+1).
+        for x in range(x1, x2 + 1):
+            log_ta = _log_binomial(x + y2, y2)
+            log_tb = _log_binomial((g1 - 1 - x) + (g2 - 2 - y2), g2 - 2 - y2)
+            if log_ta > -math.inf and log_tb > -math.inf:
+                acc += math.exp(log_ta + log_tb - log_total)
+    if x2 + 1 < g1:
+        # Routes leaving through the right boundary: (x2, y) -> (x2+1, y).
+        for y in range(y1, y2 + 1):
+            log_ta = _log_binomial(x2 + y, y)
+            log_tb = _log_binomial((g1 - 2 - x2) + (g2 - 1 - y), g2 - 1 - y)
+            if log_ta > -math.inf and log_tb > -math.inf:
+                acc += math.exp(log_ta + log_tb - log_total)
+    if y2 + 1 >= g2 and x2 + 1 >= g1:
+        # Flush with both far edges: routes terminating at the pin.
+        acc += math.exp(
+            _log_binomial(x2 + y2, y2)
+            + _log_binomial((g1 - 1 - x2) + (g2 - 1 - y2), g2 - 1 - y2)
+            - log_total
+        )
+    return min(max(acc, 0.0), 1.0)
+
+
+@_jit
+def _simpson_boundary(
+    lo: float,
+    hi: float,
+    offset: float,
+    count_par: float,
+    spread_par: float,
+    big_r: float,
+    denom: float,
+    panels: int,
+) -> float:
+    """One boundary integral of Theorem 1 for a single cell.
+
+    Returns the integral contribution, or ``nan`` when any Simpson node
+    leaves the approximation's domain (the caller reroutes the cell to
+    the exact fallback).  The two-endpoint ``|z| > 8`` pre-pass skips
+    cells far outside the route-mass band -- identical to the batched
+    numpy kernel's band filter.
+    """
+    scale = spread_par / (big_r - 1.0)
+    # Endpoint pre-pass: z has constant sign across the cell.
+    z_lo = 0.0
+    z_hi = 0.0
+    both_good = True
+    for e in range(2):
+        x = lo if e == 0 else hi
+        p = (x + offset) / big_r
+        good = 0.0 < p < 1.0
+        var = scale * count_par * p * (1.0 - p)
+        good = good and var > 0.0
+        if not good:
+            both_good = False
+            break
+        z = (x - count_par * p) / math.sqrt(var)
+        if e == 0:
+            z_lo = z
+        else:
+            z_hi = z
+    if both_good and (
+        (z_lo > 8.0 and z_hi > 8.0) or (z_lo < -8.0 and z_hi < -8.0)
+    ):
+        return 0.0
+    h = (hi - lo) / panels
+    s = 0.0
+    bad = False
+    for k in range(panels + 1):
+        x = lo + h * k
+        p = (x + offset) / big_r
+        ok = 0.0 < p < 1.0
+        var = scale * count_par * p * (1.0 - p)
+        if ok and var > 0.0:
+            safe = var
+            z = (x - count_par * p) / math.sqrt(safe)
+            dens = math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi * safe)
+        else:
+            dens = 0.0
+            bad = True
+        if k == 0 or k == panels:
+            w = 1.0
+        elif k % 2 == 1:
+            w = 4.0
+        else:
+            w = 2.0
+        s += dens * w
+    if bad:
+        return math.nan
+    other = denom - count_par
+    return (other / denom) * s * h / 3.0
+
+
+@_jit
+def mass_probabilities(
+    g1: np.ndarray,
+    g2: np.ndarray,
+    two: np.ndarray,
+    sx_lo: np.ndarray,
+    sy_lo: np.ndarray,
+    x_unit: np.ndarray,
+    y_unit: np.ndarray,
+    col_lo: np.ndarray,
+    col_hi: np.ndarray,
+    row_lo: np.ndarray,
+    row_hi: np.ndarray,
+    x_lines: np.ndarray,
+    y_lines: np.ndarray,
+    offsets: np.ndarray,
+    panels: int,
+    half: float,
+    prob: np.ndarray,
+) -> None:
+    """Crossing probability of every covered cell of every net, in one
+    call.
+
+    CSR layout: net ``t``'s cells occupy ``prob[offsets[t]:]`` in the
+    batched kernel's flat order (column-fastest per net).  All inputs
+    are per-net except the global cut-line arrays, ``panels``, and the
+    integration-bound ``half``; spans are recomputed from the cut lines
+    per cell exactly like the numpy path, so the output vector is the
+    drop-in replacement for ``flat_probabilities``.
+    """
+    n = len(g1)
+    for t in range(n):
+        nc = col_hi[t] - col_lo[t] + 1
+        nr = row_hi[t] - row_lo[t] + 1
+        gg1 = float(g1[t])
+        gg2 = float(g2[t])
+        thin = g1[t] < 3 or g2[t] < 3
+        base_x = sx_lo[t]
+        base_y = sy_lo[t]
+        ux = x_unit[t]
+        uy = y_unit[t]
+        is_two = two[t]
+        big_r = gg1 + gg2 - 3.0
+        denom = gg1 + gg2 - 2.0
+        pos = offsets[t]
+        for r in range(nr):
+            row = row_lo[t] + r
+            y1 = np.rint((y_lines[row] - base_y) / uy)
+            y2 = np.rint((y_lines[row + 1] - base_y) / uy) - 1.0
+            y1 = min(max(y1, 0.0), gg2 - 1.0)
+            y2 = min(max(max(y2, y1), 0.0), gg2 - 1.0)
+            if is_two:
+                # Vertical mirror: type II becomes type I.
+                y1m = gg2 - 1.0 - y2
+                y2m = gg2 - 1.0 - y1
+                y1 = y1m
+                y2 = y2m
+            first_r = r == 0
+            last_r = r == nr - 1
+            for c in range(nc):
+                col = col_lo[t] + c
+                x1 = np.rint((x_lines[col] - base_x) / ux)
+                x2 = np.rint((x_lines[col + 1] - base_x) / ux) - 1.0
+                x1 = min(max(x1, 0.0), gg1 - 1.0)
+                x2 = min(max(max(x2, x1), 0.0), gg1 - 1.0)
+                first_c = c == 0
+                last_c = c == nc - 1
+                if is_two:
+                    pin = (last_c and first_r) or (first_c and last_r)
+                else:
+                    pin = (first_c and first_r) or (last_c and last_r)
+                if pin:
+                    prob[pos] = 1.0
+                    pos += 1
+                    continue
+                if thin:
+                    prob[pos] = exact_cell_probability(
+                        int(gg1), int(gg2), int(x1), int(x2), int(y1), int(y2)
+                    )
+                    pos += 1
+                    continue
+                p_acc = 0.0
+                invalid = False
+                if y2 + 1.0 < gg2:
+                    # Top-boundary exits: Q = x + y2.
+                    top = _simpson_boundary(
+                        x1 - half, x2 + half, y2,
+                        gg1 - 1.0, gg2 - 2.0, big_r, denom, panels,
+                    )
+                    if math.isnan(top):
+                        invalid = True
+                    else:
+                        p_acc += top
+                if x2 + 1.0 < gg1:
+                    # Right-boundary exits: Q = y + x2.
+                    right = _simpson_boundary(
+                        y1 - half, y2 + half, x2,
+                        gg2 - 1.0, gg1 - 2.0, big_r, denom, panels,
+                    )
+                    if math.isnan(right):
+                        invalid = True
+                    else:
+                        p_acc += right
+                if y2 + 1.0 >= gg2 and x2 + 1.0 >= gg1:
+                    # Flush with both far edges but not a pin cell.
+                    invalid = True
+                if not math.isfinite(p_acc):
+                    p_acc = 0.0
+                    invalid = True
+                if invalid:
+                    p_acc = exact_cell_probability(
+                        int(gg1), int(gg2), int(x1), int(x2), int(y1), int(y2)
+                    )
+                else:
+                    p_acc = min(max(p_acc, 0.0), 1.0)
+                prob[pos] = p_acc
+                pos += 1
+
+
+@_jit
+def mst_fill(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    out_i: np.ndarray,
+    out_j: np.ndarray,
+) -> None:
+    """Prim MSTs of many same-size point sets (loop form).
+
+    Same contract as :func:`repro.netlist.decompose.batched_mst_edges`:
+    ``xs`` / ``ys`` are ``(m, k)``, edges come out in tree-growth order
+    with ``i < j``, distance ties break on the first minimum (the scan
+    order the scalar reference uses), so the edge lists are
+    bit-identical to the numpy twin's.
+    """
+    m, k = xs.shape
+    for row in range(m):
+        in_tree = np.zeros(k, dtype=np.bool_)
+        best_dist = np.empty(k)
+        best_from = np.zeros(k, dtype=np.int64)
+        in_tree[0] = True
+        for j in range(k):
+            best_dist[j] = abs(xs[row, 0] - xs[row, j]) + abs(
+                ys[row, 0] - ys[row, j]
+            )
+        for t in range(k - 1):
+            nxt = -1
+            nxt_d = math.inf
+            for j in range(k):
+                if not in_tree[j] and best_dist[j] < nxt_d:
+                    nxt = j
+                    nxt_d = best_dist[j]
+            a = best_from[nxt]
+            out_i[row, t] = min(a, nxt)
+            out_j[row, t] = max(a, nxt)
+            in_tree[nxt] = True
+            for j in range(k):
+                if not in_tree[j]:
+                    d = abs(xs[row, nxt] - xs[row, j]) + abs(
+                        ys[row, nxt] - ys[row, j]
+                    )
+                    if d < best_dist[j]:
+                        best_dist[j] = d
+                        best_from[j] = nxt
+
+
+@_jit
+def weighted_wirelength(
+    weights: np.ndarray,
+    p1x: np.ndarray,
+    p1y: np.ndarray,
+    p2x: np.ndarray,
+    p2y: np.ndarray,
+) -> float:
+    """Weighted Manhattan length of every placed edge (sequential sum;
+    agrees with the numpy pairwise reduction to float-summation dust)."""
+    total = 0.0
+    for i in range(len(weights)):
+        total += weights[i] * (
+            abs(p2x[i] - p1x[i]) + abs(p2y[i] - p1y[i])
+        )
+    return total

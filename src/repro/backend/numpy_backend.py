@@ -1,0 +1,22 @@
+"""The reference numpy backend: no kernels, vectorized code paths.
+
+A backend with every kernel slot set to ``None`` tells each dispatch
+site (:mod:`repro.congestion.batched`, the pipeline's ``MstStage``) to
+keep using its existing vectorized numpy implementation.  This is the
+default and the semantics reference the compiled backend is held to.
+"""
+
+from __future__ import annotations
+
+from repro.backend.registry import KernelBackend
+
+
+def make_numpy_backend(requested: str = "numpy") -> KernelBackend:
+    return KernelBackend(
+        name="numpy",
+        requested=requested,
+        compiled=False,
+        mass_kernel=None,
+        mst_kernel=None,
+        wirelength_kernel=None,
+    )

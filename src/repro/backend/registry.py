@@ -1,0 +1,123 @@
+"""The compute-backend registry.
+
+Mirrors the representation registry in
+:mod:`repro.engine.representation`: string names map to factories, each
+factory builds a :class:`KernelBackend` -- a small bundle of (possibly
+compiled) kernel entry points that the congestion evaluator and the
+evaluation pipeline dispatch through.  ``None`` kernel slots mean "use
+the vectorized numpy path"; the numpy backend is all-``None`` and is
+the semantics reference.
+
+Parity contract: for identical inputs, a kernel backend's congestion
+terms and wirelengths agree with the numpy backend's to <= 1e-12
+relative, and its MST edge lists are bit-identical.  Each backend is
+individually deterministic, so PR 1's strict delta-vs-full guarantee
+(1e-12) holds unchanged under any backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "KernelBackend",
+    "register_backend",
+    "available_backends",
+    "make_backend",
+]
+
+
+class KernelBackend:
+    """One compute backend: named kernel entry points plus provenance.
+
+    Attributes
+    ----------
+    name:
+        The backend actually in effect (``"numpy"`` after a fallback).
+    requested:
+        The name originally asked for; differs from ``name`` only when
+        the ``"numba"`` factory fell back because numba is missing.
+    compiled:
+        True when the kernels are numba-compiled machine code.
+    mass_kernel / mst_kernel / wirelength_kernel:
+        Kernel callables, or ``None`` to use the numpy code path.
+    jit_seconds:
+        Wall-clock seconds the construction-time warm-up took
+        (compilation cost under numba); excluded from timed phases.
+    """
+
+    __slots__ = (
+        "name",
+        "requested",
+        "compiled",
+        "mass_kernel",
+        "mst_kernel",
+        "wirelength_kernel",
+        "jit_seconds",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        requested: str,
+        compiled: bool,
+        mass_kernel: Optional[Callable] = None,
+        mst_kernel: Optional[Callable] = None,
+        wirelength_kernel: Optional[Callable] = None,
+        jit_seconds: float = 0.0,
+    ):
+        self.name = name
+        self.requested = requested
+        self.compiled = compiled
+        self.mass_kernel = mass_kernel
+        self.mst_kernel = mst_kernel
+        self.wirelength_kernel = wirelength_kernel
+        self.jit_seconds = jit_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelBackend(name={self.name!r}, requested={self.requested!r}, "
+            f"compiled={self.compiled})"
+        )
+
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend]
+) -> None:
+    """Register a backend factory under ``name``.
+
+    Raises ``ValueError`` on duplicates -- a silent overwrite would let
+    one import order shadow another's backend.
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_FACTORIES)
+
+
+def make_backend(name) -> KernelBackend:
+    """Build the named backend (pass-through for built instances).
+
+    ``None`` means the default numpy backend.  A :class:`KernelBackend`
+    passes through unchanged, so plumbing can accept "name or instance"
+    without double construction (and without re-paying JIT warm-up).
+    """
+    if name is None:
+        name = "numpy"
+    if isinstance(name, KernelBackend):
+        return name
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return factory()

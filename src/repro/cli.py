@@ -90,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--gamma", type=float, default=0.0, help="congestion weight")
     fp.add_argument("--grid-size", type=float, default=None, help="IR unit pitch (um)")
     fp.add_argument(
+        "--backend",
+        choices=("numpy", "numba", "python"),
+        default="numpy",
+        help="compute backend for the hot-path kernels (numba falls "
+        "back to numpy with a warning when not installed)",
+    )
+    fp.add_argument(
         "--perf",
         action="store_true",
         help="print the per-phase timing breakdown and cache statistics",
@@ -330,6 +337,7 @@ def _cmd_floorplan(args) -> int:
 
 
 def _build_objective(args, netlist, grid_size, incremental) -> FloorplanObjective:
+    backend = getattr(args, "backend", None)
     if args.gamma > 0:
         return FloorplanObjective(
             netlist,
@@ -340,6 +348,7 @@ def _build_objective(args, netlist, grid_size, incremental) -> FloorplanObjectiv
                 grid_size, use_cache=incremental
             ),
             incremental=incremental,
+            backend=backend,
         )
     return FloorplanObjective(
         netlist,
@@ -348,6 +357,7 @@ def _build_objective(args, netlist, grid_size, incremental) -> FloorplanObjectiv
         gamma=0.0,
         pin_grid_size=grid_size,
         incremental=incremental,
+        backend=backend,
     )
 
 
@@ -361,6 +371,7 @@ def _objective_spec(args, grid_size, incremental):
         congestion_grid_size=grid_size,
         pin_grid_size=grid_size if args.gamma <= 0 else None,
         incremental=incremental,
+        backend=getattr(args, "backend", None),
     )
 
 

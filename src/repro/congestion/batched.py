@@ -53,21 +53,33 @@ def _exact_cached(
     cache: Optional[BoundedCache],
     g1: int,
     g2: int,
-    net_type: NetType,
     x1: int,
     x2: int,
     y1: int,
     y2: int,
 ) -> float:
-    """Formula 3, memoized in the caller's exact-probability store (the
-    same small (g1, g2, span) configurations recur constantly across an
-    annealing run).  ``cache=None`` computes directly."""
+    """Formula 3 in the canonical frame, memoized in the caller's
+    exact-probability store.
+
+    Inputs are *type-I-frame* spans (the batch kernel mirrors type II
+    nets before falling back here).  Formula 3 is symmetric under
+    transposing the grid -- ``P(g1, g2, x, y) == P(g2, g1, y, x)`` --
+    so arguments are put into a canonical orientation before keying
+    *and* evaluating: mirror-equivalent and transpose-equivalent cells
+    share one cache entry (the same small configurations recur
+    constantly across an annealing run, and an ami33-scale run's hit
+    rate roughly doubles), and because evaluation itself happens in the
+    canonical frame, cached and uncached calls agree bit-for-bit.
+    ``cache=None`` computes directly."""
+    if g2 < g1 or (g2 == g1 and (y1 < x1 or (y1 == x1 and y2 < x2))):
+        g1, g2 = g2, g1
+        x1, x2, y1, y2 = y1, y2, x1, x2
     if cache is None:
-        return exact_ir_probability(g1, g2, net_type, x1, x2, y1, y2)
-    key = (g1, g2, net_type, x1, x2, y1, y2)
+        return exact_ir_probability(g1, g2, NetType.TYPE_I, x1, x2, y1, y2)
+    key = (g1, g2, x1, x2, y1, y2)
     value = cache.get(key)
     if value is None:
-        value = exact_ir_probability(g1, g2, net_type, x1, x2, y1, y2)
+        value = exact_ir_probability(g1, g2, NetType.TYPE_I, x1, x2, y1, y2)
         cache.put(key, value)
     return value
 
@@ -113,6 +125,7 @@ def _axis_offsets(
 def _signature_keys(
     panels: int,
     paper_bounds: bool,
+    kernel_flag: int,
     type_two: np.ndarray,
     g1: np.ndarray,
     g2: np.ndarray,
@@ -122,22 +135,26 @@ def _signature_keys(
     ny: np.ndarray,
 ) -> List[bytes]:
     """One ``bytes`` signature per net: a fixed header (panels,
-    paper_bounds, net type, ``g1``, ``g2``, ``nx`` -- the last making
-    the x/y split unambiguous) followed by both axes' quantized line
-    offsets.  A single flat ``int32`` buffer is assembled with a
-    handful of scatters and sliced per net, so key construction does
-    one hash-friendly allocation per net instead of a 7-tuple."""
+    paper_bounds, kernel flag, net type, ``g1``, ``g2``, ``nx`` -- the
+    last making the x/y split unambiguous) followed by both axes'
+    quantized line offsets.  The kernel flag keeps vectors produced by
+    a compiled backend from mixing with numpy-produced ones in a shared
+    cache context (they agree to 1e-15, not bitwise).  A single flat
+    ``int32`` buffer is assembled with a handful of scatters and sliced
+    per net, so key construction does one hash-friendly allocation per
+    net instead of an 8-tuple."""
     n = len(nx)
-    header = 6
+    header = 7
     lens = header + nx + ny
     offs = np.concatenate([[0], np.cumsum(lens)[:-1]])
     out = np.empty(int(lens.sum()), dtype=np.int32)
     out[offs] = panels
     out[offs + 1] = paper_bounds
-    out[offs + 2] = type_two
-    out[offs + 3] = g1
-    out[offs + 4] = g2
-    out[offs + 5] = nx
+    out[offs + 2] = kernel_flag
+    out[offs + 3] = type_two
+    out[offs + 4] = g1
+    out[offs + 5] = g2
+    out[offs + 6] = nx
     cum_x = np.concatenate([[0], np.cumsum(nx)[:-1]])
     e_x = np.arange(int(nx.sum())) - np.repeat(cum_x, nx)
     out[np.repeat(offs + header, nx) + e_x] = x_vals
@@ -158,6 +175,7 @@ def batched_approx_mass(
     paper_bounds: bool = False,
     cache: Optional[BoundedCache] = None,
     exact_cache: Optional[BoundedCache] = None,
+    backend=None,
 ) -> np.ndarray:
     """Congestion mass per IR-cell, shape ``(n_columns, n_rows)``.
 
@@ -166,6 +184,9 @@ def batched_approx_mass(
     from the caller's :class:`~repro.perf.context.CacheContext`.
     ``None`` forces the pure batch path (identical results -- cached
     blocks are bit-for-bit the kernel's output for the same signature).
+    ``backend`` is an optional :class:`repro.backend.KernelBackend`;
+    when it carries a mass kernel, per-cell probabilities come from one
+    compiled-kernel call instead of the numpy broadcast.
     """
     if not nets:
         return np.zeros((irgrid.n_columns, irgrid.n_rows))
@@ -177,6 +198,7 @@ def batched_approx_mass(
         paper_bounds=paper_bounds,
         cache=cache,
         exact_cache=exact_cache,
+        backend=backend,
     )
 
 
@@ -188,6 +210,7 @@ def batched_approx_mass_arrays(
     paper_bounds: bool = False,
     cache: Optional[BoundedCache] = None,
     exact_cache: Optional[BoundedCache] = None,
+    backend=None,
 ) -> np.ndarray:
     """:func:`batched_approx_mass` over a :class:`TwoPinArrays` batch.
 
@@ -195,6 +218,7 @@ def batched_approx_mass_arrays(
     broadcast kernel with no per-net attribute reads.  Identical output
     to the net-object entry point for the same edge geometry.
     """
+    mass_kernel = None if backend is None else backend.mass_kernel
     n_cols_total = irgrid.n_columns
     n_rows_total = irgrid.n_rows
     mass = np.zeros((n_cols_total, n_rows_total))
@@ -283,7 +307,6 @@ def batched_approx_mass_arrays(
         gg1 = np.repeat(g1[sub].astype(float), counts)
         gg2 = np.repeat(g2[sub].astype(float), counts)
         thin = np.repeat((g1[sub] < 3) | (g2[sub] < 3), counts)
-        net_of = np.repeat(sub, counts)
         two = np.repeat(type_two[sub], counts)
 
         base_x = np.repeat(sx_lo[sub], counts)
@@ -443,23 +466,53 @@ def batched_approx_mass_arrays(
         prob[pin] = 1.0
 
         # ---- scalar exact fallback (thin ranges + domain failures) ----
+        # The spans are already mirrored into the type-I frame, which
+        # is exactly the frame ``_exact_cached`` canonicalizes from.
         fallback = np.nonzero(invalid & ~pin)[0]
         if len(fallback):
             for i in fallback.tolist():
-                nt = NetType.TYPE_II if type_two[net_of[i]] else NetType.TYPE_I
-                # The spans were already mirrored into the type-I frame;
-                # mirror back for the scalar API when the net is type II.
-                g2i = int(gg2[i])
-                if nt is NetType.TYPE_II:
-                    fy1 = g2i - 1 - int(y2[i])
-                    fy2 = g2i - 1 - int(y1[i])
-                else:
-                    fy1, fy2 = int(y1[i]), int(y2[i])
                 prob[i] = _exact_cached(
                     exact_cache,
-                    int(gg1[i]), g2i, nt, int(x1[i]), int(x2[i]), fy1, fy2,
+                    int(gg1[i]), int(gg2[i]),
+                    int(x1[i]), int(x2[i]), int(y1[i]), int(y2[i]),
                 )
         return prob, col, row, counts, offsets
+
+    def kernel_probabilities(sub: np.ndarray):
+        """Compiled-backend twin of :func:`flat_probabilities`.
+
+        ONE kernel call computes every covered cell of every net in
+        ``sub`` (CSR layout: per-net flat offsets into one probability
+        vector, cells column-fastest per net -- the same flat order the
+        numpy path and :func:`cell_enumeration` use).  Only the cheap
+        integer framing happens in Python.  Returns
+        ``(prob, counts, offsets)``.
+        """
+        n_c = col_hi[sub] - col_lo[sub] + 1
+        n_r = row_hi[sub] - row_lo[sub] + 1
+        counts = n_c * n_r
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        prob = np.empty(int(counts.sum()))
+        mass_kernel(
+            g1[sub].astype(np.int64),
+            g2[sub].astype(np.int64),
+            type_two[sub],
+            sx_lo[sub],
+            sy_lo[sub],
+            (sx_hi[sub] - sx_lo[sub]) / g1[sub],
+            (sy_hi[sub] - sy_lo[sub]) / g2[sub],
+            col_lo[sub].astype(np.int64),
+            col_hi[sub].astype(np.int64),
+            row_lo[sub].astype(np.int64),
+            row_hi[sub].astype(np.int64),
+            x_lines,
+            y_lines,
+            offsets.astype(np.int64),
+            panels,
+            0.0 if paper_bounds else 0.5,
+            prob,
+        )
+        return prob, counts, offsets
 
     def scatter_add(prob, col, row, counts):
         """Accumulate weighted cell probabilities into ``mass``.
@@ -495,7 +548,11 @@ def batched_approx_mass_arrays(
         return mass
 
     if cache is None:
-        prob, col, row, counts, _ = flat_probabilities(idx)
+        if mass_kernel is not None:
+            prob, counts, _ = kernel_probabilities(idx)
+            _, _, _, _, _, col, row = cell_enumeration(idx)
+        else:
+            prob, col, row, counts, _ = flat_probabilities(idx)
         scatter_add(prob, col, row, counts)
         return mass
 
@@ -514,14 +571,18 @@ def batched_approx_mass_arrays(
         y_lines, row_lo[idx], row_hi[idx], sy_lo[idx], y_unit_all[idx]
     )
     keys = _signature_keys(
-        panels, paper_bounds, type_two[idx], g1[idx], g2[idx],
+        panels, paper_bounds, int(mass_kernel is not None),
+        type_two[idx], g1[idx], g2[idx],
         x_vals, nx, y_vals, ny,
     )
     vectors: List[Optional[np.ndarray]] = cache.get_many(keys)
     miss_pos = [t for t, v in enumerate(vectors) if v is None]
     if miss_pos:
         sub = idx[miss_pos]
-        prob_m, _, _, counts_m, offsets_m = flat_probabilities(sub)
+        if mass_kernel is not None:
+            prob_m, counts_m, offsets_m = kernel_probabilities(sub)
+        else:
+            prob_m, _, _, counts_m, offsets_m = flat_probabilities(sub)
         fresh = []
         for s, t in enumerate(miss_pos):
             vec = prob_m[offsets_m[s] : offsets_m[s] + int(counts_m[s])].copy()

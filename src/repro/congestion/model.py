@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import KernelBackend, make_backend
 from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
 from repro.congestion.batched import (
     batched_approx_mass,
@@ -93,6 +94,13 @@ class IrregularGridModel(CongestionModel):
         accountable context; when ``None`` and ``use_cache`` is true, a
         private context is created on first use, so standalone models
         still never share state with one another.
+    backend:
+        Compute backend for the batched mass evaluation: a registered
+        name (``"numpy"`` / ``"numba"`` / ``"python"``), a built
+        :class:`~repro.backend.KernelBackend`, or ``None`` for numpy.
+        ``None`` also lets an owning objective inject its backend,
+        mirroring ``cache_context``.  Results agree across backends to
+        <= 1e-12 relative (see :mod:`repro.backend.registry`).
 
     The ``perf`` attribute may be set to a
     :class:`~repro.perf.PerfRecorder` to time the evaluation phases
@@ -109,6 +117,7 @@ class IrregularGridModel(CongestionModel):
         top_fraction: float = 0.1,
         use_cache: bool = True,
         cache_context: Optional[CacheContext] = None,
+        backend=None,
     ):
         if grid_size <= 0:
             raise ValueError(f"grid_size must be positive, got {grid_size}")
@@ -124,6 +133,9 @@ class IrregularGridModel(CongestionModel):
         self.top_fraction = float(top_fraction)
         self.use_cache = bool(use_cache)
         self.cache_context = cache_context
+        if backend is not None and not isinstance(backend, KernelBackend):
+            backend = make_backend(backend)
+        self.backend = backend
         self.perf = NULL_RECORDER
         self._exact_twin_model: Optional["IrregularGridModel"] = None
 
@@ -210,6 +222,7 @@ class IrregularGridModel(CongestionModel):
                 paper_bounds=self.paper_bounds,
                 cache=ctx.net_mass if ctx else None,
                 exact_cache=ctx.exact_prob if ctx else None,
+                backend=self.backend,
             )
             if not np.isfinite(mass).all():
                 mass = self._exact_rescue(irgrid, _nets_from_arrays(arr))
@@ -229,14 +242,19 @@ class IrregularGridModel(CongestionModel):
             if total_area <= 0:
                 return 0.0
             target = self.top_fraction * total_area
-            covered = 0.0
-            mass_sum = 0.0
-            for i in order:
-                take = min(areas[i], target - covered)
-                mass_sum += density[i] * take
-                covered += take
-                if covered >= target:
-                    break
+            # Greedy take-until-target over the sorted cells, without
+            # the per-cell Python loop: cumsum is the same sequential
+            # left-to-right accumulation, so full cells contribute the
+            # identical partial sums; only the boundary cell is capped.
+            a = areas[order]
+            d = density[order]
+            ca = np.cumsum(a)
+            j = min(int(np.searchsorted(ca, target, side="left")), len(a) - 1)
+            prev_area = float(ca[j - 1]) if j > 0 else 0.0
+            prev_mass = float(np.cumsum(d[: j + 1] * a[: j + 1])[j - 1]) if j > 0 else 0.0
+            take = min(float(a[j]), target - prev_area)
+            mass_sum = prev_mass + float(d[j]) * take
+            covered = prev_area + take
             return float(mass_sum / covered) if covered > 0 else 0.0
 
     # -- internals -----------------------------------------------------
@@ -253,6 +271,7 @@ class IrregularGridModel(CongestionModel):
                 paper_bounds=self.paper_bounds,
                 cache=ctx.net_mass if ctx else None,
                 exact_cache=ctx.exact_prob if ctx else None,
+                backend=self.backend,
             )
             if not np.isfinite(mass).all():
                 mass = self._exact_rescue(irgrid, nets)

@@ -28,6 +28,12 @@ for SIGINT/SIGTERM, atomic checkpoints and bit-identical
 multistart supervisor's per-restart :class:`RunReport` ledger.
 """
 
+from repro.backend import (
+    KernelBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from repro.engine.checkpoint import (
     Checkpoint,
     LoopState,
@@ -66,6 +72,10 @@ __all__ = [
     "available_representations",
     "make_representation",
     "register_representation",
+    "KernelBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
     "CacheContext",
     "RunControl",
     "install_signal_handlers",

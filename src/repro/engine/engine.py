@@ -135,6 +135,13 @@ class AnnealEngine:
         The cache fleet for this engine; a private one is created when
         omitted.  Every engine owns exactly one context -- two engines
         never share cache state unless explicitly given one context.
+    backend:
+        Compute-backend name (``"numpy"`` / ``"numba"`` / ``"python"``)
+        for the engine-built default objective.  Callers supplying their
+        own ``objective`` / ``objective_factory`` / ``objective_spec``
+        set the backend there instead (the spec has a ``backend``
+        field); combining them raises ``ValueError`` so a requested
+        backend can never be silently ignored.
     """
 
     def __init__(
@@ -149,10 +156,20 @@ class AnnealEngine:
         schedule: Optional[GeometricSchedule] = None,
         calibrate: bool = True,
         cache_context: Optional[CacheContext] = None,
+        backend: Optional[str] = None,
     ):
         if objective is not None and objective_factory is not None:
             raise ValueError(
                 "pass either objective or objective_factory, not both"
+            )
+        if backend is not None and (
+            objective is not None
+            or objective_factory is not None
+            or objective_spec is not None
+        ):
+            raise ValueError(
+                "backend= configures the engine-built default objective; "
+                "set the backend on your objective / factory / spec instead"
             )
         self.netlist = netlist
         self.objective_spec = objective_spec
@@ -173,7 +190,9 @@ class AnnealEngine:
                 objective = objective_spec.build(netlist, self.cache_context)
             else:
                 objective = FloorplanObjective(
-                    netlist, cache_context=self.cache_context
+                    netlist,
+                    cache_context=self.cache_context,
+                    backend=backend,
                 )
         self.objective = objective
         if isinstance(representation, Representation):

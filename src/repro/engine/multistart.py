@@ -73,6 +73,10 @@ class ObjectiveSpec:
     allow_rotation: bool = True
     incremental: bool = True
     strict_incremental: bool = False
+    # Compute-backend *name* (kept a string so the spec stays
+    # picklable); each worker resolves it -- and pays JIT warm-up --
+    # in its own process.  None means numpy.
+    backend: Optional[str] = None
 
     def build(
         self, netlist: Netlist, cache_context: CacheContext
@@ -97,6 +101,7 @@ class ObjectiveSpec:
             incremental=self.incremental,
             strict_incremental=self.strict_incremental,
             cache_context=cache_context,
+            backend=self.backend,
         )
 
 

@@ -1,0 +1,276 @@
+"""Cross-backend parity: registry semantics, kernel properties, walks.
+
+The ``"python"`` backend runs the exact compiled-path kernel functions
+(numba-jitted where numba is installed, interpreted otherwise), so this
+suite exercises the compiled backend's arithmetic on any machine; the
+``"numba"`` entry additionally proves the graceful fallback when numba
+is missing.  The contract under test (see
+:mod:`repro.backend.registry`): congestion masses and wirelengths agree
+with numpy to <= 1e-12 relative, MST edge lists bit-identically, and
+whole annealing walks take identical accept/reject sequences.
+"""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anneal.cost import FloorplanObjective
+from repro.anneal.schedule import GeometricSchedule
+from repro.backend import (
+    KernelBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.backend.kernels import (
+    HAVE_NUMBA,
+    exact_cell_probability,
+    mst_fill,
+    weighted_wirelength,
+)
+from repro.congestion.batched import batched_approx_mass
+from repro.congestion.exact_ir import exact_ir_probability
+from repro.congestion.irgrid import build_irgrid
+from repro.engine import AnnealEngine
+from repro.engine.multistart import ObjectiveSpec
+from repro.geometry import Point, Rect
+from repro.netlist import NetType, TwoPinNet, batched_mst_edges, random_circuit
+
+CHIP = Rect(0, 0, 600, 600)
+
+
+def _random_nets(rng, n):
+    nets = []
+    for i in range(n):
+        x1, y1, x2, y2 = rng.uniform(0, 600, 4)
+        nets.append(TwoPinNet(f"n{i}", Point(x1, y1), Point(x2, y2)))
+    return nets
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert {"numpy", "numba", "python"} <= set(names)
+
+    def test_default_is_numpy(self):
+        be = make_backend(None)
+        assert be.name == "numpy"
+        assert be.mass_kernel is None
+        assert be.mst_kernel is None
+        assert be.wirelength_kernel is None
+        assert be.jit_seconds == 0.0
+
+    def test_instance_passes_through(self):
+        be = make_backend("numpy")
+        assert make_backend(be) is be
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("cuda")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("numpy", lambda: None)
+
+    def test_python_backend_has_kernels(self):
+        be = make_backend("python")
+        assert be.name == "python"
+        assert be.mass_kernel is not None
+        assert be.mst_kernel is not None
+        assert be.wirelength_kernel is not None
+        # Warm-up ran at construction and was timed.
+        assert be.jit_seconds > 0.0
+        assert be.compiled == HAVE_NUMBA
+
+    def test_numba_backend_or_fallback(self):
+        if HAVE_NUMBA:
+            be = make_backend("numba")
+            assert be.name == "numba"
+            assert be.compiled
+            assert be.mass_kernel is not None
+        else:
+            with pytest.warns(RuntimeWarning, match="falls back"):
+                be = make_backend("numba")
+            assert be.name == "numpy"
+            assert be.requested == "numba"
+            assert be.mass_kernel is None
+
+
+class TestKernelProperties:
+    """Random-input agreement between the kernel and numpy paths."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_prob_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        g1 = int(rng.integers(2, 14))
+        g2 = int(rng.integers(2, 14))
+        x1 = int(rng.integers(0, g1))
+        x2 = int(rng.integers(x1, g1))
+        y1 = int(rng.integers(0, g2))
+        y2 = int(rng.integers(y1, g2))
+        ref = exact_ir_probability(g1, g2, NetType.TYPE_I, x1, x2, y1, y2)
+        got = exact_cell_probability(g1, g2, x1, x2, y1, y2)
+        assert got == pytest.approx(ref, abs=1e-12)
+
+    @given(seed=st.integers(0, 10_000), merge=st.sampled_from([0.0, 2.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_mass_matches_numpy(self, seed, merge):
+        rng = np.random.default_rng(seed)
+        nets = _random_nets(rng, int(rng.integers(1, 14)))
+        irgrid = build_irgrid(CHIP, nets, 30.0, merge)
+        be = make_backend("python")
+        for pb in (False, True):
+            ref = batched_approx_mass(irgrid, nets, 30.0, paper_bounds=pb)
+            got = batched_approx_mass(
+                irgrid, nets, 30.0, paper_bounds=pb, backend=be
+            )
+            np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_mst_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 8))
+        k = int(rng.integers(3, 9))
+        # Snapped coordinates produce frequent distance ties -- the
+        # tie-breaking rule is the hard part of this parity.
+        xs = rng.integers(0, 6, size=(m, k)).astype(float) * 30.0
+        ys = rng.integers(0, 6, size=(m, k)).astype(float) * 30.0
+        ref_i, ref_j = batched_mst_edges(xs, ys)
+        out_i = np.empty((m, k - 1), dtype=np.int64)
+        out_j = np.empty((m, k - 1), dtype=np.int64)
+        mst_fill(xs, ys, out_i, out_j)
+        assert (out_i == ref_i).all()
+        assert (out_j == ref_j).all()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_wirelength_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        w = rng.uniform(0.5, 2.0, n)
+        p1x, p1y, p2x, p2y = rng.uniform(0, 600, (4, n))
+        ref = float((w * (np.abs(p2x - p1x) + np.abs(p2y - p1y))).sum())
+        got = weighted_wirelength(w, p1x, p1y, p2x, p2y)
+        assert got == pytest.approx(ref, rel=1e-12)
+
+    def test_kernel_cached_equals_uncached_bitwise(self):
+        # The net-mass memo stores kernel-produced vectors under a
+        # backend-flagged signature; replaying from cache must be
+        # bit-identical to computing fresh.
+        rng = np.random.default_rng(5)
+        nets = _random_nets(rng, 10)
+        irgrid = build_irgrid(CHIP, nets, 30.0, 2.0)
+        be = make_backend("python")
+        from repro.perf import CacheContext
+
+        ctx = CacheContext()
+        fresh = batched_approx_mass(irgrid, nets, 30.0, backend=be)
+        first = batched_approx_mass(
+            irgrid, nets, 30.0, backend=be,
+            cache=ctx.net_mass, exact_cache=ctx.exact_prob,
+        )
+        replay = batched_approx_mass(
+            irgrid, nets, 30.0, backend=be,
+            cache=ctx.net_mass, exact_cache=ctx.exact_prob,
+        )
+        assert (fresh == first).all()
+        assert (first == replay).all()
+        assert ctx.net_mass.stats().hits > 0
+
+
+class TestWalkParity:
+    """Whole strict-mode annealing walks take the same trajectory."""
+
+    @pytest.mark.parametrize("representation", ["polish", "sp", "btree"])
+    def test_strict_walk_matches_numpy(self, representation):
+        netlist = random_circuit(8, 16, seed=3)
+        results = {}
+        for backend in ("numpy", "python"):
+            spec = ObjectiveSpec(
+                gamma=1.0,
+                congestion_grid_size=30.0,
+                strict_incremental=True,
+                backend=backend,
+            )
+            engine = AnnealEngine(
+                netlist,
+                representation=representation,
+                objective_spec=spec,
+                seed=11,
+                moves_per_temperature=18,
+                schedule=GeometricSchedule(0.7, freeze_ratio=1e-2),
+            )
+            results[backend] = engine.run()
+        a = results["numpy"]
+        b = results["python"]
+        assert a.n_moves >= 200  # a real walk, not a smoke run
+        # Identical accept/reject sequence: same move count, same
+        # accept count, and the per-temperature cost trajectory agrees.
+        assert b.n_moves == a.n_moves
+        assert b.n_accepted == a.n_accepted
+        for s_a, s_b in zip(a.snapshots, b.snapshots):
+            assert math.isclose(
+                s_a.current_cost, s_b.current_cost, rel_tol=1e-9
+            )
+            assert math.isclose(s_a.best_cost, s_b.best_cost, rel_tol=1e-9)
+        assert math.isclose(a.cost, b.cost, rel_tol=1e-9)
+
+
+class TestObjectiveIntegration:
+    def test_backend_injected_into_model_and_mst(self):
+        from repro.congestion import IrregularGridModel
+
+        netlist = random_circuit(6, 10, seed=1)
+        model = IrregularGridModel(30.0)
+        assert model.backend is None
+        obj = FloorplanObjective(
+            netlist, gamma=1.0, congestion_model=model, backend="python"
+        )
+        assert isinstance(obj.backend, KernelBackend)
+        assert obj.backend.name == "python"
+        assert model.backend is obj.backend
+        assert obj.pipeline.mst.backend is obj.backend
+
+    def test_model_keeps_own_backend(self):
+        from repro.congestion import IrregularGridModel
+
+        netlist = random_circuit(6, 10, seed=1)
+        own = make_backend("numpy")
+        model = IrregularGridModel(30.0, backend=own)
+        obj = FloorplanObjective(
+            netlist, gamma=1.0, congestion_model=model, backend="python"
+        )
+        assert model.backend is own
+        assert obj.backend.name == "python"
+
+    def test_jit_seconds_recorded_once(self):
+        from repro.perf import PerfRecorder
+
+        netlist = random_circuit(6, 10, seed=1)
+        obj = FloorplanObjective(netlist, backend="python")
+        assert obj.backend.jit_seconds > 0.0
+        rec = PerfRecorder()
+        obj.perf = rec
+        assert "jit_compile_seconds" in rec.timers
+        obj.perf = rec  # idempotent: warm-up happened exactly once
+        assert rec.timers["jit_compile_seconds"].calls == 1
+
+    def test_engine_backend_with_spec_raises(self):
+        netlist = random_circuit(6, 10, seed=1)
+        with pytest.raises(ValueError, match="backend"):
+            AnnealEngine(
+                netlist, objective_spec=ObjectiveSpec(), backend="python"
+            )
+
+    def test_numpy_backend_warmup_free(self):
+        # The default path must not warm up kernels it will never call.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            be = make_backend("numpy")
+        assert be.jit_seconds == 0.0
