@@ -14,7 +14,8 @@ like a real annealing move's dirty-net batch:
 * ``wirelength``: weighted Manhattan edge-length reduction;
 * ``pin_scatter``: perimeter pin placement + lattice snap
   (:class:`repro.anneal.pipeline.PinStage`) -- numpy-only today,
-  timed for the record (``speedup`` is null).
+  timed for the record (``speedup`` is null, and the row's
+  ``backend_used`` records ``"numpy"`` explicitly).
 
 The kernel side runs through the ``"python"`` backend: the same
 functions numba compiles where it is installed, interpreted otherwise.
@@ -65,7 +66,7 @@ def _best_of(fn, reps):
     return best
 
 
-def _row(kernel, n, reps, ref_seconds, kernel_seconds, agree):
+def _row(kernel, n, reps, ref_seconds, kernel_seconds, agree, backend_used):
     speedup = (
         None
         if kernel_seconds is None
@@ -75,6 +76,7 @@ def _row(kernel, n, reps, ref_seconds, kernel_seconds, agree):
         "kernel": kernel,
         "n": n,
         "reps": reps,
+        "backend_used": backend_used,
         "numpy_seconds": round(ref_seconds, 6),
         "kernel_seconds": (
             None if kernel_seconds is None else round(kernel_seconds, 6)
@@ -109,7 +111,9 @@ def bench_batched_mass(backend, n_nets, reps, rng):
         lambda: batched_approx_mass(irgrid, nets, 30.0, backend=backend),
         reps,
     )
-    return _row("batched_mass", n_nets, reps, ref_s, ker_s, agree)
+    return _row(
+        "batched_mass", n_nets, reps, ref_s, ker_s, agree, backend.name
+    )
 
 
 def bench_mst(backend, n_groups, reps, rng):
@@ -127,7 +131,7 @@ def bench_mst(backend, n_groups, reps, rng):
     ker_s = _best_of(
         lambda: backend.mst_kernel(xs, ys, out_i, out_j), reps
     )
-    return _row("mst", n_groups, reps, ref_s, ker_s, agree)
+    return _row("mst", n_groups, reps, ref_s, ker_s, agree, backend.name)
 
 
 def bench_wirelength(backend, n_edges, reps, rng):
@@ -146,7 +150,9 @@ def bench_wirelength(backend, n_edges, reps, rng):
     ker_s = _best_of(
         lambda: backend.wirelength_kernel(w, p1x, p1y, p2x, p2y), reps
     )
-    return _row("wirelength", n_edges, reps, ref_s, ker_s, agree)
+    return _row(
+        "wirelength", n_edges, reps, ref_s, ker_s, agree, backend.name
+    )
 
 
 def bench_pin_scatter(n_modules, reps, rng):
@@ -165,7 +171,9 @@ def bench_pin_scatter(n_modules, reps, rng):
     stage = PinStage(pin_grid_size=15.0)
     n_pins = len(topology.term_idx)
     ref_s = _best_of(lambda: stage.compute(floorplan, topology), reps)
-    return _row("pin_scatter", n_pins, reps, ref_s, None, True)
+    # PinStage has no compiled kernel; say so in the provenance rather
+    # than leaving readers to infer it from the null speedup.
+    return _row("pin_scatter", n_pins, reps, ref_s, None, True, "numpy")
 
 
 def main(argv=None) -> int:

@@ -105,6 +105,7 @@ def anneal(
     perf: Optional[PerfRecorder] = None,
     control=None,
     resume=None,
+    t0_scale: float = 1.0,
 ) -> Result:
     """Run one full annealing schedule over an arbitrary representation.
 
@@ -119,9 +120,17 @@ def anneal(
     checkpointed run instead of starting fresh (``seed`` and
     ``calibrate`` are then ignored -- the restored RNG state and norms
     take over).
+
+    ``t0_scale`` multiplies the sampled initial temperature; search
+    drivers use values below 1 to *continue* annealing from an already
+    good state (an elite migrated from another restart) without the
+    full high-temperature scramble destroying it.  A resumed run
+    ignores it (``t0`` is restored from the checkpoint).
     """
     if moves_per_temperature < 1:
         raise ValueError("moves_per_temperature must be >= 1")
+    if t0_scale <= 0:
+        raise ValueError(f"t0_scale must be positive, got {t0_scale}")
     schedule = schedule or GeometricSchedule()
     start_time = time.perf_counter()
     perf = perf or PerfRecorder()
@@ -180,7 +189,7 @@ def anneal(
             objective.commit()
             deltas.append(step_eval.cost - walk_cost)
             walk, walk_cost = step_state, step_eval.cost
-        t0 = initial_temperature(deltas)
+        t0 = initial_temperature(deltas) * t0_scale
 
         snapshots = []
         n_moves = n_accepted = 0

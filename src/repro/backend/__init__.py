@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.backend.registry import (
     KernelBackend,
     available_backends,
+    backend_descriptions,
     make_backend,
     register_backend,
 )
@@ -38,10 +39,23 @@ from repro.backend.numba_backend import (
 __all__ = [
     "KernelBackend",
     "available_backends",
+    "backend_descriptions",
     "make_backend",
     "register_backend",
 ]
 
-register_backend("numpy", make_numpy_backend)
-register_backend("numba", make_numba_backend)
-register_backend("python", make_python_backend)
+register_backend(
+    "numpy",
+    make_numpy_backend,
+    "vectorized numpy reference kernels (default, no extra deps)",
+)
+register_backend(
+    "numba",
+    make_numba_backend,
+    "numba-compiled loop kernels; falls back to numpy when missing",
+)
+register_backend(
+    "python",
+    make_python_backend,
+    "interpreted loop-form kernels (compiled-path arithmetic, slow)",
+)

@@ -23,6 +23,7 @@ __all__ = [
     "KernelBackend",
     "register_backend",
     "available_backends",
+    "backend_descriptions",
     "make_backend",
 ]
 
@@ -82,24 +83,33 @@ class KernelBackend:
 
 
 _FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
 
 
 def register_backend(
-    name: str, factory: Callable[[], KernelBackend]
+    name: str, factory: Callable[[], KernelBackend], description: str = ""
 ) -> None:
     """Register a backend factory under ``name``.
 
+    ``description`` is the one-line summary ``--list-backends`` prints.
     Raises ``ValueError`` on duplicates -- a silent overwrite would let
     one import order shadow another's backend.
     """
     if name in _FACTORIES:
         raise ValueError(f"backend {name!r} is already registered")
     _FACTORIES[name] = factory
+    _DESCRIPTIONS[name] = description
 
 
 def available_backends() -> List[str]:
     """Sorted names of every registered backend."""
     return sorted(_FACTORIES)
+
+
+def backend_descriptions() -> Dict[str, str]:
+    """``name -> one-line description`` for every registered backend,
+    in sorted name order."""
+    return {name: _DESCRIPTIONS.get(name, "") for name in sorted(_FACTORIES)}
 
 
 def make_backend(name) -> KernelBackend:

@@ -65,7 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     fp = sub.add_parser("floorplan", help="anneal a circuit and report")
-    fp.add_argument("circuit", help="MCNC name or .yal path")
+    fp.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        help="MCNC name or .yal path (optional with --list-* flags)",
+    )
     fp.add_argument("--seed", type=int, default=0)
     fp.add_argument(
         "--repr",
@@ -75,10 +80,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="floorplan representation to anneal over",
     )
     fp.add_argument(
+        "--driver",
+        choices=("multistart", "tempering", "portfolio"),
+        default="multistart",
+        help="search driver: independent best-of-N restarts (default), "
+        "replica-exchange tempering, or the representation portfolio",
+    )
+    fp.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scheduling rounds for --driver tempering/portfolio "
+        "(default 3); on --resume, extends or shortens the remaining "
+        "schedule",
+    )
+    fp.add_argument(
         "--restarts",
         type=int,
         default=1,
-        help="independent seeded runs; the best result is reported",
+        help="independent seeded runs; the best result is reported "
+        "(for tempering: replica count; for portfolio: legs per round)",
+    )
+    fp.add_argument(
+        "--list-drivers",
+        action="store_true",
+        help="list the registered search drivers and exit",
+    )
+    fp.add_argument(
+        "--list-reprs",
+        action="store_true",
+        help="list the registered floorplan representations and exit",
+    )
+    fp.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered compute backends and exit",
     )
     fp.add_argument(
         "--workers",
@@ -112,14 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="write atomic checkpoints to this file during annealing "
-        "(single-run only); resume later with --resume",
+        "(single runs, or driver-level for tempering/portfolio); "
+        "resume later with --resume",
     )
     fp.add_argument(
         "--checkpoint-every",
         type=int,
         default=1,
         metavar="STEPS",
-        help="temperature steps between checkpoints (default 1)",
+        help="temperature steps between checkpoints (default 1); for "
+        "tempering/portfolio: scheduling *rounds* between driver "
+        "checkpoints",
     )
     fp.add_argument(
         "--resume",
@@ -127,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="continue an interrupted run from its checkpoint file "
         "(bit-identical to the uninterrupted run; the checkpoint's "
-        "circuit and configuration are used)",
+        "circuit and configuration are used; driver checkpoints "
+        "restore their driver automatically)",
     )
     fp.add_argument(
         "--deadline",
@@ -243,16 +284,78 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_list_registries(args) -> int:
+    """Print the requested registries (drivers, representations,
+    backends) with their one-line descriptions."""
+    from repro.backend import backend_descriptions
+    from repro.engine import driver_descriptions, representation_descriptions
+
+    sections = []
+    if args.list_drivers:
+        sections.append(("search drivers", driver_descriptions()))
+    if args.list_reprs:
+        sections.append(("representations", representation_descriptions()))
+    if args.list_backends:
+        sections.append(("compute backends", backend_descriptions()))
+    for i, (title, entries) in enumerate(sections):
+        if i:
+            print()
+        print(f"{title}:")
+        width = max(len(name) for name in entries)
+        for name, description in entries.items():
+            print(f"  {name:<{width}}  {description}")
+    return 0
+
+
 def _cmd_floorplan(args) -> int:
-    netlist = _load_circuit(args.circuit)
-    grid_size = _grid_size_for(netlist, args.grid_size)
-    incremental = not args.no_incremental
+    if args.list_drivers or args.list_reprs or args.list_backends:
+        return _cmd_list_registries(args)
+    if args.circuit is None and args.resume is None:
+        raise SystemExit(
+            "error: a circuit is required (or --resume / a --list-* flag)"
+        )
     if args.restarts < 1:
         raise SystemExit("error: --restarts must be >= 1")
+    if args.rounds is not None and args.rounds < 1:
+        raise SystemExit("error: --rounds must be >= 1")
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
     if args.checkpoint_every < 1:
         raise SystemExit("error: --checkpoint-every must be >= 1")
+    if args.driver != "multistart":
+        netlist = None
+        grid_size = None
+        if args.circuit is not None:
+            netlist = _load_circuit(args.circuit)
+            grid_size = _grid_size_for(netlist, args.grid_size)
+        result, judging_cost, netlist = _run_driver(
+            args, netlist, grid_size, not args.no_incremental
+        )
+        floorplan = result.floorplan
+        b = result.breakdown
+        print(
+            f"{netlist.name} [{args.driver}/{result.representation}, "
+            f"seed {result.seed}]: area {b.area / 1e6:.4g} mm^2, "
+            f"wirelength {b.wirelength:.0f} um, "
+            f"congestion {b.congestion:.4g}, judge {judging_cost:.4g}"
+        )
+        perf = result.perf
+        moves_per_second = result.moves_per_second
+        n_moves = result.n_moves
+        cache_stats = result.cache_stats
+        return _floorplan_outputs(
+            args, netlist, floorplan, perf, moves_per_second, n_moves,
+            cache_stats,
+        )
+    if args.rounds is not None:
+        raise SystemExit(
+            "error: --rounds only applies to --driver tempering/portfolio"
+        )
+    if args.circuit is None:
+        raise SystemExit("error: a circuit is required")
+    netlist = _load_circuit(args.circuit)
+    grid_size = _grid_size_for(netlist, args.grid_size)
+    incremental = not args.no_incremental
     fault_tolerant = (
         args.checkpoint is not None
         or args.resume is not None
@@ -316,6 +419,16 @@ def _cmd_floorplan(args) -> int:
         moves_per_second = record.result.moves_per_second
         n_moves = record.result.n_moves
         cache_stats = record.result.cache_stats
+    return _floorplan_outputs(
+        args, netlist, floorplan, perf, moves_per_second, n_moves, cache_stats
+    )
+
+
+def _floorplan_outputs(
+    args, netlist, floorplan, perf, moves_per_second, n_moves, cache_stats
+) -> int:
+    """The floorplan subcommand's shared reporting tail (--perf,
+    --render, --svg, --save-placement)."""
     if args.perf:
         if perf is not None:
             print(perf.report(title="-- perf breakdown --"))
@@ -452,6 +565,93 @@ def _run_multistart(args, netlist, grid_size, incremental):
         )
     judging_cost = judge_floorplan(outcome.best.floorplan, netlist, 10.0)
     return outcome.best, judging_cost
+
+
+def _run_driver(args, netlist, grid_size, incremental):
+    """Run (or resume) a tempering/portfolio search driver."""
+    from dataclasses import replace
+
+    from repro.engine import (
+        DriverConfig,
+        RunControl,
+        install_signal_handlers,
+        make_driver,
+        resume_driver,
+    )
+    from repro.experiments.runner import judge_floorplan
+
+    control = RunControl(deadline_seconds=args.deadline)
+    if args.resume is not None:
+        driver, state = resume_driver(
+            args.resume, workers=args.workers, rounds=args.rounds
+        )
+        if driver.name != args.driver:
+            raise SystemExit(
+                f"error: {args.resume} is a {driver.name!r} checkpoint; "
+                f"--driver {args.driver} cannot resume it"
+            )
+        if driver.config.checkpoint_path is None:
+            # Keep checkpointing into the same file, so a resumed run
+            # is itself resumable.
+            driver.config = replace(
+                driver.config, checkpoint_path=str(args.resume)
+            )
+        netlist = driver.config.netlist
+        print(f"resuming {driver.name} from {args.resume}")
+    else:
+        profile = active_profile()
+        config = DriverConfig(
+            netlist=netlist,
+            representation=args.representation,
+            restarts=args.restarts,
+            rounds=args.rounds if args.rounds is not None else 3,
+            seed=args.seed,
+            objective_spec=_objective_spec(args, grid_size, incremental),
+            moves_per_temperature=profile.moves_per_temperature(
+                netlist.n_modules
+            ),
+            schedule=profile.schedule(),
+            workers=args.workers,
+            checkpoint_path=(
+                str(args.checkpoint) if args.checkpoint is not None else None
+            ),
+            checkpoint_every=args.checkpoint_every,
+        )
+        driver = make_driver(args.driver, config)
+        state = None
+    with install_signal_handlers(control):
+        outcome = driver.run(control=control, resume_state=state)
+    costs = ", ".join(f"{r.cost:.4g}" for r in outcome.results)
+    print(f"{args.driver} costs ({outcome.workers} worker(s)): {costs}")
+    if args.driver == "tempering":
+        swaps = outcome.ledger.get("swaps", [])
+        taken = sum(1 for s in swaps if s["accepted"])
+        print(f"replica swaps: {taken}/{len(swaps)} accepted")
+    elif args.driver == "portfolio":
+        rounds = outcome.ledger.get("rounds", [])
+        if rounds:
+            final = rounds[-1]["arm_best"]
+            ranking = ", ".join(
+                f"{arm}: {cost:.4g}" for arm, cost in sorted(final.items())
+            )
+            print(f"arm bests: {ranking}")
+    for report in outcome.reports:
+        if report.failures or report.status != "ok":
+            print(f"  {report.summary()}")
+    if outcome.degraded:
+        print(
+            f"  (pool unhealthy after {outcome.pool_rebuilds} rebuild(s); "
+            f"remaining jobs ran sequentially)"
+        )
+    if not outcome.completed:
+        print(f"stopped early ({outcome.stop_reason})")
+    if outcome.checkpoints_written:
+        print(
+            f"wrote {outcome.checkpoints_written} driver checkpoint(s) to "
+            f"{driver.config.checkpoint_path}"
+        )
+    judging_cost = judge_floorplan(outcome.best.floorplan, netlist, 10.0)
+    return outcome.best, judging_cost, netlist
 
 
 def _cmd_estimate(args) -> int:

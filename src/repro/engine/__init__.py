@@ -12,9 +12,13 @@ One engine, four layers:
    re-exported here) -- every memo a run touches belongs to the
    engine's context; no module-global mutable cache anywhere, so
    concurrent engines never cross-pollute;
-4. **Multi-start** (:mod:`repro.engine.multistart`) -- best-of-N
-   seeded restarts, sequential or process-pool, bit-identical either
-   way.
+4. **Search drivers** (:mod:`repro.engine.drivers`) -- strategies
+   that schedule many supervised annealing runs behind one registry:
+   ``multistart`` (best-of-N restarts, the default), ``tempering``
+   (replica exchange over a temperature ladder), and ``portfolio``
+   (representation race with slot reallocation and elite migration),
+   all sequential-vs-pool bit-identical and resumable from
+   round-granularity driver checkpoints.
 
 The historical per-representation annealer classes in
 :mod:`repro.anneal` remain as deprecated shims over
@@ -31,16 +35,31 @@ multistart supervisor's per-restart :class:`RunReport` ledger.
 from repro.backend import (
     KernelBackend,
     available_backends,
+    backend_descriptions,
     make_backend,
     register_backend,
 )
 from repro.engine.checkpoint import (
     Checkpoint,
+    DriverCheckpoint,
     LoopState,
     load_checkpoint,
+    load_driver_checkpoint,
     save_checkpoint,
+    save_driver_checkpoint,
 )
 from repro.engine.control import RunControl, install_signal_handlers
+from repro.engine.drivers import (
+    DriverConfig,
+    MultiStartDriver,
+    SearchDriver,
+    SearchResult,
+    available_drivers,
+    driver_descriptions,
+    make_driver,
+    register_driver,
+    resume_driver,
+)
 from repro.engine.engine import AnnealEngine, EngineResult, ObjectiveFactory
 from repro.engine.multistart import (
     MultiStartEngine,
@@ -49,13 +68,17 @@ from repro.engine.multistart import (
     RestartFailure,
     RunReport,
 )
+from repro.engine.portfolio import PortfolioDriver
 from repro.engine.representation import (
     Representation,
     RepresentationFactory,
     available_representations,
     make_representation,
     register_representation,
+    representation_descriptions,
 )
+from repro.engine.supervise import SupervisedRunner
+from repro.engine.tempering import TemperingDriver
 from repro.perf.context import CacheContext
 
 __all__ = [
@@ -67,20 +90,37 @@ __all__ = [
     "ObjectiveSpec",
     "RestartFailure",
     "RunReport",
+    "SupervisedRunner",
+    "DriverConfig",
+    "SearchDriver",
+    "SearchResult",
+    "MultiStartDriver",
+    "TemperingDriver",
+    "PortfolioDriver",
+    "available_drivers",
+    "driver_descriptions",
+    "make_driver",
+    "register_driver",
+    "resume_driver",
     "Representation",
     "RepresentationFactory",
     "available_representations",
     "make_representation",
     "register_representation",
+    "representation_descriptions",
     "KernelBackend",
     "available_backends",
+    "backend_descriptions",
     "make_backend",
     "register_backend",
     "CacheContext",
     "RunControl",
     "install_signal_handlers",
     "Checkpoint",
+    "DriverCheckpoint",
     "LoopState",
     "save_checkpoint",
     "load_checkpoint",
+    "save_driver_checkpoint",
+    "load_driver_checkpoint",
 ]

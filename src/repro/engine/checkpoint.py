@@ -49,14 +49,21 @@ from repro.ioutil import atomic_write_bytes
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "DRIVER_CHECKPOINT_VERSION",
     "LoopState",
     "Checkpoint",
+    "DriverCheckpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "save_driver_checkpoint",
+    "load_driver_checkpoint",
 ]
 
 CHECKPOINT_VERSION = 1
 _MAGIC = b"repro-checkpoint"
+
+DRIVER_CHECKPOINT_VERSION = 1
+_DRIVER_MAGIC = b"repro-driver-ckpt"
 
 
 @dataclass
@@ -104,6 +111,91 @@ class Checkpoint:
         return self.loop.step if self.loop.move == 0 else self.loop.step + 1
 
 
+@dataclass
+class DriverCheckpoint:
+    """A search driver's scheduling state frozen at a round boundary.
+
+    Engine-level checkpoints freeze one annealing loop;
+    ``DriverCheckpoint`` freezes the layer *above* it -- a
+    :class:`~repro.engine.drivers.SearchDriver`'s position in its own
+    schedule: which round it is on, the temperature ladder and every
+    replica's state (tempering), slot allocations and accumulated leg
+    results (portfolio), the swap/allocation RNG state, and the
+    decision ledger.  Resuming from one replays the remaining rounds
+    bit-identically: the same swaps are proposed with the same uniforms
+    and the same slots are allocated, because the entire scheduling RNG
+    stream is restored verbatim.
+
+    ``driver`` names the registered driver that wrote the file (resume
+    under a different driver is refused); ``config`` is the picklable
+    run configuration (netlist, spec, seeds, rounds...) so the CLI can
+    reconstruct the whole run from the file alone; ``state`` is the
+    driver-specific scheduling payload.
+    """
+
+    driver: str
+    config: Any
+    state: Any
+    version: int = DRIVER_CHECKPOINT_VERSION
+
+
+def _save_envelope(
+    path: Union[str, Path],
+    obj: Any,
+    magic: bytes,
+    version: int,
+    what: str,
+) -> Path:
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # unpicklable state is a caller bug
+        raise CheckpointError(
+            f"{what} state is not picklable: {exc}"
+        ) from exc
+    blob = magic + version.to_bytes(4, "big") + payload
+    try:
+        return atomic_write_bytes(path, blob)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write {what} to {path}: {exc}"
+        ) from exc
+
+
+def _load_envelope(
+    path: Union[str, Path],
+    magic: bytes,
+    version: int,
+    cls: type,
+    what: str,
+) -> Any:
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read {what} {path}: {exc}") from exc
+    header = len(magic) + 4
+    if len(blob) < header or not blob.startswith(magic):
+        raise CheckpointError(f"{path} is not a repro {what}")
+    found = int.from_bytes(blob[len(magic) : header], "big")
+    if found != version:
+        raise CheckpointError(
+            f"{path} has {what} format version {found}; this build "
+            f"reads version {version}"
+        )
+    try:
+        obj = pickle.loads(blob[header:])
+    except Exception as exc:
+        raise CheckpointError(
+            f"{what} {path} is corrupt or truncated: {exc}"
+        ) from exc
+    if not isinstance(obj, cls):
+        raise CheckpointError(
+            f"{what} {path} does not contain a {cls.__name__} "
+            f"(got {type(obj).__name__})"
+        )
+    return obj
+
+
 def save_checkpoint(path: Union[str, Path], checkpoint: Checkpoint) -> Path:
     """Atomically write ``checkpoint`` to ``path``.
 
@@ -111,19 +203,9 @@ def save_checkpoint(path: Union[str, Path], checkpoint: Checkpoint) -> Path:
     checkpoint or the new one -- a crash mid-write loses only the
     in-flight checkpoint, never the file.
     """
-    try:
-        payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:  # unpicklable state is a caller bug
-        raise CheckpointError(
-            f"checkpoint state is not picklable: {exc}"
-        ) from exc
-    blob = _MAGIC + CHECKPOINT_VERSION.to_bytes(4, "big") + payload
-    try:
-        return atomic_write_bytes(path, blob)
-    except OSError as exc:
-        raise CheckpointError(
-            f"cannot write checkpoint to {path}: {exc}"
-        ) from exc
+    return _save_envelope(
+        path, checkpoint, _MAGIC, CHECKPOINT_VERSION, "checkpoint"
+    )
 
 
 def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
@@ -135,31 +217,38 @@ def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
     """
     path = Path(path)
     try:
-        blob = path.read_bytes()
-    except OSError as exc:
+        head = path.read_bytes()[: len(_DRIVER_MAGIC)]
+    except OSError:
+        head = b""
+    if head.startswith(_DRIVER_MAGIC):
         raise CheckpointError(
-            f"cannot read checkpoint {path}: {exc}"
-        ) from exc
-    header = len(_MAGIC) + 4
-    if len(blob) < header or not blob.startswith(_MAGIC):
-        raise CheckpointError(
-            f"{path} is not a repro annealing checkpoint"
+            f"{path} is a search-driver checkpoint; resume it through "
+            f"the driver layer (--driver ... --resume), not AnnealEngine"
         )
-    version = int.from_bytes(blob[len(_MAGIC) : header], "big")
-    if version != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"{path} has checkpoint format version {version}; this build "
-            f"reads version {CHECKPOINT_VERSION}"
-        )
-    try:
-        checkpoint = pickle.loads(blob[header:])
-    except Exception as exc:
-        raise CheckpointError(
-            f"checkpoint {path} is corrupt or truncated: {exc}"
-        ) from exc
-    if not isinstance(checkpoint, Checkpoint):
-        raise CheckpointError(
-            f"checkpoint {path} does not contain a Checkpoint "
-            f"(got {type(checkpoint).__name__})"
-        )
-    return checkpoint
+    return _load_envelope(
+        path, _MAGIC, CHECKPOINT_VERSION, Checkpoint, "checkpoint"
+    )
+
+
+def save_driver_checkpoint(
+    path: Union[str, Path], checkpoint: DriverCheckpoint
+) -> Path:
+    """Atomically write a :class:`DriverCheckpoint` to ``path``."""
+    return _save_envelope(
+        path,
+        checkpoint,
+        _DRIVER_MAGIC,
+        DRIVER_CHECKPOINT_VERSION,
+        "driver checkpoint",
+    )
+
+
+def load_driver_checkpoint(path: Union[str, Path]) -> DriverCheckpoint:
+    """Read and validate a :func:`save_driver_checkpoint` file."""
+    return _load_envelope(
+        path,
+        _DRIVER_MAGIC,
+        DRIVER_CHECKPOINT_VERSION,
+        DriverCheckpoint,
+        "driver checkpoint",
+    )

@@ -142,6 +142,16 @@ class AnnealEngine:
         set the backend there instead (the spec has a ``backend``
         field); combining them raises ``ValueError`` so a requested
         backend can never be silently ignored.
+    initial_state:
+        Start annealing from this representation state instead of a
+        seeded random initial.  Search drivers use it to continue from
+        (or migrate) an elite solution; the state must belong to this
+        engine's representation.
+    t0_scale:
+        Multiplier on the sampled initial temperature (see
+        :func:`repro.anneal.generic.anneal`); values below 1 make a
+        run starting from ``initial_state`` polish rather than
+        re-scramble.
     """
 
     def __init__(
@@ -157,6 +167,8 @@ class AnnealEngine:
         calibrate: bool = True,
         cache_context: Optional[CacheContext] = None,
         backend: Optional[str] = None,
+        initial_state: Optional[object] = None,
+        t0_scale: float = 1.0,
     ):
         if objective is not None and objective_factory is not None:
             raise ValueError(
@@ -213,6 +225,10 @@ class AnnealEngine:
             raise ValueError("moves_per_temperature must be >= 1")
         self.schedule = schedule or GeometricSchedule()
         self._calibrate = bool(calibrate)
+        self.initial_state = initial_state
+        self.t0_scale = float(t0_scale)
+        if self.t0_scale <= 0:
+            raise ValueError(f"t0_scale must be positive, got {t0_scale}")
         self._resume_state = None
         self._prior_cache_stats: Dict[str, CacheStats] = {}
 
@@ -275,9 +291,14 @@ class AnnealEngine:
             if control.checkpoint_path is not None:
                 control.bind_writer(self._make_checkpoint_writer(control))
             control.begin()
+        if self.initial_state is not None:
+            fixed = self.initial_state
+            initial = lambda rng: fixed  # noqa: E731 -- closure over state
+        else:
+            initial = rep.initial
         result = anneal(
             objective=self.objective,
-            initial=rep.initial,
+            initial=initial,
             neighbor=rep.neighbor,
             realize=rep.realize,
             seed=self.seed,
@@ -287,6 +308,7 @@ class AnnealEngine:
             on_snapshot=on_snapshot,
             control=control,
             resume=self._resume_state,
+            t0_scale=self.t0_scale,
         )
         self._resume_state = None  # a second run() starts fresh
         return EngineResult(

@@ -22,24 +22,24 @@ allowance (``max_retries``) with exponential backoff; a crashed worker
 (timeout) costs the pool, which is torn down -- hung processes are
 terminated, not waited on -- and rebuilt at most ``max_pool_rebuilds``
 times before the engine *degrades to sequential execution* for the
-remaining seeds.  Every attempt, failure, and recovery is recorded in
-a per-seed :class:`RunReport`; :class:`~repro.errors.WorkerFailure` is
-raised only when not a single restart succeeds.
+remaining seeds.  The machinery itself lives in
+:class:`~repro.engine.supervise.SupervisedRunner` (every search driver
+reuses it); this module supplies the restart job function and the
+per-seed :class:`RunReport` ledger.
+:class:`~repro.errors.WorkerFailure` is raised only when not a single
+restart succeeds.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.anneal.cost import FloorplanObjective
 from repro.anneal.schedule import GeometricSchedule
 from repro.congestion.model import IrregularGridModel
 from repro.engine.engine import AnnealEngine, EngineResult
+from repro.engine.supervise import SupervisedRunner
 from repro.errors import WorkerFailure
 from repro.netlist import Netlist
 from repro.perf.context import CacheContext
@@ -153,16 +153,41 @@ class RestartFailure:
     kind: str  # "crash" / "timeout" / "error"
     message: str
 
+    def to_json(self) -> Dict[str, Any]:
+        """A lossless JSON-serializable image of this failure.
+
+        Every field is already a JSON scalar; exception messages pass
+        through verbatim (they are strings by construction -- the
+        supervisor formats ``type(exc).__name__: exc`` at record time).
+        """
+        return {
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "RestartFailure":
+        """Rebuild a failure from :meth:`to_json` output."""
+        return cls(
+            attempt=int(data["attempt"]),
+            kind=str(data["kind"]),
+            message=str(data["message"]),
+        )
+
 
 @dataclass
 class RunReport:
-    """Supervision ledger of one seeded restart.
+    """Supervision ledger of one seeded restart (or driver job).
 
     ``status`` ends as ``"ok"`` (result delivered -- possibly stopped
     early by a cooperative stop, see the result's own ``completed``),
     ``"failed"`` (retries exhausted), or ``"skipped"`` (a stop request
     arrived before the restart ran).  ``attempts`` counts every try,
     including the successful one; ``failures`` names each failed try.
+    ``label`` is free-form context a search driver attaches to a job
+    (e.g. ``"round 2 / btree / slot 1"``); plain multistart restarts
+    leave it ``None``.
     """
 
     seed: int
@@ -170,6 +195,7 @@ class RunReport:
     attempts: int = 0
     mode: Optional[str] = None
     failures: List[RestartFailure] = field(default_factory=list)
+    label: Optional[str] = None
 
     @property
     def retried(self) -> bool:
@@ -185,12 +211,48 @@ class RunReport:
     def summary(self) -> str:
         """One-line human-readable account of this restart's attempts."""
         parts = [f"seed {self.seed}: {self.status}"]
+        if self.label:
+            parts.append(f"({self.label})")
         if self.mode:
             parts.append(self.mode)
         parts.append(f"{self.attempts} attempt(s)")
         for f in self.failures:
             parts.append(f"[attempt {f.attempt}: {f.kind}: {f.message}]")
         return " ".join(parts)
+
+    def to_json(self) -> Dict[str, Any]:
+        """A lossless JSON-serializable image of this report.
+
+        ``RunReport.from_json(report.to_json()) == report`` for every
+        reachable report, and the payload survives
+        :func:`~repro.ioutil.atomic_write_json` unchanged -- no field
+        is stringified lossily (failures stay structured records, never
+        the flattened :meth:`summary` line).
+        """
+        return {
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "mode": self.mode,
+            "label": self.label,
+            "failures": [f.to_json() for f in self.failures],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        mode = data.get("mode")
+        label = data.get("label")
+        return cls(
+            seed=int(data["seed"]),
+            status=str(data["status"]),
+            attempts=int(data["attempts"]),
+            mode=None if mode is None else str(mode),
+            failures=[
+                RestartFailure.from_json(f) for f in data.get("failures", ())
+            ],
+            label=None if label is None else str(label),
+        )
 
 
 @dataclass
@@ -332,163 +394,16 @@ class MultiStartEngine:
             self.inject_fault,
         )
 
-    def _max_attempts(self) -> int:
-        return 1 + self.max_retries
-
-    def _backoff(self, failed_attempts: int) -> None:
-        if self.retry_backoff > 0 and failed_attempts > 0:
-            time.sleep(self.retry_backoff * (2.0 ** (failed_attempts - 1)))
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
-        """Tear a pool down without waiting on wedged workers."""
-        processes = list(getattr(pool, "_processes", {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for proc in processes:
-            if proc.is_alive():
-                proc.terminate()
-        for proc in processes:
-            proc.join(timeout=5.0)
-
-    def _run_pool(
-        self,
-        workers: int,
-        reports: Dict[int, RunReport],
-        results: Dict[int, EngineResult],
-        control,
-    ) -> tuple:
-        """Supervised pool execution.  Returns (rebuilds, degraded)."""
-        rebuilds = 0
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            while True:
-                if control is not None and control.should_stop():
-                    break
-                todo = [
-                    s
-                    for s in self.seeds
-                    if s not in results
-                    and reports[s].attempts < self._max_attempts()
-                ]
-                if not todo:
-                    break
-                if rebuilds > self.max_pool_rebuilds:
-                    return rebuilds, True  # degrade to sequential
-                if pool is None:
-                    pool = ProcessPoolExecutor(max_workers=workers)
-                futures = {
-                    s: pool.submit(
-                        _run_restart, *self._job(s, reports[s].attempts, "pool")
-                    )
-                    for s in todo
-                }
-                pool_died = False
-                for s in todo:
-                    if s in results:
-                        continue
-                    try:
-                        result = futures[s].result(timeout=self.restart_timeout)
-                    except _FuturesTimeout:
-                        reports[s].record_failure(
-                            "timeout",
-                            f"no result within {self.restart_timeout}s; "
-                            f"pool killed",
-                        )
-                        pool_died = True
-                        break
-                    except BrokenProcessPool as exc:
-                        # The dying worker takes the whole pool down and
-                        # the executor cannot say which worker it was:
-                        # harvest whatever did finish, then charge one
-                        # attempt to every in-flight seed.  The culprit
-                        # among them advances past its faulting attempt;
-                        # the innocents just retry.
-                        for t in todo:
-                            if t in results:
-                                continue
-                            fut = futures[t]
-                            harvested = False
-                            if fut.done() and not fut.cancelled():
-                                try:
-                                    results[t] = fut.result(timeout=0)
-                                except Exception:
-                                    pass
-                                else:
-                                    reports[t].status = "ok"
-                                    reports[t].mode = "pool"
-                                    reports[t].attempts += 1
-                                    harvested = True
-                            if not harvested:
-                                reports[t].record_failure(
-                                    "crash",
-                                    f"worker process died with the pool: "
-                                    f"{exc}",
-                                )
-                        pool_died = True
-                        break
-                    except Exception as exc:
-                        # The worker survived and reported a real
-                        # exception; the pool is still healthy.
-                        reports[s].record_failure(
-                            "error", f"{type(exc).__name__}: {exc}"
-                        )
-                        continue
-                    else:
-                        results[s] = result
-                        reports[s].status = "ok"
-                        reports[s].mode = "pool"
-                        reports[s].attempts += 1
-                if pool_died:
-                    self._kill_pool(pool)
-                    pool = None
-                    rebuilds += 1
-                failed = max(
-                    (r.attempts for r in reports.values() if r.failures),
-                    default=0,
-                )
-                if any(
-                    s not in results
-                    and reports[s].attempts < self._max_attempts()
-                    for s in todo
-                ):
-                    self._backoff(failed)
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=True)
-        return rebuilds, False
-
-    def _run_sequential(
-        self,
-        reports: Dict[int, RunReport],
-        results: Dict[int, EngineResult],
-        control,
-    ) -> None:
-        """In-process execution with the same retry accounting."""
-        for s in self.seeds:
-            if s in results:
-                continue
-            while (
-                s not in results
-                and reports[s].attempts < self._max_attempts()
-            ):
-                if control is not None and control.should_stop():
-                    if reports[s].status == "pending":
-                        reports[s].status = "skipped"
-                    return
-                self._backoff(len(reports[s].failures))
-                try:
-                    results[s] = _run_restart(
-                        *self._job(s, reports[s].attempts, "sequential"),
-                        control=control,
-                    )
-                except Exception as exc:
-                    reports[s].record_failure(
-                        "error", f"{type(exc).__name__}: {exc}"
-                    )
-                else:
-                    reports[s].status = "ok"
-                    reports[s].mode = "sequential"
-                    reports[s].attempts += 1
+    def _runner(self) -> SupervisedRunner:
+        """The supervision machinery, parameterized for restarts."""
+        return SupervisedRunner(
+            _run_restart,
+            self._job,
+            timeout=self.restart_timeout,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            max_pool_rebuilds=self.max_pool_rebuilds,
+        )
 
     def run(self, control=None) -> MultiStartResult:
         """Run every restart under supervision and return best-of-N.
@@ -504,14 +419,9 @@ class MultiStartEngine:
         reports = {s: RunReport(seed=s) for s in self.seeds}
         results: Dict[int, EngineResult] = {}
         workers = min(self.workers, self.restarts)
-        rebuilds = 0
-        degraded = False
-        if workers > 1:
-            rebuilds, degraded = self._run_pool(
-                workers, reports, results, control
-            )
-        if workers <= 1 or degraded:
-            self._run_sequential(reports, results, control)
+        rebuilds, degraded = self._runner().run(
+            self.seeds, workers, reports, results, control
+        )
         for s in self.seeds:
             if s not in results and reports[s].status == "pending":
                 stopped = control is not None and control.stop_requested

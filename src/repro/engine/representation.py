@@ -16,6 +16,13 @@ string.  Factories receive the engine's
 cache into ``realize`` (only Polish packing memoizes today), keeping
 all memoization engine-scoped.
 
+Representations may additionally expose the *inverse* of ``realize``:
+``from_floorplan(floorplan) -> state`` reconstructs a state whose
+packing resembles a given placement (see
+:mod:`repro.floorplan.convert`).  The portfolio search driver uses it
+to migrate elite solutions across representations; it is optional --
+a representation without it simply cannot receive migrants.
+
 The registry itself is write-once configuration (names -> factories
 registered at import or by extensions), not a result cache; it holds
 no per-run mutable state.
@@ -36,6 +43,11 @@ from repro.floorplan import (
     pack_btree,
     pack_sequence_pair,
 )
+from repro.floorplan.convert import (
+    btree_from_floorplan,
+    polish_from_floorplan,
+    sequence_pair_from_floorplan,
+)
 from repro.netlist import Netlist
 from repro.perf.context import CacheContext
 
@@ -45,6 +57,7 @@ __all__ = [
     "register_representation",
     "make_representation",
     "available_representations",
+    "representation_descriptions",
 ]
 
 
@@ -52,14 +65,18 @@ __all__ = [
 class Representation:
     """One floorplan representation bound to one circuit.
 
-    The generic annealing loop consumes exactly this triple; the
-    ``name`` rides along for result labelling.
+    The generic annealing loop consumes exactly the
+    ``initial``/``neighbor``/``realize`` triple; the ``name`` rides
+    along for result labelling.  ``from_floorplan`` (optional) is the
+    conversion hook the portfolio driver migrates elites through --
+    the approximate inverse of ``realize``.
     """
 
     name: str
     initial: Callable[[random.Random], Any]
     neighbor: Callable[[Any, random.Random], Any]
     realize: Callable[[Any], Floorplan]
+    from_floorplan: Optional[Callable[[Floorplan], Any]] = None
 
 
 RepresentationFactory = Callable[
@@ -69,11 +86,15 @@ RepresentationFactory = Callable[
 ``factory(netlist, allow_rotation, cache_context) -> Representation``."""
 
 _FACTORIES: Dict[str, RepresentationFactory] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
 
 
-def register_representation(name: str, factory: RepresentationFactory) -> None:
+def register_representation(
+    name: str, factory: RepresentationFactory, description: str = ""
+) -> None:
     """Register a representation factory under ``name``.
 
+    ``description`` is the one-line summary ``--list-reprs`` prints.
     Raises :class:`ValueError` on a duplicate name -- silently
     replacing a representation would change what every engine built
     from that name means.
@@ -81,11 +102,18 @@ def register_representation(name: str, factory: RepresentationFactory) -> None:
     if name in _FACTORIES:
         raise ValueError(f"representation {name!r} is already registered")
     _FACTORIES[name] = factory
+    _DESCRIPTIONS[name] = description
 
 
 def available_representations() -> Tuple[str, ...]:
     """The registered representation names, sorted."""
     return tuple(sorted(_FACTORIES))
+
+
+def representation_descriptions() -> Dict[str, str]:
+    """``name -> one-line description`` for every registered
+    representation, in sorted name order."""
+    return {name: _DESCRIPTIONS.get(name, "") for name in sorted(_FACTORIES)}
 
 
 def make_representation(
@@ -125,6 +153,7 @@ def _polish_factory(
         realize=lambda expr: evaluate_polish(
             expr, modules, allow_rotation, cache=cache
         ),
+        from_floorplan=lambda fp: polish_from_floorplan(fp, modules),
     )
 
 
@@ -142,6 +171,7 @@ def _sp_factory(
         initial=lambda rng: SequencePair.initial(list(modules), rng),
         neighbor=lambda pair, rng: pair.random_neighbor(rng),
         realize=lambda pair: pack_sequence_pair(pair, modules),
+        from_floorplan=lambda fp: sequence_pair_from_floorplan(fp, modules),
     )
 
 
@@ -159,9 +189,22 @@ def _btree_factory(
         initial=lambda rng: BStarTree.initial(list(modules), rng),
         neighbor=lambda tree, rng: tree.random_neighbor(rng),
         realize=lambda tree: pack_btree(tree, modules),
+        from_floorplan=lambda fp: btree_from_floorplan(fp, modules),
     )
 
 
-register_representation("polish", _polish_factory)
-register_representation("sp", _sp_factory)
-register_representation("btree", _btree_factory)
+register_representation(
+    "polish",
+    _polish_factory,
+    "normalized Polish expressions (Wong-Liu slicing trees)",
+)
+register_representation(
+    "sp",
+    _sp_factory,
+    "sequence pairs (Murata et al. longest-path packing)",
+)
+register_representation(
+    "btree",
+    _btree_factory,
+    "B*-trees (Chang et al. contour packing)",
+)

@@ -1,0 +1,296 @@
+"""Generic supervised job execution: pools, retries, rebuild, degrade.
+
+PR 3 built worker supervision *inside* :class:`MultiStartEngine`:
+wall-clock watchdogs per job, bounded retries with exponential backoff,
+pool teardown-and-rebuild on a crash or hang, and degradation to
+sequential execution when the pool keeps dying.  Every search driver
+needs exactly that machinery -- multistart supervises restarts,
+replica-exchange tempering supervises per-round replica sweeps, the
+portfolio driver supervises per-round representation legs -- so this
+module hosts it once, generalized over *jobs* instead of restarts.
+
+A job is addressed by an integer ``key`` (a seed, a replica id, a leg
+seed); the runner calls a **module-level picklable function** ``fn``
+with ``make_args(key, attempt, mode)`` positional arguments, exactly as
+:func:`~repro.engine.multistart._run_restart` was called before the
+extraction.  Results land in a ``key -> result`` dict and every
+attempt, failure, and recovery is recorded in the per-key
+:class:`~repro.engine.multistart.RunReport` ledger -- the same
+supervision semantics, bit for bit, that the multistart robustness
+suite locked in:
+
+* a worker that raises keeps the pool alive and charges one attempt to
+  that job alone;
+* a worker that crashes takes the pool with it
+  (:class:`~concurrent.futures.process.BrokenProcessPool` cannot name
+  the culprit), so finished futures are harvested and every in-flight
+  job is charged one attempt before the pool is rebuilt;
+* a worker that hangs past ``timeout`` costs the pool too -- wedged
+  processes are terminated, never waited on;
+* after ``max_pool_rebuilds`` teardowns the runner reports
+  ``degraded`` and the caller finishes the remaining jobs sequentially
+  through the very same ``fn``.
+
+Determinism: the runner itself makes no random choices and jobs are
+harvested in key order, so a sequential pass and a pool pass over the
+same jobs produce identical results whenever ``fn`` is a pure function
+of its arguments -- the property every driver's parity test asserts.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SupervisedRunner"]
+
+
+class SupervisedRunner:
+    """Run keyed jobs under supervision, sequentially or on a pool.
+
+    Parameters
+    ----------
+    fn:
+        The module-level picklable callable every job runs.
+    make_args:
+        ``(key, attempt, mode) -> tuple`` of positional arguments for
+        ``fn``; ``mode`` is ``"pool"`` or ``"sequential"`` so targeted
+        fault injection can address one execution path.
+    timeout:
+        Wall-clock seconds a pooled job may take before it is deemed
+        hung and the pool is killed.  ``None`` disables the watchdog.
+    max_retries:
+        Extra attempts a failed job gets before its report goes
+        ``"failed"``.
+    retry_backoff:
+        Base of the exponential backoff slept before retry ``k``
+        (``retry_backoff * 2**(k-1)`` seconds); 0 disables sleeping.
+    max_pool_rebuilds:
+        Pool teardowns tolerated before :meth:`run_pool` reports
+        ``degraded``.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        make_args: Callable[[int, int, str], tuple],
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        max_pool_rebuilds: int = 2,
+    ):
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
+        self.fn = fn
+        self.make_args = make_args
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
+
+    def _max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def _backoff(self, failed_attempts: int) -> None:
+        if self.retry_backoff > 0 and failed_attempts > 0:
+            time.sleep(self.retry_backoff * (2.0 ** (failed_attempts - 1)))
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on wedged workers."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes:
+            proc.join(timeout=5.0)
+
+    def run_pool(
+        self,
+        keys: Sequence[int],
+        workers: int,
+        reports: Dict[int, "RunReport"],
+        results: Dict[int, object],
+        control=None,
+    ) -> Tuple[int, bool]:
+        """Supervised pool execution.  Returns ``(rebuilds, degraded)``.
+
+        ``degraded`` means the pool died more than ``max_pool_rebuilds``
+        times; the caller should finish the remaining keys with
+        :meth:`run_sequential`.
+        """
+        rebuilds = 0
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while True:
+                if control is not None and control.should_stop():
+                    break
+                todo = [
+                    k
+                    for k in keys
+                    if k not in results
+                    and reports[k].attempts < self._max_attempts()
+                ]
+                if not todo:
+                    break
+                if rebuilds > self.max_pool_rebuilds:
+                    return rebuilds, True  # degrade to sequential
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                futures = {
+                    k: pool.submit(
+                        self.fn,
+                        *self.make_args(k, reports[k].attempts, "pool"),
+                    )
+                    for k in todo
+                }
+                pool_died = False
+                for k in todo:
+                    if k in results:
+                        continue
+                    try:
+                        result = futures[k].result(timeout=self.timeout)
+                    except _FuturesTimeout:
+                        reports[k].record_failure(
+                            "timeout",
+                            f"no result within {self.timeout}s; "
+                            f"pool killed",
+                        )
+                        pool_died = True
+                        break
+                    except BrokenProcessPool as exc:
+                        # The dying worker takes the whole pool down and
+                        # the executor cannot say which worker it was:
+                        # harvest whatever did finish, then charge one
+                        # attempt to every in-flight key.  The culprit
+                        # among them advances past its faulting attempt;
+                        # the innocents just retry.
+                        for t in todo:
+                            if t in results:
+                                continue
+                            fut = futures[t]
+                            harvested = False
+                            if fut.done() and not fut.cancelled():
+                                try:
+                                    results[t] = fut.result(timeout=0)
+                                except Exception:
+                                    pass
+                                else:
+                                    reports[t].status = "ok"
+                                    reports[t].mode = "pool"
+                                    reports[t].attempts += 1
+                                    harvested = True
+                            if not harvested:
+                                reports[t].record_failure(
+                                    "crash",
+                                    f"worker process died with the pool: "
+                                    f"{exc}",
+                                )
+                        pool_died = True
+                        break
+                    except Exception as exc:
+                        # The worker survived and reported a real
+                        # exception; the pool is still healthy.
+                        reports[k].record_failure(
+                            "error", f"{type(exc).__name__}: {exc}"
+                        )
+                        continue
+                    else:
+                        results[k] = result
+                        reports[k].status = "ok"
+                        reports[k].mode = "pool"
+                        reports[k].attempts += 1
+                if pool_died:
+                    self._kill_pool(pool)
+                    pool = None
+                    rebuilds += 1
+                failed = max(
+                    (r.attempts for r in reports.values() if r.failures),
+                    default=0,
+                )
+                if any(
+                    k not in results
+                    and reports[k].attempts < self._max_attempts()
+                    for k in todo
+                ):
+                    self._backoff(failed)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        return rebuilds, False
+
+    def run_sequential(
+        self,
+        keys: Sequence[int],
+        reports: Dict[int, "RunReport"],
+        results: Dict[int, object],
+        control=None,
+    ) -> None:
+        """In-process execution with the same retry accounting.
+
+        ``control`` rides along as a keyword argument to ``fn`` (it
+        holds a lock and cannot cross a process boundary); a stop
+        request skips the keys that have not started yet.
+        """
+        for k in keys:
+            if k in results:
+                continue
+            while (
+                k not in results
+                and reports[k].attempts < self._max_attempts()
+            ):
+                if control is not None and control.should_stop():
+                    if reports[k].status == "pending":
+                        reports[k].status = "skipped"
+                    return
+                self._backoff(len(reports[k].failures))
+                try:
+                    results[k] = self.fn(
+                        *self.make_args(k, reports[k].attempts, "sequential"),
+                        control=control,
+                    )
+                except Exception as exc:
+                    reports[k].record_failure(
+                        "error", f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    reports[k].status = "ok"
+                    reports[k].mode = "sequential"
+                    reports[k].attempts += 1
+
+    def run(
+        self,
+        keys: Sequence[int],
+        workers: int,
+        reports: Dict[int, "RunReport"],
+        results: Dict[int, object],
+        control=None,
+    ) -> Tuple[int, bool]:
+        """Run every key to completion: pool first (when ``workers > 1``),
+        sequential for the remainder or when degraded.
+
+        Returns ``(pool_rebuilds, degraded)``.
+        """
+        rebuilds = 0
+        degraded = False
+        if workers > 1:
+            rebuilds, degraded = self.run_pool(
+                keys, workers, reports, results, control
+            )
+        if workers <= 1 or degraded:
+            self.run_sequential(keys, reports, results, control)
+        return rebuilds, degraded

@@ -1,0 +1,452 @@
+"""Replica-exchange annealing (parallel tempering) as a search driver.
+
+Plain multistart spends N runs independently; tempering couples them.
+K replicas of the same circuit anneal at *fixed* temperatures -- the
+rungs of a geometric ladder from a sampled hot temperature down to
+``ladder_ratio`` of it -- and after every round of Metropolis sweeps,
+adjacent rungs propose to exchange their current configurations.  The
+standard acceptance rule
+
+``P(swap i<->j) = min(1, exp((1/T_i - 1/T_j) * (E_i - E_j)))``
+
+deterministically favors moving better solutions down the ladder
+(toward cold rungs that refine them) while hot rungs keep exploring --
+the hotter rung's scramble escapes local minima that would trap an
+independent restart.
+
+Determinism and supervision:
+
+* every sweep is a **pure module-level function** of its arguments
+  (fresh objective, fresh cache context, RNG stream restored verbatim
+  from the replica record), so a pool round and a sequential round
+  produce bit-identical replicas, and the driver parity test holds;
+* all replicas share the *coordinator's* calibration norms -- energies
+  must be comparable across replicas for the swap rule to mean
+  anything, so per-replica calibration is explicitly not done;
+* the swap RNG is seeded by integer arithmetic on the run seed (never
+  ``hash()``, which varies per process), draws **exactly one uniform
+  per proposed pair** whether or not the swap is taken, and its state
+  lives in the driver checkpoint -- a resumed run proposes the same
+  swaps with the same uniforms as the uninterrupted run;
+* rounds run under :class:`~repro.engine.supervise.SupervisedRunner`
+  (watchdog, retries, pool rebuild, degrade-to-sequential); a replica
+  whose sweep exhausts its retries simply keeps its pre-round state;
+* checkpoints have **round granularity**: a stop mid-round discards
+  the partial round (replicas are committed only when the round fully
+  completes), so resume-then-finish equals never-having-stopped, bit
+  for bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.anneal.schedule import initial_temperature
+from repro.engine.drivers import (
+    DriverConfig,
+    SearchDriver,
+    SearchResult,
+    register_driver,
+)
+from repro.engine.engine import EngineResult
+from repro.engine.multistart import ObjectiveSpec, RunReport
+from repro.engine.representation import make_representation
+from repro.engine.supervise import SupervisedRunner
+from repro.errors import WorkerFailure
+from repro.netlist import Netlist
+from repro.perf.context import CacheContext
+
+__all__ = ["ReplicaState", "TemperingDriver"]
+
+# Round r's job keys are r * _ROUND_STRIDE + rung_index, so every
+# (round, rung) pair is a distinct supervision key -- retries and
+# targeted fault injection address one sweep, not "rung i forever".
+_ROUND_STRIDE = 1000
+
+
+@dataclass
+class ReplicaState:
+    """One rung's complete, picklable search state.
+
+    ``rng_state is None`` marks a replica that has not run yet; its
+    first sweep seeds a fresh RNG from the run seed plus the rung index
+    and draws its initial configuration.  The rung's temperature is
+    fixed for the whole run; swaps exchange ``current``/``current_eval``
+    between rungs, never temperatures or RNG streams.
+    """
+
+    index: int
+    temperature: float
+    rng_state: Any = None
+    current: Any = None
+    current_eval: Any = None
+    best: Any = None
+    best_eval: Any = None
+    n_moves: int = 0
+    n_accepted: int = 0
+
+
+def _run_replica_sweep(
+    netlist: Netlist,
+    representation: str,
+    spec: ObjectiveSpec,
+    norms: tuple,
+    replica: ReplicaState,
+    base_seed: int,
+    moves: int,
+    key: int,
+    attempt: int = 0,
+    mode: str = "sequential",
+    fault=None,
+    control=None,
+) -> ReplicaState:
+    """One fixed-temperature Metropolis sweep of one replica.
+
+    Module-level and pure so :class:`ProcessPoolExecutor` can pickle it
+    and so pool and sequential execution are bit-identical.  ``fault``
+    is the test-only injection hook, addressed by the supervision
+    ``key`` (``round * 1000 + rung``) so it targets exactly one sweep
+    attempt; ``control`` is accepted for the sequential call signature
+    but deliberately unused -- a sweep is the atom of tempering work,
+    and stopping between sweeps keeps parity exact.
+    """
+    if fault is not None:
+        fault.maybe_fire(seed=key, attempt=attempt, mode=mode)
+    context = CacheContext()
+    objective = spec.build(netlist, context)
+    objective.set_norms(*norms)
+    rep = make_representation(
+        representation,
+        netlist,
+        allow_rotation=objective.allow_rotation,
+        cache_context=context,
+    )
+
+    def evaluate(state):
+        return objective.evaluate_floorplan(rep.realize(state))
+
+    rng = random.Random()
+    if replica.rng_state is None:
+        rng.seed(base_seed + replica.index)
+        current = rep.initial(rng)
+        current_eval = evaluate(current)
+        objective.commit()
+        best, best_eval = current, current_eval
+        n_moves = n_accepted = 0
+    else:
+        rng.setstate(replica.rng_state)
+        current = replica.current
+        # Re-evaluate once to warm the incremental pipeline; full and
+        # delta paths agree (see repro.engine.checkpoint), so this
+        # reproduces the shipped numbers without touching the RNG.
+        current_eval = evaluate(current)
+        objective.commit()
+        best, best_eval = replica.best, replica.best_eval
+        n_moves, n_accepted = replica.n_moves, replica.n_accepted
+
+    temperature = replica.temperature
+    for _ in range(moves):
+        candidate = rep.neighbor(current, rng)
+        if candidate == current:
+            continue
+        candidate_eval = evaluate(candidate)
+        delta = candidate_eval.cost - current_eval.cost
+        n_moves += 1
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current, current_eval = candidate, candidate_eval
+            objective.commit()
+            n_accepted += 1
+            if current_eval.cost < best_eval.cost:
+                best, best_eval = current, current_eval
+        else:
+            objective.reject()
+    return ReplicaState(
+        index=replica.index,
+        temperature=temperature,
+        rng_state=rng.getstate(),
+        current=current,
+        current_eval=current_eval,
+        best=best,
+        best_eval=best_eval,
+        n_moves=n_moves,
+        n_accepted=n_accepted,
+    )
+
+
+def _sample_setup(config: DriverConfig) -> tuple:
+    """Coordinator-side calibration and hot-temperature sampling.
+
+    Runs once, always in-process, always with the base seed: every
+    replica must share these norms (cross-replica energies feed the
+    swap rule) and the ladder must not depend on execution mode.
+    Returns ``(t_hot, norms)``.
+    """
+    spec = config.spec()
+    context = CacheContext()
+    objective = spec.build(config.netlist, context)
+    if config.calibrate:
+        objective.calibrate(seed=config.seed)
+    rep = make_representation(
+        config.representation,
+        config.netlist,
+        allow_rotation=objective.allow_rotation,
+        cache_context=context,
+    )
+    rng = random.Random(config.seed)
+    walk = rep.initial(rng)
+    walk_eval = objective.evaluate_floorplan(rep.realize(walk))
+    objective.commit()
+    deltas = []
+    cost = walk_eval.cost
+    for _ in range(30):
+        walk = rep.neighbor(walk, rng)
+        walk_eval = objective.evaluate_floorplan(rep.realize(walk))
+        objective.commit()
+        deltas.append(walk_eval.cost - cost)
+        cost = walk_eval.cost
+    return initial_temperature(deltas), objective.norms
+
+
+class TemperingDriver(SearchDriver):
+    """Replica-exchange annealing over ``config.restarts`` rungs.
+
+    ``restarts`` is the replica count, ``rounds`` the number of
+    sweep-then-swap rounds, ``moves_per_temperature`` the Metropolis
+    moves per sweep.  The result's ``ledger["swaps"]`` records every
+    proposal: round, rung pair, both energies, and the outcome.
+    """
+
+    name = "tempering"
+
+    def run(self, control=None, resume_state=None) -> SearchResult:
+        """Run ``rounds`` sweep-then-swap rounds over the replica
+        ladder; ``resume_state`` continues a driver checkpoint
+        bit-identically (same sweeps, same swap uniforms)."""
+        cfg = self.config
+        spec = cfg.spec()
+        n_replicas = cfg.restarts
+        moves = (
+            cfg.moves_per_temperature
+            if cfg.moves_per_temperature is not None
+            else 10 * cfg.netlist.n_modules
+        )
+        if control is not None:
+            control.begin()
+
+        if resume_state is not None:
+            ladder = list(resume_state["ladder"])
+            replicas = list(resume_state["replicas"])
+            norms = resume_state["norms"]
+            t_hot = resume_state["t_hot"]
+            swap_rng = random.Random()
+            swap_rng.setstate(resume_state["swap_rng_state"])
+            swap_ledger = list(resume_state["swaps"])
+            all_reports = [
+                RunReport.from_json(r) for r in resume_state["reports"]
+            ]
+            start_round = resume_state["round"]
+            rebuilds_total = resume_state["pool_rebuilds"]
+            degraded = resume_state["degraded"]
+        else:
+            t_hot, norms = _sample_setup(cfg)
+            t_cold = t_hot * cfg.ladder_ratio
+            if n_replicas == 1:
+                ladder = [t_hot]
+            else:
+                ratio = t_cold / t_hot
+                ladder = [
+                    t_hot * ratio ** (i / (n_replicas - 1))
+                    for i in range(n_replicas)
+                ]
+            replicas = [
+                ReplicaState(index=i, temperature=ladder[i])
+                for i in range(n_replicas)
+            ]
+            # Integer arithmetic, not hash(): hash of anything but
+            # small ints varies with PYTHONHASHSEED across processes.
+            swap_rng = random.Random(cfg.seed * 1_000_003 + 17)
+            swap_ledger: List[Dict[str, Any]] = []
+            all_reports: List[RunReport] = []
+            start_round = 0
+            rebuilds_total = 0
+            degraded = False
+
+        checkpoints_written = 0
+        stop_reason: Optional[str] = None
+
+        def snapshot(next_round: int) -> Dict[str, Any]:
+            return {
+                "round": next_round,
+                "ladder": list(ladder),
+                "replicas": list(replicas),
+                "norms": norms,
+                "t_hot": t_hot,
+                "swap_rng_state": swap_rng.getstate(),
+                "swaps": list(swap_ledger),
+                "reports": [r.to_json() for r in all_reports],
+                "pool_rebuilds": rebuilds_total,
+                "degraded": degraded,
+            }
+
+        runner = SupervisedRunner(
+            _run_replica_sweep,
+            lambda key, attempt, mode: (
+                cfg.netlist,
+                cfg.representation,
+                spec,
+                norms,
+                replicas[key % _ROUND_STRIDE],
+                cfg.seed,
+                moves,
+                key,
+                attempt,
+                mode,
+                cfg.inject_fault,
+            ),
+            timeout=cfg.restart_timeout,
+            max_retries=cfg.max_retries,
+            retry_backoff=cfg.retry_backoff,
+            max_pool_rebuilds=cfg.max_pool_rebuilds,
+        )
+
+        for round_i in range(start_round, cfg.rounds):
+            if control is not None:
+                stop_reason = control.should_stop()
+                if stop_reason is not None:
+                    checkpoints_written += self._write_checkpoint(
+                        snapshot(round_i), control
+                    )
+                    break
+            keys = [
+                round_i * _ROUND_STRIDE + i for i in range(n_replicas)
+            ]
+            reports = {
+                k: RunReport(
+                    seed=k,
+                    label=f"round {round_i} / rung {k % _ROUND_STRIDE}",
+                )
+                for k in keys
+            }
+            results: Dict[int, ReplicaState] = {}
+            workers = 1 if degraded else min(cfg.workers, n_replicas)
+            rebuilds, deg = runner.run(
+                keys, workers, reports, results, control
+            )
+            rebuilds_total += rebuilds
+            degraded = degraded or deg
+            stopped = control is not None and control.stop_requested
+            if stopped and len(results) + sum(
+                1 for k in keys if reports[k].status == "failed"
+            ) < len(keys):
+                # Partial round: some sweeps never ran.  Discard the
+                # round entirely (replicas stay at the round boundary)
+                # so the checkpoint resumes bit-identically.
+                for k in keys:
+                    if k not in results and reports[k].status == "pending":
+                        reports[k].status = "skipped"
+                all_reports.extend(reports[k] for k in keys)
+                stop_reason = control.should_stop() or "stop"
+                checkpoints_written += self._write_checkpoint(
+                    snapshot(round_i), control
+                )
+                break
+            # Commit the round: successful sweeps advance their rung,
+            # exhausted ones keep the pre-round state.
+            for k in keys:
+                if k in results:
+                    replicas[k % _ROUND_STRIDE] = results[k]
+                elif reports[k].status == "pending":
+                    reports[k].status = "failed"
+            all_reports.extend(reports[k] for k in keys)
+            if not any(r.current is not None for r in replicas):
+                raise WorkerFailure(
+                    "every replica sweep failed in round 0: "
+                    + "; ".join(reports[k].summary() for k in keys)
+                )
+            # Swap phase: alternate even/odd adjacent pairs; exactly
+            # one uniform per proposed pair, taken or not.
+            offset = round_i % 2
+            for i in range(offset, n_replicas - 1, 2):
+                a, b = replicas[i], replicas[i + 1]
+                u = swap_rng.random()
+                if a.current is None or b.current is None:
+                    continue  # a rung that never ran cannot trade
+                e_a = a.current_eval.cost
+                e_b = b.current_eval.cost
+                delta = (1.0 / ladder[i] - 1.0 / ladder[i + 1]) * (
+                    e_a - e_b
+                )
+                accepted = delta >= 0 or u < math.exp(delta)
+                if accepted:
+                    a.current, b.current = b.current, a.current
+                    a.current_eval, b.current_eval = (
+                        b.current_eval,
+                        a.current_eval,
+                    )
+                swap_ledger.append(
+                    {
+                        "round": round_i,
+                        "low": i,
+                        "high": i + 1,
+                        "energy_low": e_a,
+                        "energy_high": e_b,
+                        "accepted": accepted,
+                    }
+                )
+            next_round = round_i + 1
+            if next_round % cfg.checkpoint_every == 0 or (
+                next_round == cfg.rounds
+            ):
+                checkpoints_written += self._write_checkpoint(
+                    snapshot(next_round), control
+                )
+
+        live = [r for r in replicas if r.best is not None]
+        if not live:
+            raise WorkerFailure("tempering produced no replica results")
+        rep = make_representation(
+            cfg.representation, cfg.netlist, allow_rotation=spec.allow_rotation
+        )
+        results_out = [
+            EngineResult(
+                representation=cfg.representation,
+                seed=cfg.seed + r.index,
+                floorplan=rep.realize(r.best),
+                state=r.best,
+                breakdown=r.best_eval,
+                n_moves=r.n_moves,
+                n_accepted=r.n_accepted,
+                completed=stop_reason is None,
+                stop_reason=stop_reason,
+                rng_state=r.rng_state,
+            )
+            for r in live
+        ]
+        best = min(results_out, key=lambda r: (r.cost, r.seed))
+        return SearchResult(
+            driver=self.name,
+            best=best,
+            results=results_out,
+            workers=min(cfg.workers, n_replicas),
+            reports=all_reports,
+            degraded=degraded,
+            pool_rebuilds=rebuilds_total,
+            completed=stop_reason is None,
+            stop_reason=stop_reason,
+            checkpoints_written=checkpoints_written,
+            ledger={
+                "ladder": list(ladder),
+                "t_hot": t_hot,
+                "swaps": list(swap_ledger),
+            },
+        )
+
+
+register_driver(
+    "tempering",
+    TemperingDriver,
+    "replica-exchange annealing over a geometric temperature ladder",
+)

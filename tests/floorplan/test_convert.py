@@ -1,0 +1,175 @@
+"""Floorplan -> representation converters (the inverse of realize).
+
+Each converter must return a *valid* state for its representation, for
+any placement -- conversion is the migration path between portfolio
+arms, so a placement produced by one representation must always be
+expressible in another, even if the re-packing is looser.  The polish
+converter additionally guarantees an exact-area round-trip: a slicing
+placement converts to an expression that realizes the same bounding
+box.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.representation import make_representation
+from repro.floorplan import PolishExpression
+from repro.floorplan.btree import BStarTree
+from repro.floorplan.convert import (
+    btree_from_floorplan,
+    polish_from_floorplan,
+    sequence_pair_from_floorplan,
+)
+from repro.floorplan.sequence_pair import SequencePair
+from repro.netlist import random_circuit
+
+REPRESENTATIONS = ("polish", "sp", "btree")
+CONVERTERS = {
+    "polish": polish_from_floorplan,
+    "sp": sequence_pair_from_floorplan,
+    "btree": btree_from_floorplan,
+}
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return random_circuit(12, 30, seed=5)
+
+
+@pytest.fixture(scope="module")
+def modules(netlist):
+    return {m.name: m for m in netlist.modules}
+
+
+def _walked_floorplan(netlist, source, moves=50, seed=11):
+    """A floorplan from ``source`` after a random neighbor walk, so the
+    converters see real mid-anneal placements, not just initials."""
+    rep = make_representation(source, netlist)
+    rng = random.Random(seed)
+    state = rep.initial(rng)
+    for _ in range(moves):
+        state = rep.neighbor(state, rng)
+    return rep.realize(state), state
+
+
+class TestAllPairs:
+    """Every (source representation, converter) pair yields a valid,
+    fully-populated state."""
+
+    @pytest.mark.parametrize("source", REPRESENTATIONS)
+    @pytest.mark.parametrize("target", REPRESENTATIONS)
+    def test_conversion_is_valid_and_complete(
+        self, netlist, modules, source, target
+    ):
+        floorplan, _ = _walked_floorplan(netlist, source)
+        converted = CONVERTERS[target](floorplan, modules)
+        target_rep = make_representation(target, netlist)
+        packed = target_rep.realize(converted)
+        assert set(packed.placements) == set(modules)
+        # Placements must be physical: no overlap means total module
+        # area fits inside the repacked bounding box.
+        module_area = sum(m.area for m in modules.values())
+        assert packed.area >= module_area
+
+    @pytest.mark.parametrize("source", REPRESENTATIONS)
+    @pytest.mark.parametrize("target", REPRESENTATIONS)
+    def test_conversion_is_deterministic(
+        self, netlist, modules, source, target
+    ):
+        floorplan, _ = _walked_floorplan(netlist, source)
+        first = CONVERTERS[target](floorplan, modules)
+        second = CONVERTERS[target](floorplan, modules)
+        target_rep = make_representation(target, netlist)
+        assert (
+            target_rep.realize(first).placements
+            == target_rep.realize(second).placements
+        )
+
+    @pytest.mark.parametrize("target", REPRESENTATIONS)
+    def test_conversion_does_not_blow_up_area(self, netlist, modules, target):
+        """Migrated elites must stay competitive: repacking a walked
+        placement may not more than double its bounding box."""
+        for source in REPRESENTATIONS:
+            floorplan, _ = _walked_floorplan(netlist, source)
+            converted = CONVERTERS[target](floorplan, modules)
+            packed = make_representation(target, netlist).realize(converted)
+            assert packed.area <= 2.0 * floorplan.area
+
+
+class TestPolishRoundTrip:
+    def test_slicing_placement_round_trips_exactly(self, netlist, modules):
+        """polish -> floorplan -> polish preserves the bounding box:
+        a slicing placement is fully guillotine-cuttable."""
+        rep = make_representation("polish", netlist)
+        floorplan, _ = _walked_floorplan(netlist, "polish", moves=80)
+        expr = polish_from_floorplan(floorplan, modules)
+        assert isinstance(expr, PolishExpression)
+        repacked = rep.realize(expr)
+        assert repacked.area == pytest.approx(floorplan.area)
+
+        def extents(fp):
+            rects = fp.placements.values()
+            return (
+                max(r.x_hi for r in rects),
+                max(r.y_hi for r in rects),
+            )
+
+        assert extents(repacked) == pytest.approx(extents(floorplan))
+
+    def test_result_is_normalized(self, netlist, modules):
+        """PolishExpression's constructor rejects non-normalized token
+        streams, so surviving construction from every source proves
+        normalization; spot-check the invariant anyway."""
+        for source in REPRESENTATIONS:
+            floorplan, _ = _walked_floorplan(netlist, source)
+            expr = polish_from_floorplan(floorplan, modules)
+            tokens = list(expr.tokens)
+            for a, b in zip(tokens, tokens[1:]):
+                assert not (a in ("+", "*") and a == b)
+
+    def test_rotation_recovered(self, netlist, modules):
+        """A rotated module in the placement stays rotated after
+        conversion (the round trip keeps the placed outline)."""
+        floorplan, state = _walked_floorplan(netlist, "polish", moves=120)
+        rects = floorplan.placements
+        expr = polish_from_floorplan(floorplan, modules)
+        repacked = make_representation("polish", netlist).realize(expr)
+        for name, rect in rects.items():
+            placed = repacked.placements[name]
+            assert (placed.x_hi - placed.x_lo) == pytest.approx(
+                rect.x_hi - rect.x_lo
+            )
+            assert (placed.y_hi - placed.y_lo) == pytest.approx(
+                rect.y_hi - rect.y_lo
+            )
+
+
+class TestTypedResults:
+    def test_types(self, netlist, modules):
+        floorplan, _ = _walked_floorplan(netlist, "sp")
+        assert isinstance(
+            polish_from_floorplan(floorplan, modules),
+            PolishExpression,
+        )
+        assert isinstance(
+            sequence_pair_from_floorplan(floorplan, modules),
+            SequencePair,
+        )
+        assert isinstance(
+            btree_from_floorplan(floorplan, modules), BStarTree
+        )
+
+
+class TestRepresentationHook:
+    """The converters are wired onto Representation.from_floorplan --
+    the hook portfolio migration calls."""
+
+    @pytest.mark.parametrize("name", REPRESENTATIONS)
+    def test_hook_present_and_bound(self, netlist, modules, name):
+        rep = make_representation(name, netlist)
+        assert rep.from_floorplan is not None
+        floorplan, _ = _walked_floorplan(netlist, "btree")
+        state = rep.from_floorplan(floorplan)
+        packed = rep.realize(state)
+        assert set(packed.placements) == set(modules)

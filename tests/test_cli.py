@@ -125,3 +125,95 @@ class TestFloorplanWithCongestionTerm:
 
         match = re.search(r"congestion ([0-9.e+-]+)", out)
         assert match and float(match.group(1)) > 0.0
+
+
+class TestRegistryListing:
+    def test_list_drivers(self, capsys):
+        assert main(["floorplan", "--list-drivers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("multistart", "tempering", "portfolio"):
+            assert name in out
+        assert "replica-exchange" in out
+
+    def test_list_reprs(self, capsys):
+        assert main(["floorplan", "--list-reprs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("polish", "sp", "btree"):
+            assert name in out
+        assert "Polish" in out  # descriptions, not just keys
+
+    def test_list_backends(self, capsys):
+        assert main(["floorplan", "--list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("numpy", "python"):
+            assert name in out
+
+    def test_all_three_at_once(self, capsys):
+        assert main(["floorplan", "--list-drivers", "--list-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "multistart" in out
+        assert "numpy" in out
+
+    def test_no_circuit_and_no_flags_errors(self):
+        with pytest.raises(SystemExit, match="circuit is required"):
+            main(["floorplan"])
+
+
+class TestDriverCli:
+    def _circuit(self, tmp_path):
+        target = tmp_path / "c.yal"
+        main(["generate", str(target), "--modules", "4", "--nets", "6"])
+        return target
+
+    def test_tempering_smoke(self, tmp_path, capsys):
+        circuit = self._circuit(tmp_path)
+        assert main(
+            [
+                "floorplan", str(circuit),
+                "--driver", "tempering",
+                "--restarts", "2", "--rounds", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[tempering/" in out
+        assert "replica swaps:" in out
+
+    def test_portfolio_smoke(self, tmp_path, capsys):
+        circuit = self._circuit(tmp_path)
+        assert main(
+            [
+                "floorplan", str(circuit),
+                "--driver", "portfolio",
+                "--restarts", "3", "--rounds", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[portfolio/" in out
+        assert "arm bests:" in out
+
+    def test_rounds_rejected_for_multistart(self, tmp_path):
+        circuit = self._circuit(tmp_path)
+        with pytest.raises(SystemExit, match="--rounds"):
+            main(["floorplan", str(circuit), "--rounds", "3"])
+
+    def test_driver_checkpoint_resume_roundtrip(self, tmp_path, capsys):
+        circuit = self._circuit(tmp_path)
+        ckpt = tmp_path / "drv.ckpt"
+        assert main(
+            [
+                "floorplan", str(circuit),
+                "--driver", "portfolio",
+                "--restarts", "3", "--rounds", "1",
+                "--checkpoint", str(ckpt),
+            ]
+        ) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(
+            [
+                "floorplan", str(circuit),
+                "--driver", "portfolio",
+                "--resume", str(ckpt), "--rounds", "2",
+            ]
+        ) == 0
+        assert "[portfolio/" in capsys.readouterr().out
