@@ -18,6 +18,13 @@ True``) that re-runs the full pipeline after every delta evaluation and
 asserts agreement to 1e-12, and records the final best costs of both
 modes, which must match to 1e-9.
 
+A third replay of the fast run turns full observability on (JSONL
+tracing, the metrics registry, progress snapshots with top-3
+congestion densities every temperature step) and gates two properties:
+the walk stays **bit-identical** (always), and the throughput cost
+stays under the **5% overhead budget** (full mode only -- smoke
+schedules are too short to time).
+
 Results go to ``BENCH_incremental.json`` (see ``--out``)::
 
     {"workloads": [{"name": ..., "seed_moves_per_sec": ...,
@@ -64,7 +71,7 @@ def _objective(netlist, grid_size: float, fast: bool, strict: bool = False,
 
 
 def _run(netlist, grid_size, fast, moves_per_temperature, schedule, seed,
-         strict=False, backend=None):
+         strict=False, backend=None, observer=None):
     # Each run builds a fresh objective, whose engine-scoped CacheContext
     # starts empty -- no global cache state survives between runs.
     engine = AnnealEngine(
@@ -75,7 +82,7 @@ def _run(netlist, grid_size, fast, moves_per_temperature, schedule, seed,
         schedule=schedule,
     )
     t0 = time.perf_counter()
-    result = engine.run()
+    result = engine.run(observer=observer)
     wall = time.perf_counter() - t0
     return result, wall
 
@@ -129,6 +136,36 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7, backend=None):
         strict_ok = False
         print(f"  STRICT-MODE FAILURE: {exc}", file=sys.stderr)
 
+    # Observability-on replay of the fast run: full tracing + metrics +
+    # progress sampling at the densest cadence (every temperature step,
+    # top-3 congestion densities).  The walk must be bit-identical --
+    # observer hooks sit strictly between moves and touch no RNG -- and
+    # the throughput cost is the trace's overhead budget.
+    import tempfile
+
+    from repro.obs import RunObserver, Tracer
+
+    with tempfile.TemporaryDirectory() as tmp:
+        observer = RunObserver(
+            tracer=Tracer(Path(tmp) / "bench.jsonl"),
+            progress_every=1,
+            progress_top_k=3,
+        )
+        obs_result, obs_wall = _run(
+            netlist, grid_size, fast=True,
+            moves_per_temperature=moves, schedule=schedule, seed=seed,
+            backend=resolved, observer=observer,
+        )
+        observer.finalize()
+    obs_identical = (
+        obs_result.n_moves == fast_result.n_moves
+        and obs_result.n_accepted == fast_result.n_accepted
+        and math.isclose(
+            obs_result.cost, fast_result.cost, rel_tol=1e-12, abs_tol=1e-12
+        )
+    )
+    obs_overhead_pct = round(100.0 * (obs_wall - fast_wall) / fast_wall, 2)
+
     hit_rates = {
         cname: round(s.hit_rate, 4) for cname, s in stats.items() if s.lookups
     }
@@ -156,6 +193,10 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7, backend=None):
         "strict_ok": strict_ok,
         "accounting_ok": accounting_ok,
         "cache_hit_rates": hit_rates,
+        "obs_wall_seconds": round(obs_wall, 3),
+        "obs_moves_per_sec": round(obs_result.n_moves / obs_wall, 2),
+        "obs_overhead_pct": obs_overhead_pct,
+        "obs_walk_identical": obs_identical,
     }
     print(
         f"{name} [{row['backend_used']}]: "
@@ -164,7 +205,9 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7, backend=None):
         f"speedup {row['speedup']:.2f}x, "
         f"net_mass hit rate {hit_rates.get('net_mass', 0.0):.1%}, "
         f"exact_prob hit rate {hit_rates.get('exact_prob', 0.0):.1%}, "
-        f"agree={agree} strict={strict_ok}"
+        f"agree={agree} strict={strict_ok}, "
+        f"obs overhead {obs_overhead_pct:+.1f}% "
+        f"(identical={obs_identical})"
     )
     return row
 
@@ -210,6 +253,8 @@ def main(argv=None) -> int:
         "strict_ok": all(r["strict_ok"] for r in rows),
         "results_agree": all(r["results_agree"] for r in rows),
         "accounting_ok": all(r["accounting_ok"] for r in rows),
+        "obs_walk_identical": all(r["obs_walk_identical"] for r in rows),
+        "max_obs_overhead_pct": max(r["obs_overhead_pct"] for r in rows),
     }
 
     out = args.out
@@ -226,6 +271,15 @@ def main(argv=None) -> int:
         failures.append("incremental and seed evaluators disagree")
     if not payload["strict_ok"]:
         failures.append("strict-mode delta/full agreement failed")
+    if not payload["obs_walk_identical"]:
+        failures.append("observability-on walk diverged from the plain walk")
+    # Throughput gate only on full-length runs; smoke schedules are too
+    # short for wall-clock percentages to mean anything.
+    if not args.smoke and payload["max_obs_overhead_pct"] >= 5.0:
+        failures.append(
+            "observability overhead "
+            f"{payload['max_obs_overhead_pct']:.1f}% exceeds the 5% budget"
+        )
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)

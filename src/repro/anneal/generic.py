@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Generic, List, Optional, TypeVar
 
@@ -106,6 +107,7 @@ def anneal(
     control=None,
     resume=None,
     t0_scale: float = 1.0,
+    observer=None,
 ) -> Result:
     """Run one full annealing schedule over an arbitrary representation.
 
@@ -126,6 +128,12 @@ def anneal(
     good state (an elite migrated from another restart) without the
     full high-temperature scramble destroying it.  A resumed run
     ignores it (``t0`` is restored from the checkpoint).
+
+    ``observer`` (a :class:`repro.obs.RunObserver`) receives one
+    ``step_complete`` call per temperature step plus warmup/anneal
+    spans.  Every observer hook sits strictly between moves and never
+    touches ``rng``, so an observed walk is bit-identical to an
+    unobserved one.
     """
     if moves_per_temperature < 1:
         raise ValueError("moves_per_temperature must be >= 1")
@@ -173,22 +181,27 @@ def anneal(
         prior_elapsed = resume.elapsed_seconds
     else:
         rng = random.Random(seed)
-        if calibrate:
-            objective.calibrate(seed=seed)
-        current = initial(rng)
-        current_eval = evaluate(current)
-        objective.commit()
-        best, best_eval = current, current_eval
-
-        # Sample uphill deltas along a random walk to size T0.
-        deltas = []
-        walk, walk_cost = current, current_eval.cost
-        for _ in range(temperature_samples):
-            step_state = neighbor(walk, rng)
-            step_eval = evaluate(step_state)
+        with (
+            observer.span("warmup")
+            if observer is not None
+            else nullcontext()
+        ):
+            if calibrate:
+                objective.calibrate(seed=seed)
+            current = initial(rng)
+            current_eval = evaluate(current)
             objective.commit()
-            deltas.append(step_eval.cost - walk_cost)
-            walk, walk_cost = step_state, step_eval.cost
+            best, best_eval = current, current_eval
+
+            # Sample uphill deltas along a random walk to size T0.
+            deltas = []
+            walk, walk_cost = current, current_eval.cost
+            for _ in range(temperature_samples):
+                step_state = neighbor(walk, rng)
+                step_eval = evaluate(step_state)
+                objective.commit()
+                deltas.append(step_eval.cost - walk_cost)
+                walk, walk_cost = step_state, step_eval.cost
         t0 = initial_temperature(deltas) * t0_scale
 
         snapshots = []
@@ -219,50 +232,72 @@ def anneal(
         )
 
     stop_reason: Optional[str] = None
-    for step, temperature in enumerate(schedule.temperatures(t0)):
-        if step < start_step:
-            continue
-        move_start = start_move if step == start_step else 0
-        for move_i in range(move_start, moves_per_temperature):
-            if control is not None:
-                stop_reason = control.should_stop()
-                if stop_reason is not None:
-                    break
-            candidate = neighbor(current, rng)
-            if candidate == current:
+    with (
+        observer.span("anneal", t0=t0)
+        if observer is not None
+        else nullcontext()
+    ):
+        for step, temperature in enumerate(schedule.temperatures(t0)):
+            if step < start_step:
                 continue
-            candidate_eval = evaluate(candidate)
-            delta = candidate_eval.cost - current_eval.cost
-            n_moves += 1
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                current, current_eval = candidate, candidate_eval
-                objective.commit()
-                n_accepted += 1
-                if current_eval.cost < best_eval.cost:
-                    best, best_eval = current, current_eval
-            else:
-                # Roll the incremental evaluator back to the accepted
-                # state so the next delta carries one move's dirt.
-                objective.reject()
-        if stop_reason is not None:
-            # Graceful wind-down: persist the exact mid-step position
-            # (move_i never ran) so resume continues seamlessly.
-            if control is not None:
-                control.write_checkpoint(capture(step, move_i))
-            break
-        snapshot = Snapshot(
-            step=step,
-            temperature=temperature,
-            current_cost=current_eval.cost,
-            best_cost=best_eval.cost,
-            breakdown=current_eval,
-            state=current,
-        )
-        snapshots.append(snapshot)
-        if on_snapshot is not None:
-            on_snapshot(snapshot)
-        if control is not None and control.checkpoint_due(step + 1):
-            control.write_checkpoint(capture(step + 1, 0))
+            move_start = start_move if step == start_step else 0
+            step_moves_base, step_accepted_base = n_moves, n_accepted
+            for move_i in range(move_start, moves_per_temperature):
+                if control is not None:
+                    stop_reason = control.should_stop()
+                    if stop_reason is not None:
+                        break
+                candidate = neighbor(current, rng)
+                if candidate == current:
+                    continue
+                candidate_eval = evaluate(candidate)
+                delta = candidate_eval.cost - current_eval.cost
+                n_moves += 1
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    current, current_eval = candidate, candidate_eval
+                    objective.commit()
+                    n_accepted += 1
+                    if current_eval.cost < best_eval.cost:
+                        best, best_eval = current, current_eval
+                else:
+                    # Roll the incremental evaluator back to the accepted
+                    # state so the next delta carries one move's dirt.
+                    objective.reject()
+            if stop_reason is not None:
+                # Graceful wind-down: persist the exact mid-step position
+                # (move_i never ran) so resume continues seamlessly.
+                if control is not None:
+                    control.write_checkpoint(capture(step, move_i))
+                break
+            snapshot = Snapshot(
+                step=step,
+                temperature=temperature,
+                current_cost=current_eval.cost,
+                best_cost=best_eval.cost,
+                breakdown=current_eval,
+                state=current,
+            )
+            snapshots.append(snapshot)
+            if on_snapshot is not None:
+                on_snapshot(snapshot)
+            if observer is not None:
+                # Between-move hook: reads the loop, never the RNG.
+                observer.step_complete(
+                    step=step,
+                    temperature=temperature,
+                    current_cost=current_eval.cost,
+                    best_cost=best_eval.cost,
+                    moves=n_moves - step_moves_base,
+                    accepted=n_accepted - step_accepted_base,
+                    total_moves=n_moves,
+                    total_accepted=n_accepted,
+                    elapsed=prior_elapsed
+                    + (time.perf_counter() - start_time),
+                    objective=objective,
+                    floorplan=lambda: realize(current),
+                )
+            if control is not None and control.checkpoint_due(step + 1):
+                control.write_checkpoint(capture(step + 1, 0))
 
     if stop_reason is None and control is not None:
         # Completion checkpoint: a post-run death loses nothing, and

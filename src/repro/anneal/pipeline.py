@@ -64,6 +64,15 @@ class CostBreakdown:
     congestion: float
     cost: float
 
+    def to_json(self) -> dict:
+        """A JSON-serializable image (trace events, progress lines)."""
+        return {
+            "area": self.area,
+            "wirelength": self.wirelength,
+            "congestion": self.congestion,
+            "cost": self.cost,
+        }
+
 
 class PinTopology:
     """Per-circuit pin and edge topology, flattened for vectorization.

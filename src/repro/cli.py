@@ -8,6 +8,7 @@ Subcommands::
     repro-floorplan estimate CIRCUIT ...     # congestion of one packing
     repro-floorplan experiment {1,2,3} ...   # reproduce the paper tables
     repro-floorplan figure8                  # approximation accuracy
+    repro-floorplan trace TRACE.jsonl        # summarize a --trace file
 
 ``CIRCUIT`` is an MCNC name (apte/xerox/hp/ami33/ami49) or a path to a
 YAL-flavoured circuit file.
@@ -139,6 +140,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-phase timing breakdown and cache statistics",
     )
     fp.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="stream a structured JSONL trace (spans, per-step events, "
+        "progress snapshots) to PATH; summarize it later with the "
+        "`trace` subcommand",
+    )
+    fp.add_argument(
+        "--metrics-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sample a progress snapshot every N temperature steps "
+        "(workers stream theirs back to the coordinator); 0 disables "
+        "sampling",
+    )
+    fp.add_argument(
         "--no-incremental",
         action="store_true",
         help="disable the dirty-net delta path and per-net congestion "
@@ -226,6 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("figure8", help="approximation accuracy curves")
+
+    tr = sub.add_parser(
+        "trace", help="validate and summarize a --trace JSONL file"
+    )
+    tr.add_argument("path", type=Path, help="trace file written by --trace")
+    tr.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as JSON instead of tables",
+    )
+    tr.add_argument(
+        "--width", type=int, default=60, help="cost-curve plot width"
+    )
     return parser
 
 
@@ -322,14 +354,17 @@ def _cmd_floorplan(args) -> int:
         raise SystemExit("error: --workers must be >= 1")
     if args.checkpoint_every < 1:
         raise SystemExit("error: --checkpoint-every must be >= 1")
+    if args.metrics_every < 0:
+        raise SystemExit("error: --metrics-every must be >= 0")
+    observer = _make_observer(args)
     if args.driver != "multistart":
         netlist = None
         grid_size = None
         if args.circuit is not None:
             netlist = _load_circuit(args.circuit)
             grid_size = _grid_size_for(netlist, args.grid_size)
-        result, judging_cost, netlist = _run_driver(
-            args, netlist, grid_size, not args.no_incremental
+        result, judging_cost, netlist, outcome = _run_driver(
+            args, netlist, grid_size, not args.no_incremental, observer
         )
         floorplan = result.floorplan
         b = result.breakdown
@@ -339,10 +374,12 @@ def _cmd_floorplan(args) -> int:
             f"wirelength {b.wirelength:.0f} um, "
             f"congestion {b.congestion:.4g}, judge {judging_cost:.4g}"
         )
-        perf = result.perf
+        perf, cache_stats = _merged_perf_view(
+            outcome, result.perf, result.cache_stats
+        )
         moves_per_second = result.moves_per_second
         n_moves = result.n_moves
-        cache_stats = result.cache_stats
+        _finish_observer(args, observer)
         return _floorplan_outputs(
             args, netlist, floorplan, perf, moves_per_second, n_moves,
             cache_stats,
@@ -367,7 +404,9 @@ def _cmd_floorplan(args) -> int:
                 "error: --checkpoint/--resume support single runs only "
                 "(--restarts 1)"
             )
-        result, judging_cost = _run_multistart(args, netlist, grid_size, incremental)
+        result, judging_cost, outcome = _run_multistart(
+            args, netlist, grid_size, incremental, observer
+        )
         floorplan = result.floorplan
         b = result.breakdown
         print(
@@ -377,13 +416,14 @@ def _cmd_floorplan(args) -> int:
             f"wirelength {b.wirelength:.0f} um, congestion {b.congestion:.4g}, "
             f"judge {judging_cost:.4g}, {result.runtime_seconds:.1f} s"
         )
-        perf = result.perf
+        perf, cache_stats = _merged_perf_view(
+            outcome, result.perf, result.cache_stats
+        )
         moves_per_second = result.moves_per_second
         n_moves = result.n_moves
-        cache_stats = result.cache_stats
-    elif fault_tolerant:
+    elif fault_tolerant or observer is not None:
         result, judging_cost, netlist = _run_single_controlled(
-            args, netlist, grid_size, incremental
+            args, netlist, grid_size, incremental, observer
         )
         floorplan = result.floorplan
         b = result.breakdown
@@ -419,9 +459,70 @@ def _cmd_floorplan(args) -> int:
         moves_per_second = record.result.moves_per_second
         n_moves = record.result.n_moves
         cache_stats = record.result.cache_stats
+    _finish_observer(args, observer)
     return _floorplan_outputs(
         args, netlist, floorplan, perf, moves_per_second, n_moves, cache_stats
     )
+
+
+def _make_observer(args):
+    """Build the coordinator :class:`~repro.obs.RunObserver` from
+    ``--trace``/``--metrics-every``; None when observability is off."""
+    if args.trace is None and args.metrics_every == 0:
+        return None
+    from repro.obs import RunObserver, Tracer
+
+    tracer = Tracer(args.trace) if args.trace is not None else None
+    return RunObserver(tracer=tracer, progress_every=args.metrics_every)
+
+
+def _obs_plan_for(observer):
+    """The picklable worker-side recipe matching a coordinator
+    observer (None when snapshot sampling is off)."""
+    if observer is None or observer.progress_every <= 0:
+        return None
+    from repro.obs import ObsPlan
+
+    return ObsPlan(
+        progress_every=observer.progress_every,
+        top_k=observer.progress_top_k,
+    )
+
+
+def _run_span(observer, **attrs):
+    """The root ``run`` span for the whole search (a null context when
+    tracing is off)."""
+    from contextlib import nullcontext
+
+    if observer is None:
+        return nullcontext()
+    return observer.span("run", **attrs)
+
+
+def _finish_observer(args, observer) -> None:
+    """Close out the observer: emit the aggregated ``run_metrics``
+    line, flush the trace file, and tell the user where it went."""
+    if observer is None:
+        return
+    observer.finalize()
+    observer.tracer.close()
+    if args.trace is not None:
+        print(
+            f"wrote trace to {args.trace} "
+            f"({observer.tracer.n_events} events)"
+        )
+
+
+def _merged_perf_view(outcome, fallback_perf, fallback_cache_stats):
+    """The ``--perf`` view for a multi-job outcome: every delivered
+    job's timers/counters and cache statistics folded together
+    (worker-side measurements included), falling back to the best
+    result's own numbers when the outcome carries none (e.g. tempering
+    sweeps, which run outside engine perf accounting)."""
+    merged = outcome.merged_perf()
+    caches = outcome.merged_cache_stats()
+    perf = merged if (merged.timers or merged.counters) else fallback_perf
+    return perf, caches if caches else fallback_cache_stats
 
 
 def _floorplan_outputs(
@@ -488,9 +589,9 @@ def _objective_spec(args, grid_size, incremental):
     )
 
 
-def _run_single_controlled(args, netlist, grid_size, incremental):
+def _run_single_controlled(args, netlist, grid_size, incremental, observer=None):
     """One annealing run under a RunControl: checkpointing, resume,
-    deadline, and graceful Ctrl-C."""
+    deadline, graceful Ctrl-C, and (with ``--trace``) tracing."""
     from repro.engine import AnnealEngine, RunControl, install_signal_handlers
     from repro.experiments.runner import judge_floorplan
 
@@ -520,8 +621,12 @@ def _run_single_controlled(args, netlist, grid_size, incremental):
             ),
             schedule=profile.schedule(),
         )
-    with install_signal_handlers(control):
-        result = engine.run(control=control)
+    span = _run_span(
+        observer, circuit=netlist.name, driver="single",
+        representation=engine.representation.name, seed=engine.seed,
+    )
+    with install_signal_handlers(control), span:
+        result = engine.run(control=control, observer=observer)
     if control.checkpoints_written:
         print(
             f"wrote {control.checkpoints_written} checkpoint(s) to "
@@ -531,7 +636,7 @@ def _run_single_controlled(args, netlist, grid_size, incremental):
     return result, judging_cost, netlist
 
 
-def _run_multistart(args, netlist, grid_size, incremental):
+def _run_multistart(args, netlist, grid_size, incremental, observer=None):
     from repro.engine import (
         MultiStartEngine,
         RunControl,
@@ -549,10 +654,15 @@ def _run_multistart(args, netlist, grid_size, incremental):
         moves_per_temperature=profile.moves_per_temperature(netlist.n_modules),
         schedule=profile.schedule(),
         workers=args.workers,
+        obs_plan=_obs_plan_for(observer),
     )
     control = RunControl(deadline_seconds=args.deadline)
-    with install_signal_handlers(control):
-        outcome = multi.run(control=control)
+    span = _run_span(
+        observer, circuit=netlist.name, driver="multistart",
+        representation=args.representation, restarts=args.restarts,
+    )
+    with install_signal_handlers(control), span:
+        outcome = multi.run(control=control, observer=observer)
     costs = ", ".join(f"{r.seed}: {r.cost:.4g}" for r in outcome.results)
     print(f"restart costs ({outcome.workers} worker(s)): {costs}")
     for report in outcome.reports:
@@ -564,10 +674,10 @@ def _run_multistart(args, netlist, grid_size, incremental):
             f"remaining restarts ran sequentially)"
         )
     judging_cost = judge_floorplan(outcome.best.floorplan, netlist, 10.0)
-    return outcome.best, judging_cost
+    return outcome.best, judging_cost, outcome
 
 
-def _run_driver(args, netlist, grid_size, incremental):
+def _run_driver(args, netlist, grid_size, incremental, observer=None):
     """Run (or resume) a tempering/portfolio search driver."""
     from dataclasses import replace
 
@@ -596,6 +706,12 @@ def _run_driver(args, netlist, grid_size, incremental):
             driver.config = replace(
                 driver.config, checkpoint_path=str(args.resume)
             )
+        if args.metrics_every > 0:
+            # Snapshot cadence is observability, not search state: it
+            # may change across a resume without perturbing the walk.
+            driver.config = replace(
+                driver.config, progress_every=args.metrics_every
+            )
         netlist = driver.config.netlist
         print(f"resuming {driver.name} from {args.resume}")
     else:
@@ -616,11 +732,19 @@ def _run_driver(args, netlist, grid_size, incremental):
                 str(args.checkpoint) if args.checkpoint is not None else None
             ),
             checkpoint_every=args.checkpoint_every,
+            progress_every=args.metrics_every,
         )
         driver = make_driver(args.driver, config)
         state = None
-    with install_signal_handlers(control):
-        outcome = driver.run(control=control, resume_state=state)
+    span = _run_span(
+        observer, circuit=driver.config.netlist.name, driver=args.driver,
+        representation=driver.config.representation,
+        restarts=driver.config.restarts,
+    )
+    with install_signal_handlers(control), span:
+        outcome = driver.run(
+            control=control, resume_state=state, observer=observer
+        )
     costs = ", ".join(f"{r.cost:.4g}" for r in outcome.results)
     print(f"{args.driver} costs ({outcome.workers} worker(s)): {costs}")
     if args.driver == "tempering":
@@ -651,7 +775,7 @@ def _run_driver(args, netlist, grid_size, incremental):
             f"{driver.config.checkpoint_path}"
         )
     judging_cost = judge_floorplan(outcome.best.floorplan, netlist, 10.0)
-    return outcome.best, judging_cost, netlist
+    return outcome.best, judging_cost, netlist, outcome
 
 
 def _cmd_estimate(args) -> int:
@@ -751,6 +875,25 @@ def _cmd_figure8() -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Validate and summarize a ``--trace`` JSONL file."""
+    import json
+
+    from repro.obs import format_trace_summary, summarize_trace
+
+    if not args.path.exists():
+        raise SystemExit(f"error: no such trace file: {args.path}")
+    try:
+        summary = summarize_trace(args.path)
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid trace file: {exc}")
+    if args.json:
+        print(json.dumps(summary.to_json(), indent=2, sort_keys=True))
+    else:
+        print(format_trace_summary(summary, width=args.width))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point: parse ``argv`` and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
@@ -766,6 +909,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "figure8":
         return _cmd_figure8()
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

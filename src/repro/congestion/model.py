@@ -228,6 +228,47 @@ class IrregularGridModel(CongestionModel):
                 mass = self._exact_rescue(irgrid, _nets_from_arrays(arr))
         return self._score_mass(irgrid, mass)
 
+    def densities_arrays(self, chip: Rect, arr) -> np.ndarray:
+        """Per-cell densities straight from edge coordinate arrays.
+
+        The progress-snapshot path (``repro.obs``): observers sample the
+        committed floorplan's hottest densities between moves, and
+        recomputing pins/nets from scratch there costs a full scalar
+        evaluation per sample.  This reuses the array kernels and the
+        memo caches the walk itself populates, so a cache-warm snapshot
+        costs one batched mass call plus the IR-grid build.  Values
+        match :meth:`evaluate`'s ``CongestionMap.densities()`` over the
+        same edge geometry; the ``"exact"`` method falls back to exactly
+        that path.
+        """
+        if self.method != "approx":
+            congestion_map = self.evaluate(chip, _nets_from_arrays(arr))
+            return np.asarray(congestion_map.densities())
+        with self.perf.timeit("irgrid_build"):
+            irgrid = build_irgrid_arrays(
+                chip, arr, self.grid_size, self.merge_factor
+            )
+        ctx = self._context()
+        with self.perf.timeit("mass_eval"):
+            mass = batched_approx_mass_arrays(
+                irgrid,
+                arr,
+                self.grid_size,
+                panels=self.panels,
+                paper_bounds=self.paper_bounds,
+                cache=ctx.net_mass if ctx else None,
+                exact_cache=ctx.exact_prob if ctx else None,
+                backend=self.backend,
+            )
+            if not np.isfinite(mass).all():
+                mass = self._exact_rescue(irgrid, _nets_from_arrays(arr))
+        widths = np.diff(np.asarray(irgrid.x_lines.lines))
+        heights = np.diff(np.asarray(irgrid.y_lines.lines))
+        areas = np.outer(widths, heights).ravel()
+        flat = mass.ravel()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(areas > 0, flat / areas, 0.0)
+
     def _score_mass(self, irgrid: IRGrid, mass: np.ndarray) -> float:
         """Step 5 scoring of a computed mass array (shared hot path)."""
         with self.perf.timeit("scoring"):

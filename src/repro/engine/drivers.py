@@ -127,6 +127,10 @@ class DriverConfig:
     checkpoint_every: int = 1
     # Test-only fault injection (repro.testing.faults.FaultSpec).
     inject_fault: Any = None
+    # Observability: snapshot cadence in temperature steps (0 = off)
+    # and how many top congestion densities each snapshot carries.
+    progress_every: int = 0
+    progress_top_k: int = 3
 
     def __post_init__(self) -> None:
         if self.restarts < 1:
@@ -149,10 +153,29 @@ class DriverConfig:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )
+        if self.progress_every < 0:
+            raise ValueError(
+                f"progress_every must be >= 0, got {self.progress_every}"
+            )
+        if self.progress_top_k < 0:
+            raise ValueError(
+                f"progress_top_k must be >= 0, got {self.progress_top_k}"
+            )
 
     def spec(self) -> ObjectiveSpec:
         """The objective spec, defaulting to area+wirelength."""
         return self.objective_spec or ObjectiveSpec()
+
+    def obs_plan(self):
+        """The picklable :class:`repro.obs.ObsPlan` shipped to workers
+        (``None`` when progress collection is off)."""
+        if self.progress_every <= 0:
+            return None
+        from repro.obs import ObsPlan
+
+        return ObsPlan(
+            progress_every=self.progress_every, top_k=self.progress_top_k
+        )
 
 
 @dataclass
@@ -194,6 +217,28 @@ class SearchResult:
         """Jobs that exhausted their retries without a result."""
         return sum(1 for r in self.reports if r.status == "failed")
 
+    def merged_perf(self):
+        """One :class:`~repro.perf.PerfRecorder` folding every
+        delivered job's timers and counters, worker-side measurements
+        included."""
+        from repro.perf import PerfRecorder
+
+        merged = PerfRecorder()
+        for r in self.results:
+            if r.perf is not None:
+                merged.merge(r.perf)
+        return merged
+
+    def merged_cache_stats(self) -> Dict[str, Any]:
+        """Every delivered job's cache statistics folded per cache name
+        (see :func:`~repro.perf.context.merge_cache_stats`)."""
+        from repro.perf.context import merge_cache_stats
+
+        merged: Dict[str, Any] = {}
+        for r in self.results:
+            merged = merge_cache_stats(merged, r.cache_stats)
+        return merged
+
 
 class SearchDriver:
     """Protocol every registered driver implements.
@@ -218,13 +263,19 @@ class SearchDriver:
     def __init__(self, config: DriverConfig):
         self.config = config
 
-    def run(self, control=None, resume_state=None) -> SearchResult:
-        """Execute the driver's whole schedule; see the class docs."""
+    def run(self, control=None, resume_state=None, observer=None) -> SearchResult:
+        """Execute the driver's whole schedule; see the class docs.
+
+        ``observer`` (a coordinator-side :class:`repro.obs.RunObserver`)
+        receives the driver's scheduling decisions -- swaps,
+        allocations, migrations, supervision incidents -- as trace
+        events, plus every delivered job's progress and metrics.
+        """
         raise NotImplementedError
 
     # -- shared helpers ------------------------------------------------
 
-    def _write_checkpoint(self, state: Any, control=None) -> int:
+    def _write_checkpoint(self, state: Any, control=None, observer=None) -> int:
         """Write one driver checkpoint (no-op without a configured
         path).  Returns how many files this call wrote (0 or 1)."""
         if self.config.checkpoint_path is None:
@@ -235,6 +286,11 @@ class SearchDriver:
                 driver=self.name, config=self.config, state=state
             ),
         )
+        if observer is not None:
+            observer.event(
+                "checkpoint_written", path=str(self.config.checkpoint_path)
+            )
+            observer.metrics.count("driver_checkpoints")
         return 1
 
 
@@ -339,7 +395,7 @@ class MultiStartDriver(SearchDriver):
 
     name = "multistart"
 
-    def run(self, control=None, resume_state=None) -> SearchResult:
+    def run(self, control=None, resume_state=None, observer=None) -> SearchResult:
         """Run best-of-N restarts and wrap the result as a
         :class:`SearchResult`; bit-identical to the engine."""
         if resume_state is not None:
@@ -363,8 +419,9 @@ class MultiStartDriver(SearchDriver):
             retry_backoff=cfg.retry_backoff,
             max_pool_rebuilds=cfg.max_pool_rebuilds,
             inject_fault=cfg.inject_fault,
+            obs_plan=cfg.obs_plan(),
         )
-        result = engine.run(control=control)
+        result = engine.run(control=control, observer=observer)
         stopped = control is not None and control.stop_requested
         return SearchResult(
             driver=self.name,

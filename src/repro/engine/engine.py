@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.anneal.cost import CostBreakdown, FloorplanObjective
 from repro.anneal.generic import Snapshot, anneal
@@ -59,6 +59,13 @@ class EngineResult:
     ``completed`` is False when the run stopped early on a cooperative
     stop (signal, deadline, supervisor); ``stop_reason`` then names the
     cause, and the result still carries the best solution found so far.
+
+    ``progress`` and ``metrics`` carry the run's observability payload
+    when the engine ran with an observer: periodic
+    :class:`~repro.obs.ProgressSnapshot` samples and the worker-side
+    metrics-registry snapshot.  Both are plain picklable data, so they
+    ride the supervision seam home from pool workers like everything
+    else here.
     """
 
     representation: str
@@ -76,6 +83,8 @@ class EngineResult:
     stop_reason: Optional[str] = None
     checkpoints_written: int = 0
     rng_state: Optional[object] = None
+    progress: List[Any] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def cost(self) -> float:
@@ -277,6 +286,7 @@ class AnnealEngine:
         self,
         on_snapshot: Optional[Callable[[Snapshot], None]] = None,
         control: Optional[RunControl] = None,
+        observer=None,
     ) -> EngineResult:
         """Run one full annealing schedule and return the best solution.
 
@@ -285,6 +295,13 @@ class AnnealEngine:
         per the control's policy; an early stop still returns the
         best-so-far result, with ``completed=False`` and
         ``stop_reason`` set.
+
+        With an ``observer`` (a :class:`repro.obs.RunObserver`), the
+        run records per-step telemetry under a ``restart`` span, uses
+        the observer's perf recorder (so timers and counters land in
+        one registry), and ships the observer's progress snapshots and
+        metrics back on the result.  Observation never touches the RNG
+        stream -- observed and unobserved runs are bit-identical.
         """
         rep = self.representation
         if control is not None:
@@ -296,21 +313,41 @@ class AnnealEngine:
             initial = lambda rng: fixed  # noqa: E731 -- closure over state
         else:
             initial = rep.initial
-        result = anneal(
-            objective=self.objective,
-            initial=initial,
-            neighbor=rep.neighbor,
-            realize=rep.realize,
-            seed=self.seed,
-            moves_per_temperature=self.moves_per_temperature,
-            schedule=self.schedule,
-            calibrate=self._calibrate,
-            on_snapshot=on_snapshot,
-            control=control,
-            resume=self._resume_state,
-            t0_scale=self.t0_scale,
-        )
+        if observer is not None:
+            span = observer.span(
+                "restart", representation=rep.name, seed=self.seed
+            )
+        else:
+            from contextlib import nullcontext
+
+            span = nullcontext()
+        with span:
+            result = anneal(
+                objective=self.objective,
+                initial=initial,
+                neighbor=rep.neighbor,
+                realize=rep.realize,
+                seed=self.seed,
+                moves_per_temperature=self.moves_per_temperature,
+                schedule=self.schedule,
+                calibrate=self._calibrate,
+                on_snapshot=on_snapshot,
+                perf=observer.metrics.perf if observer is not None else None,
+                control=control,
+                resume=self._resume_state,
+                t0_scale=self.t0_scale,
+                observer=observer,
+            )
         self._resume_state = None  # a second run() starts fresh
+        cache_stats = merge_cache_stats(
+            self._prior_cache_stats, self.cache_context.stats()
+        )
+        progress: List[Any] = []
+        metrics: Dict[str, Any] = {}
+        if observer is not None:
+            observer.metrics.set_cache_gauges(cache_stats)
+            progress = list(observer.progress)
+            metrics = observer.metrics.snapshot()
         return EngineResult(
             representation=rep.name,
             seed=self.seed,
@@ -322,15 +359,15 @@ class AnnealEngine:
             n_accepted=result.n_accepted,
             runtime_seconds=result.runtime_seconds,
             perf=result.perf,
-            cache_stats=merge_cache_stats(
-                self._prior_cache_stats, self.cache_context.stats()
-            ),
+            cache_stats=cache_stats,
             completed=result.completed,
             stop_reason=result.stop_reason,
             checkpoints_written=(
                 control.checkpoints_written if control is not None else 0
             ),
             rng_state=result.rng_state,
+            progress=progress,
+            metrics=metrics,
         )
 
     def _make_checkpoint_writer(self, control: RunControl):

@@ -113,6 +113,7 @@ def _run_restart(
     moves_per_temperature: Optional[int],
     schedule: Optional[GeometricSchedule],
     calibrate: bool,
+    obs_plan=None,
     attempt: int = 0,
     mode: str = "sequential",
     fault=None,
@@ -128,6 +129,12 @@ def _run_restart(
     injected failure deterministically succeeds.  ``control`` rides
     along only in sequential mode (it holds a lock and cannot cross a
     process boundary) and never touches the RNG stream.
+
+    ``obs_plan`` (a picklable :class:`repro.obs.ObsPlan`) makes the
+    restart collect progress snapshots and a metrics registry that come
+    home on the result; the in-worker observer carries no tracer and
+    never touches the RNG stream, so the walk is bit-identical either
+    way.
     """
     if fault is not None:
         fault.maybe_fire(seed=seed, attempt=attempt, mode=mode)
@@ -142,7 +149,8 @@ def _run_restart(
         schedule=schedule,
         calibrate=calibrate,
     )
-    return engine.run(control=control)
+    observer = obs_plan.build_observer() if obs_plan is not None else None
+    return engine.run(control=control, observer=observer)
 
 
 @dataclass
@@ -188,6 +196,12 @@ class RunReport:
     ``label`` is free-form context a search driver attaches to a job
     (e.g. ``"round 2 / btree / slot 1"``); plain multistart restarts
     leave it ``None``.
+
+    ``cache_stats`` and ``jit_compile_seconds`` are the delivered
+    result's worker-side accounting (per-cache hit/miss snapshots as
+    plain dicts, and the one-off JIT warm-up time), attached by
+    :meth:`attach_result` -- before PR 8 these were measured inside
+    worker processes and silently dropped at the pickle boundary.
     """
 
     seed: int
@@ -196,10 +210,30 @@ class RunReport:
     mode: Optional[str] = None
     failures: List[RestartFailure] = field(default_factory=list)
     label: Optional[str] = None
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    jit_compile_seconds: float = 0.0
 
     @property
     def retried(self) -> bool:
         return self.attempts > 1
+
+    def attach_result(self, result: Any) -> None:
+        """Record a delivered result's worker-side accounting.
+
+        Pulls the per-cache statistics (as JSON-ready dicts) and the
+        JIT warm-up seconds off an :class:`EngineResult`; safe on any
+        result-shaped object -- missing pieces leave the defaults.
+        """
+        stats = getattr(result, "cache_stats", None) or {}
+        self.cache_stats = {
+            name: s.to_json() if hasattr(s, "to_json") else dict(s)
+            for name, s in stats.items()
+        }
+        perf = getattr(result, "perf", None)
+        if perf is not None:
+            jit = perf.timers.get("jit_compile_seconds")
+            if jit is not None:
+                self.jit_compile_seconds = jit.seconds
 
     def record_failure(self, kind: str, message: str) -> None:
         """Log one failed attempt and advance the attempt counter."""
@@ -236,6 +270,10 @@ class RunReport:
             "mode": self.mode,
             "label": self.label,
             "failures": [f.to_json() for f in self.failures],
+            "cache_stats": {
+                name: dict(s) for name, s in self.cache_stats.items()
+            },
+            "jit_compile_seconds": self.jit_compile_seconds,
         }
 
     @classmethod
@@ -252,6 +290,11 @@ class RunReport:
                 RestartFailure.from_json(f) for f in data.get("failures", ())
             ],
             label=None if label is None else str(label),
+            cache_stats={
+                name: dict(s)
+                for name, s in data.get("cache_stats", {}).items()
+            },
+            jit_compile_seconds=float(data.get("jit_compile_seconds", 0.0)),
         )
 
 
@@ -280,6 +323,29 @@ class MultiStartResult:
     def n_failed(self) -> int:
         """Restarts that exhausted their retries without a result."""
         return sum(1 for r in self.reports if r.status == "failed")
+
+    def merged_perf(self):
+        """One :class:`~repro.perf.PerfRecorder` folding every
+        restart's timers and counters -- including those measured
+        inside pool workers, which used to be dropped at the pickle
+        boundary."""
+        from repro.perf import PerfRecorder
+
+        merged = PerfRecorder()
+        for r in self.results:
+            if r.perf is not None:
+                merged.merge(r.perf)
+        return merged
+
+    def merged_cache_stats(self) -> Dict[str, Any]:
+        """Every restart's cache statistics folded per cache name (see
+        :func:`~repro.perf.context.merge_cache_stats`)."""
+        from repro.perf.context import merge_cache_stats
+
+        merged: Dict[str, Any] = {}
+        for r in self.results:
+            merged = merge_cache_stats(merged, r.cache_stats)
+        return merged
 
 
 class MultiStartEngine:
@@ -323,6 +389,10 @@ class MultiStartEngine:
     inject_fault:
         Test-only :class:`~repro.testing.faults.FaultSpec` shipped to
         every restart; fires only on its (seed, attempt, mode) target.
+    obs_plan:
+        Picklable :class:`repro.obs.ObsPlan` shipped to every restart;
+        workers collect progress snapshots and metrics that ride home
+        on their results (``None`` / a disabled plan collects nothing).
     """
 
     def __init__(
@@ -341,6 +411,7 @@ class MultiStartEngine:
         retry_backoff: float = 0.5,
         max_pool_rebuilds: int = 2,
         inject_fault=None,
+        obs_plan=None,
     ):
         if restarts < 1:
             raise ValueError(f"restarts must be >= 1, got {restarts}")
@@ -374,6 +445,7 @@ class MultiStartEngine:
         self.retry_backoff = float(retry_backoff)
         self.max_pool_rebuilds = int(max_pool_rebuilds)
         self.inject_fault = inject_fault
+        self.obs_plan = obs_plan
 
     @property
     def seeds(self) -> List[int]:
@@ -389,12 +461,13 @@ class MultiStartEngine:
             self.moves_per_temperature,
             self.schedule,
             self.calibrate,
+            self.obs_plan,
             attempt,
             mode,
             self.inject_fault,
         )
 
-    def _runner(self) -> SupervisedRunner:
+    def _runner(self, observer=None) -> SupervisedRunner:
         """The supervision machinery, parameterized for restarts."""
         return SupervisedRunner(
             _run_restart,
@@ -403,9 +476,10 @@ class MultiStartEngine:
             max_retries=self.max_retries,
             retry_backoff=self.retry_backoff,
             max_pool_rebuilds=self.max_pool_rebuilds,
+            observer=observer,
         )
 
-    def run(self, control=None) -> MultiStartResult:
+    def run(self, control=None, observer=None) -> MultiStartResult:
         """Run every restart under supervision and return best-of-N.
 
         ``control`` (a :class:`~repro.engine.control.RunControl`)
@@ -413,19 +487,36 @@ class MultiStartEngine:
         in-flight sequential restart winds down with best-so-far, and
         whatever finished is still ranked and returned.
 
+        ``observer`` (a coordinator-side :class:`repro.obs.RunObserver`)
+        receives supervision incidents as they happen and, per delivered
+        restart, a ``restart_complete`` event plus the worker's progress
+        snapshots and metrics (folded via ``merge_result``).
+
         Raises :class:`~repro.errors.WorkerFailure` only when *no*
         restart delivers a result.
         """
         reports = {s: RunReport(seed=s) for s in self.seeds}
         results: Dict[int, EngineResult] = {}
         workers = min(self.workers, self.restarts)
-        rebuilds, degraded = self._runner().run(
+        rebuilds, degraded = self._runner(observer).run(
             self.seeds, workers, reports, results, control
         )
         for s in self.seeds:
             if s not in results and reports[s].status == "pending":
                 stopped = control is not None and control.stop_requested
                 reports[s].status = "skipped" if stopped else "failed"
+        for s in self.seeds:
+            if s in results:
+                reports[s].attach_result(results[s])
+                if observer is not None:
+                    observer.merge_result(results[s], seed=s)
+                    observer.event(
+                        "restart_complete",
+                        seed=s,
+                        cost=results[s].cost,
+                        n_moves=results[s].n_moves,
+                        representation=results[s].representation,
+                    )
         if not results:
             raise WorkerFailure(
                 "every restart failed: "

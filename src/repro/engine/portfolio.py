@@ -40,6 +40,7 @@ remaining allocation decisions match the uninterrupted run's exactly.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -93,6 +94,7 @@ def _run_leg(
     initial_state: Any,
     t0_scale: float,
     key: int,
+    obs_plan=None,
     attempt: int = 0,
     mode: str = "sequential",
     fault=None,
@@ -104,7 +106,10 @@ def _run_leg(
     :func:`~repro.engine.multistart._run_restart`, extended with the
     elite-continuation knobs (``initial_state`` / ``t0_scale``).
     Module-level and pure, so pool and sequential execution agree;
-    ``fault`` targets the supervision ``key``.
+    ``fault`` targets the supervision ``key``.  ``obs_plan`` (a
+    picklable :class:`repro.obs.ObsPlan`) makes the leg collect
+    progress snapshots and metrics that ride home on its result; the
+    in-worker observer never touches the RNG stream.
     """
     if fault is not None:
         fault.maybe_fire(seed=key, attempt=attempt, mode=mode)
@@ -121,7 +126,8 @@ def _run_leg(
         initial_state=initial_state,
         t0_scale=t0_scale,
     )
-    return engine.run(control=control)
+    observer = obs_plan.build_observer() if obs_plan is not None else None
+    return engine.run(control=control, observer=observer)
 
 
 def _allocate_slots(
@@ -166,13 +172,20 @@ class PortfolioDriver(SearchDriver):
 
     name = "portfolio"
 
-    def run(self, control=None, resume_state=None) -> SearchResult:
+    def run(self, control=None, resume_state=None, observer=None) -> SearchResult:
         """Run ``rounds`` racing rounds over the representation arms;
         ``resume_state`` continues a driver checkpoint with the same
         allocation and migration decisions the uninterrupted run would
-        have made."""
+        have made.
+
+        ``observer`` mirrors every allocation and migration decision
+        into the trace as it is made, counts per-arm slot grants and
+        champion migrations, and folds each delivered leg's progress
+        and metrics into the coordinator's registry.
+        """
         cfg = self.config
         spec = cfg.spec()
+        obs_plan = cfg.obs_plan()
         arms = tuple(cfg.representations)
         if control is not None:
             control.begin()
@@ -289,85 +302,131 @@ class PortfolioDriver(SearchDriver):
                 stop_reason = control.should_stop()
                 if stop_reason is not None:
                     checkpoints_written += self._write_checkpoint(
-                        snapshot(round_i), control
+                        snapshot(round_i), control, observer
                     )
                     break
-            plans = plan_round(round_i)
-            by_key = {p.key: p for p in plans}
-            keys = [p.key for p in plans]
-            reports = {
-                p.key: RunReport(
-                    seed=p.seed,
-                    label=f"round {round_i} / {p.arm} / {p.kind}",
+            round_span = (
+                observer.span("round", index=round_i, driver=self.name)
+                if observer is not None
+                else nullcontext()
+            )
+            with round_span:
+                plans = plan_round(round_i)
+                if observer is not None:
+                    # The planning decisions, on disk before any leg
+                    # runs: a crashed round still shows what was dealt.
+                    for p in plans:
+                        observer.event(
+                            "leg_planned",
+                            round=round_i,
+                            key=p.key,
+                            arm=p.arm,
+                            kind=p.kind,
+                            seed=p.seed,
+                            t0_scale=p.t0_scale,
+                        )
+                        observer.metrics.count(f"slots[{p.arm}]")
+                        if p.kind == "migrate":
+                            observer.event(
+                                "migration",
+                                round=round_i,
+                                arm=p.arm,
+                                seed=p.seed,
+                            )
+                            observer.metrics.count("champion_migrations")
+                by_key = {p.key: p for p in plans}
+                keys = [p.key for p in plans]
+                reports = {
+                    p.key: RunReport(
+                        seed=p.seed,
+                        label=f"round {round_i} / {p.arm} / {p.kind}",
+                    )
+                    for p in plans
+                }
+                results: Dict[int, EngineResult] = {}
+                runner = SupervisedRunner(
+                    _run_leg,
+                    lambda key, attempt, mode: (
+                        cfg.netlist,
+                        by_key[key].arm,
+                        spec,
+                        by_key[key].seed,
+                        cfg.moves_per_temperature,
+                        cfg.schedule,
+                        cfg.calibrate,
+                        by_key[key].initial_state,
+                        by_key[key].t0_scale,
+                        key,
+                        obs_plan,
+                        attempt,
+                        mode,
+                        cfg.inject_fault,
+                    ),
+                    timeout=cfg.restart_timeout,
+                    max_retries=cfg.max_retries,
+                    retry_backoff=cfg.retry_backoff,
+                    max_pool_rebuilds=cfg.max_pool_rebuilds,
+                    observer=observer,
                 )
-                for p in plans
-            }
-            results: Dict[int, EngineResult] = {}
-            runner = SupervisedRunner(
-                _run_leg,
-                lambda key, attempt, mode: (
-                    cfg.netlist,
-                    by_key[key].arm,
-                    spec,
-                    by_key[key].seed,
-                    cfg.moves_per_temperature,
-                    cfg.schedule,
-                    cfg.calibrate,
-                    by_key[key].initial_state,
-                    by_key[key].t0_scale,
-                    key,
-                    attempt,
-                    mode,
-                    cfg.inject_fault,
-                ),
-                timeout=cfg.restart_timeout,
-                max_retries=cfg.max_retries,
-                retry_backoff=cfg.retry_backoff,
-                max_pool_rebuilds=cfg.max_pool_rebuilds,
-            )
-            workers = 1 if degraded else min(cfg.workers, len(keys))
-            rebuilds, deg = runner.run(
-                keys, workers, reports, results, control
-            )
-            rebuilds_total += rebuilds
-            degraded = degraded or deg
-            stopped = control is not None and control.stop_requested
-            if stopped and len(results) + sum(
-                1 for k in keys if reports[k].status == "failed"
-            ) < len(keys):
-                # Partial round: discard it so resume replays the whole
-                # round and allocation decisions stay bit-identical.
+                workers = 1 if degraded else min(cfg.workers, len(keys))
+                rebuilds, deg = runner.run(
+                    keys, workers, reports, results, control
+                )
+                rebuilds_total += rebuilds
+                degraded = degraded or deg
+                stopped = control is not None and control.stop_requested
+                if stopped and len(results) + sum(
+                    1 for k in keys if reports[k].status == "failed"
+                ) < len(keys):
+                    # Partial round: discard it so resume replays the
+                    # whole round and allocation decisions stay
+                    # bit-identical.
+                    for k in keys:
+                        if (
+                            k not in results
+                            and reports[k].status == "pending"
+                        ):
+                            reports[k].status = "skipped"
+                    all_reports.extend(reports[k] for k in keys)
+                    stop_reason = control.should_stop() or "stop"
+                    checkpoints_written += self._write_checkpoint(
+                        snapshot(round_i), control, observer
+                    )
+                    break
+                # Commit the round.
                 for k in keys:
                     if k not in results and reports[k].status == "pending":
-                        reports[k].status = "skipped"
+                        reports[k].status = "failed"
+                for k in keys:
+                    if k in results:
+                        reports[k].attach_result(results[k])
+                        if observer is not None:
+                            observer.merge_result(
+                                results[k],
+                                key=k,
+                                arm=by_key[k].arm,
+                                kind=by_key[k].kind,
+                            )
                 all_reports.extend(reports[k] for k in keys)
-                stop_reason = control.should_stop() or "stop"
-                checkpoints_written += self._write_checkpoint(
-                    snapshot(round_i), control
-                )
-                break
-            # Commit the round.
-            for k in keys:
-                if k not in results and reports[k].status == "pending":
-                    reports[k].status = "failed"
-            all_reports.extend(reports[k] for k in keys)
-            round_results = [results[k] for k in keys if k in results]
-            all_results.extend(round_results)
-            for k in keys:
-                if k not in results:
-                    continue
-                arm = by_key[k].arm
-                r = results[k]
-                cur = arm_best.get(arm)
-                if cur is None or (r.cost, r.seed) < (cur.cost, cur.seed):
-                    arm_best[arm] = r
-            if not arm_best:
-                raise WorkerFailure(
-                    "every portfolio leg failed in round 0: "
-                    + "; ".join(reports[k].summary() for k in keys)
-                )
-            round_ledger.append(
-                {
+                round_results = [results[k] for k in keys if k in results]
+                all_results.extend(round_results)
+                for k in keys:
+                    if k not in results:
+                        continue
+                    arm = by_key[k].arm
+                    r = results[k]
+                    cur = arm_best.get(arm)
+                    if cur is None or (r.cost, r.seed) < (
+                        cur.cost,
+                        cur.seed,
+                    ):
+                        arm_best[arm] = r
+                if not arm_best:
+                    raise WorkerFailure(
+                        "every portfolio leg failed in round 0: "
+                        + "; ".join(reports[k].summary() for k in keys)
+                    )
+                entry = {
                     "round": round_i,
                     "legs": [
                         {
@@ -389,14 +448,18 @@ class PortfolioDriver(SearchDriver):
                         a: arm_best[a].cost for a in sorted(arm_best)
                     },
                 }
-            )
-            next_round = round_i + 1
-            if next_round % cfg.checkpoint_every == 0 or (
-                next_round == cfg.rounds
-            ):
-                checkpoints_written += self._write_checkpoint(
-                    snapshot(next_round), control
-                )
+                round_ledger.append(entry)
+                if observer is not None:
+                    # On-disk twin of ledger["rounds"]: the allocation
+                    # outcome survives even if the run dies later.
+                    observer.event("allocation", **entry)
+                next_round = round_i + 1
+                if next_round % cfg.checkpoint_every == 0 or (
+                    next_round == cfg.rounds
+                ):
+                    checkpoints_written += self._write_checkpoint(
+                        snapshot(next_round), control, observer
+                    )
 
         if not all_results:
             raise WorkerFailure("portfolio produced no leg results")

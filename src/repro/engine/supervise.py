@@ -71,6 +71,12 @@ class SupervisedRunner:
     max_pool_rebuilds:
         Pool teardowns tolerated before :meth:`run_pool` reports
         ``degraded``.
+    observer:
+        Optional :class:`repro.obs.RunObserver`; every failure, pool
+        rebuild and degradation is mirrored into it as a trace event
+        and a metrics counter (``supervision_retries`` /
+        ``pool_rebuilds`` / ``degraded``), so a crashed run's
+        supervision history survives on disk.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class SupervisedRunner:
         max_retries: int = 2,
         retry_backoff: float = 0.5,
         max_pool_rebuilds: int = 2,
+        observer=None,
     ):
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -100,9 +107,24 @@ class SupervisedRunner:
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
         self.max_pool_rebuilds = int(max_pool_rebuilds)
+        self.observer = observer
 
     def _max_attempts(self) -> int:
         return 1 + self.max_retries
+
+    def _note_failure(self, key: int, attempt: int, kind: str) -> None:
+        """Mirror one failed attempt into the observer (if any)."""
+        if self.observer is not None:
+            self.observer.event(
+                "supervision_retry", key=key, attempt=attempt, kind=kind
+            )
+            self.observer.metrics.count("supervision_retries")
+
+    def _note_incident(self, name: str, counter: str, **attrs) -> None:
+        """Mirror a pool rebuild / degradation into the observer."""
+        if self.observer is not None:
+            self.observer.event(name, **attrs)
+            self.observer.metrics.count(counter)
 
     def _backoff(self, failed_attempts: int) -> None:
         if self.retry_backoff > 0 and failed_attempts > 0:
@@ -170,6 +192,7 @@ class SupervisedRunner:
                             f"no result within {self.timeout}s; "
                             f"pool killed",
                         )
+                        self._note_failure(k, reports[k].attempts, "timeout")
                         pool_died = True
                         break
                     except BrokenProcessPool as exc:
@@ -200,6 +223,9 @@ class SupervisedRunner:
                                     f"worker process died with the pool: "
                                     f"{exc}",
                                 )
+                                self._note_failure(
+                                    t, reports[t].attempts, "crash"
+                                )
                         pool_died = True
                         break
                     except Exception as exc:
@@ -208,6 +234,7 @@ class SupervisedRunner:
                         reports[k].record_failure(
                             "error", f"{type(exc).__name__}: {exc}"
                         )
+                        self._note_failure(k, reports[k].attempts, "error")
                         continue
                     else:
                         results[k] = result
@@ -218,6 +245,9 @@ class SupervisedRunner:
                     self._kill_pool(pool)
                     pool = None
                     rebuilds += 1
+                    self._note_incident(
+                        "pool_rebuild", "pool_rebuilds", rebuilds=rebuilds
+                    )
                 failed = max(
                     (r.attempts for r in reports.values() if r.failures),
                     default=0,
@@ -267,6 +297,7 @@ class SupervisedRunner:
                     reports[k].record_failure(
                         "error", f"{type(exc).__name__}: {exc}"
                     )
+                    self._note_failure(k, reports[k].attempts, "error")
                 else:
                     reports[k].status = "ok"
                     reports[k].mode = "sequential"
@@ -291,6 +322,10 @@ class SupervisedRunner:
             rebuilds, degraded = self.run_pool(
                 keys, workers, reports, results, control
             )
+            if degraded:
+                self._note_incident(
+                    "supervision_degraded", "degraded", rebuilds=rebuilds
+                )
         if workers <= 1 or degraded:
             self.run_sequential(keys, reports, results, control)
         return rebuilds, degraded

@@ -41,6 +41,8 @@ from __future__ import annotations
 
 import math
 import random
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -76,6 +78,11 @@ class ReplicaState:
     and draws its initial configuration.  The rung's temperature is
     fixed for the whole run; swaps exchange ``current``/``current_eval``
     between rungs, never temperatures or RNG streams.
+
+    ``progress`` carries the sweep's
+    :class:`~repro.obs.ProgressSnapshot` when the run's observability
+    plan sampled this round (``None`` otherwise); the coordinator
+    re-emits it into the trace and drops it before checkpointing.
     """
 
     index: int
@@ -87,6 +94,7 @@ class ReplicaState:
     best_eval: Any = None
     n_moves: int = 0
     n_accepted: int = 0
+    progress: Any = None
 
 
 def _run_replica_sweep(
@@ -98,6 +106,7 @@ def _run_replica_sweep(
     base_seed: int,
     moves: int,
     key: int,
+    obs_plan=None,
     attempt: int = 0,
     mode: str = "sequential",
     fault=None,
@@ -112,9 +121,15 @@ def _run_replica_sweep(
     attempt; ``control`` is accepted for the sequential call signature
     but deliberately unused -- a sweep is the atom of tempering work,
     and stopping between sweeps keeps parity exact.
+
+    ``obs_plan`` (a :class:`repro.obs.ObsPlan`) makes the sweep attach
+    a :class:`~repro.obs.ProgressSnapshot` to the returned replica on
+    sampled rounds; the sampling runs strictly after the move loop and
+    never touches the RNG, so sweeps are bit-identical either way.
     """
     if fault is not None:
         fault.maybe_fire(seed=key, attempt=attempt, mode=mode)
+    sweep_start = time.perf_counter()
     context = CacheContext()
     objective = spec.build(netlist, context)
     objective.set_norms(*norms)
@@ -163,6 +178,24 @@ def _run_replica_sweep(
                 best, best_eval = current, current_eval
         else:
             objective.reject()
+    progress = None
+    if obs_plan is not None and obs_plan.enabled:
+        round_i = key // _ROUND_STRIDE
+        if (round_i + 1) % obs_plan.progress_every == 0:
+            from repro.obs import ProgressSnapshot, top_congestion_densities
+
+            progress = ProgressSnapshot(
+                step=round_i,
+                temperature=temperature,
+                current_cost=current_eval.cost,
+                best_cost=best_eval.cost,
+                n_moves=n_moves,
+                n_accepted=n_accepted,
+                elapsed_seconds=time.perf_counter() - sweep_start,
+                top_densities=top_congestion_densities(
+                    objective, lambda: rep.realize(current), obs_plan.top_k
+                ),
+            )
     return ReplicaState(
         index=replica.index,
         temperature=temperature,
@@ -173,6 +206,7 @@ def _run_replica_sweep(
         best_eval=best_eval,
         n_moves=n_moves,
         n_accepted=n_accepted,
+        progress=progress,
     )
 
 
@@ -221,12 +255,19 @@ class TemperingDriver(SearchDriver):
 
     name = "tempering"
 
-    def run(self, control=None, resume_state=None) -> SearchResult:
+    def run(self, control=None, resume_state=None, observer=None) -> SearchResult:
         """Run ``rounds`` sweep-then-swap rounds over the replica
         ladder; ``resume_state`` continues a driver checkpoint
-        bit-identically (same sweeps, same swap uniforms)."""
+        bit-identically (same sweeps, same swap uniforms).
+
+        ``observer`` mirrors every swap proposal into the trace as it
+        is decided (so a crashed run's ledger survives on disk),
+        counts per-rung swap outcomes, and re-emits each sampled
+        replica's progress snapshot.
+        """
         cfg = self.config
         spec = cfg.spec()
+        obs_plan = cfg.obs_plan()
         n_replicas = cfg.restarts
         moves = (
             cfg.moves_per_temperature
@@ -302,6 +343,7 @@ class TemperingDriver(SearchDriver):
                 cfg.seed,
                 moves,
                 key,
+                obs_plan,
                 attempt,
                 mode,
                 cfg.inject_fault,
@@ -310,6 +352,7 @@ class TemperingDriver(SearchDriver):
             max_retries=cfg.max_retries,
             retry_backoff=cfg.retry_backoff,
             max_pool_rebuilds=cfg.max_pool_rebuilds,
+            observer=observer,
         )
 
         for round_i in range(start_round, cfg.rounds):
@@ -317,77 +360,101 @@ class TemperingDriver(SearchDriver):
                 stop_reason = control.should_stop()
                 if stop_reason is not None:
                     checkpoints_written += self._write_checkpoint(
-                        snapshot(round_i), control
+                        snapshot(round_i), control, observer
                     )
                     break
-            keys = [
-                round_i * _ROUND_STRIDE + i for i in range(n_replicas)
-            ]
-            reports = {
-                k: RunReport(
-                    seed=k,
-                    label=f"round {round_i} / rung {k % _ROUND_STRIDE}",
-                )
-                for k in keys
-            }
-            results: Dict[int, ReplicaState] = {}
-            workers = 1 if degraded else min(cfg.workers, n_replicas)
-            rebuilds, deg = runner.run(
-                keys, workers, reports, results, control
+            round_span = (
+                observer.span("round", index=round_i, driver=self.name)
+                if observer is not None
+                else nullcontext()
             )
-            rebuilds_total += rebuilds
-            degraded = degraded or deg
-            stopped = control is not None and control.stop_requested
-            if stopped and len(results) + sum(
-                1 for k in keys if reports[k].status == "failed"
-            ) < len(keys):
-                # Partial round: some sweeps never ran.  Discard the
-                # round entirely (replicas stay at the round boundary)
-                # so the checkpoint resumes bit-identically.
-                for k in keys:
-                    if k not in results and reports[k].status == "pending":
-                        reports[k].status = "skipped"
-                all_reports.extend(reports[k] for k in keys)
-                stop_reason = control.should_stop() or "stop"
-                checkpoints_written += self._write_checkpoint(
-                    snapshot(round_i), control
-                )
-                break
-            # Commit the round: successful sweeps advance their rung,
-            # exhausted ones keep the pre-round state.
-            for k in keys:
-                if k in results:
-                    replicas[k % _ROUND_STRIDE] = results[k]
-                elif reports[k].status == "pending":
-                    reports[k].status = "failed"
-            all_reports.extend(reports[k] for k in keys)
-            if not any(r.current is not None for r in replicas):
-                raise WorkerFailure(
-                    "every replica sweep failed in round 0: "
-                    + "; ".join(reports[k].summary() for k in keys)
-                )
-            # Swap phase: alternate even/odd adjacent pairs; exactly
-            # one uniform per proposed pair, taken or not.
-            offset = round_i % 2
-            for i in range(offset, n_replicas - 1, 2):
-                a, b = replicas[i], replicas[i + 1]
-                u = swap_rng.random()
-                if a.current is None or b.current is None:
-                    continue  # a rung that never ran cannot trade
-                e_a = a.current_eval.cost
-                e_b = b.current_eval.cost
-                delta = (1.0 / ladder[i] - 1.0 / ladder[i + 1]) * (
-                    e_a - e_b
-                )
-                accepted = delta >= 0 or u < math.exp(delta)
-                if accepted:
-                    a.current, b.current = b.current, a.current
-                    a.current_eval, b.current_eval = (
-                        b.current_eval,
-                        a.current_eval,
+            with round_span:
+                keys = [
+                    round_i * _ROUND_STRIDE + i for i in range(n_replicas)
+                ]
+                reports = {
+                    k: RunReport(
+                        seed=k,
+                        label=f"round {round_i} / rung {k % _ROUND_STRIDE}",
                     )
-                swap_ledger.append(
-                    {
+                    for k in keys
+                }
+                results: Dict[int, ReplicaState] = {}
+                workers = 1 if degraded else min(cfg.workers, n_replicas)
+                rebuilds, deg = runner.run(
+                    keys, workers, reports, results, control
+                )
+                rebuilds_total += rebuilds
+                degraded = degraded or deg
+                stopped = control is not None and control.stop_requested
+                if stopped and len(results) + sum(
+                    1 for k in keys if reports[k].status == "failed"
+                ) < len(keys):
+                    # Partial round: some sweeps never ran.  Discard the
+                    # round entirely (replicas stay at the round boundary)
+                    # so the checkpoint resumes bit-identically.
+                    for k in keys:
+                        if (
+                            k not in results
+                            and reports[k].status == "pending"
+                        ):
+                            reports[k].status = "skipped"
+                    all_reports.extend(reports[k] for k in keys)
+                    stop_reason = control.should_stop() or "stop"
+                    checkpoints_written += self._write_checkpoint(
+                        snapshot(round_i), control, observer
+                    )
+                    break
+                # Commit the round: successful sweeps advance their rung,
+                # exhausted ones keep the pre-round state.
+                for k in keys:
+                    if k in results:
+                        replicas[k % _ROUND_STRIDE] = results[k]
+                    elif reports[k].status == "pending":
+                        reports[k].status = "failed"
+                all_reports.extend(reports[k] for k in keys)
+                if not any(r.current is not None for r in replicas):
+                    raise WorkerFailure(
+                        "every replica sweep failed in round 0: "
+                        + "; ".join(reports[k].summary() for k in keys)
+                    )
+                if observer is not None:
+                    # Re-emit each sampled sweep's snapshot into the
+                    # trace (rung order), then drop it so checkpoints
+                    # stay lean.
+                    for r in replicas:
+                        if r.progress is not None:
+                            observer.progress.append(r.progress)
+                            observer.tracer.progress(
+                                "replica",
+                                {
+                                    **r.progress.to_json(),
+                                    "rung": r.index,
+                                    "round": round_i,
+                                },
+                            )
+                            r.progress = None
+                # Swap phase: alternate even/odd adjacent pairs; exactly
+                # one uniform per proposed pair, taken or not.
+                offset = round_i % 2
+                for i in range(offset, n_replicas - 1, 2):
+                    a, b = replicas[i], replicas[i + 1]
+                    u = swap_rng.random()
+                    if a.current is None or b.current is None:
+                        continue  # a rung that never ran cannot trade
+                    e_a = a.current_eval.cost
+                    e_b = b.current_eval.cost
+                    delta = (1.0 / ladder[i] - 1.0 / ladder[i + 1]) * (
+                        e_a - e_b
+                    )
+                    accepted = delta >= 0 or u < math.exp(delta)
+                    if accepted:
+                        a.current, b.current = b.current, a.current
+                        a.current_eval, b.current_eval = (
+                            b.current_eval,
+                            a.current_eval,
+                        )
+                    entry = {
                         "round": round_i,
                         "low": i,
                         "high": i + 1,
@@ -395,14 +462,21 @@ class TemperingDriver(SearchDriver):
                         "energy_high": e_b,
                         "accepted": accepted,
                     }
-                )
-            next_round = round_i + 1
-            if next_round % cfg.checkpoint_every == 0 or (
-                next_round == cfg.rounds
-            ):
-                checkpoints_written += self._write_checkpoint(
-                    snapshot(next_round), control
-                )
+                    swap_ledger.append(entry)
+                    if observer is not None:
+                        # The on-disk twin of the in-memory ledger: a
+                        # crashed run still leaves every decided swap.
+                        observer.event("swap", **entry)
+                        observer.metrics.count(f"swaps_proposed[{i}]")
+                        if accepted:
+                            observer.metrics.count(f"swaps_accepted[{i}]")
+                next_round = round_i + 1
+                if next_round % cfg.checkpoint_every == 0 or (
+                    next_round == cfg.rounds
+                ):
+                    checkpoints_written += self._write_checkpoint(
+                        snapshot(next_round), control, observer
+                    )
 
         live = [r for r in replicas if r.best is not None]
         if not live:

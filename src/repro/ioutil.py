@@ -14,6 +14,13 @@ then atomically renamed over the destination with :func:`os.replace`.
 Readers therefore observe either the complete old file or the complete
 new one -- never a truncation.  On any failure the temporary file is
 removed and the destination is untouched.
+
+Streaming logs (the JSONL run traces of :mod:`repro.obs`) cannot use
+replace-the-whole-file semantics; :func:`atomic_append_text` covers
+them: the payload is appended through one ``O_APPEND`` ``os.write``
+and fsynced, so concurrent appenders never interleave within a payload
+and a crash loses at most the final unflushed batch -- the file always
+holds a readable prefix of complete lines.
 """
 
 from __future__ import annotations
@@ -24,7 +31,12 @@ import tempfile
 from pathlib import Path
 from typing import Any, Union
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "atomic_append_text",
+]
 
 
 def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
@@ -68,3 +80,29 @@ def atomic_write_json(
     """
     text = json.dumps(payload, indent=indent) + "\n"
     return atomic_write_text(path, text)
+
+
+def atomic_append_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Append ``text`` to ``path`` in one ``O_APPEND`` write; returns
+    the path.
+
+    The file is created when missing.  The whole payload goes through
+    a single ``os.write`` on an ``O_APPEND`` descriptor and is fsynced
+    before the descriptor closes, so appends from concurrent processes
+    never interleave *within* one payload and a crash can only lose
+    payloads that were never written -- existing bytes are untouched
+    (POSIX appends at end-of-file atomically for writes of this size).
+    """
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    data = text.encode(encoding)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return path

@@ -1,0 +1,231 @@
+"""The unified metrics registry: timers, counters, gauges, histograms.
+
+:class:`MetricsRegistry` subsumes the :mod:`repro.perf` facade -- its
+``timeit`` / ``add_time`` / ``count`` delegate to an owned
+:class:`~repro.perf.PerfRecorder`, so the annealing hot path keeps its
+near-zero-overhead instrumentation -- and adds the two shapes the perf
+layer lacks:
+
+* **gauges**: last-written values (current temperature, best cost,
+  per-cache hit rates);
+* **fixed-bucket histograms**: distributions of per-step signals the
+  runs already compute but drop -- move acceptance rate by temperature
+  step, per-rung swap acceptance, per-arm slot allocations.
+
+Everything snapshots to plain JSON (:meth:`MetricsRegistry.snapshot`)
+and merges additively (:meth:`MetricsRegistry.merge_snapshot`), so
+worker processes ship their registry home as a dict on the result
+object and the coordinator folds every worker into one run-wide view.
+The shared :data:`NULL_METRICS` is the do-nothing default.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.perf import NULL_RECORDER, PerfRecorder, PhaseStat
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "DEFAULT_RATE_BUCKETS",
+]
+
+# Acceptance-style ratios live in [0, 1]; twenty 5%-wide buckets.
+DEFAULT_RATE_BUCKETS: Tuple[float, ...] = tuple(
+    round(i / 20.0, 2) for i in range(1, 21)
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket
+    catches values above the last edge.  Tracks count, sum, min and
+    max alongside the bucket counts.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one value."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of every observed value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe image: bounds, bucket counts, count/sum/min/max."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_snapshot(self, data: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` image into this histogram.
+
+        The bounds must match -- merging histograms of different
+        shapes is a caller bug, reported loudly.
+        """
+        bounds = tuple(float(b) for b in data["bounds"])
+        if bounds != self.bounds:
+            raise ValueError(
+                f"histogram bounds mismatch: {bounds} vs {self.bounds}"
+            )
+        for i, n in enumerate(data["counts"]):
+            self.counts[i] += int(n)
+        self.count += int(data["count"])
+        self.total += float(data["sum"])
+        for field, pick in (("min", min), ("max", max)):
+            theirs = data.get(field)
+            if theirs is None:
+                continue
+            mine = getattr(self, field)
+            setattr(
+                self,
+                field,
+                float(theirs) if mine is None else pick(mine, float(theirs)),
+            )
+
+
+class MetricsRegistry:
+    """One facade over timers, counters, gauges and histograms.
+
+    ``perf`` is the owned :class:`~repro.perf.PerfRecorder` (created on
+    demand); wire it into an objective / annealing run and the run's
+    phase timers and counters surface in :meth:`snapshot` alongside the
+    registry's own gauges and histograms.
+    """
+
+    def __init__(self, perf: Optional[PerfRecorder] = None):
+        self.perf = perf if perf is not None else PerfRecorder()
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- perf facade --------------------------------------------------
+
+    def timeit(self, name: str):
+        """Context manager timing one phase (delegates to ``perf``)."""
+        return self.perf.timeit(name)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add one timed occurrence (delegates to ``perf``)."""
+        self.perf.add_time(name, seconds)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a counter (delegates to ``perf``)."""
+        self.perf.count(name, n)
+
+    # -- gauges and histograms ---------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        self.gauges[name] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_RATE_BUCKETS,
+    ) -> None:
+        """Record ``value`` into histogram ``name`` (created on first
+        use with ``bounds``)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds)
+        hist.observe(value)
+
+    def set_cache_gauges(self, cache_stats: Mapping[str, Any]) -> None:
+        """Publish per-cache hit-rate gauges from a ``name ->
+        CacheStats`` snapshot (caches with zero lookups are skipped)."""
+        for name, stats in cache_stats.items():
+            if getattr(stats, "lookups", 0):
+                self.gauge(f"cache_hit_rate.{name}", stats.hit_rate)
+
+    # -- aggregation --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe image of every timer, counter, gauge, histogram."""
+        perf = self.perf.snapshot()
+        return {
+            "timers": perf["timers"],
+            "counters": perf["counters"],
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, data: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Timers, counters and histograms add; gauges last-write-wins --
+        the shapes' natural merge semantics for stitching worker
+        registries into the coordinator's.
+        """
+        for name, stat in data.get("timers", {}).items():
+            mine = self.perf.timers.get(name)
+            if mine is None:
+                mine = self.perf.timers[name] = PhaseStat()
+            mine.seconds += float(stat["seconds"])
+            mine.calls += int(stat["calls"])
+        for name, n in data.get("counters", {}).items():
+            self.perf.count(name, int(n))
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, hist_data in data.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram(hist_data["bounds"])
+            hist.merge_snapshot(hist_data)
+
+
+class _NullMetricsRegistry(MetricsRegistry):
+    """Registry that records nothing; safe to share globally."""
+
+    def __init__(self) -> None:
+        super().__init__(perf=NULL_RECORDER)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard the gauge write."""
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_RATE_BUCKETS,
+    ) -> None:
+        """Discard the observation."""
+
+    def merge_snapshot(self, data: Mapping[str, Any]) -> None:
+        """Discard the merge."""
+
+
+NULL_METRICS = _NullMetricsRegistry()

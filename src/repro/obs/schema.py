@@ -1,0 +1,149 @@
+"""The trace event schema and its validator.
+
+Every line of a ``--trace`` JSONL file is one JSON object with exactly
+these fields::
+
+    {"v": 1,                  # schema version (this module's TRACE_VERSION)
+     "ts": 0.1234,            # seconds since trace start (monotonic, >= 0)
+     "kind": "span_start",    # one of EVENT_KINDS
+     "name": "round",         # non-empty label
+     "span": 3,               # span id (span kinds) / enclosing span (others)
+     "parent": 1,             # enclosing span id, or null
+     "attrs": {...}}          # JSON-safe structured attributes
+
+``span_start`` / ``span_end`` lines carry their *own* span id in
+``span``; ``event`` / ``progress`` / ``metric`` lines carry the
+innermost *enclosing* span (or null at top level).  The validator is
+deliberately strict about the envelope -- unknown keys, wrong types and
+bad kinds all raise -- and permissive about ``attrs`` beyond requiring
+JSON-safe values, so drivers can attach whatever their ledgers hold.
+CI round-trips every smoke-run trace line through
+:func:`validate_event`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Union
+
+__all__ = [
+    "TRACE_VERSION",
+    "EVENT_KINDS",
+    "TraceSchemaError",
+    "validate_event",
+    "iter_trace",
+    "validate_trace_file",
+]
+
+TRACE_VERSION = 1
+
+EVENT_KINDS = ("span_start", "span_end", "event", "metric", "progress")
+
+_REQUIRED_KEYS = frozenset({"v", "ts", "kind", "name", "span", "parent", "attrs"})
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+class TraceSchemaError(ValueError):
+    """A trace line does not conform to the event schema."""
+
+
+def _check_attrs(value: Any, path: str) -> None:
+    if isinstance(value, _JSON_SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _check_attrs(item, f"{path}[{i}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TraceSchemaError(
+                    f"attrs key {key!r} at {path} is not a string"
+                )
+            _check_attrs(item, f"{path}.{key}")
+        return
+    raise TraceSchemaError(
+        f"attrs value at {path} is not JSON-safe: {type(value).__name__}"
+    )
+
+
+def validate_event(record: Any) -> Dict[str, Any]:
+    """Check one parsed trace line against the schema; returns it.
+
+    Raises :class:`TraceSchemaError` naming the first violation.
+    """
+    if not isinstance(record, dict):
+        raise TraceSchemaError(
+            f"trace line is not a JSON object: {type(record).__name__}"
+        )
+    keys = set(record)
+    if keys != _REQUIRED_KEYS:
+        missing = sorted(_REQUIRED_KEYS - keys)
+        extra = sorted(keys - _REQUIRED_KEYS)
+        raise TraceSchemaError(
+            f"trace line keys mismatch: missing {missing}, unexpected {extra}"
+        )
+    if record["v"] != TRACE_VERSION:
+        raise TraceSchemaError(
+            f"unsupported trace version {record['v']!r} "
+            f"(expected {TRACE_VERSION})"
+        )
+    ts = record["ts"]
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        raise TraceSchemaError(f"ts must be a non-negative number, got {ts!r}")
+    kind = record["kind"]
+    if kind not in EVENT_KINDS:
+        raise TraceSchemaError(
+            f"unknown kind {kind!r}; expected one of {EVENT_KINDS}"
+        )
+    name = record["name"]
+    if not isinstance(name, str) or not name:
+        raise TraceSchemaError(f"name must be a non-empty string, got {name!r}")
+    span = record["span"]
+    if span is not None and (not isinstance(span, int) or isinstance(span, bool)):
+        raise TraceSchemaError(f"span must be an int or null, got {span!r}")
+    if kind in ("span_start", "span_end") and span is None:
+        raise TraceSchemaError(f"{kind} line must carry its span id")
+    parent = record["parent"]
+    if parent is not None and (
+        not isinstance(parent, int) or isinstance(parent, bool)
+    ):
+        raise TraceSchemaError(f"parent must be an int or null, got {parent!r}")
+    attrs = record["attrs"]
+    if not isinstance(attrs, dict):
+        raise TraceSchemaError(
+            f"attrs must be an object, got {type(attrs).__name__}"
+        )
+    _check_attrs(attrs, "attrs")
+    return record
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield every validated event of a trace file, in file order.
+
+    Raises :class:`TraceSchemaError` on the first malformed or
+    non-conforming line (the message names the line number).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            try:
+                yield validate_event(record)
+            except TraceSchemaError as exc:
+                raise TraceSchemaError(f"{path}:{lineno}: {exc}") from None
+
+
+def validate_trace_file(path: Union[str, Path]) -> int:
+    """Validate every line of a trace file; returns the event count."""
+    return sum(1 for _ in iter_trace(path))

@@ -59,6 +59,27 @@ class CacheStats(NamedTuple):
             evictions=self.evictions + later.evictions,
         )
 
+    def to_json(self) -> dict:
+        """A lossless JSON-serializable image of this snapshot."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "evictions": self.evictions,
+        }
+
+    @classmethod
+    def from_json(cls, data) -> "CacheStats":
+        """Rebuild a snapshot from :meth:`to_json` output."""
+        return cls(
+            hits=int(data["hits"]),
+            misses=int(data["misses"]),
+            size=int(data["size"]),
+            maxsize=int(data["maxsize"]),
+            evictions=int(data["evictions"]),
+        )
+
 
 class BoundedCache:
     """A thread-safe bounded LRU map with hit/miss accounting.

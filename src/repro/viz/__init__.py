@@ -1,12 +1,17 @@
 """Rendering: ASCII for terminals and logs, SVG for reports."""
 
-from repro.viz.ascii_art import render_floorplan_ascii, render_congestion_ascii
+from repro.viz.ascii_art import (
+    render_congestion_ascii,
+    render_floorplan_ascii,
+    render_series_ascii,
+)
 from repro.viz.svg import floorplan_svg, congestion_svg, irgrid_svg
 from repro.viz.charts import line_chart_svg
 
 __all__ = [
     "render_floorplan_ascii",
     "render_congestion_ascii",
+    "render_series_ascii",
     "floorplan_svg",
     "congestion_svg",
     "irgrid_svg",

@@ -6,12 +6,16 @@ to eyeball a packing or a hotspot in CI logs and doctest examples.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.congestion.base import CongestionMap
 from repro.floorplan import Floorplan
 
-__all__ = ["render_floorplan_ascii", "render_congestion_ascii"]
+__all__ = [
+    "render_floorplan_ascii",
+    "render_congestion_ascii",
+    "render_series_ascii",
+]
 
 # Density ramp from cold to hot.
 _RAMP = " .:-=+*#%@"
@@ -87,3 +91,49 @@ def render_congestion_ascii(congestion_map: CongestionMap, width: int = 72) -> s
     return "\n".join(
         [border] + ["|" + line + "|" for line in lines] + [border, legend]
     )
+
+
+def render_series_ascii(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Raster a numeric series as an ASCII line chart.
+
+    The x axis is the sample index (the series is resampled to
+    ``width`` columns by bucket minimum, so downward spikes in a cost
+    curve survive); the y axis is linear between the series' min and
+    max, annotated on the left.  Trace summaries use this for the
+    best-cost convergence curve.
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    values = [float(v) for v in values]
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    # Resample to `width` columns: each column shows its bucket's min.
+    columns: List[float] = []
+    n = len(values)
+    for c in range(min(width, n)):
+        start = c * n // min(width, n)
+        end = max((c + 1) * n // min(width, n), start + 1)
+        columns.append(min(values[start:end]))
+    span = hi - lo
+    raster = [[" "] * len(columns) for _ in range(height)]
+    for c, v in enumerate(columns):
+        level = 0.0 if span <= 0 else (v - lo) / span
+        r = min(int(level * (height - 1) + 0.5), height - 1)
+        raster[height - 1 - r][c] = "*"
+    axis_labels = [f"{hi:.6g}"] + [""] * (height - 2) + [f"{lo:.6g}"]
+    pad = max(len(s) for s in axis_labels)
+    lines = [
+        f"{axis_labels[r]:>{pad}} |" + "".join(raster[r])
+        for r in range(height)
+    ]
+    footer = f"{'':>{pad}} +" + "-" * len(columns)
+    tail = f"{'':>{pad}}  n={n}" + (f"  {label}" if label else "")
+    return "\n".join(lines + [footer, tail])

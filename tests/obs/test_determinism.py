@@ -1,0 +1,102 @@
+"""Observability must never change the walk.
+
+Every observer hook sits strictly between moves and touches no random
+number generator, so the same engine run must be **bit-identical**
+with observability disabled, with tracing enabled, and with tracing
+plus progress-snapshot sampling -- across all three representations,
+with ``strict_incremental=True`` so any full-vs-delta divergence
+raises inside the run itself.
+"""
+
+import pytest
+
+from repro.anneal import GeometricSchedule
+from repro.engine import AnnealEngine, ObjectiveSpec
+from repro.netlist import random_circuit
+from repro.obs import RunObserver, Tracer, validate_trace_file
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return random_circuit(8, 20, seed=3)
+
+
+def _run(netlist, representation, observer=None):
+    engine = AnnealEngine(
+        netlist,
+        representation=representation,
+        objective_spec=ObjectiveSpec(
+            gamma=1.0,
+            pin_grid_size=30.0,
+            congestion_grid_size=30.0,
+            strict_incremental=True,
+        ),
+        seed=7,
+        moves_per_temperature=35,
+        schedule=GeometricSchedule(
+            cooling_rate=0.85, freeze_ratio=1e-3, max_steps=30
+        ),
+    )
+    return engine.run(observer=observer)
+
+
+def _fingerprint(result):
+    """Everything the walk determines: the full cost breakdown, the
+    move/acceptance counts, and the realized floorplan geometry."""
+    b = result.breakdown
+    rects = tuple(
+        (name, rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi)
+        for name, rect in sorted(result.floorplan.placements.items())
+    )
+    return (
+        b.area,
+        b.wirelength,
+        b.congestion,
+        b.cost,
+        result.n_moves,
+        result.n_accepted,
+        rects,
+    )
+
+
+@pytest.mark.parametrize("representation", ["polish", "sp", "btree"])
+def test_walk_identical_with_observability_on(
+    netlist, representation, tmp_path
+):
+    baseline = _fingerprint(_run(netlist, representation))
+
+    traced_observer = RunObserver(
+        tracer=Tracer(tmp_path / f"{representation}.jsonl")
+    )
+    traced = _fingerprint(_run(netlist, representation, traced_observer))
+    traced_observer.finalize()
+
+    sampling_observer = RunObserver(
+        tracer=Tracer(tmp_path / f"{representation}_sampled.jsonl"),
+        progress_every=2,
+        progress_top_k=2,
+    )
+    sampled = _fingerprint(_run(netlist, representation, sampling_observer))
+    sampling_observer.finalize()
+
+    assert traced == baseline
+    assert sampled == baseline
+
+    # The traces themselves must conform to the schema, and sampling
+    # must actually have happened.
+    assert validate_trace_file(tmp_path / f"{representation}.jsonl") > 0
+    assert validate_trace_file(tmp_path / f"{representation}_sampled.jsonl") > 0
+    assert sampling_observer.progress
+    assert any(s.top_densities for s in sampling_observer.progress)
+
+
+def test_observer_collects_run_metrics(netlist, tmp_path):
+    observer = RunObserver(tracer=Tracer(tmp_path / "m.jsonl"))
+    result = _run(netlist, "polish", observer)
+    observer.finalize()
+    snap = observer.metrics.snapshot()
+    assert snap["counters"]["evaluations"] > 0
+    assert snap["histograms"]["move_acceptance_rate"]["count"] > 0
+    assert snap["gauges"]["best_cost"] == pytest.approx(result.cost)
+    # The engine result carries the same payload for the pickle seam.
+    assert result.metrics["counters"] == snap["counters"]

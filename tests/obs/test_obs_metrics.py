@@ -1,0 +1,147 @@
+"""The unified metrics registry: histograms, gauges, perf facade, merge.
+
+The registry must subsume the :mod:`repro.perf` facade (timers and
+counters accumulate in its owned recorder) while adding gauges and
+fixed-bucket histograms, and every shape must survive a
+``snapshot`` -> ``merge_snapshot`` round trip so worker registries fold
+losslessly into the coordinator's.
+"""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_RATE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.perf import CacheStats
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        hist = Histogram([0.5, 1.0])
+        for value in (0.0, 0.5, 0.75, 1.0, 2.0):
+            hist.observe(value)
+        # Bounds are inclusive upper edges; one overflow bucket.
+        assert hist.counts == [2, 2, 1]
+        assert hist.count == 5
+        assert hist.min == 0.0 and hist.max == 2.0
+        assert hist.mean == pytest.approx(4.25 / 5)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram([])
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram([2.0, 1.0])
+
+    def test_snapshot_merge_round_trip(self):
+        a = Histogram([0.5, 1.0])
+        b = Histogram([0.5, 1.0])
+        a.observe(0.2)
+        b.observe(0.9)
+        b.observe(1.5)
+        a.merge_snapshot(b.snapshot())
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.total == pytest.approx(2.6)
+        assert a.min == 0.2 and a.max == 1.5
+
+    def test_merge_empty_keeps_extrema_none(self):
+        a = Histogram([1.0])
+        a.merge_snapshot(Histogram([1.0]).snapshot())
+        assert a.min is None and a.max is None and a.count == 0
+
+    def test_merge_rejects_shape_mismatch(self):
+        a = Histogram([0.5])
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            a.merge_snapshot(Histogram([0.25, 0.5]).snapshot())
+
+    def test_default_rate_buckets_cover_unit_interval(self):
+        assert DEFAULT_RATE_BUCKETS[0] == 0.05
+        assert DEFAULT_RATE_BUCKETS[-1] == 1.0
+        assert len(DEFAULT_RATE_BUCKETS) == 20
+
+
+class TestMetricsRegistry:
+    def test_perf_facade_accumulates(self):
+        registry = MetricsRegistry()
+        with registry.timeit("packing"):
+            pass
+        registry.add_time("packing", 0.25)
+        registry.count("evaluations", 3)
+        snap = registry.snapshot()
+        assert snap["timers"]["packing"]["calls"] == 2
+        assert snap["timers"]["packing"]["seconds"] >= 0.25
+        assert snap["counters"] == {"evaluations": 3}
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("temperature", 10.0)
+        registry.gauge("temperature", 2.5)
+        assert registry.snapshot()["gauges"] == {"temperature": 2.5}
+
+    def test_observe_creates_histogram_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.observe("move_acceptance_rate", 0.42)
+        registry.observe("move_acceptance_rate", 0.97)
+        hist = registry.snapshot()["histograms"]["move_acceptance_rate"]
+        assert hist["count"] == 2
+        assert hist["bounds"] == list(DEFAULT_RATE_BUCKETS)
+
+    def test_cache_gauges_skip_untouched_caches(self):
+        registry = MetricsRegistry()
+        registry.set_cache_gauges(
+            {
+                "hot": CacheStats(
+                    hits=3, misses=1, size=4, maxsize=8, evictions=0
+                ),
+                "cold": CacheStats(
+                    hits=0, misses=0, size=0, maxsize=8, evictions=0
+                ),
+            }
+        )
+        gauges = registry.snapshot()["gauges"]
+        assert gauges == {"cache_hit_rate.hot": pytest.approx(0.75)}
+
+    def test_merge_snapshot_folds_every_shape(self):
+        worker = MetricsRegistry()
+        worker.add_time("packing", 1.0)
+        worker.count("evaluations", 5)
+        worker.gauge("best_cost", 1.5)
+        worker.observe("move_acceptance_rate", 0.3)
+
+        coordinator = MetricsRegistry()
+        coordinator.add_time("packing", 0.5)
+        coordinator.count("evaluations", 2)
+        coordinator.observe("move_acceptance_rate", 0.8)
+        coordinator.merge_snapshot(worker.snapshot())
+
+        snap = coordinator.snapshot()
+        assert snap["timers"]["packing"]["seconds"] == pytest.approx(1.5)
+        assert snap["timers"]["packing"]["calls"] == 2
+        assert snap["counters"]["evaluations"] == 7
+        assert snap["gauges"]["best_cost"] == 1.5
+        assert snap["histograms"]["move_acceptance_rate"]["count"] == 2
+
+    def test_merge_is_json_safe(self):
+        """A snapshot survives JSON serialization before merging --
+        the exact path worker results take through the pickle seam and
+        trace files."""
+        import json
+
+        worker = MetricsRegistry()
+        worker.count("evaluations", 1)
+        worker.observe("move_acceptance_rate", 0.5)
+        coordinator = MetricsRegistry()
+        coordinator.merge_snapshot(json.loads(json.dumps(worker.snapshot())))
+        assert coordinator.snapshot()["counters"]["evaluations"] == 1
+
+    def test_null_registry_discards_everything(self):
+        NULL_METRICS.gauge("temperature", 1.0)
+        NULL_METRICS.observe("rate", 0.5)
+        NULL_METRICS.merge_snapshot({"counters": {"x": 1}})
+        snap = NULL_METRICS.snapshot()
+        assert snap["gauges"] == {} and snap["histograms"] == {}

@@ -1,0 +1,190 @@
+"""Tracer mechanics and the trace event schema validator.
+
+The contracts under test:
+
+* a :class:`~repro.obs.Tracer` writes JSONL that round-trips through
+  the strict validator -- nested span ids/parents, monotone
+  timestamps, ``attrs`` passthrough (None allowed, tuples become
+  lists, non-JSON values degrade to ``repr`` instead of raising);
+* flushing is buffered but crash-safe: anything flushed is a readable
+  prefix of complete lines even if the process dies with more events
+  still buffered;
+* the validator rejects every malformed envelope loudly, naming the
+  offending line.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    TRACE_VERSION,
+    Tracer,
+    TraceSchemaError,
+    iter_trace,
+    validate_event,
+    validate_trace_file,
+)
+
+
+def _ok_record(**overrides):
+    record = {
+        "v": TRACE_VERSION,
+        "ts": 0.5,
+        "kind": "event",
+        "name": "swap",
+        "span": 3,
+        "parent": None,
+        "attrs": {"accepted": True},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestTracer:
+    def test_nested_spans_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("run", circuit="ami33") as run_id:
+            with tracer.span("round", index=0) as round_id:
+                tracer.event("swap", {"accepted": True, "cost": None})
+                tracer.progress("anneal", {"best_cost": 1.25})
+            tracer.metric("run_metrics", {"counters": {"evaluations": 7}})
+        tracer.close()
+        records = list(iter_trace(path))
+        assert validate_trace_file(path) == len(records) == 7
+        kinds = [r["kind"] for r in records]
+        assert kinds == [
+            "span_start", "span_start", "event", "progress",
+            "span_end", "metric", "span_end",
+        ]
+        run_start, round_start, event, progress = records[:4]
+        assert run_start["span"] == run_id and run_start["parent"] is None
+        assert round_start["parent"] == run_id and round_start["span"] == round_id
+        # Non-span records carry the innermost *enclosing* span.
+        assert event["span"] == round_id
+        assert progress["span"] == round_id
+        assert records[5]["span"] == run_id  # metric after round closed
+        assert event["attrs"] == {"accepted": True, "cost": None}
+        assert run_start["attrs"] == {"circuit": "ami33"}
+        timestamps = [r["ts"] for r in records]
+        assert timestamps == sorted(timestamps)
+        assert all(ts >= 0 for ts in timestamps)
+
+    def test_init_truncates_stale_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("this is not json\n")
+        tracer = Tracer(path)
+        tracer.event("fresh", {})
+        tracer.close()
+        (record,) = iter_trace(path)
+        assert record["name"] == "fresh"
+
+    def test_buffered_flush_leaves_complete_prefix(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path, flush_every=3)
+        tracer.event("a", {})
+        tracer.event("b", {})
+        assert path.read_text() == ""  # still buffered
+        tracer.event("c", {})  # hits flush_every
+        assert validate_trace_file(path) == 3
+        tracer.event("d", {})
+        # Simulate a crash: the never-flushed tail is lost, but the
+        # file on disk is still a valid trace.
+        assert validate_trace_file(path) == 3
+        tracer.flush()
+        assert validate_trace_file(path) == 4
+        assert tracer.n_events == 4
+
+    def test_hostile_attrs_never_raise(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.event("weird", {"tup": (1, 2), "obj": object()})
+        tracer.close()
+        (record,) = iter_trace(path)
+        assert record["attrs"]["tup"] == [1, 2]
+        assert "object" in record["attrs"]["obj"]  # repr fallback
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            Tracer(tmp_path / "t.jsonl", flush_every=0)
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("run", anything=1) as sid:
+            NULL_TRACER.event("e", {"k": 1})
+            NULL_TRACER.progress("p")
+            NULL_TRACER.metric("m")
+        assert sid == 0
+        NULL_TRACER.flush()
+        NULL_TRACER.close()
+        assert NULL_TRACER.n_events == 0
+
+
+class TestValidator:
+    def test_accepts_conforming_record(self):
+        record = _ok_record()
+        assert validate_event(record) is record
+
+    def test_rejects_non_object(self):
+        with pytest.raises(TraceSchemaError, match="not a JSON object"):
+            validate_event([1, 2, 3])
+
+    def test_rejects_missing_and_extra_keys(self):
+        record = _ok_record()
+        del record["ts"]
+        record["extra"] = 1
+        with pytest.raises(TraceSchemaError, match="missing.*ts.*unexpected"):
+            validate_event(record)
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(TraceSchemaError, match="version"):
+            validate_event(_ok_record(v=99))
+
+    def test_rejects_bad_timestamp(self):
+        with pytest.raises(TraceSchemaError, match="ts"):
+            validate_event(_ok_record(ts=-0.1))
+        with pytest.raises(TraceSchemaError, match="ts"):
+            validate_event(_ok_record(ts=True))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceSchemaError, match="kind"):
+            validate_event(_ok_record(kind="banana"))
+        assert set(EVENT_KINDS) == {
+            "span_start", "span_end", "event", "metric", "progress"
+        }
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TraceSchemaError, match="name"):
+            validate_event(_ok_record(name=""))
+
+    def test_span_kinds_require_span_id(self):
+        with pytest.raises(TraceSchemaError, match="span id"):
+            validate_event(_ok_record(kind="span_start", span=None))
+        # ...but point events at top level may be span-less.
+        validate_event(_ok_record(span=None))
+
+    def test_rejects_non_dict_attrs(self):
+        with pytest.raises(TraceSchemaError, match="attrs"):
+            validate_event(_ok_record(attrs=[1]))
+
+    def test_rejects_non_json_attr_value(self):
+        with pytest.raises(TraceSchemaError, match="not JSON-safe"):
+            validate_event(_ok_record(attrs={"bad": object()}))
+
+    def test_file_errors_name_the_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = json.dumps(_ok_record())
+        path.write_text(good + "\n{not json\n")
+        with pytest.raises(TraceSchemaError, match=":2:"):
+            list(iter_trace(path))
+        path.write_text(good + "\n" + json.dumps(_ok_record(kind="nope")) + "\n")
+        with pytest.raises(TraceSchemaError, match=":2:.*kind"):
+            validate_trace_file(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n" + json.dumps(_ok_record()) + "\n\n")
+        assert validate_trace_file(path) == 1
