@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Congestion-evaluation scaling benchmark: 300/1000-module sweeps.
+
+PR 9's question: after the committed-grid ledger makes congestion
+re-estimation O(dirty), where do the remaining O(n) terms dominate as
+synthetic workloads grow past the MCNC sizes?  For each workload the
+script runs the same seeded annealing schedule twice through the
+incremental pipeline:
+
+* ``ledger on``: the default ``IrregularGridModel`` -- committed-grid
+  ledger + vectorized memo lane;
+* ``ledger off``: ``use_ledger=False`` -- every evaluation rebuilds the
+  mass from scratch through the (also vectorized) full batch path.
+
+Both runs use the sequence-pair representation: slicing-tree packing
+recurses per module and overflows CPython's default recursion limit
+near 1000 modules, while sequence-pair packing is iterative.  The
+schedules are move-count-identical, so moves/sec is comparable even if
+the walks diverge by float dust; correctness is gated by a short
+strict-mode replay (``strict_incremental=True`` re-runs the full
+object pipeline after every delta evaluation and asserts agreement to
+1e-12) plus counter gates (the ledger delta path must actually fire),
+never by wall-clock.
+
+Results go to ``BENCH_congestion.json`` (see ``--out``)::
+
+    {"workloads": [{"name": "n300", "modules": 300,
+                    "ledger_moves_per_sec": ..., "full_moves_per_sec": ...,
+                    "ledger_speedup": ..., "phases": {"packing": {...},
+                    "mass_eval": {...}, ...}, "ledger_counters": {...},
+                    "dominant_phase": "packing", ...}, ...],
+     "strict_ok": true, "ledger_fired": true}
+
+``--smoke`` runs the 300-module workload on a reduced schedule and
+exits non-zero when the strict replay or a counter gate fails --
+cheap enough for CI and timing-robust.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.anneal import FloorplanObjective  # noqa: E402
+from repro.anneal.schedule import GeometricSchedule  # noqa: E402
+from repro.congestion import IrregularGridModel  # noqa: E402
+from repro.engine import AnnealEngine  # noqa: E402
+from repro.ioutil import atomic_write_json  # noqa: E402
+from repro.netlist import random_circuit  # noqa: E402
+
+# Phase timers worth attributing, outermost first.  ``congestion``
+# encloses ``irgrid_build``/``mass_eval``/``scoring``, so the inner
+# three are a breakdown of it, not additive with it.
+PHASES = (
+    "packing",
+    "pin_assignment",
+    "wirelength",
+    "congestion",
+    "irgrid_build",
+    "mass_eval",
+    "scoring",
+)
+
+
+def _objective(netlist, grid_size: float, use_ledger: bool,
+               strict: bool = False) -> FloorplanObjective:
+    return FloorplanObjective(
+        netlist,
+        alpha=1.0,
+        beta=1.0,
+        gamma=1.0,
+        congestion_model=IrregularGridModel(
+            grid_size, use_cache=True, use_ledger=use_ledger
+        ),
+        incremental=True,
+        strict_incremental=strict,
+    )
+
+
+def _run(netlist, grid_size, use_ledger, moves_per_temperature, schedule,
+         seed, strict=False):
+    engine = AnnealEngine(
+        netlist,
+        objective=_objective(netlist, grid_size, use_ledger, strict),
+        representation="sp",
+        seed=seed,
+        moves_per_temperature=moves_per_temperature,
+        schedule=schedule,
+        calibrate=False,
+    )
+    t0 = time.perf_counter()
+    result = engine.run()
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def bench_workload(name, n_modules, n_nets, smoke, seed=7):
+    netlist = random_circuit(n_modules, n_nets, seed=seed)
+    grid_size = max(math.sqrt(netlist.total_module_area) / 30.0, 1e-6)
+    moves = 30 if smoke else 40
+    schedule = GeometricSchedule(
+        cooling_rate=(0.5 if smoke else 0.7),
+        freeze_ratio=(0.5 if smoke else 0.1),
+    )
+
+    on_result, on_wall = _run(
+        netlist, grid_size, use_ledger=True,
+        moves_per_temperature=moves, schedule=schedule, seed=seed,
+    )
+    off_result, off_wall = _run(
+        netlist, grid_size, use_ledger=False,
+        moves_per_temperature=moves, schedule=schedule, seed=seed,
+    )
+
+    # Short strict replay: every delta evaluation re-checked against the
+    # full object pipeline (AssertionError on >1e-12 divergence).
+    strict_ok = True
+    try:
+        _run(
+            netlist, grid_size, use_ledger=True,
+            moves_per_temperature=min(moves, 20),
+            schedule=GeometricSchedule(cooling_rate=0.5, freeze_ratio=0.5),
+            seed=seed, strict=True,
+        )
+    except AssertionError as exc:
+        strict_ok = False
+        print(f"  STRICT-MODE FAILURE: {exc}", file=sys.stderr)
+
+    counters = on_result.perf.counters
+    ledger_counters = {
+        key: counters.get(key, 0)
+        for key in (
+            "ledger_hits",
+            "congestion_delta",
+            "congestion_grid_rebuilt",
+            "congestion_skipped",
+            "nets_redone",
+            "evaluations",
+        )
+    }
+    timers = on_result.perf.timers
+    phases = {
+        pname: {
+            "seconds": round(stat.seconds, 4),
+            "calls": stat.calls,
+            "ms_per_call": round(stat.ms_per_call, 3),
+        }
+        for pname in PHASES
+        if (stat := timers.get(pname)) is not None
+    }
+    # Outer (non-overlapping) phases only; 'congestion' already
+    # contains irgrid_build/mass_eval/scoring.
+    outer = [p for p in ("packing", "pin_assignment", "wirelength",
+                         "congestion") if p in phases]
+    dominant = max(outer, key=lambda p: phases[p]["seconds"]) if outer else ""
+
+    row = {
+        "name": name,
+        "modules": n_modules,
+        "nets": n_nets,
+        "moves": on_result.n_moves,
+        "ledger_wall_seconds": round(on_wall, 3),
+        "full_wall_seconds": round(off_wall, 3),
+        "ledger_moves_per_sec": round(on_result.n_moves / on_wall, 2),
+        "full_moves_per_sec": round(off_result.n_moves / off_wall, 2),
+        "ledger_speedup": round(off_wall / on_wall, 3),
+        "ledger_best_cost": on_result.cost,
+        "full_best_cost": off_result.cost,
+        "costs_close": math.isclose(
+            on_result.cost, off_result.cost, rel_tol=1e-6, abs_tol=1e-6
+        ),
+        "strict_ok": strict_ok,
+        "ledger_counters": ledger_counters,
+        "phases": phases,
+        "dominant_phase": dominant,
+        "congestion_share": round(
+            phases.get("congestion", {}).get("seconds", 0.0) / on_wall, 4
+        ),
+    }
+    print(
+        f"{name}: ledger {row['ledger_moves_per_sec']:.1f} moves/s, "
+        f"full {row['full_moves_per_sec']:.1f} moves/s "
+        f"(x{row['ledger_speedup']:.2f}), delta evals "
+        f"{ledger_counters['congestion_delta']}/"
+        f"{ledger_counters['congestion_delta'] + ledger_counters['congestion_grid_rebuilt']}, "
+        f"dominant phase {dominant} "
+        f"({100.0 * row['congestion_share']:.1f}% congestion), "
+        f"strict={strict_ok}"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="300-module workload only, reduced schedule; exit non-zero "
+        "when the strict replay or a counter gate fails (CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON path (default: BENCH_congestion.json in the "
+        "repository root; smoke mode defaults to not writing)",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = [("n300", 300, 1200)]
+    if not args.smoke:
+        workloads.append(("n1000", 1000, 4000))
+    rows = [
+        bench_workload(name, m, n, smoke=args.smoke)
+        for name, m, n in workloads
+    ]
+
+    payload = {
+        "benchmark": "congestion evaluation scaling",
+        "smoke": args.smoke,
+        "workloads": rows,
+        "strict_ok": all(r["strict_ok"] for r in rows),
+        "ledger_fired": all(
+            r["ledger_counters"]["congestion_delta"] > 0 for r in rows
+        ),
+        "min_ledger_speedup": min(r["ledger_speedup"] for r in rows),
+    }
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = Path(__file__).resolve().parent.parent / "BENCH_congestion.json"
+    if out is not None:
+        atomic_write_json(out, payload)
+        print(f"wrote {out}")
+
+    # Counter gates only -- never wall-clock, so CI stays timing-robust.
+    failures = []
+    if not payload["strict_ok"]:
+        failures.append("strict-mode ledger/full agreement failed")
+    if not payload["ledger_fired"]:
+        failures.append(
+            "ledger delta path never fired (congestion_delta == 0)"
+        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

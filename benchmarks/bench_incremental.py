@@ -7,16 +7,22 @@ the same seeded annealing schedule twice:
 * ``seed``: ``incremental=False`` objective over an uncached congestion
   model -- the always-from-scratch evaluator the repository shipped
   with;
-* ``fast``: the dirty-net delta path plus the per-net congestion /
-  placed-geometry memos (the defaults).
+* ``fast``: the dirty-net delta path, the per-net congestion /
+  placed-geometry memos, and the committed-grid congestion ledger
+  (the defaults).
 
-Both runs traverse the identical move sequence (same RNG seed, and the
-accepted/rejected decisions agree because the evaluators agree
-numerically), so moves/sec is an apples-to-apples comparison.  The
-script then replays a shorter strict-mode run (``strict_incremental=
-True``) that re-runs the full pipeline after every delta evaluation and
-asserts agreement to 1e-12, and records the final best costs of both
-modes, which must match to 1e-9.
+A third leg, ``noledger`` (``use_ledger=False``), carries the
+identical-walk gate: its evaluator is bit-identical to the seed path
+-- every cost term, including wirelength, now totals through the same
+numpy pairwise reduction (see ``total_two_pin_length``) -- so the two
+walks must traverse the same move sequence and land on the same best
+cost (1e-9).  The ledger leg is *not* held to walk identity against
+the seed: delta accumulation reorders float additions (~1e-14
+relative), and over tens of thousands of moves that dust can
+legitimately flip one Metropolis decision.  Its correctness gate is
+the strict-mode replay (``strict_incremental=True``), which re-runs
+the full pipeline after every delta evaluation and asserts agreement
+to 1e-12.
 
 A third replay of the fast run turns full observability on (JSONL
 tracing, the metrics registry, progress snapshots with top-3
@@ -57,13 +63,15 @@ from repro.netlist import random_circuit  # noqa: E402
 
 
 def _objective(netlist, grid_size: float, fast: bool, strict: bool = False,
-               backend=None):
+               backend=None, use_ledger: bool = True):
     return FloorplanObjective(
         netlist,
         alpha=1.0,
         beta=1.0,
         gamma=1.0,
-        congestion_model=IrregularGridModel(grid_size, use_cache=fast),
+        congestion_model=IrregularGridModel(
+            grid_size, use_cache=fast, use_ledger=use_ledger
+        ),
         incremental=fast,
         strict_incremental=strict,
         backend=backend,
@@ -71,12 +79,14 @@ def _objective(netlist, grid_size: float, fast: bool, strict: bool = False,
 
 
 def _run(netlist, grid_size, fast, moves_per_temperature, schedule, seed,
-         strict=False, backend=None, observer=None):
+         strict=False, backend=None, observer=None, use_ledger=True):
     # Each run builds a fresh objective, whose engine-scoped CacheContext
     # starts empty -- no global cache state survives between runs.
     engine = AnnealEngine(
         netlist,
-        objective=_objective(netlist, grid_size, fast, strict, backend),
+        objective=_objective(
+            netlist, grid_size, fast, strict, backend, use_ledger
+        ),
         seed=seed,
         moves_per_temperature=moves_per_temperature,
         schedule=schedule,
@@ -109,16 +119,26 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7, backend=None):
         moves_per_temperature=moves, schedule=schedule, seed=seed,
         backend=resolved,
     )
+    noledger_result, noledger_wall = _run(
+        netlist, grid_size, fast=True,
+        moves_per_temperature=moves, schedule=schedule, seed=seed,
+        backend=resolved, use_ledger=False,
+    )
     stats = fast_result.cache_stats
 
     # Same seed + numerically identical evaluators => identical walks.
+    # The ledger-off leg carries this gate; the ledger leg's delta
+    # accumulation reorders float additions, so its walk may
+    # legitimately diverge by one flipped Metropolis decision (its
+    # correctness gate is the strict replay below).
     evals_seed = seed_result.perf.counters.get("evaluations", 0)
-    evals_fast = fast_result.perf.counters.get("evaluations", 0)
+    evals_fast = noledger_result.perf.counters.get("evaluations", 0)
     agree = (
         evals_seed == evals_fast
-        and seed_result.n_moves == fast_result.n_moves
+        and seed_result.n_moves == noledger_result.n_moves
         and math.isclose(
-            seed_result.cost, fast_result.cost, rel_tol=1e-9, abs_tol=1e-9
+            seed_result.cost, noledger_result.cost,
+            rel_tol=1e-9, abs_tol=1e-9,
         )
     )
 
@@ -169,10 +189,22 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7, backend=None):
     hit_rates = {
         cname: round(s.hit_rate, 4) for cname, s in stats.items() if s.lookups
     }
+    evictions = {
+        cname: s.evictions for cname, s in stats.items() if s.lookups
+    }
     accounting_ok = all(
         s.hits + s.misses == s.lookups and s.size <= s.maxsize
         for s in stats.values()
     )
+    fast_counters = fast_result.perf.counters
+    ledger_counters = {
+        key: fast_counters.get(key, 0)
+        for key in (
+            "ledger_hits",
+            "congestion_delta",
+            "congestion_grid_rebuilt",
+        )
+    }
 
     row = {
         "name": name,
@@ -184,15 +216,23 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7, backend=None):
         "evaluations": evals_fast,
         "seed_wall_seconds": round(seed_wall, 3),
         "fast_wall_seconds": round(fast_wall, 3),
+        "noledger_wall_seconds": round(noledger_wall, 3),
         "seed_moves_per_sec": round(seed_result.n_moves / seed_wall, 2),
         "fast_moves_per_sec": round(fast_result.n_moves / fast_wall, 2),
+        "noledger_moves_per_sec": round(
+            noledger_result.n_moves / noledger_wall, 2
+        ),
         "speedup": round(seed_wall / fast_wall, 3),
+        "ledger_gain": round(noledger_wall / fast_wall, 3),
         "seed_best_cost": seed_result.cost,
         "fast_best_cost": fast_result.cost,
+        "noledger_best_cost": noledger_result.cost,
         "results_agree": agree,
         "strict_ok": strict_ok,
         "accounting_ok": accounting_ok,
         "cache_hit_rates": hit_rates,
+        "cache_evictions": evictions,
+        "ledger_counters": ledger_counters,
         "obs_wall_seconds": round(obs_wall, 3),
         "obs_moves_per_sec": round(obs_result.n_moves / obs_wall, 2),
         "obs_overhead_pct": obs_overhead_pct,
@@ -201,13 +241,18 @@ def bench_workload(name, n_modules, n_nets, smoke, seed=7, backend=None):
     print(
         f"{name} [{row['backend_used']}]: "
         f"seed {row['seed_moves_per_sec']:.1f} moves/s, "
-        f"fast {row['fast_moves_per_sec']:.1f} moves/s, "
-        f"speedup {row['speedup']:.2f}x, "
+        f"fast {row['fast_moves_per_sec']:.1f} moves/s "
+        f"(no ledger {row['noledger_moves_per_sec']:.1f}), "
+        f"speedup {row['speedup']:.2f}x "
+        f"(ledger gain {row['ledger_gain']:.2f}x), "
         f"net_mass hit rate {hit_rates.get('net_mass', 0.0):.1%}, "
         f"exact_prob hit rate {hit_rates.get('exact_prob', 0.0):.1%}, "
         f"agree={agree} strict={strict_ok}, "
         f"obs overhead {obs_overhead_pct:+.1f}% "
-        f"(identical={obs_identical})"
+        f"(identical={obs_identical}), "
+        f"ledger {ledger_counters['congestion_delta']}/"
+        f"{ledger_counters['congestion_delta'] + ledger_counters['congestion_grid_rebuilt']}"
+        f" delta evals, evictions {sum(evictions.values())}"
     )
     return row
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Microbenchmark the compiled kernels against their numpy references.
 
-Four hot-path kernels, each timed standalone on synthetic inputs sized
+Five hot-path kernels, each timed standalone on synthetic inputs sized
 like a real annealing move's dirty-net batch:
 
 * ``batched_mass``: Theorem-1/Formula-3 congestion mass over a net
@@ -15,7 +15,11 @@ like a real annealing move's dirty-net batch:
 * ``pin_scatter``: perimeter pin placement + lattice snap
   (:class:`repro.anneal.pipeline.PinStage`) -- numpy-only today,
   timed for the record (``speedup`` is null, and the row's
-  ``backend_used`` records ``"numpy"`` explicitly).
+  ``backend_used`` records ``"numpy"`` explicitly);
+* ``scatter_accumulate``: input-order ``out[index] += values`` with
+  repeated indices -- the congestion ledger's delta-apply primitive
+  (:func:`repro.backend.kernels.scatter_accumulate`) versus
+  ``np.add.at``.
 
 The kernel side runs through the ``"python"`` backend: the same
 functions numba compiles where it is installed, interpreted otherwise.
@@ -176,6 +180,33 @@ def bench_pin_scatter(n_modules, reps, rng):
     return _row("pin_scatter", n_pins, reps, ref_s, None, True, "numpy")
 
 
+def bench_scatter(backend, n_updates, reps, rng):
+    # Sized like a ledger delta apply: dirty edges' CSR blocks scatter
+    # into a flat mass vector of a few thousand cells, indices heavily
+    # repeated (many edges cover the same cells).
+    n_cells = max(n_updates // 8, 16)
+    index = rng.integers(0, n_cells, size=n_updates).astype(np.int64)
+    values = rng.standard_normal(n_updates)
+
+    def ref_fn():
+        out = np.zeros(n_cells)
+        np.add.at(out, index, values)
+        return out
+
+    def ker_fn():
+        out = np.zeros(n_cells)
+        backend.scatter_kernel(index, values, out)
+        return out
+
+    agree = bool(np.array_equal(ref_fn(), ker_fn()))
+    ref_s = _best_of(ref_fn, reps)
+    ker_s = _best_of(ker_fn, reps)
+    return _row(
+        "scatter_accumulate", n_updates, reps, ref_s, ker_s, agree,
+        backend.name,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -203,6 +234,7 @@ def main(argv=None) -> int:
         bench_mst(backend, 50 * scale, reps, rng),
         bench_wirelength(backend, 500 * scale, reps, rng),
         bench_pin_scatter(12 * scale, reps, rng),
+        bench_scatter(backend, 2000 * scale, reps, rng),
     ]
 
     payload = {

@@ -96,6 +96,7 @@ class PinTopology:
         "starts",
         "n_edges_total",
         "edge_weights",
+        "edge_owner",
         "simple_pin_a",
         "simple_slot",
         "simple_mask",
@@ -111,6 +112,7 @@ class PinTopology:
         frac: List[float] = []
         starts = [0]
         edge_weights: List[float] = []
+        edge_owner: List[int] = []
         simple_pin_a: List[int] = []
         simple_slot: List[int] = []
         simple_mask: List[bool] = []
@@ -126,6 +128,7 @@ class PinTopology:
             k = len(net.terminals)
             slot = len(edge_weights)
             edge_weights.extend([net.weight] * max(k - 1, 0))
+            edge_owner.extend([i] * max(k - 1, 0))
             if k == 2:
                 simple_pin_a.append(pin_s)
                 simple_slot.append(slot)
@@ -138,6 +141,10 @@ class PinTopology:
         self.starts = np.asarray(starts, dtype=np.intp)
         self.n_edges_total = len(edge_weights)
         self.edge_weights = np.asarray(edge_weights)
+        # Owning net of each flat edge slot: composing with a per-net
+        # dirty mask yields the dirty *edge* rows the congestion
+        # ledger's O(dirty) delta path consumes.
+        self.edge_owner = np.asarray(edge_owner, dtype=np.intp)
         self.simple_pin_a = np.asarray(simple_pin_a, dtype=np.intp)
         self.simple_slot = np.asarray(simple_slot, dtype=np.intp)
         self.simple_mask = np.asarray(simple_mask, dtype=bool)
@@ -169,6 +176,7 @@ class EvalState:
         "edges",
         "wirelength",
         "congestion",
+        "congestion_ledger",
     )
 
     def __init__(
@@ -180,6 +188,7 @@ class EvalState:
         edges: TwoPinArrays,
         wirelength: float,
         congestion: float,
+        congestion_ledger=None,
     ):
         self.placements = placements
         self.chip = chip
@@ -188,6 +197,11 @@ class EvalState:
         self.edges = edges
         self.wirelength = wirelength
         self.congestion = congestion
+        # The committed-grid CongestionLedger recorded by the last
+        # congestion evaluation of this state (None when the model
+        # carries none).  Ledgers are immutable by convention, so
+        # states share them by reference.
+        self.congestion_ledger = congestion_ledger
 
     def clone_arrays(self) -> "EvalState":
         """A state whose pin/edge arrays are private copies.
@@ -207,6 +221,7 @@ class EvalState:
             ),
             wirelength=self.wirelength,
             congestion=self.congestion,
+            congestion_ledger=self.congestion_ledger,
         )
 
 
@@ -427,6 +442,15 @@ class CongestionStage:
         """Congestion cost of flat placed-edge arrays (the hot path)."""
         return self.model.estimate_arrays(chip, edges)
 
+    def estimate_arrays_ledger(self, chip, edges: TwoPinArrays, ledger, dirty):
+        """Ledger-carrying congestion cost: ``(score, new_ledger)``.
+
+        ``ledger`` / ``dirty`` describe the previously evaluated state
+        (see :meth:`CongestionModel.estimate_arrays_ledger`); models
+        without a delta path return ``(score, None)``.
+        """
+        return self.model.estimate_arrays_ledger(chip, edges, ledger, dirty)
+
     def estimate(self, chip, two_pin_nets) -> float:
         """Congestion cost of ``TwoPinNet`` objects (the seed path and
         the ``strict_incremental`` reference)."""
@@ -618,6 +642,7 @@ class EvaluationPipeline:
         spare.pins_y = prev.pins_y
         spare.wirelength = prev.wirelength
         spare.congestion = prev.congestion
+        spare.congestion_ledger = prev.congestion_ledger
         return spare
 
     def _full_state(self, floorplan: Floorplan) -> Tuple[float, float]:
@@ -637,9 +662,12 @@ class EvaluationPipeline:
         with self.perf.timeit("wirelength"):
             wl = self.mst.wirelength(topology, edges)
         cgt = 0.0
+        ledger = None
         if self.aggregator.gamma > 0:
             with self.perf.timeit("congestion"):
-                cgt = self.congestion.estimate_arrays(floorplan.chip, edges)
+                cgt, ledger = self.congestion.estimate_arrays_ledger(
+                    floorplan.chip, edges, None, None
+                )
         self.state = EvalState(
             placements=floorplan.placements,
             chip=floorplan.chip,
@@ -648,6 +676,7 @@ class EvaluationPipeline:
             edges=edges,
             wirelength=wl,
             congestion=cgt,
+            congestion_ledger=ledger,
         )
         self.perf.count("eval_full")
         return wl, cgt
@@ -708,9 +737,21 @@ class EvaluationPipeline:
         else:
             # A changed pin always changes its net's edge geometry, and
             # a changed outline moves the routing-range clamp, so any
-            # fall-through here must re-estimate.
+            # fall-through here must re-estimate.  The dirty *edge* set
+            # (every edge owned by a dirty net) plus the previously
+            # evaluated state's ledger lets the model take its O(dirty)
+            # delta path when the merged grid held still; a chip change
+            # invalidates every edge's clamp, so it forces the full
+            # path by withholding the dirty set.
+            if pins_changed and not chip_changed:
+                dirty_edges = np.nonzero(dirty[topology.edge_owner])[0]
+            else:
+                dirty_edges = None
             with self.perf.timeit("congestion"):
-                cgt = self.congestion.estimate_arrays(chip, edges)
+                cgt, ledger = self.congestion.estimate_arrays_ledger(
+                    chip, edges, prev.congestion_ledger, dirty_edges
+                )
+            state.congestion_ledger = ledger
 
         state.placements = placements
         state.chip = chip

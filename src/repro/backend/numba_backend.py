@@ -73,6 +73,11 @@ def _warm_up() -> float:
         np.array([3.0]),
         np.array([4.0]),
     )
+    kernels.scatter_accumulate(
+        np.array([0, 1, 0], dtype=np.int64),
+        np.array([1.0, 2.0, 3.0]),
+        np.zeros(2),
+    )
     return time.perf_counter() - t0
 
 
@@ -85,6 +90,7 @@ def _make_kernel_backend(name: str, compiled: bool) -> KernelBackend:
         mass_kernel=kernels.mass_probabilities,
         mst_kernel=kernels.mst_fill,
         wirelength_kernel=kernels.weighted_wirelength,
+        scatter_kernel=kernels.scatter_accumulate,
         jit_seconds=jit_seconds,
     )
 

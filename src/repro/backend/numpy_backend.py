@@ -19,4 +19,5 @@ def make_numpy_backend(requested: str = "numpy") -> KernelBackend:
         mass_kernel=None,
         mst_kernel=None,
         wirelength_kernel=None,
+        scatter_kernel=None,
     )

@@ -40,8 +40,9 @@ class KernelBackend:
         the ``"numba"`` factory fell back because numba is missing.
     compiled:
         True when the kernels are numba-compiled machine code.
-    mass_kernel / mst_kernel / wirelength_kernel:
-        Kernel callables, or ``None`` to use the numpy code path.
+    mass_kernel / mst_kernel / wirelength_kernel / scatter_kernel:
+        Kernel callables, or ``None`` to use the numpy code path
+        (``scatter_kernel``'s numpy twin is ``np.add.at``).
     jit_seconds:
         Wall-clock seconds the construction-time warm-up took
         (compilation cost under numba); excluded from timed phases.
@@ -54,6 +55,7 @@ class KernelBackend:
         "mass_kernel",
         "mst_kernel",
         "wirelength_kernel",
+        "scatter_kernel",
         "jit_seconds",
     )
 
@@ -65,6 +67,7 @@ class KernelBackend:
         mass_kernel: Optional[Callable] = None,
         mst_kernel: Optional[Callable] = None,
         wirelength_kernel: Optional[Callable] = None,
+        scatter_kernel: Optional[Callable] = None,
         jit_seconds: float = 0.0,
     ):
         self.name = name
@@ -73,6 +76,7 @@ class KernelBackend:
         self.mass_kernel = mass_kernel
         self.mst_kernel = mst_kernel
         self.wirelength_kernel = wirelength_kernel
+        self.scatter_kernel = scatter_kernel
         self.jit_seconds = jit_seconds
 
     def __repr__(self) -> str:

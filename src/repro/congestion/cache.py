@@ -20,15 +20,28 @@ the annealing engine -- or created privately by a standalone
 down the stack.  Two engines running in one process therefore never
 share cache state, eviction pressure, or accounting; per-engine stats
 come from ``context.stats()`` / ``context.report()``.
+
+Capacities are per-store constructor kwargs on ``CacheContext`` (the
+defaults re-exported here); before resizing one, check the ``evicted``
+column of ``context.report()`` / the CLI ``--perf`` table -- a store
+with zero evictions is hit-rate-bound by its workload's distinct
+signatures, not by capacity (see the sizing note in
+:mod:`repro.perf.context`).
 """
 
 from __future__ import annotations
 
 from repro.perf.cache import BoundedCache, CacheStats
-from repro.perf.context import CacheContext
+from repro.perf.context import (
+    DEFAULT_EXACT_PROB_SIZE,
+    DEFAULT_NET_MASS_SIZE,
+    CacheContext,
+)
 
 __all__ = [
     "CacheStats",
     "BoundedCache",
     "CacheContext",
+    "DEFAULT_NET_MASS_SIZE",
+    "DEFAULT_EXACT_PROB_SIZE",
 ]

@@ -33,8 +33,10 @@ from repro.congestion.base import CongestionCell, CongestionMap, CongestionModel
 from repro.congestion.batched import (
     batched_approx_mass,
     batched_approx_mass_arrays,
+    batched_edge_contributions,
 )
 from repro.congestion.cache import CacheContext
+from repro.congestion.ledger import CongestionLedger
 from repro.congestion.exact_ir import exact_ir_probability
 from repro.congestion.irgrid import IRGrid, build_irgrid, build_irgrid_arrays
 from repro.congestion.vectorized import approx_ir_matrix, exact_ir_matrix
@@ -88,6 +90,18 @@ class IrregularGridModel(CongestionModel):
         Memoize per-net probability results in the model's
         :class:`~repro.perf.context.CacheContext`.  Identical results
         either way; disable for cache-free timing baselines.
+    use_ledger:
+        Let :meth:`estimate_arrays_ledger` take the O(dirty) delta path
+        when the caller supplies a committed-grid ledger whose merged
+        cut lines match the candidate's (see
+        :mod:`repro.congestion.ledger`).  Disable for ablation runs; the
+        plain :meth:`estimate_arrays` never uses a ledger either way.
+    ledger_refresh:
+        Delta evaluations allowed before a full rebuild is forced.
+        Each delta reorders float additions relative to a from-scratch
+        scatter (agreement to ~1e-14 per step); the periodic rebuild
+        bounds accumulated drift far inside the strict-mode 1e-12
+        contract.
     cache_context:
         The cache fleet to memoize into.  Normally injected by the
         owning engine/objective so all of a run's caches share one
@@ -118,6 +132,8 @@ class IrregularGridModel(CongestionModel):
         use_cache: bool = True,
         cache_context: Optional[CacheContext] = None,
         backend=None,
+        use_ledger: bool = True,
+        ledger_refresh: int = 64,
     ):
         if grid_size <= 0:
             raise ValueError(f"grid_size must be positive, got {grid_size}")
@@ -125,6 +141,10 @@ class IrregularGridModel(CongestionModel):
             raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
         if not 0.0 < top_fraction <= 1.0:
             raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+        if ledger_refresh < 1:
+            raise ValueError(
+                f"ledger_refresh must be >= 1, got {ledger_refresh}"
+            )
         self.grid_size = float(grid_size)
         self.merge_factor = float(merge_factor)
         self.method = method
@@ -132,6 +152,8 @@ class IrregularGridModel(CongestionModel):
         self.paper_bounds = bool(paper_bounds)
         self.top_fraction = float(top_fraction)
         self.use_cache = bool(use_cache)
+        self.use_ledger = bool(use_ledger)
+        self.ledger_refresh = int(ledger_refresh)
         self.cache_context = cache_context
         if backend is not None and not isinstance(backend, KernelBackend):
             backend = make_backend(backend)
@@ -228,6 +250,104 @@ class IrregularGridModel(CongestionModel):
                 mass = self._exact_rescue(irgrid, _nets_from_arrays(arr))
         return self._score_mass(irgrid, mass)
 
+    def estimate_arrays_ledger(
+        self, chip: Rect, arr, ledger=None, dirty=None
+    ) -> Tuple[float, Optional[CongestionLedger]]:
+        """:meth:`estimate_arrays` with the committed-grid delta path.
+
+        ``ledger`` is the committed state's
+        :class:`~repro.congestion.ledger.CongestionLedger` and ``dirty``
+        the indices (into ``arr``) of the edges whose geometry changed
+        since it was recorded.  When the candidate's merged cut lines
+        equal the ledger's (the ``np.array_equal`` fingerprint) and the
+        ledger has delta budget left, the new mass is
+        ``committed_mass - dirty old blocks + dirty new blocks`` over
+        only the dirty edges -- O(dirty), counted as
+        ``congestion_delta``/``ledger_hits``.  Otherwise the full batch
+        runs and records a fresh ledger (``congestion_grid_rebuilt``).
+        Returns ``(score, new_ledger)``; the committed ledger is never
+        mutated, so a rejected candidate rolls back by dropping the
+        returned one.
+        """
+        if self.method != "approx":
+            return super().estimate_arrays(chip, arr), None
+        with self.perf.timeit("irgrid_build"):
+            irgrid = build_irgrid_arrays(
+                chip, arr, self.grid_size, self.merge_factor
+            )
+        ctx = self._context()
+        cache = ctx.net_mass if ctx else None
+        exact_cache = ctx.exact_prob if ctx else None
+        if (
+            self.use_ledger
+            and ledger is not None
+            and dirty is not None
+            and ledger.age < self.ledger_refresh
+            and ledger.matches(
+                np.asarray(irgrid.x_lines.lines),
+                np.asarray(irgrid.y_lines.lines),
+            )
+        ):
+            self.perf.count("ledger_hits")
+            with self.perf.timeit("mass_eval"):
+                rows = np.asarray(dirty, dtype=np.intp)
+                fresh = batched_edge_contributions(
+                    irgrid,
+                    arr,
+                    rows,
+                    self.grid_size,
+                    panels=self.panels,
+                    paper_bounds=self.paper_bounds,
+                    cache=cache,
+                    exact_cache=exact_cache,
+                    backend=self.backend,
+                )
+                if np.isfinite(fresh.values).all():
+                    mass = ledger.mass.copy()
+                    flat = mass.ravel()
+                    old_cells, old_values = ledger.gather(rows)
+                    self._scatter_into(flat, old_cells, np.negative(old_values))
+                    self._scatter_into(flat, fresh.cells, fresh.values)
+                    new_ledger = ledger.replaced(rows, fresh, mass)
+                    self.perf.count("congestion_delta")
+                    return self._score_mass(irgrid, mass), new_ledger
+            # Non-finite dirty contributions: fall through to the full
+            # batch, whose exact rescue knows how to recover.
+        self.perf.count("congestion_grid_rebuilt")
+        with self.perf.timeit("mass_eval"):
+            mass, contrib = batched_approx_mass_arrays(
+                irgrid,
+                arr,
+                self.grid_size,
+                panels=self.panels,
+                paper_bounds=self.paper_bounds,
+                cache=cache,
+                exact_cache=exact_cache,
+                backend=self.backend,
+                want_contributions=True,
+            )
+            new_ledger = None
+            if np.isfinite(mass).all():
+                if self.use_ledger:
+                    new_ledger = CongestionLedger(
+                        np.asarray(irgrid.x_lines.lines),
+                        np.asarray(irgrid.y_lines.lines),
+                        mass,
+                        contrib,
+                    )
+            else:
+                mass = self._exact_rescue(irgrid, _nets_from_arrays(arr))
+        return self._score_mass(irgrid, mass), new_ledger
+
+    def _scatter_into(self, flat, cells, values) -> None:
+        """Input-order ``flat[cells] += values`` through the backend's
+        scatter kernel (``np.add.at`` semantics either way)."""
+        kern = None if self.backend is None else self.backend.scatter_kernel
+        if kern is not None:
+            kern(cells, values, flat)
+        else:
+            np.add.at(flat, cells, values)
+
     def densities_arrays(self, chip: Rect, arr) -> np.ndarray:
         """Per-cell densities straight from edge coordinate arrays.
 
@@ -262,41 +382,103 @@ class IrregularGridModel(CongestionModel):
             )
             if not np.isfinite(mass).all():
                 mass = self._exact_rescue(irgrid, _nets_from_arrays(arr))
+        density, _ = self._densities(irgrid, mass)
+        return density
+
+    def _densities(
+        self, irgrid: IRGrid, mass: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(density, areas)`` flat vectors of a computed mass array.
+
+        The one shared density derivation (step 4) behind both the
+        scoring hot path and the observability snapshot path: per-cell
+        areas from the cut-line diffs, density = mass / area with
+        zero-area cells scored 0.
+        """
         widths = np.diff(np.asarray(irgrid.x_lines.lines))
         heights = np.diff(np.asarray(irgrid.y_lines.lines))
         areas = np.outer(widths, heights).ravel()
         flat = mass.ravel()
         with np.errstate(invalid="ignore", divide="ignore"):
-            return np.where(areas > 0, flat / areas, 0.0)
+            density = np.where(areas > 0, flat / areas, 0.0)
+        return density, areas
 
     def _score_mass(self, irgrid: IRGrid, mass: np.ndarray) -> float:
         """Step 5 scoring of a computed mass array (shared hot path)."""
         with self.perf.timeit("scoring"):
-            widths = np.diff(np.asarray(irgrid.x_lines.lines))
-            heights = np.diff(np.asarray(irgrid.y_lines.lines))
-            areas = np.outer(widths, heights).ravel()
-            flat = mass.ravel()
-            with np.errstate(invalid="ignore", divide="ignore"):
-                density = np.where(areas > 0, flat / areas, 0.0)
-            order = np.argsort(density)[::-1]
-            total_area = areas.sum()
-            if total_area <= 0:
-                return 0.0
-            target = self.top_fraction * total_area
-            # Greedy take-until-target over the sorted cells, without
-            # the per-cell Python loop: cumsum is the same sequential
-            # left-to-right accumulation, so full cells contribute the
-            # identical partial sums; only the boundary cell is capped.
-            a = areas[order]
-            d = density[order]
-            ca = np.cumsum(a)
-            j = min(int(np.searchsorted(ca, target, side="left")), len(a) - 1)
-            prev_area = float(ca[j - 1]) if j > 0 else 0.0
-            prev_mass = float(np.cumsum(d[: j + 1] * a[: j + 1])[j - 1]) if j > 0 else 0.0
-            take = min(float(a[j]), target - prev_area)
-            mass_sum = prev_mass + float(d[j]) * take
-            covered = prev_area + take
-            return float(mass_sum / covered) if covered > 0 else 0.0
+            density, areas = self._densities(irgrid, mass)
+            return self._top_density_score(density, areas)
+
+    def _top_density_score(
+        self, density: np.ndarray, areas: np.ndarray
+    ) -> float:
+        """Area-weighted mean density of the densest ``top_fraction``.
+
+        Selection-based: a quickselect-style partition loop consumes or
+        descends into the cells above the running median until the pool
+        is small, then finishes with the argsort greedy -- O(C) expected
+        work instead of the full sort's O(C log C).  Equal to the
+        argsort greedy to float-summation dust (<= 1e-12, property
+        tested): full cells contribute ``density * area`` regardless of
+        visit order, and when the area target lands inside a group of
+        equal-density cells the partial take contributes the tied
+        density per unit area no matter which tied cells are chosen, so
+        tie order cannot change the score.
+        """
+        total_area = float(areas.sum())
+        if total_area <= 0:
+            return 0.0
+        target = self.top_fraction * total_area
+        num = 0.0  # density-times-area mass of the cells taken so far
+        taken = 0.0  # area taken so far (always < target in the loop)
+        d = density
+        a = areas
+        while len(d) > 32:
+            v = float(np.partition(d, len(d) // 2)[len(d) // 2])
+            hi = d > v
+            area_hi = float(a[hi].sum())
+            if taken + area_hi >= target:
+                # Boundary inside the upper half: discard the rest.
+                d = d[hi]
+                a = a[hi]
+                continue
+            eq = d == v
+            area_eq = float(a[eq].sum())
+            num += float((d[hi] * a[hi]).sum())
+            if taken + area_hi + area_eq >= target:
+                # Boundary inside the tie group at density v: the
+                # partial take contributes v per unit area whichever
+                # tied cells are "chosen", so the score is tie-order
+                # independent.
+                num += v * (target - taken - area_hi)
+                return float(num / target)
+            num += v * area_eq
+            taken += area_hi + area_eq
+            lo = d < v
+            d = d[lo]
+            a = a[lo]
+        if len(d) == 0:
+            # Float dust in the subset sums can exhaust the pool a hair
+            # before `taken` reaches `target` (only when top_fraction
+            # covers the whole chip): everything is taken.
+            return float(num / taken) if taken > 0 else 0.0
+        # Small-pool finish: the seed path's argsort greedy.
+        order = np.argsort(d)[::-1]
+        a_s = a[order]
+        d_s = d[order]
+        ca = np.cumsum(a_s)
+        rem = target - taken
+        j = min(int(np.searchsorted(ca, rem, side="left")), len(a_s) - 1)
+        prev_area = float(ca[j - 1]) if j > 0 else 0.0
+        prev_mass = (
+            float(np.cumsum(d_s[: j + 1] * a_s[: j + 1])[j - 1])
+            if j > 0
+            else 0.0
+        )
+        take = min(float(a_s[j]), rem - prev_area)
+        mass_sum = num + prev_mass + float(d_s[j]) * take
+        covered = taken + prev_area + take
+        return float(mass_sum / covered) if covered > 0 else 0.0
 
     # -- internals -----------------------------------------------------
 

@@ -75,6 +75,17 @@ def format_cache_stats(
 # in the low hundreds of thousands (a 65k store thrashed with ~120k
 # evictions on an ami33-scale run).  Worst-case memory is a few hundred
 # MB of short float vectors per context; real runs stay far below it.
+#
+# On sizing vs hit rate: every capacity is a constructor kwarg, but a
+# bigger store only helps when the bounded cache actually evicts.  The
+# exact_prob rate drop from 60% (ami33-scale) to 40% (ami49-scale)
+# recorded in BENCH_incremental.json comes with ZERO evictions at
+# either scale (see the bench's ``cache_evictions`` field and the
+# ``evicted`` column of ``--perf``): the working set fits, and the
+# lower rate is compulsory misses -- the larger netlist simply
+# produces more distinct exact-fallback signatures per eviction-free
+# lookup stream.  Resizing cannot recover it; within a workload the
+# rate is stable across runs.
 DEFAULT_NET_MASS_SIZE = 262_144
 DEFAULT_NET_MATRIX_SIZE = 65_536
 DEFAULT_EXACT_PROB_SIZE = 262_144
