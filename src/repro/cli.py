@@ -9,6 +9,9 @@ Subcommands::
     repro-floorplan experiment {1,2,3} ...   # reproduce the paper tables
     repro-floorplan figure8                  # approximation accuracy
     repro-floorplan trace TRACE.jsonl        # summarize a --trace file
+    repro-floorplan serve --root DIR ...     # run the floorplanning service
+    repro-floorplan submit CIRCUIT ...       # submit a job to a service
+    repro-floorplan peek CKPT                # identify a checkpoint file
 
 ``CIRCUIT`` is an MCNC name (apte/xerox/hp/ami33/ami49) or a path to a
 YAL-flavoured circuit file.
@@ -258,6 +261,84 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument(
         "--width", type=int, default=60, help="cost-curve plot width"
     )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the floorplanning job service (crash-safe queue + "
+        "supervised worker fleet; SIGTERM drains gracefully)",
+    )
+    srv.add_argument(
+        "--root",
+        type=Path,
+        default=Path("service-data"),
+        help="state directory (journal, snapshots, results, checkpoints); "
+        "restarting on the same root resumes interrupted jobs",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8712)
+    srv.add_argument("--workers", type=int, default=2)
+    srv.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help="max active (queued+running) jobs per tenant (default: none)",
+    )
+    srv.add_argument(
+        "--client-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a client may stall mid-request before a 408",
+    )
+    srv.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds per job attempt before the pool is killed",
+    )
+    srv.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        help="seconds of worker heartbeat staleness that count as a hang",
+    )
+    srv.add_argument("--max-retries", type=int, default=2)
+    srv.add_argument("--max-pool-rebuilds", type=int, default=2)
+
+    sm = sub.add_parser(
+        "submit", help="submit a floorplanning job to a running service"
+    )
+    sm.add_argument("circuit", help="MCNC name or YAL circuit file")
+    sm.add_argument("--host", default="127.0.0.1")
+    sm.add_argument("--port", type=int, default=8712)
+    sm.add_argument("--representation", default="polish",
+                    choices=("polish", "sp", "btree"))
+    sm.add_argument("--seed", type=int, default=0)
+    sm.add_argument("--alpha", type=float, default=1.0)
+    sm.add_argument("--beta", type=float, default=1.0)
+    sm.add_argument("--gamma", type=float, default=0.0)
+    sm.add_argument("--grid-size", type=float, default=None,
+                    help="congestion grid pitch (default: per-circuit)")
+    sm.add_argument("--backend", default=None)
+    sm.add_argument("--max-steps", type=int, default=200)
+    sm.add_argument("--moves-per-temperature", type=int, default=None)
+    sm.add_argument("--priority", type=int, default=0,
+                    help="higher runs first")
+    sm.add_argument("--tenant", default="default")
+    sm.add_argument("--deadline", type=float, default=None,
+                    help="wall-clock budget; the job returns best-so-far")
+    sm.add_argument("--idempotency-key", default=None,
+                    help="client identity for safe resubmits "
+                    "(default: generated)")
+    sm.add_argument("--no-wait", action="store_true",
+                    help="print the job id and exit instead of waiting")
+    sm.add_argument("--timeout", type=float, default=600.0,
+                    help="seconds to wait for the result")
+
+    pk = sub.add_parser(
+        "peek", help="identify a checkpoint file without resuming it"
+    )
+    pk.add_argument("path", type=Path, help="engine or driver checkpoint")
+    pk.add_argument("--json", action="store_true")
     return parser
 
 
@@ -894,6 +975,107 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import FloorplanService
+    from repro.service.server import serve as serve_async
+
+    service = FloorplanService(
+        args.root,
+        workers=args.workers,
+        tenant_quota=args.tenant_quota,
+        client_timeout=args.client_timeout,
+        job_timeout=args.job_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.max_retries,
+        max_pool_rebuilds=args.max_pool_rebuilds,
+    )
+    recovered = service.queue.recovered_jobs
+    if recovered:
+        print(
+            f"recovered {len(recovered)} interrupted job(s) from the "
+            f"journal: {', '.join(recovered)}"
+        )
+
+    def ready(server) -> None:
+        print(
+            f"floorplan service on http://{server.host}:{server.port} "
+            f"({args.workers} worker(s), root {args.root}); "
+            f"SIGTERM drains gracefully",
+            flush=True,
+        )
+
+    asyncio.run(serve_async(service, args.host, args.port, ready=ready))
+    print("drained; journal compacted")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.data import dumps_yal
+    from repro.service import ServiceClient, ServiceClientError
+
+    netlist = _load_circuit(args.circuit)
+    spec = {
+        "netlist_yal": dumps_yal(netlist),
+        "representation": args.representation,
+        "seed": args.seed,
+        "alpha": args.alpha,
+        "beta": args.beta,
+        "gamma": args.gamma,
+        "congestion_grid_size": _grid_size_for(netlist, args.grid_size),
+        "backend": args.backend,
+        "max_steps": args.max_steps,
+        "moves_per_temperature": args.moves_per_temperature,
+        "priority": args.priority,
+        "tenant": args.tenant,
+        "deadline_seconds": args.deadline,
+        "idempotency_key": args.idempotency_key,
+    }
+    client = ServiceClient(args.host, args.port)
+    try:
+        status = client.submit(spec)
+        job_id = status["job_id"]
+        print(
+            f"job {job_id}: {status['state']}"
+            + (" (cache hit)" if status.get("cached") else "")
+        )
+        if args.no_wait:
+            return 0
+        result = client.wait(job_id, timeout=args.timeout)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    breakdown = result["breakdown"]
+    chip = result["chip"]
+    print(
+        f"done: cost {breakdown['cost']:.4f} "
+        f"(area {breakdown['area']:.4g}, wire {breakdown['wirelength']:.4g}, "
+        f"congestion {breakdown['congestion']:.4g}), "
+        f"chip {chip['width']:.1f} x {chip['height']:.1f}"
+    )
+    return 0
+
+
+def _cmd_peek(args) -> int:
+    import dataclasses
+    import json as json_mod
+
+    from repro.engine import peek_checkpoint
+    from repro.errors import CheckpointError
+
+    try:
+        info = peek_checkpoint(args.path)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_mod.dumps(dataclasses.asdict(info), indent=2))
+    else:
+        print(info.summary())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point: parse ``argv`` and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
@@ -911,6 +1093,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure8()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "peek":
+        return _cmd_peek(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -41,10 +41,12 @@ from repro.backend import (
 )
 from repro.engine.checkpoint import (
     Checkpoint,
+    CheckpointInfo,
     DriverCheckpoint,
     LoopState,
     load_checkpoint,
     load_driver_checkpoint,
+    peek_checkpoint,
     save_checkpoint,
     save_driver_checkpoint,
 )
@@ -121,6 +123,8 @@ __all__ = [
     "LoopState",
     "save_checkpoint",
     "load_checkpoint",
+    "peek_checkpoint",
+    "CheckpointInfo",
     "save_driver_checkpoint",
     "load_driver_checkpoint",
 ]

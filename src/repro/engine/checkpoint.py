@@ -52,9 +52,11 @@ __all__ = [
     "DRIVER_CHECKPOINT_VERSION",
     "LoopState",
     "Checkpoint",
+    "CheckpointInfo",
     "DriverCheckpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "peek_checkpoint",
     "save_driver_checkpoint",
     "load_driver_checkpoint",
 ]
@@ -227,6 +229,89 @@ def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
         )
     return _load_envelope(
         path, _MAGIC, CHECKPOINT_VERSION, Checkpoint, "checkpoint"
+    )
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """A checkpoint file's identity card, cheap to obtain.
+
+    Returned by :func:`peek_checkpoint`: enough to answer "what is
+    this file, how far did it get, is it worth resuming" -- without
+    constructing an engine, re-parsing a netlist, or touching any
+    cache.  ``kind`` is ``"engine"`` or ``"driver"``; driver files
+    fill ``driver`` and leave the loop-position fields ``None``.
+    """
+
+    kind: str
+    version: int
+    path: str
+    representation: Optional[str] = None
+    driver: Optional[str] = None
+    seed: Optional[int] = None
+    n_modules: Optional[int] = None
+    step: Optional[int] = None
+    move: Optional[int] = None
+    completed_steps: Optional[int] = None
+    n_moves: Optional[int] = None
+    current_cost: Optional[float] = None
+    best_cost: Optional[float] = None
+
+    def summary(self) -> str:
+        """One human-readable line (the CLI's ``--peek`` output)."""
+        if self.kind == "driver":
+            return (
+                f"driver checkpoint v{self.version} ({self.driver}) "
+                f"at {self.path}"
+            )
+        return (
+            f"engine checkpoint v{self.version}: {self.representation} "
+            f"seed {self.seed}, {self.n_modules} modules, "
+            f"{self.completed_steps} step(s) done "
+            f"(next step {self.step} move {self.move}), "
+            f"best cost {self.best_cost}"
+        )
+
+
+def peek_checkpoint(path: Union[str, Path]) -> CheckpointInfo:
+    """Identify a checkpoint file without rebuilding anything from it.
+
+    Handles both engine and driver checkpoints (dispatching on the
+    magic header) and raises :class:`~repro.errors.CheckpointError`
+    with the same diagnostics as the loaders for anything that is not
+    a valid checkpoint.  Unlike :meth:`AnnealEngine.resume`, peeking
+    never constructs representations or objectives -- it is safe to
+    call on files of unknown provenance before deciding what to do
+    with them.
+    """
+    path = Path(path)
+    try:
+        head = path.read_bytes()[: len(_DRIVER_MAGIC)]
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if head.startswith(_DRIVER_MAGIC):
+        checkpoint = load_driver_checkpoint(path)
+        return CheckpointInfo(
+            kind="driver",
+            version=checkpoint.version,
+            path=str(path),
+            driver=checkpoint.driver,
+        )
+    checkpoint = load_checkpoint(path)
+    loop = checkpoint.loop
+    return CheckpointInfo(
+        kind="engine",
+        version=checkpoint.version,
+        path=str(path),
+        representation=checkpoint.representation,
+        seed=checkpoint.seed,
+        n_modules=getattr(checkpoint.netlist, "n_modules", None),
+        step=loop.step,
+        move=loop.move,
+        completed_steps=checkpoint.completed_steps,
+        n_moves=loop.n_moves,
+        current_cost=getattr(loop.current_eval, "cost", None),
+        best_cost=getattr(loop.best_eval, "cost", None),
     )
 
 

@@ -31,6 +31,7 @@ from repro.anneal.generic import Snapshot, anneal
 from repro.anneal.schedule import GeometricSchedule
 from repro.engine.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.engine.control import RunControl
+from repro.errors import CheckpointError
 from repro.engine.representation import Representation, make_representation
 from repro.floorplan import Floorplan
 from repro.netlist import Netlist
@@ -239,6 +240,7 @@ class AnnealEngine:
         if self.t0_scale <= 0:
             raise ValueError(f"t0_scale must be positive, got {t0_scale}")
         self._resume_state = None
+        self._resume_version: Optional[int] = None
         self._prior_cache_stats: Dict[str, CacheStats] = {}
 
     @classmethod
@@ -275,6 +277,7 @@ class AnnealEngine:
         )
         engine._resume_state = checkpoint.loop
         engine._prior_cache_stats = dict(checkpoint.cache_stats)
+        engine._resume_version = checkpoint.version
         return engine
 
     @property
@@ -321,23 +324,37 @@ class AnnealEngine:
             from contextlib import nullcontext
 
             span = nullcontext()
+        resuming = self._resume_state is not None
         with span:
-            result = anneal(
-                objective=self.objective,
-                initial=initial,
-                neighbor=rep.neighbor,
-                realize=rep.realize,
-                seed=self.seed,
-                moves_per_temperature=self.moves_per_temperature,
-                schedule=self.schedule,
-                calibrate=self._calibrate,
-                on_snapshot=on_snapshot,
-                perf=observer.metrics.perf if observer is not None else None,
-                control=control,
-                resume=self._resume_state,
-                t0_scale=self.t0_scale,
-                observer=observer,
-            )
+            try:
+                result = anneal(
+                    objective=self.objective,
+                    initial=initial,
+                    neighbor=rep.neighbor,
+                    realize=rep.realize,
+                    seed=self.seed,
+                    moves_per_temperature=self.moves_per_temperature,
+                    schedule=self.schedule,
+                    calibrate=self._calibrate,
+                    on_snapshot=on_snapshot,
+                    perf=observer.metrics.perf if observer is not None else None,
+                    control=control,
+                    resume=self._resume_state,
+                    t0_scale=self.t0_scale,
+                    observer=observer,
+                )
+            except CheckpointError as exc:
+                if resuming:
+                    # The loop's sanity check knows only the two costs;
+                    # add what the operator needs to find the wrong
+                    # file/engine pairing.
+                    raise CheckpointError(
+                        f"{exc} [checkpoint format "
+                        f"v{self._resume_version}, engine "
+                        f"{type(self).__name__}, representation "
+                        f"{rep.name}, seed {self.seed}]"
+                    ) from exc
+                raise
         self._resume_state = None  # a second run() starts fresh
         cache_stats = merge_cache_stats(
             self._prior_cache_stats, self.cache_context.stats()

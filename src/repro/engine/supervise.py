@@ -39,6 +39,8 @@ of its arguments -- the property every driver's parity test asserts.
 
 from __future__ import annotations
 
+import os
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
@@ -46,6 +48,11 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["SupervisedRunner"]
+
+
+class _HeartbeatStalled(RuntimeError):
+    """A pooled worker stopped touching its heartbeat file (internal:
+    harvested like a timeout -- the pool is killed and rebuilt)."""
 
 
 class SupervisedRunner:
@@ -68,6 +75,28 @@ class SupervisedRunner:
     retry_backoff:
         Base of the exponential backoff slept before retry ``k``
         (``retry_backoff * 2**(k-1)`` seconds); 0 disables sleeping.
+    retry_jitter:
+        Fractional jitter on each backoff sleep: the delay is
+        multiplied by ``1 + retry_jitter * u`` with ``u`` drawn from a
+        runner-owned seeded RNG (``jitter_seed``), so a fleet of
+        runners retrying the same incident fans out instead of
+        thundering back in lockstep -- while any single runner remains
+        fully deterministic.  0 (the default) keeps the historical
+        exact-exponential behavior.
+    jitter_seed:
+        Seed of the jitter RNG (only consulted when
+        ``retry_jitter > 0``).
+    heartbeat_path:
+        ``key -> path`` of the job's heartbeat file (or ``None`` for
+        keys without one).  When set together with
+        ``heartbeat_timeout``, the pool harvest polls instead of
+        blocking: a *running* job whose heartbeat mtime goes stale past
+        the limit is declared hung immediately -- minutes before a
+        wall-clock ``timeout`` would fire, and without misfiring on a
+        slow-but-alive job that keeps beating.  Jobs that beat forever
+        but never finish are still bounded by ``timeout``.
+    heartbeat_timeout:
+        Seconds of heartbeat staleness that count as a hang.
     max_pool_rebuilds:
         Pool teardowns tolerated before :meth:`run_pool` reports
         ``degraded``.
@@ -86,6 +115,11 @@ class SupervisedRunner:
         timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.5,
+        retry_jitter: float = 0.0,
+        jitter_seed: int = 0,
+        heartbeat_path: Optional[Callable[[int], object]] = None,
+        heartbeat_timeout: Optional[float] = None,
+        heartbeat_poll: float = 0.05,
         max_pool_rebuilds: int = 2,
         observer=None,
     ):
@@ -97,6 +131,18 @@ class SupervisedRunner:
             raise ValueError(
                 f"retry_backoff must be >= 0, got {retry_backoff}"
             )
+        if retry_jitter < 0:
+            raise ValueError(
+                f"retry_jitter must be >= 0, got {retry_jitter}"
+            )
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
+        if heartbeat_poll <= 0:
+            raise ValueError(
+                f"heartbeat_poll must be positive, got {heartbeat_poll}"
+            )
         if max_pool_rebuilds < 0:
             raise ValueError(
                 f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
@@ -106,6 +152,11 @@ class SupervisedRunner:
         self.timeout = timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
+        self.retry_jitter = float(retry_jitter)
+        self._jitter_rng = random.Random(jitter_seed)
+        self.heartbeat_path = heartbeat_path
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_poll = float(heartbeat_poll)
         self.max_pool_rebuilds = int(max_pool_rebuilds)
         self.observer = observer
 
@@ -128,7 +179,57 @@ class SupervisedRunner:
 
     def _backoff(self, failed_attempts: int) -> None:
         if self.retry_backoff > 0 and failed_attempts > 0:
-            time.sleep(self.retry_backoff * (2.0 ** (failed_attempts - 1)))
+            delay = self.retry_backoff * (2.0 ** (failed_attempts - 1))
+            if self.retry_jitter > 0:
+                delay *= 1.0 + self.retry_jitter * self._jitter_rng.random()
+            time.sleep(delay)
+
+    def _wait_result(self, key: int, fut):
+        """Harvest one future, heartbeat-aware when configured.
+
+        Without heartbeats this is the historical blocking
+        ``fut.result(timeout)``.  With them, it polls: the wall-clock
+        ``timeout`` still bounds the whole wait (raises the standard
+        futures ``TimeoutError``), but a future that is *running* while
+        its job's heartbeat file goes stale past ``heartbeat_timeout``
+        raises :class:`_HeartbeatStalled` right away.  A queued-not-yet
+        -running future is never blamed (its heartbeat cannot exist
+        yet); staleness for a running job with no file yet is measured
+        from when we first saw it running.
+        """
+        if self.heartbeat_timeout is None or self.heartbeat_path is None:
+            return fut.result(timeout=self.timeout)
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        running_since: Optional[float] = None
+        while True:
+            try:
+                return fut.result(timeout=self.heartbeat_poll)
+            except _FuturesTimeout:
+                pass
+            if deadline is not None and time.monotonic() >= deadline:
+                raise _FuturesTimeout()
+            if not fut.running():
+                running_since = None
+                continue
+            if running_since is None:
+                running_since = time.monotonic()
+            path = self.heartbeat_path(key)
+            beat_age: Optional[float] = None
+            if path is not None:
+                try:
+                    beat_age = time.time() - os.path.getmtime(path)
+                except OSError:
+                    beat_age = None
+            if beat_age is None:
+                beat_age = time.monotonic() - running_since
+            if beat_age >= self.heartbeat_timeout:
+                raise _HeartbeatStalled(
+                    f"no heartbeat for {beat_age:.1f}s (limit "
+                    f"{self.heartbeat_timeout}s); pool killed"
+                )
 
     @staticmethod
     def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -185,13 +286,21 @@ class SupervisedRunner:
                     if k in results:
                         continue
                     try:
-                        result = futures[k].result(timeout=self.timeout)
+                        result = self._wait_result(k, futures[k])
                     except _FuturesTimeout:
                         reports[k].record_failure(
                             "timeout",
                             f"no result within {self.timeout}s; "
                             f"pool killed",
                         )
+                        self._note_failure(k, reports[k].attempts, "timeout")
+                        pool_died = True
+                        break
+                    except _HeartbeatStalled as exc:
+                        # Hung, by liveness evidence rather than budget
+                        # exhaustion; same remedy as a timeout (wedged
+                        # workers are terminated, never waited on).
+                        reports[k].record_failure("timeout", str(exc))
                         self._note_failure(k, reports[k].attempts, "timeout")
                         pool_died = True
                         break

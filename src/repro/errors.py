@@ -24,6 +24,10 @@ __all__ = [
     "NetlistValidationError",
     "CheckpointError",
     "WorkerFailure",
+    "ServiceError",
+    "JobValidationError",
+    "QuotaExceeded",
+    "JobNotFound",
 ]
 
 
@@ -58,3 +62,24 @@ class WorkerFailure(ReproError, RuntimeError):
     are recorded in the run's
     :class:`~repro.engine.multistart.RunReport` list instead.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class of failures raised by the floorplanning service
+    (:mod:`repro.service`): bad submissions, quota rejections, lookups
+    of unknown jobs, and illegal job state transitions."""
+
+
+class JobValidationError(ServiceError, ValueError):
+    """A submitted job specification failed validation (unparsable
+    netlist, unknown representation, non-positive seed bounds...).
+    Maps to HTTP 400."""
+
+
+class QuotaExceeded(ServiceError):
+    """A tenant's active-job quota (queued + running) is full.
+    Maps to HTTP 429; resubmitting after jobs finish succeeds."""
+
+
+class JobNotFound(ServiceError, KeyError):
+    """No job with the requested id exists.  Maps to HTTP 404."""

@@ -159,16 +159,36 @@ def _place(
     y: float,
     out: Dict[str, Rect],
 ) -> None:
-    shape = node.shapes[shape_index]
-    if node.is_leaf:
-        out[node.module_name] = Rect.from_origin(x, y, shape.width, shape.height)
-        return
-    left_shape = node.left.shapes[shape.left_index]
-    _place(node.left, shape.left_index, x, y, out)
-    if node.op == OP_ABOVE:
-        _place(node.right, shape.right_index, x, y + left_shape.height, out)
-    else:
-        _place(node.right, shape.right_index, x + left_shape.width, y, out)
+    """Place every module of the chosen realization, iteratively.
+
+    An explicit work stack instead of recursion: a pathological but
+    perfectly legal expression (``m0 m1 * m2 * ...``, one long
+    left-deep chain) nests as deep as the module count, and annealing
+    near 1k modules used to blow CPython's recursion limit here.  The
+    right child is pushed first so the left subtree is walked -- and
+    ``out`` is filled -- in exactly the order the recursive version
+    used, keeping placement insertion order (and therefore downstream
+    dict-order-sensitive consumers) bit-identical.
+    """
+    stack = [(node, shape_index, x, y)]
+    while stack:
+        node, shape_index, x, y = stack.pop()
+        shape = node.shapes[shape_index]
+        if node.is_leaf:
+            out[node.module_name] = Rect.from_origin(
+                x, y, shape.width, shape.height
+            )
+            continue
+        left_shape = node.left.shapes[shape.left_index]
+        if node.op == OP_ABOVE:
+            stack.append(
+                (node.right, shape.right_index, x, y + left_shape.height)
+            )
+        else:
+            stack.append(
+                (node.right, shape.right_index, x + left_shape.width, y)
+            )
+        stack.append((node.left, shape.left_index, x, y))
 
 
 def evaluate_polish(

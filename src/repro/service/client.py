@@ -1,0 +1,199 @@
+"""The programmatic client for the floorplanning service.
+
+Stdlib :mod:`http.client`, one connection per request (the server
+closes connections anyway), JSON in and out.  The client's job is to
+make the service's reliability contract easy to hold up from the
+caller's side:
+
+* :meth:`ServiceClient.submit` generates an idempotency key when the
+  caller does not supply one, then **retries submits safely** -- a
+  response lost to a flaky network resolves to the original job id on
+  resubmit, never to duplicate work;
+* :meth:`ServiceClient.wait` polls status until the job is terminal
+  and returns the stored result, raising :class:`ServiceClientError`
+  with the server's blame report when the job failed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import uuid
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClientError", "ServiceClient"]
+
+
+class ServiceClientError(ServiceError):
+    """An HTTP-level or job-level failure seen by the client.
+
+    ``status`` is the HTTP status code (0 for transport errors);
+    ``payload`` is the server's JSON body when there was one.
+    """
+
+    def __init__(self, message: str, status: int = 0, payload=None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to one service endpoint.
+
+    ``retries`` bounds transport-level retries of idempotent calls
+    (every GET, and POSTs that carry an idempotency key); the backoff
+    is linear and short because the safe-retry guarantee, not the
+    pacing, is what matters here.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8712,
+        timeout: float = 30.0,
+        retries: int = 2,
+        retry_delay: float = 0.2,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_delay = float(retry_delay)
+
+    # -- transport ----------------------------------------------------
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        idempotent: bool = True,
+    ) -> Tuple[int, Dict[str, Any]]:
+        last_error: Optional[Exception] = None
+        attempts = 1 + (self.retries if idempotent else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, body)
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    time.sleep(self.retry_delay * (attempt + 1))
+        raise ServiceClientError(
+            f"{method} {path} failed after {attempts} attempt(s): "
+            f"{last_error}"
+        )
+
+    @staticmethod
+    def _check(status: int, payload: Dict[str, Any], context: str):
+        if status >= 400:
+            raise ServiceClientError(
+                f"{context}: HTTP {status}: "
+                f"{payload.get('error', payload)}",
+                status=status,
+                payload=payload,
+            )
+        return payload
+
+    # -- API ----------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one job spec (a :class:`~repro.service.jobs.JobSpec`
+        JSON image).  An ``idempotency_key`` is generated when missing,
+        which is what makes the transport-level retry safe: the server
+        resolves every retry to the same job.
+        """
+        body = dict(spec)
+        if not body.get("idempotency_key"):
+            body["idempotency_key"] = f"auto-{uuid.uuid4().hex}"
+        status, payload = self._request(
+            "POST", "/v1/jobs", body=body, idempotent=True
+        )
+        return self._check(status, payload, "submit")
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's status JSON (404 raises)."""
+        status, payload = self._request("GET", f"/v1/jobs/{job_id}")
+        return self._check(status, payload, f"status of {job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The stored result; raises (HTTP 409 surfaced) while the job
+        is still in flight."""
+        status, payload = self._request("GET", f"/v1/jobs/{job_id}/result")
+        return self._check(status, payload, f"result of {job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued job (409 raises once it is running)."""
+        status, payload = self._request(
+            "POST", f"/v1/jobs/{job_id}/cancel", idempotent=True
+        )
+        return self._check(status, payload, f"cancel of {job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Block until ``job_id`` is terminal; return its result.
+
+        A ``done`` job returns the stored result payload; ``failed`` /
+        ``cancelled`` raise :class:`ServiceClientError` carrying the
+        job's error and supervision report.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            info = self.status(job_id)
+            if info["state"] == "done":
+                return self.result(job_id)
+            if info["state"] in ("failed", "cancelled"):
+                raise ServiceClientError(
+                    f"job {job_id} ended {info['state']}: "
+                    f"{info.get('error')}",
+                    payload=info,
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still {info['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness payload."""
+        status, payload = self._request("GET", "/healthz")
+        return self._check(status, payload, "healthz")
+
+    def readyz(self) -> Tuple[bool, Dict[str, Any]]:
+        """``(ready, payload)`` -- 503 is a normal answer, not an error."""
+        status, payload = self._request("GET", "/readyz")
+        return status == 200, payload
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics snapshot."""
+        status, payload = self._request("GET", "/metrics")
+        return self._check(status, payload, "metrics")

@@ -1,0 +1,69 @@
+"""The content-addressed result store.
+
+Results are filed under the SHA-256 of the job content
+(:meth:`~repro.service.jobs.JobSpec.content_hash`): identical
+netlist + search configuration means a bit-identical answer (the
+engine is deterministic in those fields), so a second submission of
+the same work short-circuits to the stored result instead of burning
+a worker -- the service's cheapest "scale" lever.
+
+Results that did **not** run to completion (deadline-stopped
+best-so-far answers) are filed under a per-job key instead
+(``job-<id>``): a partial answer must never masquerade as the content
+hash's canonical result, or a later full run of the same content
+would be cache-blocked by a truncated one.
+
+Writes are atomic (:func:`repro.ioutil.atomic_write_json`), so a
+crash mid-store leaves either the complete previous result or none --
+readers never see a torn file.  Entries are sharded two-level
+(``ab/abcdef....json``) to keep directories small at millions of
+results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.ioutil import atomic_write_json
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """JSON results keyed by content hash (or per-job partial key)."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s result lives (sharded by hash prefix)."""
+        if not key or "/" in key or key.startswith("."):
+            raise ValueError(f"bad result key {key!r}")
+        shard = key[:2] if len(key) > 2 else "__"
+        return self.root / shard / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Whether a result is already filed under ``key``."""
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored result, or ``None`` when absent."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def put(self, key: str, result: Dict[str, Any]) -> Path:
+        """Atomically file ``result`` under ``key``.
+
+        Idempotent by construction: content-addressed keys always map
+        to the same bytes, so concurrent writers replacing each other
+        is harmless.
+        """
+        return atomic_write_json(self.path_for(key), result)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -37,6 +37,9 @@ __all__ = [
     "FaultSpec",
     "FaultyObjective",
     "poison_approx_mass",
+    "JobFault",
+    "journal_write_crash",
+    "slow_client_request",
 ]
 
 
@@ -137,6 +140,136 @@ class FaultyObjective:
 
     def __getattr__(self, name):
         return getattr(self.inner, name)
+
+
+@dataclass(frozen=True)
+class JobFault:
+    """A picklable, targeted fault inside one service worker run.
+
+    The service-level sibling of :class:`FaultSpec`: instead of firing
+    at job entry, it fires at a chosen *temperature transition* of the
+    annealing walk (``at_step`` counts the per-step snapshots the
+    engine emits), which is what lets the fault suite kill a worker
+    strictly **after** its first checkpoint landed and then prove the
+    supervised retry resumes bit-identically.  Targeting is by
+    (attempt, mode) exactly like :class:`FaultSpec`: the retry of an
+    injected kill is untargeted and deterministically succeeds.
+
+    ``"crash"`` hard-kills the worker process with ``os._exit`` (never
+    target it at sequential mode -- that is the test process);
+    ``"hang"`` sleeps past the supervisor's heartbeat window;
+    ``"raise"`` raises :class:`InjectedFault` through the engine.
+    """
+
+    kind: str
+    attempt: int = 0
+    mode: Optional[str] = None
+    at_step: int = 2
+    hang_seconds: float = 3600.0
+    exit_code: int = 21
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.at_step < 1:
+            raise ValueError(f"at_step must be >= 1, got {self.at_step}")
+
+    def snapshot_hook(self, attempt: int, mode: str):
+        """An ``on_snapshot`` callback armed for this attempt/mode, or
+        ``None`` when the attempt is not targeted (the common case)."""
+        if attempt != self.attempt:
+            return None
+        if self.mode is not None and mode != self.mode:
+            return None
+        seen = {"steps": 0}
+
+        def hook(snapshot) -> None:
+            seen["steps"] += 1
+            if seen["steps"] != self.at_step:
+                return
+            if self.kind == "crash":
+                os._exit(self.exit_code)
+            if self.kind == "hang":
+                time.sleep(self.hang_seconds)
+                return
+            raise InjectedFault(
+                f"injected job fault at temperature step {self.at_step} "
+                f"(attempt={attempt} mode={mode})"
+            )
+
+        return hook
+
+
+@contextmanager
+def journal_write_crash(at_append: int = 1, partial_bytes: int = 12):
+    """Crash the service journal mid-append, leaving a torn tail.
+
+    Patches ``atomic_append_text`` *inside*
+    :mod:`repro.service.journal` so append number ``at_append`` writes
+    only the first ``partial_bytes`` bytes of its record (no newline,
+    no checksum validity) and then raises :class:`InjectedFault` --
+    the on-disk shape a power cut mid-``write(2)`` leaves behind.
+    Yields a dict with ``"calls"`` (appends attempted) and ``"fired"``;
+    always unpatches on exit.
+
+    The queue under test must (a) leave its in-memory state untouched
+    by the failed append and (b) discard the torn line on replay --
+    both asserted by the service fault suite.
+    """
+    import repro.service.journal as journal_mod
+
+    real_append = journal_mod.atomic_append_text
+    state = {"calls": 0, "fired": False}
+
+    def crashing_append(path, text):
+        state["calls"] += 1
+        if state["calls"] == at_append:
+            state["fired"] = True
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(text[: max(1, partial_bytes)])
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise InjectedFault(
+                f"injected journal crash at append {state['calls']}"
+            )
+        return real_append(path, text)
+
+    journal_mod.atomic_append_text = crashing_append
+    try:
+        yield state
+    finally:
+        journal_mod.atomic_append_text = real_append
+
+
+def slow_client_request(
+    host: str,
+    port: int,
+    data: bytes = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 1000\r\n\r\n",
+    hold_seconds: float = 30.0,
+) -> bytes:
+    """Open a socket, send an *incomplete* HTTP request, and stall.
+
+    Simulates the classic slowloris-shaped client: headers promise a
+    body that never fully arrives.  Returns whatever the server sends
+    back (expected: a ``408 Request Timeout`` well before
+    ``hold_seconds`` elapses, proving one stalled client cannot pin a
+    server task forever).
+    """
+    import socket
+
+    with socket.create_connection((host, port), timeout=hold_seconds) as sock:
+        sock.sendall(data)
+        sock.settimeout(hold_seconds)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+        return b"".join(chunks)
 
 
 @contextmanager

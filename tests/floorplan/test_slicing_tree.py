@@ -76,3 +76,44 @@ class TestShapeLists:
         heights = [s.height for s in root.shapes]
         assert widths == sorted(widths)
         assert heights == sorted(heights, reverse=True)
+
+
+class TestDeepChainPlacement:
+    """Regression: `_place` used to recurse per tree level, so a
+    left-deep chain (``m0 m1 * m2 * ...``) near 1k modules blew
+    CPython's recursion limit.  Placement is now an explicit work
+    stack; a 2k-module chain must pack without touching the limit."""
+
+    def test_2000_module_left_deep_chain_places_iteratively(self):
+        import sys
+
+        from repro.floorplan.slicing import evaluate_polish
+
+        n = 2000
+        modules = {f"m{i}": Module(f"m{i}", 1, 1) for i in range(n)}
+        tokens = ["m0"]
+        for i in range(1, n):
+            tokens.extend([f"m{i}", "*"])
+        expression = PolishExpression(tokens)
+
+        # Pin the limit low enough that any per-level recursion in the
+        # placement path would fail loudly rather than depend on the
+        # interpreter's default.
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(500)
+        try:
+            floorplan = evaluate_polish(
+                expression, modules, allow_rotation=False
+            )
+        finally:
+            sys.setrecursionlimit(limit)
+
+        assert len(floorplan.placements) == n
+        # All-beside chain of 1x1s: a 2000-wide, 1-tall strip, each
+        # module at its index.
+        assert floorplan.chip.width == pytest.approx(float(n))
+        assert floorplan.chip.height == pytest.approx(1.0)
+        for i in range(0, n, 97):
+            rect = floorplan.placements[f"m{i}"]
+            assert rect.x_lo == pytest.approx(float(i))
+            assert rect.y_lo == pytest.approx(0.0)

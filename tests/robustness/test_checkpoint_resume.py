@@ -307,3 +307,79 @@ class TestGracefulStop:
 
         resumed = AnnealEngine.resume(ck).run()
         _assert_bit_identical(resumed, straight)
+
+
+class TestPeekCheckpoint:
+    """`peek_checkpoint`: identify a file without rebuilding anything."""
+
+    def _write_engine_checkpoint(self, tmp_path):
+        ck = tmp_path / "run.ckpt"
+        control = RunControl(checkpoint_path=ck, checkpoint_every=1)
+        _engine(_netlist(), moves=25).run(control=control)
+        return ck
+
+    def test_peek_engine_checkpoint(self, tmp_path):
+        from repro.engine import peek_checkpoint
+
+        ck = self._write_engine_checkpoint(tmp_path)
+        info = peek_checkpoint(ck)
+        assert info.kind == "engine"
+        assert info.version == CHECKPOINT_VERSION
+        assert info.representation == "polish"
+        assert info.seed == 9
+        assert info.n_modules == 8
+        assert info.completed_steps >= 1
+        assert info.best_cost is not None
+        line = info.summary()
+        assert "engine checkpoint v1" in line
+        assert "polish" in line and "8 modules" in line
+
+    def test_peek_driver_checkpoint(self, tmp_path):
+        from repro.engine import peek_checkpoint
+        from repro.engine.checkpoint import (
+            DriverCheckpoint,
+            save_driver_checkpoint,
+        )
+
+        path = tmp_path / "driver.ckpt"
+        save_driver_checkpoint(
+            path,
+            DriverCheckpoint(
+                driver="tempering", config={"rounds": 4}, state={"round": 2}
+            ),
+        )
+        info = peek_checkpoint(path)
+        assert info.kind == "driver"
+        assert info.driver == "tempering"
+        assert "driver checkpoint v1 (tempering)" in info.summary()
+
+    def test_peek_rejects_non_checkpoints(self, tmp_path):
+        from repro.engine import peek_checkpoint
+
+        garbage = tmp_path / "garbage.ckpt"
+        garbage.write_bytes(b"definitely not a checkpoint")
+        with pytest.raises(CheckpointError):
+            peek_checkpoint(garbage)
+        with pytest.raises(CheckpointError, match="cannot read"):
+            peek_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_resume_mismatch_error_names_format_and_engine(self, tmp_path):
+        """The resume sanity check's error carries the checkpoint
+        format version and the engine class, so a mismatch report is
+        actionable without opening the file."""
+        ck = self._write_engine_checkpoint(tmp_path)
+        different_physics = ObjectiveSpec(
+            alpha=3.0, beta=1.0, gamma=0.0, pin_grid_size=30.0
+        )
+        with pytest.raises(CheckpointError) as excinfo:
+            AnnealEngine.resume(
+                ck,
+                objective_factory=lambda nl, ctx: different_physics.build(
+                    nl, ctx
+                ),
+            ).run()
+        message = str(excinfo.value)
+        assert "does not match" in message
+        assert "checkpoint format v1" in message
+        assert "engine AnnealEngine" in message
+        assert "representation polish" in message

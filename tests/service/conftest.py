@@ -1,0 +1,26 @@
+"""Shared fixtures for the service suite: tiny circuits, fast specs."""
+
+import pytest
+
+from repro.data import dumps_yal
+from repro.netlist import random_circuit
+
+
+@pytest.fixture(scope="session")
+def tiny_yal() -> str:
+    """A 6-module circuit as YAL text (jobs finish in well under a
+    second at the fast spec below)."""
+    return dumps_yal(random_circuit(6, 8, seed=3))
+
+
+@pytest.fixture
+def fast_spec(tiny_yal):
+    """A job spec dict that anneals quickly but still crosses several
+    temperature steps (so checkpoints and mid-run faults have room)."""
+    return {
+        "netlist_yal": tiny_yal,
+        "seed": 1,
+        "max_steps": 8,
+        "moves_per_temperature": 10,
+        "checkpoint_every": 1,
+    }

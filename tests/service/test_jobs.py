@@ -1,0 +1,89 @@
+"""JobSpec validation, content hashing, and the job state machine."""
+
+import pytest
+
+from repro.errors import JobValidationError
+from repro.service import JOB_STATES, VALID_TRANSITIONS, Job, JobSpec
+
+
+def test_spec_roundtrips_through_json(fast_spec):
+    spec = JobSpec.from_json(fast_spec)
+    assert JobSpec.from_json(spec.to_json()) == spec
+
+
+def test_spec_rejects_unknown_fields(fast_spec):
+    with pytest.raises(JobValidationError, match="unknown job field"):
+        JobSpec.from_json({**fast_spec, "sedd": 4})
+
+
+def test_spec_rejects_bad_representation(fast_spec):
+    with pytest.raises(JobValidationError, match="representation"):
+        JobSpec.from_json({**fast_spec, "representation": "polsh"})
+
+
+def test_spec_rejects_empty_netlist():
+    with pytest.raises(JobValidationError, match="netlist_yal"):
+        JobSpec(netlist_yal="   ")
+
+
+def test_spec_rejects_unparsable_netlist(fast_spec):
+    spec = JobSpec.from_json({**fast_spec, "netlist_yal": "not yal at all"})
+    with pytest.raises(JobValidationError, match="does not parse"):
+        spec.build_netlist()
+
+
+def test_content_hash_ignores_service_envelope(fast_spec):
+    """Priority/tenant/deadline/idempotency/checkpoint cadence never
+    perturb the answer, so they must not perturb the cache key."""
+    base = JobSpec.from_json(fast_spec)
+    dressed = JobSpec.from_json(
+        {
+            **fast_spec,
+            "priority": 9,
+            "tenant": "acme",
+            "deadline_seconds": 120.0,
+            "idempotency_key": "k",
+            "checkpoint_every": 5,
+        }
+    )
+    assert base.content_hash() == dressed.content_hash()
+
+
+def test_content_hash_tracks_result_fields(fast_spec):
+    base = JobSpec.from_json(fast_spec)
+    assert (
+        JobSpec.from_json({**fast_spec, "seed": 2}).content_hash()
+        != base.content_hash()
+    )
+    assert (
+        JobSpec.from_json({**fast_spec, "gamma": 0.5}).content_hash()
+        != base.content_hash()
+    )
+
+
+def test_state_machine_shape():
+    assert set(VALID_TRANSITIONS) == set(JOB_STATES)
+    # Terminal states go nowhere.
+    for terminal in ("done", "failed", "cancelled"):
+        assert not VALID_TRANSITIONS[terminal]
+    # The documented transitions, exactly.
+    assert VALID_TRANSITIONS["queued"] == {"running", "done", "cancelled"}
+    assert VALID_TRANSITIONS["running"] == {"done", "failed", "queued"}
+
+
+def test_job_transition_predicates(fast_spec):
+    job = Job(job_id="j000001", spec=JobSpec.from_json(fast_spec))
+    assert job.active and not job.terminal
+    assert job.can_transition("running")
+    assert not job.can_transition("failed")  # only running jobs fail
+    job.state = "done"
+    assert job.terminal and not job.active
+
+
+def test_status_json_drops_the_netlist(fast_spec):
+    job = Job(job_id="j000007", spec=JobSpec.from_json(fast_spec))
+    status = job.status_json()
+    assert "netlist_yal" not in status["spec"]
+    assert status["job_id"] == "j000007"
+    # The lossless image keeps it.
+    assert Job.from_json(job.to_json()).spec.netlist_yal

@@ -217,3 +217,77 @@ class TestDriverCli:
             ]
         ) == 0
         assert "[portfolio/" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    def _circuit(self, tmp_path):
+        target = tmp_path / "c.yal"
+        main(["generate", str(target), "--modules", "4", "--nets", "6"])
+        return target
+
+    def _server(self, tmp_path):
+        from repro.service import FloorplanService, ServiceThread
+
+        service = FloorplanService(tmp_path / "service-root", workers=1)
+        return ServiceThread(service).start()
+
+    def test_submit_waits_and_prints_cost(self, tmp_path, capsys):
+        circuit = self._circuit(tmp_path)
+        thread = self._server(tmp_path)
+        try:
+            assert main(
+                [
+                    "submit", str(circuit),
+                    "--port", str(thread.port),
+                    "--max-steps", "6",
+                    "--moves-per-temperature", "8",
+                ]
+            ) == 0
+        finally:
+            thread.stop(drain=True)
+        out = capsys.readouterr().out
+        assert "job j000001: queued" in out
+        assert "done: cost" in out and "chip" in out
+
+    def test_submit_no_wait_and_cache_hit(self, tmp_path, capsys):
+        circuit = self._circuit(tmp_path)
+        thread = self._server(tmp_path)
+        try:
+            argv = [
+                "submit", str(circuit),
+                "--port", str(thread.port),
+                "--max-steps", "6",
+                "--moves-per-temperature", "8",
+            ]
+            assert main(argv) == 0
+            capsys.readouterr()
+            # Identical content again: served from the result store.
+            assert main(argv + ["--no-wait"]) == 0
+            assert "(cache hit)" in capsys.readouterr().out
+        finally:
+            thread.stop(drain=True)
+
+    def test_submit_unreachable_server_fails_cleanly(self, tmp_path, capsys):
+        circuit = self._circuit(tmp_path)
+        assert main(
+            ["submit", str(circuit), "--port", "1", "--no-wait"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_peek_engine_checkpoint(self, tmp_path, capsys):
+        circuit = self._circuit(tmp_path)
+        ckpt = tmp_path / "run.ckpt"
+        assert main(
+            ["floorplan", str(circuit), "--checkpoint", str(ckpt)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["peek", str(ckpt)]) == 0
+        assert "engine checkpoint v1" in capsys.readouterr().out
+        assert main(["peek", str(ckpt), "--json"]) == 0
+        assert '"kind": "engine"' in capsys.readouterr().out
+
+    def test_peek_garbage_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"nope")
+        assert main(["peek", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
