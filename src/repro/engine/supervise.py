@@ -195,7 +195,11 @@ class SupervisedRunner:
         raises :class:`_HeartbeatStalled` right away.  A queued-not-yet
         -running future is never blamed (its heartbeat cannot exist
         yet); staleness for a running job with no file yet is measured
-        from when we first saw it running.
+        from when we first saw it running.  The file's mtime is only
+        trusted up to that running-since age: a heartbeat file left
+        behind by a previous killed attempt is already stale when the
+        retry starts, and must not condemn it before the new worker
+        writes its first beat.
         """
         if self.heartbeat_timeout is None or self.heartbeat_path is None:
             return fut.result(timeout=self.timeout)
@@ -217,14 +221,17 @@ class SupervisedRunner:
             if running_since is None:
                 running_since = time.monotonic()
             path = self.heartbeat_path(key)
-            beat_age: Optional[float] = None
+            beat_age = time.monotonic() - running_since
             if path is not None:
                 try:
-                    beat_age = time.time() - os.path.getmtime(path)
+                    mtime_age = time.time() - os.path.getmtime(path)
                 except OSError:
-                    beat_age = None
-            if beat_age is None:
-                beat_age = time.monotonic() - running_since
+                    pass
+                else:
+                    # min(): a beat written by *this* attempt refreshes
+                    # the lease, but a stale file predating the attempt
+                    # cannot age it past the attempt's own runtime.
+                    beat_age = min(beat_age, mtime_age)
             if beat_age >= self.heartbeat_timeout:
                 raise _HeartbeatStalled(
                     f"no heartbeat for {beat_age:.1f}s (limit "

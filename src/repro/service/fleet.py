@@ -177,13 +177,23 @@ class ServiceFleet:
         return self.jobs_root / "jobs" / job_id
 
     def _payload(self, job: Job) -> JobPayload:
-        return JobPayload(
+        payload = JobPayload(
             job_id=job.job_id,
             spec=job.spec,
             job_dir=str(self._job_dir(job.job_id)),
             stop_path=str(self.stop_path),
             fault=self.faults.get(job.job_id),
         )
+        # A heartbeat file surviving a killed/drained earlier run has a
+        # stale mtime; left in place it could condemn this dispatch as
+        # hung before its worker writes a first beat.  (The checkpoint
+        # file next to it stays -- that is what makes the rerun a
+        # resume.)
+        try:
+            payload.heartbeat_path.unlink()
+        except OSError:
+            pass
+        return payload
 
     def _count(self, name: str, n: int = 1) -> None:
         if self.metrics is not None:
@@ -220,12 +230,39 @@ class ServiceFleet:
             # slow-but-certain sequential execution until restart.
             self.sequential_only = True
             self._count("service_degraded")
-        for k, job in enumerate(batch):
-            self._settle(job, results.get(k), reports[k])
+        self._settle_batch(batch, results, reports)
         if self.metrics is not None:
             self.metrics.observe(
                 "service_batch_seconds", time.monotonic() - started
             )
+
+    def _settle_batch(
+        self,
+        batch: List[Job],
+        results: Dict[int, object],
+        reports: Dict[int, RunReport],
+    ) -> None:
+        """Settle every job in the batch, tolerating per-job failures.
+
+        One job whose transition is refused (e.g. something raced it to
+        a terminal state) or whose store write fails must not abort the
+        settling of its batch-mates -- their results are real and
+        discarding them would re-run finished work.  The failed job is
+        requeued if it is still ``running``; terminal states are left
+        where they are.
+        """
+        for k, job in enumerate(batch):
+            try:
+                self._settle(job, results.get(k), reports[k])
+            except Exception as exc:
+                self._count("service_settle_errors")
+                try:
+                    if self.queue.get(job.job_id).state == "running":
+                        self.queue.requeue(
+                            job.job_id, f"settle error: {exc}"
+                        )
+                except Exception:
+                    pass
 
     def _settle(
         self, job: Job, outcome: Optional[object], report: RunReport

@@ -126,6 +126,14 @@ class JobQueue:
             if job.state == "running":
                 job.state = "queued"
                 self.recovered_jobs.append(job.job_id)
+        if self.replay_discarded:
+            # The torn tail is still physically in the file, and it has
+            # no trailing newline -- the next append would glue onto it
+            # and a later replay would then stop at (and discard) that
+            # merged line plus every fsynced record after it.  Compact
+            # now: snapshot the replayed state and truncate the journal
+            # before any new mutation can land.
+            self.compact()
 
     def _rebuild_indexes(self) -> None:
         self._by_idempotency = {
@@ -200,7 +208,11 @@ class JobQueue:
 
     # -- public API ---------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> Tuple[Job, bool]:
+    def submit(
+        self,
+        spec: JobSpec,
+        cached_result_key: Optional[str] = None,
+    ) -> Tuple[Job, bool]:
         """Enqueue one job; returns ``(job, created)``.
 
         ``created`` is ``False`` when the spec's idempotency key was
@@ -208,12 +220,21 @@ class JobQueue:
         client retrying a dropped response can never run work twice.
         Raises :class:`~repro.errors.QuotaExceeded` when the tenant's
         active-job quota is full.
+
+        ``cached_result_key`` is the content-cache short-circuit: the
+        caller already holds a stored result for this spec's content
+        hash, so the job is born ``done`` (one submit record, applied
+        under the queue lock) and the dispatcher can never claim it.
+        Doing this *inside* submit closes the race where a separate
+        ``submit -> complete`` pair let the fleet claim the job in
+        between, making the cached complete collide with the worker's.
         """
         with self._lock:
             key = spec.idempotency_key
             if key and key in self._by_idempotency:
                 return self.jobs[self._by_idempotency[key]], False
-            if self.tenant_quota is not None:
+            born_done = cached_result_key is not None
+            if self.tenant_quota is not None and not born_done:
                 active = sum(
                     1
                     for j in self.jobs.values()
@@ -224,12 +245,16 @@ class JobQueue:
                         f"tenant {spec.tenant!r} has {active} active "
                         f"job(s); quota is {self.tenant_quota}"
                     )
+            now = self._now()
             job = Job(
                 job_id=f"j{self._next_job:06d}",
                 spec=spec,
-                state="queued",
+                state="done" if born_done else "queued",
                 seq=self._seq + 1,
-                submitted_at=self._now(),
+                result_key=cached_result_key,
+                cached=born_done,
+                submitted_at=now,
+                finished_at=now if born_done else None,
             )
             self._journal("submit", job.to_json())
             return self.jobs[job.job_id], True

@@ -2,11 +2,13 @@
 
 Stdlib only: :func:`asyncio.start_server` plus hand-rolled HTTP/1.1
 parsing (the API is five small JSON routes; a framework would be the
-only third-party dependency in the repo).  Every read off the socket
-sits under :func:`asyncio.wait_for` with the service's
-``client_timeout``, so a slowloris-shaped client -- headers promising
-a body that never arrives -- gets a ``408`` and its connection closed
-instead of pinning a server task (the fault suite drives this with
+only third-party dependency in the repo).  The whole request parse
+runs under one deadline of the service's ``client_timeout`` (each
+socket read gets only the remaining budget) and header count/bytes are
+capped, so a slowloris-shaped client -- headers promising a body that
+never arrives, or trickling one header line per read -- gets a ``408``
+(or ``400`` past the caps) and its connection closed instead of
+pinning a server task (the fault suite drives this with
 :func:`repro.testing.faults.slow_client_request`).
 
 Routes::
@@ -56,6 +58,8 @@ from repro.service.store import ResultStore
 __all__ = ["FloorplanService", "ServiceServer", "ServiceThread", "serve"]
 
 _MAX_BODY_BYTES = 32 * 1024 * 1024  # a netlist, not a filesystem
+_MAX_HEADER_BYTES = 16 * 1024  # request line + all header lines
+_MAX_HEADER_COUNT = 100
 
 
 class FloorplanService:
@@ -142,16 +146,16 @@ class FloorplanService:
         spec = JobSpec.from_json(body)
         spec.build_netlist()  # malformed YAL fails the submit, not a worker
         with self.metrics.timeit("service_submit"):
-            job, created = self.queue.submit(spec)
+            # The store is append-only, so a hit observed here is still
+            # a hit when submit journals the job; submit() itself births
+            # the job `done` under the queue lock, so the dispatcher can
+            # never claim it between enqueue and cache short-circuit.
+            content_key = spec.content_hash()
+            cached_key = content_key if self.store.has(content_key) else None
+            job, created = self.queue.submit(spec, cached_result_key=cached_key)
             if created:
                 self.metrics.count("service_jobs_submitted")
-                content_key = spec.content_hash()
-                if self.store.has(content_key):
-                    # Identical work was already done: short-circuit to
-                    # done without a worker ever seeing the job.
-                    self.queue.complete(
-                        job.job_id, content_key, cached=True
-                    )
+                if job.cached:
                     self.metrics.count("service_cache_hits")
             else:
                 self.metrics.count("service_idempotent_replays")
@@ -272,10 +276,26 @@ class ServiceServer:
                 pass
 
     async def _read_request(self, reader):
-        """Parse one HTTP/1.1 request; every socket read is individually
-        bounded by the service's ``client_timeout``."""
-        timeout = self.service.client_timeout
-        request_line = await asyncio.wait_for(reader.readline(), timeout)
+        """Parse one HTTP/1.1 request under one overall deadline.
+
+        The *whole* request -- request line, headers, body -- must
+        arrive within ``client_timeout``; each read gets only the time
+        remaining, so a client trickling one header line per read
+        cannot hold the connection past the budget.  Header count and
+        total header bytes are capped too (-> 400), so the headers
+        dict cannot be grown without bound either.
+        """
+        deadline = (
+            asyncio.get_running_loop().time() + self.service.client_timeout
+        )
+
+        async def read_bounded(coro_factory):
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError()
+            return await asyncio.wait_for(coro_factory(), remaining)
+
+        request_line = await read_bounded(reader.readline)
         if not request_line.strip():
             raise ValueError("empty request line")
         try:
@@ -285,10 +305,20 @@ class ServiceServer:
         except ValueError:
             raise ValueError(f"malformed request line {request_line!r}")
         headers: Dict[str, str] = {}
+        header_bytes = len(request_line)
         while True:
-            line = await asyncio.wait_for(reader.readline(), timeout)
+            line = await read_bounded(reader.readline)
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(line)
+            if header_bytes > _MAX_HEADER_BYTES:
+                raise ValueError(
+                    f"headers exceed {_MAX_HEADER_BYTES} bytes"
+                )
+            if len(headers) >= _MAX_HEADER_COUNT:
+                raise ValueError(
+                    f"more than {_MAX_HEADER_COUNT} header lines"
+                )
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
@@ -296,7 +326,7 @@ class ServiceServer:
             raise ValueError(f"unacceptable content-length {length}")
         body = b""
         if length:
-            body = await asyncio.wait_for(reader.readexactly(length), timeout)
+            body = await read_bounded(lambda: reader.readexactly(length))
         return method.upper(), path, headers, body
 
     def _route(self, method: str, path: str, body: bytes):
@@ -336,6 +366,13 @@ class ServiceServer:
             return 404, {"error": str(exc).strip("'\"")}
         except ServiceError as exc:
             return 409, {"error": str(exc)}
+        except Exception as exc:
+            # Infrastructure failure (full disk mid-journal-append, a
+            # corrupt stored result, ...): answer with a well-formed 500
+            # instead of killing the connection and leaving the client
+            # to diagnose a reset.  Details stay server-side.
+            self.service.metrics.count("service_internal_errors")
+            return 500, {"error": f"internal error: {type(exc).__name__}"}
 
     async def _respond(self, writer, status: int, payload) -> None:
         reasons = {
@@ -345,6 +382,7 @@ class ServiceServer:
             408: "Request Timeout",
             409: "Conflict",
             429: "Too Many Requests",
+            500: "Internal Server Error",
             503: "Service Unavailable",
         }
         body = json.dumps(payload).encode("utf-8")

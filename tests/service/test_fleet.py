@@ -165,6 +165,43 @@ def test_deadline_delivers_partial_under_job_key(tmp_path, fast_spec):
     assert not store.has(spec.content_hash())  # never the canonical key
 
 
+def test_settle_tolerates_one_raced_job(tmp_path, fast_spec):
+    """One job raced to a terminal state by someone else must not
+    abort the settling of its batch-mates -- their finished results
+    would otherwise be discarded and fully re-run."""
+    from repro.engine.multistart import RunReport
+    from repro.service.worker import JobOutcome
+
+    queue, store, fleet = make_fleet(tmp_path)
+    a, _ = queue.submit(JobSpec.from_json({**fast_spec, "seed": 31}))
+    b, _ = queue.submit(JobSpec.from_json({**fast_spec, "seed": 32}))
+    batch = queue.claim(2)
+    assert [j.job_id for j in batch] == [a.job_id, b.job_id]
+    # The race: a third party completes `a` while its worker runs.
+    queue.complete(a.job_id, "raced-key")
+    results = {
+        k: JobOutcome(
+            job_id=job.job_id,
+            completed=True,
+            stop_reason=None,
+            resumed=False,
+            checkpoints_written=0,
+            result={"payload": job.job_id},
+        )
+        for k, job in enumerate(batch)
+    }
+    reports = {
+        k: RunReport(seed=job.spec.seed, label=job.job_id)
+        for k, job in enumerate(batch)
+    }
+    fleet._settle_batch(batch, results, reports)
+    # `a` stays as the race left it; `b`'s result still landed.
+    assert queue.get(a.job_id).result_key == "raced-key"
+    final_b = queue.get(b.job_id)
+    assert final_b.state == "done"
+    assert store.get(final_b.result_key) == {"payload": b.job_id}
+
+
 def test_exhausted_retries_fail_with_blame(tmp_path, fast_spec):
     """A job whose spec cannot build raises on every attempt; the job
     fails with the supervision ledger naming each raise."""

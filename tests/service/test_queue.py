@@ -125,6 +125,54 @@ def test_journal_crash_leaves_memory_and_disk_consistent(tmp_path, fast_spec):
     assert created and job.state == "queued"
 
 
+def test_torn_tail_never_swallows_later_committed_records(
+    tmp_path, fast_spec
+):
+    """Replay discards a torn tail -- and the load must also *remove*
+    it (compact), or the next append glues onto the newline-less
+    partial line and a second restart silently discards every committed
+    record written after the tear."""
+    queue = JobQueue(tmp_path)
+    a, _ = queue.submit(make_spec(fast_spec, seed=1))
+    # A crash mid-append: a partial record with no trailing newline.
+    with queue.journal_path.open("ab") as fh:
+        fh.write(b'{"seq":2,"op"')
+    del queue
+
+    revived = JobQueue(tmp_path)
+    assert revived.replay_discarded == 1
+    # Committed (fsynced, acknowledged) mutations after the restart...
+    b, _ = revived.submit(make_spec(fast_spec, seed=2))
+    revived.claim(1)
+    del revived
+
+    # ...must all survive the next restart.
+    third = JobQueue(tmp_path)
+    assert third.replay_discarded == 0
+    assert set(third.jobs) == {a.job_id, b.job_id}
+    assert third.recovered_jobs == [a.job_id]  # the claim was replayed
+
+
+def test_cached_submit_births_job_done_atomically(tmp_path, fast_spec):
+    """The content-cache short-circuit is a single submit record: the
+    job is born ``done`` under the queue lock, so a dispatcher claiming
+    concurrently can never race it into ``running``."""
+    queue = JobQueue(tmp_path)
+    job, created = queue.submit(
+        make_spec(fast_spec), cached_result_key="stored-key"
+    )
+    assert created
+    assert job.state == "done" and job.cached
+    assert job.result_key == "stored-key"
+    assert queue.claim(4) == []  # never claimable
+    records, _ = replay_journal(queue.journal_path)
+    assert [r.op for r in records] == ["submit"]  # one atomic record
+    revived = JobQueue(tmp_path)
+    final = revived.get(job.job_id)
+    assert final.state == "done" and final.cached
+    assert final.result_key == "stored-key"
+
+
 def test_idempotent_resubmit_after_crash_returns_original_id(
     tmp_path, fast_spec
 ):

@@ -134,6 +134,77 @@ def test_slow_client_gets_408_not_a_pinned_task(live):
     assert client.healthz()["status"] == "ok"  # nothing got pinned
 
 
+def _parse_request(blob: bytes):
+    """Drive ServiceServer._read_request over an in-memory stream."""
+    import asyncio
+    from types import SimpleNamespace
+
+    from repro.service import ServiceServer
+
+    server = ServiceServer(SimpleNamespace(client_timeout=5.0))
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(blob)
+        reader.feed_eof()
+        return await server._read_request(reader)
+
+    return asyncio.run(run())
+
+
+def test_header_count_flood_is_rejected():
+    """Endless header lines hit the count cap (-> ValueError -> 400);
+    the headers dict cannot be grown without bound."""
+    blob = b"GET /healthz HTTP/1.1\r\n" + b"".join(
+        b"x-filler-%d: a\r\n" % i for i in range(200)
+    )
+    with pytest.raises(ValueError, match="header lines"):
+        _parse_request(blob)
+
+
+def test_header_byte_flood_is_rejected():
+    """A few huge header lines hit the byte cap instead."""
+    blob = b"GET /healthz HTTP/1.1\r\n" + b"".join(
+        b"x-big-%d: %s\r\n" % (i, b"a" * 8000) for i in range(3)
+    )
+    with pytest.raises(ValueError, match="bytes"):
+        _parse_request(blob)
+
+
+def test_reasonable_headers_still_parse():
+    blob = (
+        b"GET /healthz HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"Content-Length: 2\r\n"
+        b"\r\n"
+        b"{}"
+    )
+    method, path, headers, body = _parse_request(blob)
+    assert (method, path, body) == ("GET", "/healthz", b"{}")
+    assert headers["host"] == "localhost"
+
+
+def test_handler_infrastructure_failure_is_500(tmp_path, monkeypatch):
+    """A non-ServiceError escaping a handler (full disk, corrupt stored
+    result) must surface as a well-formed 500, not a connection reset,
+    and must not leak details to the client."""
+    from repro.service import FloorplanService, ServiceServer
+
+    service = FloorplanService(tmp_path, workers=1)
+    server = ServiceServer(service)
+
+    def boom(body):
+        raise OSError("disk full writing journal")
+
+    monkeypatch.setattr(service, "submit_job", boom)
+    status, payload = server._route("POST", "/v1/jobs", b"{}")
+    assert status == 500
+    assert "internal error" in payload["error"]
+    assert "disk full" not in payload["error"]
+    counters = service.metrics.snapshot()["counters"]
+    assert counters["service_internal_errors"] == 1
+
+
 def test_queued_job_result_409_and_cancel(tmp_path, tiny_yal):
     """With one busy worker, a queued job answers 409 on its result
     route, cancels cleanly, and a running job refuses cancellation."""
